@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure through its
+experiment harness, times it with pytest-benchmark (single round — the
+simulations are deterministic), prints the result rows, and saves them
+under ``results/`` so the regenerated evaluation can be inspected after
+a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def run_and_report(benchmark, name: str, run, format_rows) -> list[dict]:
+    """Execute a harness once under the benchmark timer and report rows."""
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_rows(rows)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n== {name} ==")
+    print(text)
+    return rows

@@ -1,0 +1,132 @@
+"""Ablations on DeAR's design choices.
+
+1. **Decoupling point / collective family** (§VII-A): the paper argues
+   DeAR generalises to any all-reduce algorithm decomposable into two
+   phases — ring RS+AG, double-binary-tree reduce+broadcast,
+   hierarchical two-level ring.  This bench runs DeAR over each family.
+2. **ByteScheduler overheads** (§II-D): negotiation on/off and
+   partition-size sweep isolate the two costs the paper blames.
+3. **Horovod coordinator cycle**: sensitivity to the cycle time.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.common import format_table
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import simulate
+
+
+def run_collective_families():
+    rows = []
+    model = get_model("resnet50")
+    cluster = cluster_10gbe()
+    for algorithm in ("ring", "halving_doubling", "tree", "hierarchical"):
+        dear = simulate(
+            "dear", model, cluster, algorithm=algorithm,
+            fusion="buffer", buffer_bytes=25e6,
+        )
+        horovod = simulate(
+            "horovod", model, cluster, algorithm=algorithm, buffer_bytes=25e6
+        )
+        rows.append(
+            {
+                "algorithm": algorithm,
+                "dear_iter_s": dear.iteration_time,
+                "horovod_iter_s": horovod.iteration_time,
+                "dear_speedup": horovod.iteration_time / dear.iteration_time,
+            }
+        )
+    return rows
+
+
+def run_bytescheduler_overheads():
+    rows = []
+    model = get_model("resnet50")
+    cluster = cluster_10gbe()
+    wfbp = simulate("wfbp", model, cluster)
+    for negotiate in (True, False):
+        for partition_mb in (1, 4, 16, 64):
+            result = simulate(
+                "bytescheduler", model, cluster,
+                negotiate=negotiate, partition_bytes=partition_mb * 1e6,
+            )
+            rows.append(
+                {
+                    "negotiate": negotiate,
+                    "partition_mb": partition_mb,
+                    "credit": 1,
+                    "iter_s": result.iteration_time,
+                    "vs_wfbp": wfbp.iteration_time / result.iteration_time,
+                }
+            )
+    return rows
+
+
+def run_bytescheduler_credit():
+    rows = []
+    model = get_model("resnet50")
+    cluster = cluster_10gbe()
+    for credit in (1, 2, 4):
+        result = simulate("bytescheduler", model, cluster, credit=credit)
+        rows.append(
+            {"credit": credit, "iter_s": result.iteration_time}
+        )
+    return rows
+
+
+def run_horovod_cycle_sweep():
+    rows = []
+    model = get_model("densenet201")
+    cluster = cluster_10gbe()
+    for cycle_ms in (0.1, 1.0, 5.0, 10.0):
+        result = simulate(
+            "horovod", model, cluster, buffer_bytes=25e6, cycle_time=cycle_ms * 1e-3
+        )
+        rows.append({"cycle_ms": cycle_ms, "iter_s": result.iteration_time})
+    return rows
+
+
+def test_ablation_collective_families(benchmark):
+    rows = run_and_report(
+        benchmark, "ablation_collectives", run_collective_families, format_table
+    )
+    # DeAR helps under every decomposable collective family.
+    assert all(row["dear_speedup"] >= 1.0 for row in rows)
+
+
+def test_ablation_bytescheduler(benchmark):
+    rows = run_and_report(
+        benchmark, "ablation_bytescheduler", run_bytescheduler_overheads, format_table
+    )
+    # Negotiation always costs; finer partitions always cost (CNN case).
+    for partition_mb in (1, 4, 16, 64):
+        with_neg = next(
+            r for r in rows if r["negotiate"] and r["partition_mb"] == partition_mb
+        )
+        without = next(
+            r for r in rows
+            if not r["negotiate"] and r["partition_mb"] == partition_mb
+        )
+        assert with_neg["iter_s"] >= without["iter_s"]
+    for negotiate in (True, False):
+        series = [r["iter_s"] for r in rows if r["negotiate"] == negotiate]
+        assert series == sorted(series, reverse=True)  # finer = slower
+
+
+def test_ablation_bytescheduler_credit(benchmark):
+    rows = run_and_report(
+        benchmark, "ablation_bs_credit", run_bytescheduler_credit, format_table
+    )
+    # More credit overlaps more startup latency: strictly faster here
+    # (latency-bound partitions), upper-bounded by proportionality.
+    times = [row["iter_s"] for row in rows]
+    assert times == sorted(times, reverse=True)
+    assert times[-1] >= times[0] / 4 - 1e-9
+
+
+def test_ablation_horovod_cycle(benchmark):
+    rows = run_and_report(
+        benchmark, "ablation_horovod_cycle", run_horovod_cycle_sweep, format_table
+    )
+    series = [row["iter_s"] for row in rows]
+    assert series == sorted(series)  # slower coordinator, slower training

@@ -1,0 +1,41 @@
+"""Bench: auto-tuning the decoupling configuration (§VII-A future work)."""
+
+from benchmarks.conftest import run_and_report
+from repro.core.auto_tune import tune_decoupling
+from repro.experiments.common import format_table
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+from repro.schedulers.base import simulate
+
+
+def run():
+    rows = []
+    for cluster in (cluster_10gbe(), cluster_100gbib()):
+        for name in ("resnet50", "bert_base"):
+            model = get_model(name)
+            choice = tune_decoupling(model, cluster, bo_trials=8)
+            default = simulate(
+                "dear", model, cluster, fusion="buffer", buffer_bytes=25e6
+            )
+            rows.append(
+                {
+                    "network": cluster.inter_link.name,
+                    "model": name,
+                    "best_algorithm": choice.algorithm,
+                    "best_buffer_mb": choice.buffer_bytes / 1e6,
+                    "throughput": choice.throughput,
+                    "vs_ring_25mb": choice.throughput / default.throughput,
+                }
+            )
+    return rows
+
+
+def test_auto_tune_decoupling(benchmark):
+    rows = run_and_report(benchmark, "auto_tune", run, format_table)
+    for row in rows:
+        # The tuned configuration never loses to the fixed default
+        # (ring + 25 MB) by more than BO noise.
+        assert row["vs_ring_25mb"] >= 0.99, row
+        assert row["best_algorithm"] in (
+            "ring", "halving_doubling", "tree", "hierarchical",
+        )

@@ -1,0 +1,117 @@
+"""Extension bench: gradient compression inside the DeAR framework.
+
+The paper's future work (§VI-D).  Two results:
+
+1. **Density sweep** (timing level): on the comm-dominated BERT-Large /
+   10GbE workload, DGC-style compressed aggregation beats the dense
+   ring only below the analytic crossover ``c < 2/P`` — aggressive
+   sparsification (0.1%) gives a large win, mild (10%) *loses*.
+2. **Convergence** (value level): top-k + error feedback training on
+   the real numpy substrate still reduces the loss at 1% density.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+from repro.compression import CompressionTimeModel, ErrorFeedback, TopKCompressor
+from repro.experiments.common import format_table
+from repro.models.profiles import TimingModel
+from repro.models.zoo import get_model
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import get_scheduler
+
+DENSITIES = (0.001, 0.003, 0.01, 0.03, 0.1)
+
+
+def run_density_sweep():
+    model = get_model("bert_large")
+    timing = TimingModel.for_model(model)
+    base = CollectiveTimeModel(cluster_10gbe())
+    dense = get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+        timing, base
+    )
+    rows = [
+        {
+            "density": 1.0,
+            "wire_ratio": 1.0,
+            "iter_s": dense.iteration_time,
+            "speedup_vs_dense": 1.0,
+        }
+    ]
+    for density in DENSITIES:
+        compressed = CompressionTimeModel(base, density=density)
+        result = get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+            timing, compressed
+        )
+        rows.append(
+            {
+                "density": density,
+                "wire_ratio": compressed.wire_ratio,
+                "iter_s": result.iteration_time,
+                "speedup_vs_dense": dense.iteration_time / result.iteration_time,
+            }
+        )
+    return rows
+
+
+def test_compression_density_sweep(benchmark):
+    rows = run_and_report(
+        benchmark, "compression_sweep", run_density_sweep, format_table
+    )
+    by_density = {row["density"]: row for row in rows}
+    # Aggressive sparsification wins big on a comm-dominated workload...
+    assert by_density[0.001]["speedup_vs_dense"] > 2.0
+    # ...but mild compression is beyond the c < 2/P crossover and loses.
+    assert by_density[0.1]["speedup_vs_dense"] < 1.0
+    # Iteration time is monotone in density across the sweep.
+    times = [by_density[d]["iter_s"] for d in DENSITIES]
+    assert times == sorted(times)
+
+
+def test_topk_ef_training_converges(benchmark):
+    """Value level: compressed S-SGD with error feedback still learns."""
+    from repro.collectives.transport import Transport
+    from repro.compression.aggregation import compressed_all_gather_aggregate
+    from repro.training import MLP, SGD, SyntheticRegression, Tensor, mse_loss
+
+    world, batch, steps = 4, 16, 30
+    data = SyntheticRegression(num_samples=world * batch * steps,
+                               in_features=8, out_features=2, seed=0)
+    models = [MLP((8, 32, 2), seed=9) for _ in range(world)]
+    optimizers = [SGD(m.parameters(), lr=0.05) for m in models]
+    compressor = TopKCompressor(density=0.05)
+    feedbacks = [ErrorFeedback(compressor) for _ in range(world)]
+
+    losses = []
+
+    def training_loop():
+        iterator = zip(*[data.batches(r, world, batch) for r in range(world)])
+        for _, batches in zip(range(steps), iterator):
+            step_losses = []
+            for rank, (features, targets) in enumerate(batches):
+                models[rank].zero_grad()
+                loss = mse_loss(models[rank](Tensor(features)), Tensor(targets))
+                loss.backward()
+                step_losses.append(loss.item())
+            # Aggregate each parameter's gradients with compressed all-gather.
+            transport = Transport(world)
+            for tensor_index, _ in enumerate(models[0].parameters()):
+                grads = [list(m.parameters())[tensor_index].grad for m in models]
+                compressed_all_gather_aggregate(
+                    transport, grads, compressor,
+                    error_feedback=feedbacks, key=f"t{tensor_index}",
+                    average=True,
+                )
+                for m, grad in zip(models, grads):
+                    list(m.parameters())[tensor_index].grad = grad
+            for optimizer in optimizers:
+                optimizer.step()
+            losses.append(float(np.mean(step_losses)))
+
+    benchmark.pedantic(training_loop, rounds=1, iterations=1)
+    assert losses[-1] < 0.5 * losses[0]
+    # Replicas stay consistent under deterministic compressed aggregation.
+    for m in models[1:]:
+        for a, b in zip(models[0].parameters(), m.parameters()):
+            np.testing.assert_array_equal(a.data, b.data)

@@ -1,0 +1,18 @@
+"""Bench: Fig. 11 — speed across per-GPU mini-batch sizes (10GbE)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig11
+from repro.experiments.fig11 import format_rows
+
+
+def test_fig11_batch_sizes(benchmark):
+    rows = run_and_report(benchmark, "fig11", fig11, format_rows)
+    assert len(rows) == 7  # 4 ResNet batch sizes + 3 BERT batch sizes
+    for row in rows:
+        # DeAR is robust to batch size: never behind the best rival
+        # (paper: "outperforms all other methods in all tested cases").
+        assert row["dear_vs_best_other"] >= 0.999, row
+    # Throughput grows with batch size for every scheduler.
+    for model in ("ResNet-50", "BERT-Base"):
+        series = [r["dear"] for r in rows if r["model"] == model]
+        assert series == sorted(series)

@@ -1,0 +1,20 @@
+"""Bench: Fig. 5 — all-reduce vs RS / AG / RSAG across message sizes."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig5
+from repro.experiments.fig5 import format_rows
+from repro.experiments.paper_data import FIG5_SPOT_CHECKS
+
+
+def test_fig5_breakdown(benchmark):
+    rows = run_and_report(benchmark, "fig5", fig5, format_rows)
+    # Decoupling is free: RSAG == AR, and each half is half.
+    for row in rows:
+        assert row["rsag_over_ar"] == pytest.approx(1.0)
+        assert row["reduce_scatter_ms"] == pytest.approx(row["allreduce_ms"] / 2)
+    # Paper's measured spot values (§II-D), 64 GPUs / 10GbE.
+    for nbytes, seconds in FIG5_SPOT_CHECKS:
+        closest = min(rows, key=lambda r: abs(r["bytes"] - nbytes))
+        assert closest["allreduce_ms"] == pytest.approx(seconds * 1e3, rel=0.15)

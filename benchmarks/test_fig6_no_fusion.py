@@ -1,0 +1,27 @@
+"""Bench: Fig. 6 — speedups without tensor fusion (WFBP = 1.0)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig6
+from repro.experiments.fig6 import format_rows
+
+
+def test_fig6_no_fusion(benchmark):
+    rows = run_and_report(benchmark, "fig6", fig6, format_rows)
+    assert len(rows) == 10  # 5 models x 2 networks
+    for row in rows:
+        # DeAR gains from feed-forward overlap everywhere (paper: 6-19%).
+        assert row["dear"] >= 1.0, row
+    # ByteScheduler collapses on the 10GbE CNNs (paper: bars < 0.9).
+    cnn_eth = [
+        r for r in rows
+        if "10GbE" in r["network"]
+        and r["model"] in ("ResNet-50", "DenseNet-201", "Inception-v4")
+    ]
+    assert all(r["bytescheduler"] < 0.95 for r in cnn_eth)
+    # ...while BERTs fare relatively better than the worst CNN case.
+    bert_eth = [
+        r for r in rows if "10GbE" in r["network"] and "BERT" in r["model"]
+    ]
+    assert min(r["bytescheduler"] for r in bert_eth) >= min(
+        r["bytescheduler"] for r in cnn_eth
+    )

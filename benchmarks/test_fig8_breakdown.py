@@ -1,0 +1,30 @@
+"""Bench: Fig. 8 — iteration-time breakdowns (10GbE)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig8
+from repro.experiments.fig8 import format_rows
+
+
+def test_fig8_breakdown(benchmark):
+    rows = run_and_report(benchmark, "fig8", fig8, format_rows)
+    models = {row["model"] for row in rows}
+    assert len(models) == 5
+    for model in models:
+        horovod = next(
+            r for r in rows if r["model"] == model and r["view"] == "Horovod"
+        )
+        dear = next(r for r in rows if r["model"] == model and r["view"] == "DeAR")
+        rs_only = next(
+            r for r in rows if r["model"] == model and r["view"] == "DeAR (RS-only)"
+        )
+        ag_only = next(
+            r for r in rows if r["model"] == model and r["view"] == "DeAR (AG-only)"
+        )
+        # DeAR exposes less communication than Horovod (§VI-F).
+        assert dear["exposed_comm_s"] <= horovod["exposed_comm_s"] + 1e-9
+        # RS-only exposure < AG-only exposure: RS hides under the longer
+        # backward pass (§VI-F).
+        assert rs_only["exposed_comm_s"] <= ag_only["exposed_comm_s"] + 1e-9
+        # Compute columns identical across views (same backend).
+        assert dear["ff_s"] == horovod["ff_s"]
+        assert dear["bp_s"] == horovod["bp_s"]

@@ -1,0 +1,23 @@
+"""Bench: Fig. 9 — dynamic tensor fusion variants."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig9
+from repro.experiments.fig9 import format_rows
+
+
+def test_fig9_fusion_variants(benchmark):
+    rows = run_and_report(benchmark, "fig9", fig9, format_rows)
+    assert len(rows) == 6  # 3 models x 2 networks
+    for row in rows:
+        # DeAR-BO is the best (or tied-best) configuration overall.
+        rivals = [
+            row["horovod_fb"], row["horovod_bo"], row["dear_no_tf"],
+            row["dear_nl"], row["dear_fb"],
+        ]
+        assert row["dear_bo"] >= max(rivals) * 0.99, row
+        # Fusion matters: BO vs w/o TF must show a real gap on 10GbE
+        # (paper: 1.35x-4.54x).
+        if "10GbE" in row["network"]:
+            assert row["bo_vs_no_tf"] >= 1.3, row
+        # DeAR-BO beats Horovod-FB everywhere (paper: 22-56% / 7-14%).
+        assert row["bo_vs_horovod_fb"] > 1.0, row

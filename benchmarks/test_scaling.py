@@ -1,0 +1,48 @@
+"""Extension: scaling study (§VI-I, "potential improvement on
+larger-scale clusters").
+
+The paper predicts DeAR's advantage over Horovod grows with cluster
+size because the communication-to-computation ratio grows.  Hardware
+limited the authors to 64 GPUs; the simulator sweeps 8 to 256.
+"""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.common import format_table
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import simulate, single_gpu_result
+
+
+def run():
+    rows = []
+    model = get_model("resnet50")
+    single = single_gpu_result(model)
+    for nodes in (2, 4, 8, 16, 32, 64):
+        cluster = cluster_10gbe(nodes=nodes, gpus_per_node=4)
+        dear = simulate(
+            "dear", model, cluster, fusion="buffer", buffer_bytes=25e6
+        )
+        horovod = simulate("horovod", model, cluster, buffer_bytes=25e6)
+        rows.append(
+            {
+                "gpus": cluster.world_size,
+                "dear_speedup_vs_1gpu": dear.scaling_speedup(single.iteration_time),
+                "horovod_speedup_vs_1gpu": horovod.scaling_speedup(
+                    single.iteration_time
+                ),
+                "dear_over_horovod": horovod.iteration_time / dear.iteration_time,
+            }
+        )
+    return rows
+
+
+def test_scaling_study(benchmark):
+    rows = run_and_report(benchmark, "scaling", run, format_table)
+    # DeAR never loses at any scale.
+    assert all(row["dear_over_horovod"] >= 1.0 for row in rows)
+    # The §VI-I prediction: the advantage at the largest scale exceeds
+    # the advantage at the smallest.
+    assert rows[-1]["dear_over_horovod"] >= rows[0]["dear_over_horovod"]
+    # Sanity: parallel efficiency decreases with scale for both.
+    efficiencies = [row["dear_speedup_vs_1gpu"] / row["gpus"] for row in rows]
+    assert efficiencies == sorted(efficiencies, reverse=True)

@@ -1,0 +1,40 @@
+"""Bench: fabric sensitivity sweeps — the mechanism behind DeAR's gains."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.sweeps import bandwidth_sweep, format_rows, latency_sweep
+
+
+def test_latency_sensitivity(benchmark):
+    rows = run_and_report(
+        benchmark, "sweep_latency", lambda: latency_sweep("resnet50"), format_rows
+    )
+    # Both schedulers slow down with latency...
+    for key in ("dear_iter_s", "horovod_iter_s"):
+        series = [row[key] for row in rows]
+        assert series == sorted(series)
+    # ...and DeAR's advantage is larger in the highest-latency regime
+    # than in the lowest (startup hiding is the mechanism).
+    assert rows[-1]["dear_advantage"] >= rows[0]["dear_advantage"]
+    assert all(row["dear_advantage"] >= 0.999 for row in rows)
+
+
+def test_bandwidth_sensitivity(benchmark):
+    rows = run_and_report(
+        benchmark, "sweep_bandwidth", lambda: bandwidth_sweep("bert_base"),
+        format_rows,
+    )
+    # More bandwidth, faster iterations, for both schedulers.
+    for key in ("dear_iter_s", "horovod_iter_s"):
+        series = [row[key] for row in rows]
+        assert series == sorted(series, reverse=True)
+    # Eq. 9 makes the relative advantage unimodal in bandwidth: the
+    # peak is interior (where t_ag ~ t_ff), and both extremes sit below
+    # it — high bandwidth because there is little left to hide (§VI-I),
+    # low bandwidth because the fixed t_ff saving drowns in a huge
+    # iteration.
+    advantages = [row["dear_advantage"] for row in rows]
+    peak = advantages.index(max(advantages))
+    assert 0 < peak < len(advantages) - 1
+    assert advantages[:peak + 1] == sorted(advantages[:peak + 1])
+    assert advantages[peak:] == sorted(advantages[peak:], reverse=True)
+    assert all(advantage >= 0.999 for advantage in advantages)

@@ -1,0 +1,78 @@
+"""Extension: straggler sensitivity on the full multi-rank simulator.
+
+Sweeps one slow rank from 1.0x to 1.5x compute time on a 16-GPU / 10GbE
+cluster and compares WFBP vs DeAR.  Finding (and the assertion): with
+synchronous collectives the iteration becomes straggler-bound — both
+schedules degrade essentially linearly and communication scheduling
+cannot absorb heterogeneity, though DeAR never does worse.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+from repro.experiments.common import format_table
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import simulate
+from repro.schedulers.multirank import simulate_heterogeneous
+
+CLUSTER = cluster_10gbe(nodes=4, gpus_per_node=4)
+STRAGGLER_FACTORS = (1.0, 1.1, 1.25, 1.5)
+
+
+def run():
+    model = get_model("resnet50")
+    world = CLUSTER.world_size
+    rows = []
+    for factor in STRAGGLER_FACTORS:
+        scales = [1.0] * (world - 1) + [factor]
+        wfbp = simulate_heterogeneous(
+            "wfbp", model, CLUSTER, scales, fusion_buffer_bytes=25e6
+        )
+        dear = simulate_heterogeneous(
+            "dear", model, CLUSTER, scales, fusion_buffer_bytes=25e6
+        )
+        rows.append(
+            {
+                "straggler_factor": factor,
+                "wfbp_iter_s": wfbp.iteration_time,
+                "dear_iter_s": dear.iteration_time,
+                "dear_advantage": wfbp.iteration_time / dear.iteration_time,
+            }
+        )
+    return rows
+
+
+def test_straggler_sensitivity(benchmark):
+    rows = run_and_report(benchmark, "straggler", run, format_table)
+    # DeAR never loses.
+    assert all(row["dear_advantage"] >= 0.999 for row in rows)
+    # Both schedules degrade monotonically with the straggler.
+    for key in ("wfbp_iter_s", "dear_iter_s"):
+        series = [row[key] for row in rows]
+        assert series == sorted(series)
+    # Straggler-bound regime: at 1.5x the iteration grew by at least
+    # half the straggler's extra compute (no magic absorption).
+    base = rows[0]["dear_iter_s"]
+    worst = rows[-1]["dear_iter_s"]
+    extra_compute = 0.5 * 0.22  # 50% slowdown on a ~0.22 s compute
+    assert worst - base >= 0.5 * extra_compute
+
+
+def test_homogeneous_multirank_matches_representative_engine(benchmark):
+    """With equal ranks, the full multi-rank simulation must agree with
+    the single-representative-rank engine to float precision."""
+    model = get_model("resnet50")
+    world = CLUSTER.world_size
+    multi = benchmark.pedantic(
+        lambda: simulate_heterogeneous(
+            "dear", model, CLUSTER, [1.0] * world, fusion_buffer_bytes=25e6
+        ),
+        rounds=1, iterations=1,
+    )
+    representative = simulate(
+        "dear", model, CLUSTER, fusion="buffer", buffer_bytes=25e6
+    )
+    assert multi.iteration_time == pytest.approx(
+        representative.iteration_time, rel=1e-9
+    )

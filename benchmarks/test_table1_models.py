@@ -1,0 +1,16 @@
+"""Bench: regenerate Table I (model inventory)."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table1
+from repro.experiments.table1 import format_rows
+
+
+def test_table1_models(benchmark):
+    rows = run_and_report(benchmark, "table1", table1, format_rows)
+    assert len(rows) == 5
+    for row in rows:
+        assert row["layers"] == row["layers_paper"]
+        assert row["tensors"] == row["tensors_paper"]
+        assert row["params_M"] == pytest.approx(row["params_M_paper"], rel=0.005)

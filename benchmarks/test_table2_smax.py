@@ -1,0 +1,19 @@
+"""Bench: Table II — real speedup S vs theoretical maximum S^max."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table2
+from repro.experiments.table2 import format_rows
+
+
+def test_table2_smax(benchmark):
+    rows = run_and_report(benchmark, "table2", table2, format_rows)
+    assert len(rows) == 10
+    for row in rows:
+        # The bound is a bound.
+        assert row["s"] <= row["s_max"] * 1.005, row
+        # S^max itself reproduces the paper (it is analytic).
+        assert row["s_max"] == pytest.approx(row["paper_s_max"], rel=0.03), row
+        # DeAR reaches a high fraction of the optimum (paper: 72-99%).
+        assert row["ratio_pct"] >= 70.0, row

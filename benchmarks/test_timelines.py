@@ -1,0 +1,30 @@
+"""Bench: Figs. 1-2 — the schedule timelines, regenerated from traces."""
+
+from benchmarks.conftest import RESULTS_DIR, run_and_report
+from repro.experiments.timelines import format_chart, format_rows, run
+
+
+def test_timelines(benchmark):
+    rows = run_and_report(benchmark, "timelines", run, format_rows)
+    chart = format_chart(rows)
+    (RESULTS_DIR / "timelines_chart.txt").write_text(chart + "\n")
+    print(chart)
+
+    by_panel = {row["panel"]: row for row in rows}
+    # The figures' qualitative ordering.
+    assert (
+        by_panel["Fig 2(c)  DeAR + fusion"]["iteration_ms"]
+        <= by_panel["Fig 1(c)  WFBP + fusion"]["iteration_ms"]
+    )
+    assert (
+        by_panel["Fig 1(d)  ByteScheduler"]["iteration_ms"]
+        >= by_panel["Fig 1(b)  WFBP"]["iteration_ms"]
+    )
+    # The FeedPipe overlap is visible in the rendered chart.
+    dear_block = chart.split("Fig 2(c)")[1]
+    compute, comm = [
+        line.split("|")[1] for line in dear_block.splitlines() if "|" in line
+    ]
+    ff = {i for i, c in enumerate(compute) if c == "F"}
+    ag = {i for i, c in enumerate(comm) if c == "G"}
+    assert ff & ag

@@ -1,0 +1,62 @@
+"""Capacity planning: which fabric does a workload need?
+
+Scenario from the paper's intro: BERT pre-training is communication
+bound — before renting a cluster you want to know how far each
+interconnect scales and how much scheduling (DeAR) buys back compared
+to upgrading hardware.  For BERT-Large this example sweeps cluster
+size on both of the paper's fabrics and prints, per configuration:
+
+- the theoretical ceiling S^max (Eq. 6),
+- Horovod's and DeAR's simulated scaling speedups,
+- DeAR's fraction of the ceiling (Table II's bottom row).
+
+Run:
+    python examples/cluster_planning.py
+"""
+
+from repro.analysis import max_speedup_for
+from repro.models import get_model
+from repro.network import cluster_100gbib, cluster_10gbe
+from repro.schedulers import simulate, single_gpu_result
+
+
+def main() -> None:
+    model = get_model("bert_large")
+    single = single_gpu_result(model)
+    print(model.describe())
+    print(f"single GPU: {single.per_gpu_throughput:.1f} samples/s\n")
+
+    header = (
+        f"{'fabric':<16} {'GPUs':>5} {'S^max':>7} {'Horovod S':>10} "
+        f"{'DeAR S':>8} {'DeAR/S^max':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for make_cluster in (cluster_10gbe, cluster_100gbib):
+        for nodes in (4, 8, 16, 32):
+            cluster = make_cluster(nodes=nodes, gpus_per_node=4)
+            ceiling = max_speedup_for(model, cluster)
+            horovod = simulate("horovod", model, cluster, buffer_bytes=25e6)
+            dear = simulate(
+                "dear", model, cluster, fusion="buffer", buffer_bytes=25e6
+            )
+            s_horovod = horovod.scaling_speedup(single.iteration_time)
+            s_dear = dear.scaling_speedup(single.iteration_time)
+            print(
+                f"{cluster.inter_link.name:<16} {cluster.world_size:>5} "
+                f"{ceiling:>7.1f} {s_horovod:>10.1f} {s_dear:>8.1f} "
+                f"{100 * s_dear / ceiling:>10.1f}%"
+            )
+        print()
+
+    print(
+        "Reading: on 10GbE, BERT-Large saturates its S^max ceiling early —\n"
+        "no scheduler can fix a bandwidth wall; past ~16 GPUs the upgrade\n"
+        "to InfiniBand dominates anything scheduling can recover, while\n"
+        "DeAR keeps the realised speedup near whichever ceiling applies."
+    )
+
+
+if __name__ == "__main__":
+    main()

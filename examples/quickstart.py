@@ -1,0 +1,55 @@
+"""Quickstart: compare DeAR against the baselines on one workload.
+
+Simulates a training iteration of ResNet-50 (per-GPU batch 64) on the
+paper's 64-GPU / 10GbE testbed under every scheduler, and prints the
+iteration time, aggregate throughput, and scaling speedup of each.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro.models import get_model
+from repro.network import cluster_10gbe
+from repro.schedulers import simulate, single_gpu_result
+
+
+def main() -> None:
+    model = get_model("resnet50")
+    cluster = cluster_10gbe()
+    single = single_gpu_result(model)
+
+    print(model.describe())
+    print(cluster.describe())
+    print(f"single GPU: {single.iteration_time * 1e3:.1f} ms/iteration, "
+          f"{single.per_gpu_throughput:.0f} samples/s")
+    print()
+
+    configurations = [
+        ("serial (no overlap)", "serial", {}),
+        ("WFBP", "wfbp", {}),
+        ("PyTorch-DDP (25MB buckets)", "ddp", {}),
+        ("Horovod (25MB fusion)", "horovod", {"buffer_bytes": 25e6}),
+        ("MG-WFBP", "mg_wfbp", {}),
+        ("ByteScheduler", "bytescheduler", {}),
+        ("DeAR w/o fusion", "dear", {"fusion": "none"}),
+        ("DeAR (25MB fusion)", "dear", {"fusion": "buffer", "buffer_bytes": 25e6}),
+        ("DeAR-BO (tuned fusion)", "dear", {"fusion": "bo", "bo_trials": 10}),
+    ]
+
+    header = f"{'scheduler':<28} {'iter (ms)':>10} {'samples/s':>11} {'speedup S':>10}"
+    print(header)
+    print("-" * len(header))
+    for label, name, options in configurations:
+        result = simulate(name, model, cluster, **options)
+        speedup = result.scaling_speedup(single.iteration_time)
+        print(
+            f"{label:<28} {result.iteration_time * 1e3:>10.1f} "
+            f"{result.throughput:>11.0f} {speedup:>10.1f}"
+        )
+
+    print()
+    print(f"linear-scaling bound: S = {cluster.world_size}")
+
+
+if __name__ == "__main__":
+    main()

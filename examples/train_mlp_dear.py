@@ -1,0 +1,106 @@
+"""Train a real model with the DeAR runtime (the paper's Listing 1).
+
+Runs data-parallel S-SGD on a synthetic regression task with four
+in-process ranks, using ``dear.init`` + ``dear.DistOptim`` exactly as
+the paper's user-facing API prescribes:
+
+- gradients are staged by per-tensor hooks during backward (BackPipe)
+  and reduce-scattered as each fusion group completes;
+- ``optim.step()`` ends the iteration but *defers* the updates;
+- the next forward's pre-layer hooks run the all-gathers and apply the
+  updates just-in-time (FeedPipe);
+- before validation, ``optim.synchronize()`` flushes everything.
+
+The script then repeats the run with plain fused all-reduce S-SGD and
+verifies the parameter trajectories are bit-identical — the paper's
+zero-overhead decoupling claim, checked on live numbers.
+
+Run:
+    python examples/train_mlp_dear.py
+"""
+
+import numpy as np
+
+import repro.core as dear
+from repro.training import (
+    MLP,
+    SGD,
+    DataParallelTrainer,
+    SyntheticRegression,
+    Tensor,
+    mse_loss,
+)
+
+WORLD_SIZE = 4
+BATCH_SIZE = 16
+STEPS = 25
+LR = 0.05
+MOMENTUM = 0.9
+BUFFER_BYTES = 8192
+
+
+def build_model() -> MLP:
+    return MLP((16, 64, 64, 4), seed=42)
+
+
+def train_with_dear(data: SyntheticRegression) -> tuple[list[np.ndarray], list[float]]:
+    models = [build_model() for _ in range(WORLD_SIZE)]
+    runtime = dear.init(WORLD_SIZE, buffer_bytes=BUFFER_BYTES)
+    optims = [
+        dear.DistOptim(SGD(m.parameters(), lr=LR, momentum=MOMENTUM), m, runtime)
+        for m in models
+    ]
+    losses = []
+    iterator = zip(*[data.batches(r, WORLD_SIZE, BATCH_SIZE) for r in range(WORLD_SIZE)])
+    for step, batches in zip(range(STEPS), iterator):
+        step_losses = []
+        for rank, (features, targets) in enumerate(batches):
+            model = models[rank]
+            model.zero_grad()
+            loss = mse_loss(model(Tensor(features)), Tensor(targets))
+            loss.backward()          # BackPipe: hooks fire reduce-scatters
+            optims[rank].step()      # updates deferred to the next forward
+            step_losses.append(loss.item())
+        losses.append(float(np.mean(step_losses)))
+    for optim in optims:             # lines 12-13 of Listing 1
+        optim.synchronize()
+    print(
+        f"DeAR runtime: {runtime.reduce_scatters} reduce-scatters, "
+        f"{runtime.all_gathers} all-gathers over {STEPS} steps "
+        f"({runtime.num_groups} fusion groups)"
+    )
+    return [np.array(p.data) for p in models[0].parameters()], losses
+
+
+def train_reference(data: SyntheticRegression) -> list[np.ndarray]:
+    trainer = DataParallelTrainer(
+        build_model, WORLD_SIZE, lr=LR, momentum=MOMENTUM,
+        strategy="allreduce", buffer_bytes=BUFFER_BYTES,
+    )
+    iterator = zip(*[data.batches(r, WORLD_SIZE, BATCH_SIZE) for r in range(WORLD_SIZE)])
+    for _, batches in zip(range(STEPS), iterator):
+        trainer.train_step(list(batches))
+    return trainer.parameter_snapshot()
+
+
+def main() -> None:
+    data = SyntheticRegression(
+        num_samples=WORLD_SIZE * BATCH_SIZE * STEPS,
+        in_features=16, out_features=4, seed=0,
+    )
+    dear_params, losses = train_with_dear(data)
+    reference_params = train_reference(data)
+
+    print(f"loss: {losses[0]:.4f} -> {losses[-1]:.4f} over {STEPS} steps")
+    identical = all(
+        np.array_equal(a, b) for a, b in zip(dear_params, reference_params)
+    )
+    print(
+        "decoupled (RS+AG) trajectory vs fused all-reduce trajectory: "
+        + ("BIT-IDENTICAL" if identical else "MISMATCH (bug!)")
+    )
+    assert identical
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Analytical models from the paper's evaluation section.
+
+- :mod:`repro.analysis.speedup` — the maximum-speedup bound S^max
+  (Eq. 6) used for Table II;
+- :mod:`repro.analysis.optimal` — the optimal iteration-time models
+  for DeAR and the baselines (Eq. 7-9, §VI-I);
+- :mod:`repro.analysis.breakdown` — Fig. 8 style iteration-time
+  decomposition from schedule results.
+"""
+
+from repro.analysis.breakdown import Breakdown, breakdown_of
+from repro.analysis.diagnosis import Diagnosis, diagnose
+from repro.analysis.memory import (
+    GTX_2080TI_BYTES,
+    MemoryEstimate,
+    estimate_memory,
+    fits_in,
+)
+from repro.analysis.optimal import (
+    baseline_optimal_time,
+    dear_optimal_time,
+    saved_time_piecewise,
+)
+from repro.analysis.speedup import max_speedup, max_speedup_for
+
+__all__ = [
+    "Breakdown",
+    "Diagnosis",
+    "diagnose",
+    "GTX_2080TI_BYTES",
+    "MemoryEstimate",
+    "baseline_optimal_time",
+    "breakdown_of",
+    "dear_optimal_time",
+    "estimate_memory",
+    "fits_in",
+    "max_speedup",
+    "max_speedup_for",
+    "saved_time_piecewise",
+]

@@ -1,0 +1,68 @@
+"""Iteration-time decomposition (paper Fig. 8).
+
+Fig. 8 splits one steady-state iteration into feed-forward compute,
+backpropagation compute, and the *non-overlapped* communication time
+("the communication time excludes the part hidden by computations").
+For DeAR the paper also shows RS-only and AG-only bars, i.e. the same
+breakdown counting only one of the two decoupled operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedulers.base import ScheduleResult
+
+__all__ = ["Breakdown", "breakdown_of"]
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """One Fig. 8 bar: compute plus exposed communication, in seconds."""
+
+    scheduler: str
+    model_name: str
+    t_ff: float
+    t_bp: float
+    exposed_comm: float
+    exposed_rs: float
+    exposed_ag: float
+    iteration_time: float
+
+    @property
+    def compute(self) -> float:
+        return self.t_ff + self.t_bp
+
+    @property
+    def stacked_total(self) -> float:
+        """Height of the Fig. 8 stacked bar (FF + BP + exposed comm)."""
+        return self.t_ff + self.t_bp + self.exposed_comm
+
+    @property
+    def rs_only_total(self) -> float:
+        """Bar height when only reduce-scatter exposure is counted."""
+        return self.t_ff + self.t_bp + self.exposed_rs
+
+    @property
+    def ag_only_total(self) -> float:
+        """Bar height when only all-gather exposure is counted."""
+        return self.t_ff + self.t_bp + self.exposed_ag
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the iteration spent on exposed communication."""
+        return self.exposed_comm / self.iteration_time if self.iteration_time else 0.0
+
+
+def breakdown_of(result: ScheduleResult) -> Breakdown:
+    """Extract the Fig. 8 decomposition from a schedule result."""
+    return Breakdown(
+        scheduler=result.scheduler,
+        model_name=result.model_name,
+        t_ff=result.t_ff,
+        t_bp=result.t_bp,
+        exposed_comm=result.exposed_comm,
+        exposed_rs=result.exposed_rs,
+        exposed_ag=result.exposed_ag,
+        iteration_time=result.iteration_time,
+    )

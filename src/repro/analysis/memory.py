@@ -1,0 +1,138 @@
+"""Per-GPU memory model — reproducing the OOM annotations of Figs. 6/7.
+
+The paper reports two out-of-memory failures on the 11 GB GTX 2080Ti:
+ByteScheduler on BERT-Large (Fig. 6) and MG-WFBP on BERT-Large
+(Fig. 7).  This model accounts for the components that decide them:
+
+- **model states**: weights + gradients + SGD momentum, 4 bytes each
+  (3 x params x 4);
+- **activations**: stored forward outputs per layer (including
+  attention probabilities for transformers), scaled by the batch size;
+- **scheduler overhead**:
+  - WFBP / serial: none (gradients communicated in place);
+  - DDP / Horovod / DeAR: double-buffered fusion buffers
+    (2 x buffer_bytes);
+  - MG-WFBP: persistent merged-gradient send+receive buffers spanning
+    the whole gradient (2 x gradient bytes) — the cost of merging into
+    contiguous storage;
+  - ByteScheduler: partition staging copies plus the PyTorch-1.4
+    runtime it is pinned to (2 x gradient bytes);
+  - ZeRO: model states sharded across ranks (3 x params x 4 / P) plus
+    one full-layer-group parameter buffer for the gathered weights;
+- **framework overhead**: a fixed CUDA-context + framework reserve and
+  a fragmentation/workspace factor on top of everything dynamic.
+
+The constants are calibrated so the four (scheduler, model) OOM /
+no-OOM outcomes of the paper reproduce on an 11 GB device; they are
+estimates, not measurements — see DESIGN.md's substitution table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.models.layers import GRADIENT_DTYPE_BYTES, ModelSpec
+
+__all__ = ["MemoryEstimate", "estimate_memory", "fits_in", "GTX_2080TI_BYTES"]
+
+#: The testbed GPU's usable device memory.
+GTX_2080TI_BYTES = 11e9
+
+#: CUDA context + framework allocator reserve (bytes).
+_FRAMEWORK_RESERVE = 0.8e9
+
+#: Fragmentation + cuDNN workspace factor applied to dynamic memory.
+_WORKSPACE_FACTOR = 1.15
+
+#: Copies of the parameter vector held as model states (w, g, momentum).
+_STATE_COPIES = 3
+
+
+@dataclass(frozen=True)
+class MemoryEstimate:
+    """Itemised per-GPU memory estimate in bytes."""
+
+    scheduler: str
+    model_name: str
+    batch_size: int
+    model_states: float
+    activations: float
+    scheduler_overhead: float
+    framework: float
+
+    @property
+    def dynamic(self) -> float:
+        return self.model_states + self.activations + self.scheduler_overhead
+
+    @property
+    def total(self) -> float:
+        """Total bytes including workspace factor and framework reserve."""
+        return self.dynamic * _WORKSPACE_FACTOR + self.framework
+
+    def fits(self, device_bytes: float = GTX_2080TI_BYTES) -> bool:
+        return self.total <= device_bytes
+
+
+def _scheduler_overhead(
+    scheduler: str,
+    model: ModelSpec,
+    buffer_bytes: Optional[float],
+    world_size: int,
+) -> float:
+    gradient_bytes = model.gradient_bytes
+    key = scheduler.lower().replace("-", "_")
+    if key in ("serial", "wfbp"):
+        return 0.0
+    if key in ("ddp", "horovod", "dear"):
+        return 2.0 * float(buffer_bytes if buffer_bytes else 25e6)
+    if key == "mg_wfbp":
+        return 2.0 * gradient_bytes
+    if key == "bytescheduler":
+        return 2.0 * gradient_bytes
+    if key == "zero":
+        # States shard across ranks; keep one gathered parameter buffer.
+        shard_saving = (
+            (_STATE_COPIES - 1)
+            * model.num_parameters
+            * GRADIENT_DTYPE_BYTES
+            * (1.0 - 1.0 / world_size)
+        )
+        return 2.0 * float(buffer_bytes if buffer_bytes else 25e6) - shard_saving
+    raise ValueError(f"unknown scheduler {scheduler!r} for the memory model")
+
+
+def estimate_memory(
+    scheduler: str,
+    model: ModelSpec,
+    batch_size: Optional[int] = None,
+    buffer_bytes: Optional[float] = 25e6,
+    world_size: int = 64,
+) -> MemoryEstimate:
+    """Itemised memory estimate for one (scheduler, model, batch) cell."""
+    if batch_size is None:
+        batch_size = model.default_batch_size
+    model_states = float(_STATE_COPIES * model.num_parameters * GRADIENT_DTYPE_BYTES)
+    activations = float(
+        model.activation_elements * batch_size * GRADIENT_DTYPE_BYTES
+    )
+    overhead = _scheduler_overhead(scheduler, model, buffer_bytes, world_size)
+    return MemoryEstimate(
+        scheduler=scheduler,
+        model_name=model.name,
+        batch_size=batch_size,
+        model_states=model_states,
+        activations=activations,
+        scheduler_overhead=overhead,
+        framework=_FRAMEWORK_RESERVE,
+    )
+
+
+def fits_in(
+    scheduler: str,
+    model: ModelSpec,
+    device_bytes: float = GTX_2080TI_BYTES,
+    **kwargs,
+) -> bool:
+    """Whether the workload fits the device (False = the paper's 'OOM')."""
+    return estimate_memory(scheduler, model, **kwargs).fits(device_bytes)

@@ -1,0 +1,51 @@
+"""Optimal iteration-time models (paper Eq. 7-9, §VI-I).
+
+With perfect overlapping,
+
+    t_DeAR     = max{t_ff, t_ag} + max{t_bp, t_rs}          (Eq. 7)
+    t_baseline = t_ff + max{t_bp, t_ar}                      (Eq. 8)
+
+and under the paper's canonical assumptions ``t_ar = 2 t_rs = 2 t_ag``
+and ``t_bp = 2 t_ff``, the saved time is the piecewise function of
+Eq. 9 — zero when communication hides entirely under backprop, growing
+to a full feed-forward time when communication dominates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["dear_optimal_time", "baseline_optimal_time", "saved_time_piecewise"]
+
+
+def dear_optimal_time(t_ff: float, t_bp: float, t_rs: float, t_ag: float) -> float:
+    """Eq. 7: DeAR's iteration time under perfect overlap."""
+    _check(t_ff=t_ff, t_bp=t_bp, t_rs=t_rs, t_ag=t_ag)
+    return max(t_ff, t_ag) + max(t_bp, t_rs)
+
+
+def baseline_optimal_time(t_ff: float, t_bp: float, t_ar: float) -> float:
+    """Eq. 8: WFBP-family iteration time under perfect overlap."""
+    _check(t_ff=t_ff, t_bp=t_bp, t_ar=t_ar)
+    return t_ff + max(t_bp, t_ar)
+
+
+def saved_time_piecewise(t_ff: float, t_ag: float) -> float:
+    """Eq. 9: t_baseline - t_DeAR under the canonical assumptions.
+
+    Assumes ``t_ar = 2 t_ag = 2 t_rs`` and ``t_bp = 2 t_ff``:
+
+    - 0                if t_ag <= t_ff          (comm fully hidden anyway)
+    - t_ag - t_ff      if t_ff < t_ag <= 2 t_ff
+    - t_ff             otherwise                 (comm-dominated regime)
+    """
+    _check(t_ff=t_ff, t_ag=t_ag)
+    if t_ag <= t_ff:
+        return 0.0
+    if t_ag <= 2.0 * t_ff:
+        return t_ag - t_ff
+    return t_ff
+
+
+def _check(**values: float) -> None:
+    for name, value in values.items():
+        if value < 0:
+            raise ValueError(f"{name} must be non-negative, got {value}")

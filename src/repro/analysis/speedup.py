@@ -1,0 +1,77 @@
+"""The maximum-speedup bound S^max (paper Eq. 6, Table II).
+
+For any scheduling algorithm that pipelines communication with
+computation, the throughput speedup of P workers over one worker is
+bounded by
+
+    S^max = P (t_ff + t_bp) /
+            (t_ff + t_bp + t_ar - min{t_rs, t_bp} - min{t_ag, t_ff})
+
+where the min terms are the maximum overlappable communication during
+backpropagation and feed-forward respectively.  The communication
+times use the bandwidth bound of §VI-E: ``t_ar >= 2 m / B`` for the
+ring algorithm, with ``t_rs = t_ag = m / B`` (latency excluded — this
+is a bound, so the paper drops the alpha terms).
+
+Caveat: ``2 m / B`` is the asymptotic (large P) ring volume; a P-worker
+ring actually moves ``2 (P-1)/P m`` bytes, so at small P a simulated
+speedup can slightly exceed this S^max (by up to P/(P-1) in the
+comm-dominated limit).  At the paper's P = 64 the gap is under 2%.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.layers import ModelSpec
+from repro.models.profiles import TimingModel
+from repro.network.fabric import ClusterSpec
+
+__all__ = ["max_speedup", "max_speedup_for"]
+
+
+def max_speedup(
+    t_ff: float,
+    t_bp: float,
+    gradient_bytes: float,
+    bandwidth: float,
+    world_size: int,
+) -> float:
+    """Eq. 6 with the bandwidth-bound communication times.
+
+    Args:
+        t_ff: feed-forward compute time per iteration (s).
+        t_bp: backpropagation compute time per iteration (s).
+        gradient_bytes: total gradient size m (bytes).
+        bandwidth: bottleneck link bandwidth B (bytes/s).
+        world_size: number of workers P.
+    """
+    if t_ff <= 0 or t_bp <= 0:
+        raise ValueError("compute times must be positive")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if world_size < 1:
+        raise ValueError(f"world_size must be >= 1, got {world_size}")
+    t_rs = gradient_bytes / bandwidth
+    t_ag = gradient_bytes / bandwidth
+    t_ar = t_rs + t_ag
+    compute = t_ff + t_bp
+    denominator = compute + t_ar - min(t_rs, t_bp) - min(t_ag, t_ff)
+    return world_size * compute / denominator
+
+
+def max_speedup_for(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    batch_size: Optional[int] = None,
+) -> float:
+    """Table II's S^max for a model on a cluster (calibrated profile)."""
+    timing = TimingModel.for_model(model, batch_size=batch_size)
+    _, beta = cluster.flat_alpha_beta()
+    return max_speedup(
+        timing.t_ff,
+        timing.t_bp,
+        model.gradient_bytes,
+        bandwidth=1.0 / beta,
+        world_size=cluster.world_size,
+    )

@@ -1,0 +1,32 @@
+"""Bayesian optimisation, from scratch (paper §IV-B).
+
+DeAR tunes its tensor-fusion buffer size at run time with Bayesian
+optimisation: a Gaussian-process surrogate over the unknown
+throughput-vs-buffer-size function and an expected-improvement
+acquisition with exploration parameter ``xi = 0.1`` (the paper's
+setting, chosen to "prefer buffer size exploration").
+
+- :mod:`repro.bayesopt.gp` — Gaussian-process regression (RBF kernel,
+  Cholesky solves, marginal-likelihood hyperparameter selection);
+- :mod:`repro.bayesopt.acquisition` — expected improvement and upper
+  confidence bound;
+- :mod:`repro.bayesopt.optimizer` — the suggest/observe loop;
+- :mod:`repro.bayesopt.search` — random and grid search baselines plus
+  the trials-to-converge metric of Fig. 10.
+"""
+
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
+from repro.bayesopt.gp import GaussianProcess, RBFKernel
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.bayesopt.search import GridSearch, RandomSearch, trials_to_reach
+
+__all__ = [
+    "BayesianOptimizer",
+    "GaussianProcess",
+    "GridSearch",
+    "RBFKernel",
+    "RandomSearch",
+    "expected_improvement",
+    "trials_to_reach",
+    "upper_confidence_bound",
+]

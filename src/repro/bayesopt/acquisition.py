@@ -1,0 +1,61 @@
+"""Acquisition functions for Bayesian optimisation.
+
+The paper uses expected improvement with the exploration
+hyper-parameter ``xi`` set to 0.1: "smaller EI hyper-parameter prefers
+exploitation ... while larger value prefers exploration" (§IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["expected_improvement", "upper_confidence_bound"]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _normal_cdf(z: np.ndarray) -> np.ndarray:
+    from scipy.special import erf  # local import keeps scipy optional at import time
+
+    return 0.5 * (1.0 + erf(z / _SQRT2))
+
+
+def _normal_pdf(z: np.ndarray) -> np.ndarray:
+    return np.exp(-0.5 * z * z) / np.sqrt(2.0 * np.pi)
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.1
+) -> np.ndarray:
+    """EI for *maximisation*: E[max(f(x) - best - xi, 0)].
+
+    Args:
+        mean: posterior means at the candidate points.
+        std: posterior standard deviations.
+        best: best observed objective value so far.
+        xi: exploration margin; larger spreads samples out.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    if xi < 0:
+        raise ValueError(f"xi must be non-negative, got {xi}")
+    improvement = mean - best - xi
+    ei = np.zeros_like(mean)
+    positive_std = std > 0
+    z = np.zeros_like(mean)
+    z[positive_std] = improvement[positive_std] / std[positive_std]
+    ei[positive_std] = improvement[positive_std] * _normal_cdf(z[positive_std]) + std[
+        positive_std
+    ] * _normal_pdf(z[positive_std])
+    # Deterministic points improve only if strictly better than best+xi.
+    ei[~positive_std] = np.maximum(improvement[~positive_std], 0.0)
+    return ei
+
+
+def upper_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 2.0
+) -> np.ndarray:
+    """GP-UCB for maximisation: ``mean + kappa * std`` (ablation option)."""
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    return np.asarray(mean, dtype=float) + kappa * np.asarray(std, dtype=float)

@@ -1,0 +1,144 @@
+"""Gaussian-process regression with an RBF kernel.
+
+Implemented directly on numpy: Cholesky factorisation for the posterior
+solves, log-marginal-likelihood for hyperparameter selection over a
+small grid (full gradient-based optimisation is overkill for the 1-D,
+tens-of-points problems BO faces here).
+
+Inputs are expected pre-normalised (the optimiser maps the search
+domain to [0, 1]); targets are standardised internally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RBFKernel", "GaussianProcess"]
+
+_JITTER = 1e-10
+
+
+@dataclass(frozen=True)
+class RBFKernel:
+    """Squared-exponential kernel ``s^2 exp(-|x - x'|^2 / (2 l^2))``."""
+
+    length_scale: float = 0.2
+    signal_variance: float = 1.0
+
+    def __post_init__(self):
+        if self.length_scale <= 0:
+            raise ValueError(f"length_scale must be positive, got {self.length_scale}")
+        if self.signal_variance <= 0:
+            raise ValueError(
+                f"signal_variance must be positive, got {self.signal_variance}"
+            )
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Gram matrix between row-stacked inputs ``a`` (n,d) and ``b`` (m,d)."""
+        a = np.atleast_2d(np.asarray(a, dtype=float))
+        b = np.atleast_2d(np.asarray(b, dtype=float))
+        sq = np.sum(a * a, axis=1)[:, None] + np.sum(b * b, axis=1)[None, :]
+        sq -= 2.0 * (a @ b.T)
+        np.maximum(sq, 0.0, out=sq)
+        return self.signal_variance * np.exp(-0.5 * sq / self.length_scale**2)
+
+
+class GaussianProcess:
+    """GP posterior over noisy observations.
+
+    Args:
+        kernel: covariance function; if ``None`` the length scale is
+            selected by log-marginal likelihood over a grid at fit time.
+        noise: observation noise variance (relative to the standardised
+            targets).  Throughput measurements are noisy, so the default
+            is deliberately non-trivial.
+    """
+
+    _LENGTH_SCALE_GRID = (0.05, 0.1, 0.2, 0.3, 0.5, 1.0)
+
+    def __init__(self, kernel: Optional[RBFKernel] = None, noise: float = 1e-2):
+        if noise < 0:
+            raise ValueError(f"noise must be non-negative, got {noise}")
+        self._fixed_kernel = kernel
+        self.kernel = kernel or RBFKernel()
+        self.noise = noise
+        self._x: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+        self._chol: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+
+    @property
+    def fitted(self) -> bool:
+        return self._x is not None
+
+    def fit(self, x: Sequence, y: Sequence[float]) -> "GaussianProcess":
+        """Condition the GP on observations (x_i, y_i)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        if x.shape[0] == 1 and x.shape[1] > 1:
+            x = x.T  # accept 1-D input vectors
+        y = np.asarray(y, dtype=float).reshape(-1)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"{x.shape[0]} inputs vs {y.shape[0]} targets")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+
+        self._y_mean = float(np.mean(y))
+        self._y_std = float(np.std(y)) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+
+        if self._fixed_kernel is None:
+            self.kernel = self._select_kernel(x, y_norm)
+
+        gram = self.kernel(x, x)
+        gram[np.diag_indices_from(gram)] += self.noise + _JITTER
+        chol = np.linalg.cholesky(gram)
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y_norm))
+
+        self._x = x
+        self._chol = chol
+        self._alpha = alpha
+        return self
+
+    def _select_kernel(self, x: np.ndarray, y_norm: np.ndarray) -> RBFKernel:
+        best_kernel, best_lml = None, -np.inf
+        for length_scale in self._LENGTH_SCALE_GRID:
+            kernel = RBFKernel(length_scale=length_scale)
+            lml = self._log_marginal_likelihood(kernel, x, y_norm)
+            if lml > best_lml:
+                best_kernel, best_lml = kernel, lml
+        return best_kernel
+
+    def _log_marginal_likelihood(
+        self, kernel: RBFKernel, x: np.ndarray, y_norm: np.ndarray
+    ) -> float:
+        gram = kernel(x, x)
+        gram[np.diag_indices_from(gram)] += self.noise + _JITTER
+        try:
+            chol = np.linalg.cholesky(gram)
+        except np.linalg.LinAlgError:
+            return -np.inf
+        alpha = np.linalg.solve(chol.T, np.linalg.solve(chol, y_norm))
+        return float(
+            -0.5 * y_norm @ alpha
+            - np.sum(np.log(np.diag(chol)))
+            - 0.5 * len(y_norm) * np.log(2 * np.pi)
+        )
+
+    def predict(self, x_query: Sequence) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at the query points."""
+        if not self.fitted:
+            raise RuntimeError("GP not fitted; call fit() first")
+        x_query = np.atleast_2d(np.asarray(x_query, dtype=float))
+        if x_query.shape[1] != self._x.shape[1]:
+            x_query = x_query.reshape(-1, self._x.shape[1])
+        k_star = self.kernel(x_query, self._x)
+        mean = k_star @ self._alpha
+        v = np.linalg.solve(self._chol, k_star.T)
+        variance = self.kernel.signal_variance - np.sum(v * v, axis=0)
+        np.maximum(variance, 0.0, out=variance)
+        std = np.sqrt(variance)
+        return mean * self._y_std + self._y_mean, std * self._y_std

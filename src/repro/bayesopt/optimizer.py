@@ -1,0 +1,136 @@
+"""The suggest/observe Bayesian-optimisation loop.
+
+One-dimensional by design (DeAR tunes a single buffer-size knob), with
+the domain searched on a log scale: buffer sizes from 1 MB to 100 MB
+span two decades, and throughput responds to *ratios* of buffer size,
+not differences (paper Fig. 3 uses the same range).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
+from repro.bayesopt.gp import GaussianProcess
+
+__all__ = ["BayesianOptimizer"]
+
+
+class BayesianOptimizer:
+    """Maximise a black-box scalar function of one positive parameter.
+
+    Usage::
+
+        bo = BayesianOptimizer(1e6, 100e6, seed=0)
+        x = bo.suggest()            # first: the 25 MB default (paper §IV-B)
+        bo.observe(x, measure(x))
+        x = bo.suggest()            # EI-guided from here on
+    """
+
+    def __init__(
+        self,
+        low: float,
+        high: float,
+        xi: float = 0.1,
+        acquisition: str = "ei",
+        kappa: float = 2.0,
+        initial: Optional[float] = 25e6,
+        candidates: int = 256,
+        log_scale: bool = True,
+        noise: float = 1e-2,
+        seed: Optional[int] = None,
+    ):
+        if not 0 < low < high:
+            raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+        if acquisition not in ("ei", "ucb"):
+            raise ValueError(f"unknown acquisition {acquisition!r}")
+        self.low = low
+        self.high = high
+        self.xi = xi
+        self.kappa = kappa
+        self.acquisition = acquisition
+        self.log_scale = log_scale
+        self.noise = noise
+        self._rng = np.random.default_rng(seed)
+        self._initial = initial if initial is not None and low <= initial <= high else None
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+        if log_scale:
+            grid = np.logspace(np.log10(low), np.log10(high), candidates)
+        else:
+            grid = np.linspace(low, high, candidates)
+        self._candidates = grid
+
+    # -- observation bookkeeping -------------------------------------------
+
+    @property
+    def observations(self) -> list[tuple[float, float]]:
+        """All (x, y) pairs observed so far."""
+        return list(zip(self._xs, self._ys))
+
+    @property
+    def best(self) -> tuple[float, float]:
+        """Best (x, y) observed so far."""
+        if not self._ys:
+            raise RuntimeError("no observations yet")
+        index = int(np.argmax(self._ys))
+        return self._xs[index], self._ys[index]
+
+    def observe(self, x: float, y: float) -> None:
+        """Record one measurement of the objective."""
+        if not self.low <= x <= self.high:
+            raise ValueError(f"x={x} outside the domain [{self.low}, {self.high}]")
+        if not np.isfinite(y):
+            raise ValueError(f"objective must be finite, got {y}")
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+
+    # -- suggestion ----------------------------------------------------------
+
+    def _warp(self, x: np.ndarray) -> np.ndarray:
+        """Map domain values to the GP's [0, 1] input space."""
+        x = np.asarray(x, dtype=float)
+        if self.log_scale:
+            return (np.log(x) - np.log(self.low)) / (np.log(self.high) - np.log(self.low))
+        return (x - self.low) / (self.high - self.low)
+
+    def posterior(self, xs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior (mean, std) of the surrogate at domain points ``xs``.
+
+        Useful for plotting the Fig. 3 style confidence band.
+        """
+        gp = GaussianProcess(noise=self.noise)
+        gp.fit(self._warp(np.asarray(self._xs))[:, None], self._ys)
+        return gp.predict(self._warp(xs)[:, None])
+
+    def suggest(self) -> float:
+        """Next point to evaluate.
+
+        The first suggestion is the 25 MB default the paper starts
+        from; the second (with one observation, the GP is flat) probes
+        a random point; afterwards the acquisition optimum over the
+        candidate grid, with observed points masked out.
+        """
+        if not self._xs and self._initial is not None:
+            return float(self._initial)
+        if len(self._xs) < 2:
+            return float(
+                self._candidates[self._rng.integers(len(self._candidates))]
+            )
+        gp = GaussianProcess(noise=self.noise)
+        gp.fit(self._warp(np.asarray(self._xs))[:, None], self._ys)
+        mean, std = gp.predict(self._warp(self._candidates)[:, None])
+        best_y = max(self._ys)
+        if self.acquisition == "ei":
+            scores = expected_improvement(mean, std, best_y, xi=self.xi)
+        else:
+            scores = upper_confidence_bound(mean, std, kappa=self.kappa)
+        # Avoid re-evaluating (numerically) already-observed points.
+        for x in self._xs:
+            distance = np.abs(self._warp(self._candidates) - self._warp(np.array([x]))[0])
+            scores[distance < 1e-3] = -np.inf
+        if not np.isfinite(scores).any():
+            return float(self._candidates[self._rng.integers(len(self._candidates))])
+        return float(self._candidates[int(np.argmax(scores))])

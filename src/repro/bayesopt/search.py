@@ -1,0 +1,111 @@
+"""Random-search and grid-search baselines (Fig. 10).
+
+Both expose the same ``suggest``/``observe``/``best`` interface as
+:class:`~repro.bayesopt.optimizer.BayesianOptimizer`, so the Fig. 10
+harness can sweep the three tuners uniformly.  ``trials_to_reach``
+computes the paper's "tuning cost": how many trials a tuner needs
+before its best-so-far enters a tolerance band around the optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RandomSearch", "GridSearch", "trials_to_reach"]
+
+
+class _SearchBase:
+    def __init__(self, low: float, high: float):
+        if not 0 < low < high:
+            raise ValueError(f"need 0 < low < high, got [{low}, {high}]")
+        self.low = low
+        self.high = high
+        self._xs: list[float] = []
+        self._ys: list[float] = []
+
+    @property
+    def observations(self) -> list[tuple[float, float]]:
+        return list(zip(self._xs, self._ys))
+
+    @property
+    def best(self) -> tuple[float, float]:
+        if not self._ys:
+            raise RuntimeError("no observations yet")
+        index = int(np.argmax(self._ys))
+        return self._xs[index], self._ys[index]
+
+    def observe(self, x: float, y: float) -> None:
+        if not np.isfinite(y):
+            raise ValueError(f"objective must be finite, got {y}")
+        self._xs.append(float(x))
+        self._ys.append(float(y))
+
+
+class RandomSearch(_SearchBase):
+    """Uniformly random sampling (log-uniform over the buffer domain)."""
+
+    def __init__(self, low: float, high: float, log_scale: bool = True,
+                 seed: Optional[int] = None):
+        super().__init__(low, high)
+        self.log_scale = log_scale
+        self._rng = np.random.default_rng(seed)
+
+    def suggest(self) -> float:
+        if self.log_scale:
+            return float(
+                np.exp(self._rng.uniform(np.log(self.low), np.log(self.high)))
+            )
+        return float(self._rng.uniform(self.low, self.high))
+
+
+class GridSearch(_SearchBase):
+    """Sequential sweep over a fixed grid (log-spaced by default).
+
+    Cycles through the grid in order; in practice the budget runs out
+    long before the grid does, which is exactly the pathology Fig. 10
+    highlights.
+    """
+
+    def __init__(self, low: float, high: float, points: int = 20, log_scale: bool = True):
+        super().__init__(low, high)
+        if points < 2:
+            raise ValueError(f"grid needs at least 2 points, got {points}")
+        if log_scale:
+            self._grid = np.logspace(np.log10(low), np.log10(high), points)
+        else:
+            self._grid = np.linspace(low, high, points)
+        self._cursor = 0
+
+    def suggest(self) -> float:
+        value = float(self._grid[self._cursor % len(self._grid)])
+        self._cursor += 1
+        return value
+
+
+def trials_to_reach(
+    tuner,
+    objective: Callable[[float], float],
+    target: float,
+    max_trials: int = 50,
+    true_value: Optional[Callable[[float], float]] = None,
+) -> int:
+    """Trials until the tuner's best-so-far reaches ``target``.
+
+    Runs the suggest/observe loop; returns the (1-based) trial count at
+    which the tuner's best first meets ``target``, or ``max_trials`` if
+    it never does within the budget.  With a noisy ``objective``, pass
+    ``true_value`` to judge convergence on the noise-free value of the
+    tuner's best point instead of its (noisy) observation.
+    """
+    if max_trials < 1:
+        raise ValueError(f"max_trials must be >= 1, got {max_trials}")
+    for trial in range(1, max_trials + 1):
+        x = tuner.suggest()
+        tuner.observe(x, objective(x))
+        best_x, best_y = tuner.best
+        achieved = true_value(best_x) if true_value is not None else best_y
+        if achieved >= target:
+            return trial
+    return max_trials

@@ -1,0 +1,92 @@
+"""Command-line entry point: ``dear-repro <experiment> [options]``.
+
+Runs any paper experiment by name and prints its result table (plus an
+ASCII rendering of the figure where one exists)::
+
+    dear-repro table1
+    dear-repro fig7
+    dear-repro all                 # every experiment, in paper order
+    dear-repro list                # available experiment names
+    dear-repro fig7 --json out.json   # also dump the raw rows as JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def _jsonable(rows: list[dict]) -> list[dict]:
+    """Strip non-serialisable internals (e.g. timeline `_result` handles)."""
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]
+
+
+def _run_one(name: str, json_sink: dict | None = None) -> None:
+    module = importlib.import_module(f"repro.experiments.{name}")
+    started = time.time()
+    rows = module.run()
+    elapsed = time.time() - started
+    print(f"== {name} ({elapsed:.1f}s) ==")
+    print(module.format_rows(rows))
+    if hasattr(module, "format_chart"):
+        print()
+        print(module.format_chart(rows))
+    print()
+    if json_sink is not None:
+        json_sink[name] = _jsonable(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dear-repro",
+        description="DeAR (ICDCS 2023) reproduction: run paper experiments.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the raw result rows to PATH as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    json_sink: dict | None = {} if args.json else None
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            _run_one(name, json_sink)
+    elif args.experiment in EXPERIMENTS:
+        _run_one(args.experiment, json_sink)
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; try 'list'",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.json and json_sink is not None:
+        with open(args.json, "w") as handle:
+            json.dump(json_sink, handle, indent=2)
+        print(f"rows written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

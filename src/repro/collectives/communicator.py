@@ -1,0 +1,118 @@
+"""High-level communicator facade over the data-level collectives.
+
+A :class:`Communicator` plays the role NCCL's communicator plays in the
+paper's implementation (§V): it binds a world size and an algorithm
+family and exposes ``all_reduce`` / ``reduce_scatter`` / ``all_gather``
+entry points, plus the *decoupled* pair used by DeAR.  Averaging (the
+``1/P`` factor of S-SGD, Eq. 2) is available via ``average=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.halving_doubling import (
+    halving_doubling_all_reduce,
+    recursive_doubling_all_gather,
+    recursive_halving_reduce_scatter,
+)
+from repro.collectives.hierarchical import (
+    hierarchical_all_gather,
+    hierarchical_all_reduce,
+    hierarchical_reduce_scatter,
+)
+from repro.collectives.ring import ring_all_gather, ring_all_reduce, ring_reduce_scatter
+from repro.collectives.transport import Transport, TransportStats
+from repro.collectives.tree import binomial_broadcast, binomial_reduce, tree_all_reduce
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """All-rank collective endpoint bound to one algorithm family.
+
+    Args:
+        world_size: number of ranks.
+        algorithm: ``"ring"`` (default), ``"halving_doubling"``,
+            ``"tree"``, or ``"hierarchical"``.
+        gpus_per_node: required for ``"hierarchical"``.
+    """
+
+    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
+
+    def __init__(
+        self,
+        world_size: int,
+        algorithm: str = "ring",
+        gpus_per_node: Optional[int] = None,
+    ):
+        if algorithm not in self.ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
+            )
+        if algorithm == "hierarchical":
+            if gpus_per_node is None:
+                raise ValueError("hierarchical algorithm requires gpus_per_node")
+            if world_size % gpus_per_node:
+                raise ValueError(
+                    f"world size {world_size} not divisible by gpus_per_node {gpus_per_node}"
+                )
+        self.world_size = world_size
+        self.algorithm = algorithm
+        self.gpus_per_node = gpus_per_node
+        self.transport = Transport(world_size)
+        self.collectives_issued = 0
+
+    @property
+    def stats(self) -> TransportStats:
+        """Cumulative traffic counters across all collectives issued."""
+        return self.transport.stats
+
+    def _finish(self, buffers: Sequence[np.ndarray], average: bool) -> None:
+        self.collectives_issued += 1
+        if average:
+            for buf in buffers:
+                buf[...] /= self.world_size
+
+    def all_reduce(self, buffers: Sequence[np.ndarray], average: bool = False) -> None:
+        """Fused all-reduce (sum, optionally averaged) in place."""
+        if self.algorithm == "ring":
+            ring_all_reduce(self.transport, buffers)
+        elif self.algorithm == "halving_doubling":
+            halving_doubling_all_reduce(self.transport, buffers)
+        elif self.algorithm == "tree":
+            tree_all_reduce(self.transport, buffers)
+        else:
+            hierarchical_all_reduce(self.transport, buffers, self.gpus_per_node)
+        self._finish(buffers, average)
+
+    def reduce_scatter(self, buffers: Sequence[np.ndarray]) -> None:
+        """Decoupled OP1: leaves each rank's owned shard fully reduced.
+
+        The non-owned regions of the buffers become scratch; a matching
+        :meth:`all_gather` call restores the complete reduced vector,
+        and the pair is value-identical to :meth:`all_reduce`.
+        """
+        if self.algorithm == "ring":
+            ring_reduce_scatter(self.transport, buffers)
+        elif self.algorithm == "halving_doubling":
+            recursive_halving_reduce_scatter(self.transport, buffers)
+        elif self.algorithm == "tree":
+            binomial_reduce(self.transport, buffers)
+        else:
+            hierarchical_reduce_scatter(self.transport, buffers, self.gpus_per_node)
+        self.collectives_issued += 1
+
+    def all_gather(self, buffers: Sequence[np.ndarray], average: bool = False) -> None:
+        """Decoupled OP2: completes the aggregation started by OP1."""
+        if self.algorithm == "ring":
+            ring_all_gather(self.transport, buffers)
+        elif self.algorithm == "halving_doubling":
+            recursive_doubling_all_gather(self.transport, buffers)
+        elif self.algorithm == "tree":
+            binomial_broadcast(self.transport, buffers)
+        else:
+            hierarchical_all_gather(self.transport, buffers, self.gpus_per_node)
+        self._finish(buffers, average)

@@ -1,0 +1,118 @@
+"""Horovod-style readiness coordinator, at the data level.
+
+The paper repeatedly charges Horovod and ByteScheduler for *negotiation*:
+before a tensor can be collectively aggregated, all workers must agree
+it is ready everywhere.  Horovod implements this with a coordinator
+(rank 0): each cycle, workers send the names of their locally-ready
+tensors; the coordinator intersects the reports and broadcasts the
+ordered list of globally-ready tensors, which every worker then
+aggregates *in the response order* — that shared order is what makes
+the collectives line up even though workers discover readiness in
+different orders.
+
+This module implements that protocol over the accounted
+:class:`~repro.collectives.transport.Transport`, so its two essential
+properties become testable facts rather than modelling assumptions:
+
+1. **consistency** — all workers execute the same collective sequence
+   regardless of the order readiness was reported in;
+2. **cost** — each cycle moves 2 (P-1) small messages through rank 0
+   (the latency-bound rounds the timing model charges as
+   ``negotiation()``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.collectives.transport import Transport
+
+__all__ = ["ReadinessCoordinator"]
+
+
+def _encode(names: list[str]) -> np.ndarray:
+    """Pack a name list into a byte array payload."""
+    return np.frombuffer(json.dumps(names).encode(), dtype=np.uint8).copy()
+
+
+def _decode(payload: np.ndarray) -> list[str]:
+    return json.loads(bytes(bytearray(payload.tolist())).decode())
+
+
+class ReadinessCoordinator:
+    """Rank-0 coordinator cycling over readiness reports.
+
+    Usage (lockstep, one cycle)::
+
+        coordinator = ReadinessCoordinator(transport)
+        for rank in range(world):
+            coordinator.report(rank, locally_ready[rank])
+        order = coordinator.cycle()   # same list on every rank
+
+    ``cycle`` returns the tensors ready on *all* ranks, in a canonical
+    order (first-reported-to-rank-0 order), and clears them from the
+    pending sets.  Tensors ready on only some ranks stay pending.
+    """
+
+    def __init__(self, transport: Transport):
+        self.transport = transport
+        self._pending: list[set[str]] = [set() for _ in range(transport.world_size)]
+        self._arrival_order: list[str] = []
+        self.cycles = 0
+
+    def report(self, rank: int, tensor_names: list[str]) -> None:
+        """A worker marks tensors locally ready (pre-cycle)."""
+        for name in tensor_names:
+            if name not in self._pending[rank]:
+                self._pending[rank].add(name)
+
+    def cycle(self) -> list[str]:
+        """One coordinator round; returns the globally-ready order.
+
+        Workers send their pending sets to rank 0; rank 0 intersects
+        and broadcasts the canonical order.  All messages go through
+        the transport so the traffic is accounted.
+        """
+        world = self.transport.world_size
+        # Gather: every non-zero rank reports its pending set.
+        reported: list[list[str]] = [sorted(self._pending[0])]
+        for rank in range(1, world):
+            self.transport.send(rank, 0, _encode(sorted(self._pending[rank])))
+            reported.append(_decode(self.transport.recv(rank, 0)))
+
+        # Rank 0 intersects, ordering by rank-0's first-seen order (with
+        # name order as the deterministic tiebreak).
+        for name in reported[0]:
+            if name not in self._arrival_order:
+                self._arrival_order.append(name)
+        everywhere = set(reported[0])
+        for names in reported[1:]:
+            everywhere &= set(names)
+        response = [
+            name for name in self._arrival_order if name in everywhere
+        ] + sorted(everywhere - set(self._arrival_order))
+        response = list(dict.fromkeys(response))
+
+        # Broadcast the response.
+        final: list[str] = response
+        for rank in range(1, world):
+            self.transport.send(0, rank, _encode(response))
+            final = _decode(self.transport.recv(0, rank))
+
+        # All ranks clear the agreed tensors.
+        for rank in range(world):
+            self._pending[rank] -= set(response)
+        self._arrival_order = [
+            name for name in self._arrival_order if name not in response
+        ]
+        self.cycles += 1
+        return final
+
+    def pending_anywhere(self) -> set[str]:
+        """Tensors still waiting on at least one rank."""
+        union: set[str] = set()
+        for pending in self._pending:
+            union |= pending
+        return union

@@ -1,0 +1,126 @@
+"""Recursive halving-doubling collectives (Rabenseifner's algorithm).
+
+Recursive *halving* reduce-scatter: in ``log2(P)`` rounds, pairs of
+ranks exchange the half of the buffer the partner is responsible for,
+halving the active segment each round.  Recursive *doubling*
+all-gather mirrors the exchange pattern to redistribute the reduced
+blocks.  Requires a power-of-two world size (as in MPICH's fast path).
+
+Block ownership convention: after the reduce-scatter, rank ``i`` holds
+the fully reduced block ``i`` (blocks are the P near-equal slices from
+:func:`~repro.collectives.transport.chunk_offsets`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.transport import Transport, chunk_offsets
+
+__all__ = [
+    "recursive_halving_reduce_scatter",
+    "recursive_doubling_all_gather",
+    "halving_doubling_all_reduce",
+]
+
+
+def _require_power_of_two(p: int) -> None:
+    if p < 1 or (p & (p - 1)):
+        raise ValueError(f"halving-doubling requires a power-of-two world size, got {p}")
+
+
+def _block_slice(flat: np.ndarray, offsets: Sequence[int], lo: int, hi: int) -> np.ndarray:
+    return flat[offsets[lo] : offsets[hi]]
+
+
+def recursive_halving_reduce_scatter(
+    transport: Transport, buffers: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Recursive-halving reduce-scatter (in place); returns owned blocks."""
+    p = transport.world_size
+    _require_power_of_two(p)
+    flats = [buf.reshape(-1) for buf in buffers]
+    offsets = chunk_offsets(flats[0].size, p)
+
+    # Each recursion level pairs the lower and upper halves of a
+    # contiguous rank group; the lower half keeps the lower block range.
+    groups: list[tuple[range, int, int]] = [(range(p), 0, p)]
+    while groups and len(groups[0][0]) > 1:
+        next_groups: list[tuple[range, int, int]] = []
+        exchanges: list[tuple[int, int, int, int, int, int]] = []
+        for ranks, lo, hi in groups:
+            half = len(ranks) // 2
+            mid = (lo + hi) // 2
+            lower, upper = ranks[:half], ranks[half:]
+            for low_rank, high_rank in zip(lower, upper):
+                # low keeps [lo, mid), high keeps [mid, hi).
+                exchanges.append((low_rank, high_rank, lo, mid, mid, hi))
+            next_groups.append((lower, lo, mid))
+            next_groups.append((upper, mid, hi))
+        for low_rank, high_rank, keep_lo, keep_mid, send_mid, send_hi in exchanges:
+            transport.send(
+                low_rank, high_rank, _block_slice(flats[low_rank], offsets, send_mid, send_hi)
+            )
+            transport.send(
+                high_rank, low_rank, _block_slice(flats[high_rank], offsets, keep_lo, keep_mid)
+            )
+        for low_rank, high_rank, keep_lo, keep_mid, send_mid, send_hi in exchanges:
+            _block_slice(flats[high_rank], offsets, send_mid, send_hi)[...] += transport.recv(
+                low_rank, high_rank
+            )
+            _block_slice(flats[low_rank], offsets, keep_lo, keep_mid)[...] += transport.recv(
+                high_rank, low_rank
+            )
+        groups = next_groups
+
+    return [_block_slice(flats[rank], offsets, rank, rank + 1) for rank in range(p)]
+
+
+def recursive_doubling_all_gather(
+    transport: Transport, buffers: Sequence[np.ndarray]
+) -> None:
+    """Recursive-doubling all-gather (in place), mirroring the RS pattern.
+
+    Assumes rank ``i``'s block ``i`` holds that rank's contribution on
+    entry; on exit every buffer holds all blocks.
+    """
+    p = transport.world_size
+    _require_power_of_two(p)
+    flats = [buf.reshape(-1) for buf in buffers]
+    offsets = chunk_offsets(flats[0].size, p)
+
+    distance = 1
+    while distance < p:
+        # Ranks pair with their neighbour group at `distance`; each side
+        # sends the block range it currently holds (size = distance).
+        exchanges: list[tuple[int, int, int, int, int, int]] = []
+        for rank in range(p):
+            partner = rank ^ distance
+            if partner < rank:
+                continue
+            rank_lo = (rank // distance) * distance
+            partner_lo = (partner // distance) * distance
+            exchanges.append(
+                (rank, partner, rank_lo, rank_lo + distance, partner_lo, partner_lo + distance)
+            )
+        for rank, partner, rank_lo, rank_hi, partner_lo, partner_hi in exchanges:
+            transport.send(rank, partner, _block_slice(flats[rank], offsets, rank_lo, rank_hi))
+            transport.send(
+                partner, rank, _block_slice(flats[partner], offsets, partner_lo, partner_hi)
+            )
+        for rank, partner, rank_lo, rank_hi, partner_lo, partner_hi in exchanges:
+            _block_slice(flats[partner], offsets, rank_lo, rank_hi)[...] = transport.recv(
+                rank, partner
+            )
+            _block_slice(flats[rank], offsets, partner_lo, partner_hi)[...] = transport.recv(
+                partner, rank
+            )
+        distance *= 2
+
+
+def halving_doubling_all_reduce(transport: Transport, buffers: Sequence[np.ndarray]) -> None:
+    """All-reduce = recursive halving RS + recursive doubling AG (in place)."""
+    recursive_halving_reduce_scatter(transport, buffers)
+    recursive_doubling_all_gather(transport, buffers)

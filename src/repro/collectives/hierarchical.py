@@ -1,0 +1,124 @@
+"""Hierarchical (two-level ring) collectives.
+
+The Mikami et al. scheme the paper cites as decomposable: an intra-node
+ring reduce-scatter, an inter-node ring reduce-scatter over the
+node-local shards, then the mirrored all-gathers.  The decoupling point
+for DeAR sits between the reduce-scatter pair and the all-gather pair.
+
+Rank layout: rank = node * gpus_per_node + local, i.e. consecutive
+ranks share a node (matching ``mpirun`` block placement).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.ring import ring_all_gather, ring_reduce_scatter
+from repro.collectives.transport import Transport, chunk_offsets
+
+__all__ = [
+    "hierarchical_reduce_scatter",
+    "hierarchical_all_gather",
+    "hierarchical_all_reduce",
+]
+
+
+class _SubTransport:
+    """View of a parent transport restricted to a rank subset.
+
+    Translates group-local ranks to global ranks so sub-collectives can
+    reuse the flat implementations unchanged while traffic accounting
+    stays on the parent transport.
+    """
+
+    def __init__(self, parent: Transport, members: Sequence[int]):
+        self._parent = parent
+        self._members = list(members)
+        self.world_size = len(self._members)
+
+    def send(self, src: int, dst: int, payload: np.ndarray) -> None:
+        self._parent.send(self._members[src], self._members[dst], payload)
+
+    def recv(self, src: int, dst: int) -> np.ndarray:
+        return self._parent.recv(self._members[src], self._members[dst])
+
+
+def _node_groups(world_size: int, gpus_per_node: int) -> list[list[int]]:
+    if gpus_per_node < 1:
+        raise ValueError(f"gpus_per_node must be >= 1, got {gpus_per_node}")
+    if world_size % gpus_per_node:
+        raise ValueError(
+            f"world size {world_size} not divisible by gpus_per_node {gpus_per_node}"
+        )
+    return [
+        list(range(start, start + gpus_per_node))
+        for start in range(0, world_size, gpus_per_node)
+    ]
+
+
+def _local_shard(flat: np.ndarray, gpus_per_node: int, local: int) -> np.ndarray:
+    offsets = chunk_offsets(flat.size, gpus_per_node)
+    chunk_index = (local + 1) % gpus_per_node
+    return flat[offsets[chunk_index] : offsets[chunk_index + 1]]
+
+
+def hierarchical_reduce_scatter(
+    transport: Transport, buffers: Sequence[np.ndarray], gpus_per_node: int
+) -> None:
+    """Two-level reduce-scatter (in place on the flattened buffers).
+
+    After this call, each rank's *inter-node owned slice* of its local
+    shard is fully reduced across all ranks; everything else is scratch.
+    """
+    p = transport.world_size
+    groups = _node_groups(p, gpus_per_node)
+    flats = [buf.reshape(-1) for buf in buffers]
+
+    # Phase 1: intra-node ring RS; rank with local id l owns local chunk
+    # (l+1) % g of the full buffer, reduced across its node.
+    for group in groups:
+        sub = _SubTransport(transport, group)
+        ring_reduce_scatter(sub, [flats[rank] for rank in group])
+
+    # Phase 2: inter-node ring RS over each local-shard position; the
+    # g concurrent rings use disjoint slices, one per local id.
+    nodes = len(groups)
+    if nodes > 1:
+        for local in range(gpus_per_node):
+            members = [groups[node][local] for node in range(nodes)]
+            sub = _SubTransport(transport, members)
+            shards = [_local_shard(flats[rank], gpus_per_node, local) for rank in members]
+            ring_reduce_scatter(sub, shards)
+
+
+def hierarchical_all_gather(
+    transport: Transport, buffers: Sequence[np.ndarray], gpus_per_node: int
+) -> None:
+    """Two-level all-gather (in place), mirroring the hierarchical RS."""
+    p = transport.world_size
+    groups = _node_groups(p, gpus_per_node)
+    flats = [buf.reshape(-1) for buf in buffers]
+    nodes = len(groups)
+
+    # Phase 1: inter-node AG restores every node's full local shard.
+    if nodes > 1:
+        for local in range(gpus_per_node):
+            members = [groups[node][local] for node in range(nodes)]
+            sub = _SubTransport(transport, members)
+            shards = [_local_shard(flats[rank], gpus_per_node, local) for rank in members]
+            ring_all_gather(sub, shards)
+
+    # Phase 2: intra-node AG restores the full buffer on every rank.
+    for group in groups:
+        sub = _SubTransport(transport, group)
+        ring_all_gather(sub, [flats[rank] for rank in group])
+
+
+def hierarchical_all_reduce(
+    transport: Transport, buffers: Sequence[np.ndarray], gpus_per_node: int
+) -> None:
+    """Two-level all-reduce = hierarchical RS + hierarchical AG (in place)."""
+    hierarchical_reduce_scatter(transport, buffers, gpus_per_node)
+    hierarchical_all_gather(transport, buffers, gpus_per_node)

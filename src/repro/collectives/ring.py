@@ -1,0 +1,106 @@
+"""Ring-based collectives (the NCCL default the paper decouples).
+
+The ring all-reduce is exactly the decomposition of §III-A: a ring
+reduce-scatter (P-1 rounds, paper Eq. 3) followed by a ring all-gather
+(P-1 rounds, paper Eq. 4).  Both halves are exposed separately so that
+DeAR can schedule them independently, and composing them reproduces the
+fused primitive bit-for-bit (for a fixed reduction order).
+
+Chunk ownership convention: after the reduce-scatter, rank ``i`` holds
+the fully reduced chunk ``(i + 1) % P``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.transport import Transport, chunk_offsets
+
+__all__ = ["ring_reduce_scatter", "ring_all_gather", "ring_all_reduce", "owned_chunk"]
+
+
+def _validate_buffers(buffers: Sequence[np.ndarray], world_size: int) -> None:
+    if len(buffers) != world_size:
+        raise ValueError(
+            f"expected {world_size} per-rank buffers, got {len(buffers)}"
+        )
+    first = buffers[0]
+    for rank, buf in enumerate(buffers):
+        if buf.shape != first.shape:
+            raise ValueError(
+                f"rank {rank} buffer shape {buf.shape} != rank 0 shape {first.shape}"
+            )
+        if buf.dtype != first.dtype:
+            raise ValueError(
+                f"rank {rank} buffer dtype {buf.dtype} != rank 0 dtype {first.dtype}"
+            )
+
+
+def owned_chunk(rank: int, world_size: int) -> int:
+    """Index of the chunk rank ``rank`` owns after the reduce-scatter."""
+    return (rank + 1) % world_size
+
+
+def ring_reduce_scatter(transport: Transport, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+    """Ring reduce-scatter over flattened per-rank ``buffers`` (in place).
+
+    After P-1 rounds, the slice for chunk ``owned_chunk(i, P)`` of
+    ``buffers[i]`` holds the sum over all ranks; other slices hold
+    partial sums and must be treated as scratch.  Returns views of the
+    owned (fully reduced) chunk per rank.
+    """
+    p = transport.world_size
+    _validate_buffers(buffers, p)
+    flats = [buf.reshape(-1) for buf in buffers]
+    offsets = chunk_offsets(flats[0].size, p)
+
+    def chunk(rank: int, index: int) -> np.ndarray:
+        return flats[rank][offsets[index] : offsets[index + 1]]
+
+    for step in range(p - 1):
+        # All sends of the round first, then all receives: every rank
+        # transmits simultaneously, as on a real ring.
+        for rank in range(p):
+            send_index = (rank - step) % p
+            transport.send(rank, (rank + 1) % p, chunk(rank, send_index))
+        for rank in range(p):
+            recv_index = (rank - step - 1) % p
+            incoming = transport.recv((rank - 1) % p, rank)
+            chunk(rank, recv_index)[...] += incoming
+
+    return [chunk(rank, owned_chunk(rank, p)) for rank in range(p)]
+
+
+def ring_all_gather(transport: Transport, buffers: Sequence[np.ndarray]) -> None:
+    """Ring all-gather (in place), assuming the RS ownership convention.
+
+    On entry, ``buffers[i]``'s chunk ``owned_chunk(i, P)`` holds rank
+    ``i``'s contribution; on exit every rank's buffer holds all chunks.
+    """
+    p = transport.world_size
+    _validate_buffers(buffers, p)
+    flats = [buf.reshape(-1) for buf in buffers]
+    offsets = chunk_offsets(flats[0].size, p)
+
+    def chunk(rank: int, index: int) -> np.ndarray:
+        return flats[rank][offsets[index] : offsets[index + 1]]
+
+    for step in range(p - 1):
+        for rank in range(p):
+            send_index = (rank + 1 - step) % p
+            transport.send(rank, (rank + 1) % p, chunk(rank, send_index))
+        for rank in range(p):
+            recv_index = (rank - step) % p
+            chunk(rank, recv_index)[...] = transport.recv((rank - 1) % p, rank)
+
+
+def ring_all_reduce(transport: Transport, buffers: Sequence[np.ndarray]) -> None:
+    """Fused ring all-reduce == reduce-scatter then all-gather (in place).
+
+    This *is* the decomposition of §III-A; DeAR simply schedules the two
+    halves at different points of the training iteration.
+    """
+    ring_reduce_scatter(transport, buffers)
+    ring_all_gather(transport, buffers)

@@ -1,0 +1,96 @@
+"""In-process point-to-point transport with full accounting.
+
+The transport emulates a reliable, ordered network between ``world_size``
+ranks.  Collectives are written as explicit round-by-round send/recv
+sequences against it, which keeps their structure identical to the MPI
+/ NCCL originals and lets tests assert message counts and byte volumes
+(the quantities the alpha–beta cost model charges for).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Transport", "TransportStats", "chunk_offsets"]
+
+
+def chunk_offsets(length: int, parts: int) -> list[int]:
+    """Boundaries splitting ``length`` elements into ``parts`` chunks.
+
+    Matches ``numpy.array_split`` sizing (the first ``length % parts``
+    chunks get one extra element), so chunks are as even as possible and
+    any ``length`` — including ``length < parts`` — is supported.
+    """
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if length < 0:
+        raise ValueError(f"length must be >= 0, got {length}")
+    base, extra = divmod(length, parts)
+    offsets = [0]
+    for index in range(parts):
+        offsets.append(offsets[-1] + base + (1 if index < extra else 0))
+    return offsets
+
+
+@dataclass
+class TransportStats:
+    """Aggregate traffic counters, overall and per sending rank."""
+
+    messages: int = 0
+    bytes: int = 0
+    per_rank_messages: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+    per_rank_bytes: dict[int, int] = field(default_factory=lambda: defaultdict(int))
+
+    def max_rank_bytes(self) -> int:
+        """Largest byte volume sent by any single rank (the ring bottleneck)."""
+        return max(self.per_rank_bytes.values(), default=0)
+
+
+class Transport:
+    """Reliable ordered mailboxes between every (src, dst) rank pair."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.world_size = world_size
+        self._mailboxes: dict[tuple[int, int], deque[np.ndarray]] = defaultdict(deque)
+        self.stats = TransportStats()
+
+    def _check_rank(self, rank: int, label: str) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"{label} rank {rank} out of range [0, {self.world_size})")
+
+    def send(self, src: int, dst: int, payload: np.ndarray) -> None:
+        """Deliver a copy of ``payload`` into the (src, dst) mailbox."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if src == dst:
+            raise ValueError(f"rank {src} cannot send to itself")
+        data = np.array(payload, copy=True)
+        self._mailboxes[(src, dst)].append(data)
+        self.stats.messages += 1
+        self.stats.bytes += data.nbytes
+        self.stats.per_rank_messages[src] += 1
+        self.stats.per_rank_bytes[src] += data.nbytes
+
+    def recv(self, src: int, dst: int) -> np.ndarray:
+        """Pop the oldest pending message from ``src`` addressed to ``dst``."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        box = self._mailboxes.get((src, dst))
+        if not box:
+            raise RuntimeError(f"rank {dst} has no pending message from rank {src}")
+        return box.popleft()
+
+    def pending(self) -> int:
+        """Number of undelivered messages (0 after a correct collective)."""
+        return sum(len(box) for box in self._mailboxes.values())
+
+    def reset_stats(self) -> None:
+        """Zero the traffic counters (mailboxes must already be drained)."""
+        if self.pending():
+            raise RuntimeError("cannot reset stats with undelivered messages")
+        self.stats = TransportStats()

@@ -1,0 +1,80 @@
+"""Binomial-tree collectives (reduce, broadcast, all-reduce).
+
+The tree all-reduce decomposes into a *reduce to root* followed by a
+*broadcast from root* — the alternative decoupling the paper's related
+work section suggests for NCCL's double-binary-tree algorithm ("one can
+decompose the double-binary tree-based all-reduce into tree-based
+reduce and tree-based broadcast").  The data-level version here uses a
+single binomial tree; the timing model in :mod:`repro.network` accounts
+for the pipelined double-tree variant.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.transport import Transport
+
+__all__ = ["binomial_reduce", "binomial_broadcast", "tree_all_reduce"]
+
+
+def binomial_reduce(
+    transport: Transport, buffers: Sequence[np.ndarray], root: int = 0
+) -> None:
+    """Reduce all buffers into ``buffers[root]`` along a binomial tree.
+
+    ``ceil(log2 P)`` rounds; in round ``k`` ranks at (relative) distance
+    ``2**k`` fold their partial sums toward the root.  Non-root buffers
+    hold partial sums afterwards (scratch).
+    """
+    p = transport.world_size
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range [0, {p})")
+    distance = 1
+    while distance < p:
+        for rel in range(0, p, 2 * distance):
+            src_rel = rel + distance
+            if src_rel >= p:
+                continue
+            dst = (rel + root) % p
+            src = (src_rel + root) % p
+            transport.send(src, dst, buffers[src])
+            buffers[dst][...] += transport.recv(src, dst)
+        distance *= 2
+
+
+def binomial_broadcast(
+    transport: Transport, buffers: Sequence[np.ndarray], root: int = 0
+) -> None:
+    """Broadcast ``buffers[root]`` to every rank along a binomial tree."""
+    p = transport.world_size
+    if not 0 <= root < p:
+        raise ValueError(f"root {root} out of range [0, {p})")
+    distance = 1
+    while distance < p:
+        distance *= 2
+    distance //= 2
+    while distance >= 1:
+        for rel in range(0, p, 2 * distance):
+            dst_rel = rel + distance
+            if dst_rel >= p:
+                continue
+            src = (rel + root) % p
+            dst = (dst_rel + root) % p
+            transport.send(src, dst, buffers[src])
+            buffers[dst][...] = transport.recv(src, dst)
+        distance //= 2
+
+
+def tree_all_reduce(
+    transport: Transport, buffers: Sequence[np.ndarray], root: int = 0
+) -> None:
+    """Tree all-reduce = binomial reduce + binomial broadcast (in place).
+
+    The decoupling point between the two phases is where DeAR would
+    split the primitive when the tree algorithm is selected.
+    """
+    binomial_reduce(transport, buffers, root=root)
+    binomial_broadcast(transport, buffers, root=root)

@@ -1,0 +1,59 @@
+"""Compressor interface and the payload container."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CompressedPayload", "Compressor"]
+
+
+@dataclass(frozen=True)
+class CompressedPayload:
+    """The wire representation of one compressed gradient.
+
+    Attributes:
+        arrays: named numpy arrays to transmit (e.g. values + indices).
+        shape: original tensor shape, needed to decompress.
+    """
+
+    arrays: dict[str, np.ndarray]
+    shape: tuple[int, ...]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes on the wire."""
+        return sum(array.nbytes for array in self.arrays.values())
+
+
+class Compressor(ABC):
+    """Lossy gradient codec.
+
+    The contract: ``decompress(compress(g))`` approximates ``g``, and
+    the *sum* of decompressed payloads from all ranks approximates the
+    sum of the raw gradients — the property aggregation relies on.
+    Error feedback (see :mod:`repro.compression.error_feedback`)
+    recovers what a single step loses.
+    """
+
+    @abstractmethod
+    def compress(self, gradient: np.ndarray) -> CompressedPayload:
+        """Encode one gradient tensor."""
+
+    @abstractmethod
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        """Reconstruct (an approximation of) the gradient."""
+
+    def roundtrip(self, gradient: np.ndarray) -> np.ndarray:
+        """Convenience: decompress(compress(gradient))."""
+        return self.decompress(self.compress(gradient))
+
+    def compression_ratio(self, gradient: np.ndarray) -> float:
+        """Wire bytes / raw bytes for this gradient (lower is smaller)."""
+        raw = np.asarray(gradient)
+        if raw.nbytes == 0:
+            return 1.0
+        return self.compress(raw).nbytes / raw.nbytes

@@ -1,0 +1,54 @@
+"""Error feedback (residual accumulation) for lossy compression.
+
+The standard EF-SGD mechanism: what compression discards this step is
+added back to the gradient next step, so the *accumulated* update is
+unbiased and convergence is preserved for aggressive compressors.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+__all__ = ["ErrorFeedback"]
+
+
+class ErrorFeedback:
+    """Wrap a compressor with per-tensor residual memory.
+
+    Usage (per rank)::
+
+        ef = ErrorFeedback(TopKCompressor(density=0.01))
+        payload = ef.compress("layer1.weight", gradient)
+        # ... aggregate payloads across ranks ...
+        # residual for "layer1.weight" now holds what was dropped
+    """
+
+    def __init__(self, compressor: Compressor):
+        self.compressor = compressor
+        self._residuals: dict[Hashable, np.ndarray] = {}
+
+    def residual(self, key: Hashable) -> np.ndarray:
+        """Current residual for ``key`` (zeros before first use)."""
+        if key not in self._residuals:
+            raise KeyError(f"no residual recorded for {key!r}")
+        return self._residuals[key]
+
+    def compress(self, key: Hashable, gradient: np.ndarray) -> CompressedPayload:
+        """Compress ``gradient + residual`` and retain the new residual."""
+        gradient = np.asarray(gradient, dtype=np.float64)
+        corrected = gradient + self._residuals.get(key, 0.0)
+        payload = self.compressor.compress(corrected)
+        transmitted = self.compressor.decompress(payload)
+        self._residuals[key] = corrected - transmitted
+        return payload
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return self.compressor.decompress(payload)
+
+    def reset(self) -> None:
+        """Drop all residual state."""
+        self._residuals.clear()

@@ -1,0 +1,66 @@
+"""Quantising compressors: QSGD and fp16 casting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+__all__ = ["QSGDCompressor", "FP16Compressor"]
+
+
+class QSGDCompressor(Compressor):
+    """QSGD (Alistarh et al., 2017): stochastic uniform quantisation.
+
+    Each entry is quantised to one of ``levels`` buckets of ``|g|/norm``
+    with stochastic rounding (unbiased), transmitted as the tensor norm
+    + int8/int16 levels + signs folded into the level sign.  Wire size
+    is ~1/4 of fp32 at 8-bit levels.
+    """
+
+    def __init__(self, levels: int = 127, seed: int = 0):
+        if levels < 1:
+            raise ValueError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self._rng = np.random.default_rng(seed)
+
+    def compress(self, gradient: np.ndarray) -> CompressedPayload:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        flat = gradient.reshape(-1)
+        norm = float(np.linalg.norm(flat, ord=np.inf))
+        if norm == 0.0:
+            quantised = np.zeros(flat.size, dtype=np.int16)
+        else:
+            scaled = np.abs(flat) / norm * self.levels
+            floor = np.floor(scaled)
+            probability = scaled - floor
+            bump = self._rng.random(flat.size) < probability
+            magnitude = (floor + bump).astype(np.int16)
+            quantised = (np.sign(flat) * magnitude).astype(np.int16)
+        return CompressedPayload(
+            arrays={
+                "levels": quantised,
+                "norm": np.array([norm]),
+            },
+            shape=gradient.shape,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        norm = float(payload.arrays["norm"][0])
+        levels = payload.arrays["levels"].astype(np.float64)
+        flat = levels / self.levels * norm
+        return flat.reshape(payload.shape)
+
+
+class FP16Compressor(Compressor):
+    """Deterministic half-precision cast: 2x smaller, tiny error."""
+
+    def compress(self, gradient: np.ndarray) -> CompressedPayload:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        return CompressedPayload(
+            arrays={"half": gradient.astype(np.float16)},
+            shape=gradient.shape,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        return payload.arrays["half"].astype(np.float64).reshape(payload.shape)

@@ -1,0 +1,86 @@
+"""Sparsifying compressors: top-k and random-k.
+
+Top-k (Deep Gradient Compression style) keeps the k largest-magnitude
+entries; random-k keeps a seeded uniform sample (cheaper to select,
+unbiased when rescaled).  Both transmit (indices, values) pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import CompressedPayload, Compressor
+
+__all__ = ["TopKCompressor", "RandomKCompressor"]
+
+
+def _validate_density(density: float) -> None:
+    if not 0.0 < density <= 1.0:
+        raise ValueError(f"density must be in (0, 1], got {density}")
+
+
+def _k_of(size: int, density: float) -> int:
+    return max(1, int(round(size * density)))
+
+
+class TopKCompressor(Compressor):
+    """Keep the ``density`` fraction of largest-magnitude entries."""
+
+    def __init__(self, density: float = 0.01):
+        _validate_density(density)
+        self.density = density
+
+    def compress(self, gradient: np.ndarray) -> CompressedPayload:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        flat = gradient.reshape(-1)
+        k = _k_of(flat.size, self.density)
+        indices = np.argpartition(np.abs(flat), flat.size - k)[-k:]
+        indices = np.sort(indices).astype(np.int64)
+        return CompressedPayload(
+            arrays={"indices": indices, "values": flat[indices].copy()},
+            shape=gradient.shape,
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        size = int(np.prod(payload.shape)) if payload.shape else 1
+        flat = np.zeros(size)
+        flat[payload.arrays["indices"]] = payload.arrays["values"]
+        return flat.reshape(payload.shape)
+
+
+class RandomKCompressor(Compressor):
+    """Keep a seeded uniform sample of entries, rescaled by 1/density.
+
+    The rescaling makes the estimator unbiased:
+    ``E[decompress(compress(g))] = g`` over the index distribution.
+    The seed sequence is deterministic per compressor instance, so all
+    ranks sample the *same* indices when constructed with the same seed
+    and call sequence (how random-k is deployed in practice: shared
+    seeds avoid transmitting indices at all; we still transmit them for
+    transparency).
+    """
+
+    def __init__(self, density: float = 0.01, seed: int = 0):
+        _validate_density(density)
+        self.density = density
+        self._rng = np.random.default_rng(seed)
+
+    def compress(self, gradient: np.ndarray) -> CompressedPayload:
+        gradient = np.asarray(gradient, dtype=np.float64)
+        flat = gradient.reshape(-1)
+        k = _k_of(flat.size, self.density)
+        indices = np.sort(
+            self._rng.choice(flat.size, size=k, replace=False)
+        ).astype(np.int64)
+        values = flat[indices] / self.density
+        return CompressedPayload(
+            arrays={"indices": indices, "values": values},
+            shape=gradient.shape,
+            metadata={"rescaled": True},
+        )
+
+    def decompress(self, payload: CompressedPayload) -> np.ndarray:
+        size = int(np.prod(payload.shape)) if payload.shape else 1
+        flat = np.zeros(size)
+        flat[payload.arrays["indices"]] = payload.arrays["values"]
+        return flat.reshape(payload.shape)

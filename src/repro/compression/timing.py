@@ -1,0 +1,135 @@
+"""Timing model for compressed gradient aggregation.
+
+:class:`CompressionTimeModel` is duck-compatible with
+:class:`~repro.network.cost_model.CollectiveTimeModel`, so any
+scheduler can run against it unchanged::
+
+    cost = CompressionTimeModel(CollectiveTimeModel(cluster),
+                                density=0.01)
+    result = get_scheduler("wfbp").run(timing, cost)
+
+Modelling choices (documented because they decide the crossover):
+
+- ``all_reduce`` of ``m`` raw bytes becomes a compressed all-gather:
+  every rank contributes ``c * m`` bytes (c = density x payload
+  expansion), so the ring all-gather moves ``(P-1) * c * m`` bytes per
+  rank — compression wins over the raw ring all-reduce (~``2 m``)
+  only when ``c < 2/P`` (bandwidth-for-bandwidth; latency shifts the
+  crossover slightly in compression's favour).
+- the decoupled pair splits the same volume: ``reduce_scatter`` (the
+  overlap-with-backprop half) carries the gather of the first half of
+  the rounds, ``all_gather`` the second half.
+- compression/decompression compute is charged at
+  ``overhead_per_byte`` of the *raw* tensor on both ends, serialised
+  with the collective (it runs on the same GPU).
+"""
+
+from __future__ import annotations
+
+from repro.network.cost_model import CollectiveTimeModel, ring_all_gather_time
+
+__all__ = ["CompressionTimeModel"]
+
+#: Index+value payloads double the per-entry size (4B value + 4B index).
+_SPARSE_EXPANSION = 2.0
+
+#: Compression kernel cost per raw byte (top-k selection ~ memory bound).
+_DEFAULT_OVERHEAD_PER_BYTE = 0.05e-9
+
+
+class CompressionTimeModel:
+    """Collective times under DGC-style compressed aggregation.
+
+    Args:
+        base: the uncompressed cost model (provides alpha/beta/cluster).
+        density: fraction of entries kept (top-k / random-k density).
+        payload_expansion: wire bytes per kept entry relative to raw
+            (2.0 for index+value pairs, 0.5 for fp16, 0.25 for QSGD-8).
+        overhead_per_byte: compression compute per raw byte (seconds).
+    """
+
+    def __init__(
+        self,
+        base: CollectiveTimeModel,
+        density: float = 0.01,
+        payload_expansion: float = _SPARSE_EXPANSION,
+        overhead_per_byte: float = _DEFAULT_OVERHEAD_PER_BYTE,
+    ):
+        if not 0.0 < density <= 1.0:
+            raise ValueError(f"density must be in (0, 1], got {density}")
+        if payload_expansion <= 0:
+            raise ValueError(
+                f"payload_expansion must be positive, got {payload_expansion}"
+            )
+        self.base = base
+        self.density = density
+        self.payload_expansion = payload_expansion
+        self.overhead_per_byte = overhead_per_byte
+
+    # -- CollectiveTimeModel surface ----------------------------------------
+
+    @property
+    def cluster(self):
+        return self.base.cluster
+
+    @property
+    def world_size(self) -> int:
+        return self.base.world_size
+
+    @property
+    def alpha(self) -> float:
+        return self.base.alpha
+
+    @property
+    def beta(self) -> float:
+        return self.base.beta
+
+    @property
+    def min_bandwidth(self) -> float:
+        return self.base.min_bandwidth
+
+    @property
+    def wire_ratio(self) -> float:
+        """Wire bytes per raw byte: density x payload expansion."""
+        return self.density * self.payload_expansion
+
+    def _gather_time(self, nbytes: float) -> float:
+        """Compressed all-gather: each rank contributes c*m bytes."""
+        if nbytes <= 0:
+            return 0.0
+        contribution = nbytes * self.wire_ratio
+        p = self.world_size
+        # Ring all-gather over a total buffer of p * contribution bytes.
+        return ring_all_gather_time(
+            p * contribution, p, self.base.alpha, self.base.beta
+        )
+
+    def _overhead(self, nbytes: float) -> float:
+        return 2.0 * self.overhead_per_byte * nbytes  # compress + decompress
+
+    def all_reduce(self, nbytes: float) -> float:
+        """Compressed aggregation replacing one fused all-reduce."""
+        if nbytes <= 0:
+            return 0.0
+        return self._gather_time(nbytes) + self._overhead(nbytes)
+
+    def reduce_scatter(self, nbytes: float) -> float:
+        """First (overlap-with-backprop) half of the compressed gather."""
+        if nbytes <= 0:
+            return 0.0
+        return 0.5 * self._gather_time(nbytes) + self.overhead_per_byte * nbytes
+
+    def all_gather(self, nbytes: float) -> float:
+        """Second (overlap-with-feed-forward) half."""
+        if nbytes <= 0:
+            return 0.0
+        return 0.5 * self._gather_time(nbytes) + self.overhead_per_byte * nbytes
+
+    def negotiation(self, payload_bytes: float = 8.0) -> float:
+        return self.base.negotiation(payload_bytes)
+
+    def describe(self) -> str:
+        return (
+            f"compressed({self.density:g} density, "
+            f"x{self.payload_expansion:g} payload) over {self.base.describe()}"
+        )

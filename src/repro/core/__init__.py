@@ -1,0 +1,47 @@
+"""DeAR core: the paper's primary contribution.
+
+- :mod:`repro.core.fusion` — the tensor fusion controller (§IV):
+  grouping policies (buffer-size threshold, fixed layer count,
+  MG-WFBP-style merging, no fusion) over a model's tensors in
+  backpropagation order.
+- :mod:`repro.core.bo_tuner` — the run-time Bayesian-optimisation
+  buffer-size tuner (§IV-B).
+- :mod:`repro.core.dear_runtime` — BackPipe/FeedPipe hook wiring over
+  the numpy training substrate: reduce-scatter on gradient-ready,
+  barrier at the end of backprop, all-gather before each layer's next
+  feed-forward (§III-B).
+- :mod:`repro.core.dist_optimizer` — the public ``DistOptim`` API from
+  the paper's Listing 1.
+"""
+
+from repro.core.fusion import (
+    FusionGroup,
+    FusionPlan,
+    buffer_size_groups,
+    layer_count_groups,
+    mg_wfbp_groups,
+    no_fusion_groups,
+    plan_for_policy,
+)
+from repro.core.auto_tune import DecouplingChoice, tune_decoupling
+from repro.core.bo_tuner import BufferSizeTuner
+from repro.core.dear_runtime import DeARRuntime
+from repro.core.dist_optimizer import DistOptim, init
+from repro.core.dist_optimizer import init as dear_init
+
+__all__ = [
+    "BufferSizeTuner",
+    "DecouplingChoice",
+    "tune_decoupling",
+    "DeARRuntime",
+    "init",
+    "DistOptim",
+    "FusionGroup",
+    "FusionPlan",
+    "buffer_size_groups",
+    "dear_init",
+    "layer_count_groups",
+    "mg_wfbp_groups",
+    "no_fusion_groups",
+    "plan_for_policy",
+]

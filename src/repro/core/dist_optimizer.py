@@ -1,0 +1,101 @@
+"""The public DeAR API: ``dear.init()`` + ``dear.DistOptim`` (Listing 1).
+
+Mirrors the paper's user contract::
+
+    import repro.core as dear
+
+    runtime = dear.init(world_size=4, buffer_bytes=25e6)   # line 2
+    optims = []
+    for rank in range(4):
+        model = build_model()                              # identical init
+        optim = SGD(model.parameters(), lr=0.05)           # line 3
+        optims.append(dear.DistOptim(optim, model, runtime))  # line 4
+
+    # training: per global step, each rank in turn
+    for rank, optim in enumerate(optims):
+        loss = forward_and_backward(models[rank], batch[rank])
+        optim.step()
+
+    # before validation (lines 12-13)
+    for optim in optims:
+        optim.synchronize()
+        optim.step()
+
+Wrapping installs the two hook families transparently: gradient hooks
+on every parameter (BackPipe) and pre-forward hooks on every leaf
+module (FeedPipe).  ``step()`` *defers* parameter updates — they are
+applied just-in-time by the next forward pass's hooks, which is exactly
+the pipelining the paper describes; ``synchronize()`` flushes all
+pending communication and updates so the model can be evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.dear_runtime import DeARRuntime
+from repro.training.modules import Module
+from repro.training.optim import SGD
+
+__all__ = ["init", "DistOptim"]
+
+
+def init(
+    world_size: int,
+    algorithm: str = "ring",
+    buffer_bytes: Optional[float] = 25e6,
+    average: bool = True,
+    gpus_per_node: Optional[int] = None,
+) -> DeARRuntime:
+    """Initialise the DeAR run-time (line 2 of Listing 1)."""
+    return DeARRuntime(
+        world_size,
+        algorithm=algorithm,
+        buffer_bytes=buffer_bytes,
+        average=average,
+        gpus_per_node=gpus_per_node,
+    )
+
+
+class DistOptim:
+    """Distributed optimiser wrapper (line 4 of Listing 1).
+
+    Args:
+        inner: the rank's local optimiser (e.g. :class:`SGD`).
+        model: the rank's model replica; hooks are installed on it.
+        runtime: the shared :class:`DeARRuntime`.
+    """
+
+    def __init__(self, inner: SGD, model: Module, runtime: DeARRuntime):
+        self.inner = inner
+        self.model = model
+        self.runtime = runtime
+        self.rank = runtime.register(self)
+        self._install_hooks()
+
+    def _install_hooks(self) -> None:
+        for param in self.model.parameters():
+            param.grad_hooks.append(
+                lambda p, rank=self.rank: self.runtime.on_grad_ready(rank, p)
+            )
+        for module in self.model.leaf_modules():
+            module.pre_forward_hooks.append(
+                lambda m, rank=self.rank: self.runtime.ensure_module(rank, m)
+            )
+
+    def zero_grad(self) -> None:
+        """Clear local gradients (staged copies are unaffected)."""
+        self.inner.zero_grad()
+
+    def step(self) -> None:
+        """End the iteration: communication continues pipelined.
+
+        The actual parameter updates are applied lazily by the next
+        forward pass (FeedPipe) or by :meth:`synchronize`.
+        """
+        self.runtime.end_iteration(self.rank)
+
+    def synchronize(self) -> None:
+        """Force-complete all pending aggregation and updates (lines
+        12-13 of Listing 1; required before evaluating the model)."""
+        self.runtime.flush(self.rank)

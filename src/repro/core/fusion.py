@@ -1,0 +1,270 @@
+"""Tensor fusion controller (paper §IV).
+
+Fusion partitions the model's gradient tensors — in *backpropagation
+order*, the order they become ready — into contiguous groups.  Each
+group is communicated once: one reduce-scatter during backprop and one
+all-gather during feed-forward in DeAR, or one all-reduce in the
+baselines.
+
+Policies:
+
+- :func:`no_fusion_groups` — one group per tensor (DeAR w/o TF, WFBP);
+- :func:`buffer_size_groups` — close a group when adding the next
+  tensor would exceed a byte threshold (DeAR-FB / DeAR-BO with the
+  BO-chosen threshold; PyTorch-DDP's 25 MB buckets; Horovod's fusion
+  buffer);
+- :func:`layer_count_groups` — a fixed number of consecutive learnable
+  layers per group (DeAR-NL, four layers in the paper);
+- :func:`mg_wfbp_groups` — merge tensors whose gradients become ready
+  within one startup latency of each other (the MG-WFBP criterion:
+  merging is profitable when the saved startup exceeds the wait).
+
+All policies preserve order and produce an exact partition, which
+:class:`FusionPlan` validates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.models.layers import ModelSpec, TensorSpec
+
+__all__ = [
+    "FusionGroup",
+    "FusionPlan",
+    "no_fusion_groups",
+    "buffer_size_groups",
+    "layer_count_groups",
+    "mg_wfbp_groups",
+    "plan_for_policy",
+]
+
+
+@dataclass(frozen=True)
+class FusionGroup:
+    """One fused communication unit.
+
+    Attributes:
+        index: group position in backpropagation order (0 = first
+            group to become ready, i.e. the tensors of the last layers).
+        tensors: member tensors, in backpropagation order.
+    """
+
+    index: int
+    tensors: tuple[TensorSpec, ...]
+
+    def __post_init__(self):
+        if not self.tensors:
+            raise ValueError(f"fusion group {self.index} is empty")
+
+    @property
+    def num_elements(self) -> int:
+        return sum(t.num_elements for t in self.tensors)
+
+    @property
+    def nbytes(self) -> int:
+        """Fused gradient payload in bytes."""
+        return sum(t.nbytes for t in self.tensors)
+
+    @property
+    def layer_indices(self) -> tuple[int, ...]:
+        """Sorted indices of the layers contributing tensors."""
+        return tuple(sorted({t.layer_index for t in self.tensors}))
+
+    @property
+    def first_layer(self) -> int:
+        """Smallest (earliest feed-forward) layer index in the group."""
+        return min(t.layer_index for t in self.tensors)
+
+    @property
+    def last_layer(self) -> int:
+        """Largest (latest feed-forward) layer index in the group."""
+        return max(t.layer_index for t in self.tensors)
+
+
+class FusionPlan:
+    """A validated partition of a model's tensors into fusion groups.
+
+    Groups are indexed in backpropagation order.  The plan provides the
+    two lookups the schedulers need: which group a layer's tensors fall
+    into (for gating), and the groups in feed-forward order (the order
+    DeAR issues all-gathers).
+    """
+
+    def __init__(self, model: ModelSpec, groups: Sequence[FusionGroup], policy: str = ""):
+        self.model = model
+        self.groups = tuple(groups)
+        self.policy = policy
+        self._validate()
+        self._groups_of_layer: dict[int, list[FusionGroup]] = {}
+        for group in self.groups:
+            for layer_index in group.layer_indices:
+                self._groups_of_layer.setdefault(layer_index, []).append(group)
+
+    def _validate(self) -> None:
+        expected = [t.name for t in self.model.tensors_backward_order()]
+        actual = [t.name for g in self.groups for t in g.tensors]
+        if actual != expected:
+            raise ValueError(
+                f"fusion plan ({self.policy!r}) is not an order-preserving "
+                f"partition of the model's tensors: {len(actual)} placed "
+                f"vs {len(expected)} expected"
+            )
+        for position, group in enumerate(self.groups):
+            if group.index != position:
+                raise ValueError(
+                    f"group at position {position} has index {group.index}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __iter__(self):
+        return iter(self.groups)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(g.nbytes for g in self.groups)
+
+    @property
+    def max_group_bytes(self) -> int:
+        return max(g.nbytes for g in self.groups)
+
+    def groups_for_layer(self, layer_index: int) -> list[FusionGroup]:
+        """Groups containing at least one tensor of the given layer."""
+        return list(self._groups_of_layer.get(layer_index, []))
+
+    def groups_forward_order(self) -> list[FusionGroup]:
+        """Groups ordered by their earliest layer (all-gather issue order).
+
+        Because groups are contiguous in backpropagation order, sorting
+        by first layer simply reverses the group list.
+        """
+        return sorted(self.groups, key=lambda g: (g.first_layer, g.last_layer))
+
+
+def _build_groups(tensor_runs: Sequence[Sequence[TensorSpec]]) -> list[FusionGroup]:
+    return [
+        FusionGroup(index=index, tensors=tuple(run))
+        for index, run in enumerate(tensor_runs)
+        if run
+    ]
+
+
+def no_fusion_groups(model: ModelSpec) -> FusionPlan:
+    """One communication per tensor (paper Fig. 2(b), 'DeAR w/o TF')."""
+    runs = [[tensor] for tensor in model.tensors_backward_order()]
+    return FusionPlan(model, _build_groups(runs), policy="none")
+
+
+def buffer_size_groups(model: ModelSpec, buffer_bytes: float) -> FusionPlan:
+    """Greedy buffer-threshold grouping (paper §IV-B).
+
+    Tensors are taken in backpropagation order and appended to the open
+    group while the group stays within ``buffer_bytes``; a tensor that
+    would overflow closes the group and starts the next (a tensor
+    larger than the buffer gets a group of its own — DeAR never
+    partitions tensors).
+    """
+    if buffer_bytes <= 0:
+        raise ValueError(f"buffer size must be positive, got {buffer_bytes}")
+    runs: list[list[TensorSpec]] = []
+    current: list[TensorSpec] = []
+    current_bytes = 0
+    for tensor in model.tensors_backward_order():
+        if current and current_bytes + tensor.nbytes > buffer_bytes:
+            runs.append(current)
+            current = []
+            current_bytes = 0
+        current.append(tensor)
+        current_bytes += tensor.nbytes
+    if current:
+        runs.append(current)
+    return FusionPlan(
+        model, _build_groups(runs), policy=f"buffer:{buffer_bytes:g}"
+    )
+
+
+def layer_count_groups(model: ModelSpec, layers_per_group: int = 4) -> FusionPlan:
+    """A fixed number of consecutive learnable layers per group (DeAR-NL)."""
+    if layers_per_group < 1:
+        raise ValueError(f"layers_per_group must be >= 1, got {layers_per_group}")
+    runs: list[list[TensorSpec]] = []
+    current: list[TensorSpec] = []
+    layers_in_group: set[int] = set()
+    for tensor in model.tensors_backward_order():
+        if tensor.layer_index not in layers_in_group and len(layers_in_group) == layers_per_group:
+            runs.append(current)
+            current = []
+            layers_in_group = set()
+        current.append(tensor)
+        layers_in_group.add(tensor.layer_index)
+    if current:
+        runs.append(current)
+    return FusionPlan(
+        model, _build_groups(runs), policy=f"layers:{layers_per_group}"
+    )
+
+
+def mg_wfbp_groups(
+    model: ModelSpec,
+    ready_times: Sequence[float],
+    startup_time: float,
+) -> FusionPlan:
+    """MG-WFBP-style merged-gradient grouping (Shi et al., INFOCOM'19).
+
+    ``ready_times[i]`` is the instant (within the backward pass) at
+    which tensor ``i`` — backpropagation order — becomes ready.  The
+    merging criterion: if the next tensor becomes ready within one
+    communication ``startup_time`` of the current group's last tensor,
+    starting a separate collective would pay more startup than the wait
+    costs, so the tensors are merged.
+    """
+    tensors = model.tensors_backward_order()
+    if len(ready_times) != len(tensors):
+        raise ValueError(
+            f"need one ready time per tensor: {len(ready_times)} vs {len(tensors)}"
+        )
+    if startup_time < 0:
+        raise ValueError(f"startup_time must be non-negative, got {startup_time}")
+    runs: list[list[TensorSpec]] = []
+    current: list[TensorSpec] = []
+    last_ready = None
+    for tensor, ready in zip(tensors, ready_times):
+        if current and last_ready is not None and ready - last_ready > startup_time:
+            runs.append(current)
+            current = []
+        current.append(tensor)
+        last_ready = ready
+    if current:
+        runs.append(current)
+    return FusionPlan(model, _build_groups(runs), policy="mg-wfbp")
+
+
+def plan_for_policy(
+    model: ModelSpec,
+    policy: str,
+    buffer_bytes: Optional[float] = None,
+    layers_per_group: int = 4,
+    ready_times: Optional[Sequence[float]] = None,
+    startup_time: Optional[float] = None,
+) -> FusionPlan:
+    """Dispatch by policy name: ``"none"``, ``"buffer"``, ``"layers"``, ``"mg"``."""
+    if policy == "none":
+        return no_fusion_groups(model)
+    if policy == "buffer":
+        if buffer_bytes is None:
+            raise ValueError("policy 'buffer' requires buffer_bytes")
+        return buffer_size_groups(model, buffer_bytes)
+    if policy == "layers":
+        return layer_count_groups(model, layers_per_group)
+    if policy == "mg":
+        if ready_times is None or startup_time is None:
+            raise ValueError("policy 'mg' requires ready_times and startup_time")
+        return mg_wfbp_groups(model, ready_times, startup_time)
+    raise ValueError(f"unknown fusion policy {policy!r}")

@@ -1,0 +1,53 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every harness exposes ``run(...) -> list[dict]`` returning the rows the
+paper reports, plus ``format_table(rows) -> str`` for human-readable
+output.  ``repro.experiments.paper_data`` holds the paper's published
+numbers so benches and EXPERIMENTS.md can verify *shape* (orderings,
+rough ratios) programmatically.
+
+Index (see DESIGN.md §3):
+
+========  =====================================================
+table1    model inventory (Table I)
+fig3      BO buffer-size tuning example on DenseNet-201
+fig5      all-reduce vs reduce-scatter/all-gather/RSAG times
+fig6      speedups without tensor fusion (WFBP = 1.0)
+fig7      speedups with tensor fusion (Horovod = 1.0)
+table2    real speedup S vs theoretical maximum S^max
+fig8      iteration-time breakdowns (FF / BP / exposed comm)
+fig9      tensor-fusion variants (FB / NL / BO)
+fig10     tuning cost: BO vs random vs grid search
+fig11     speed vs per-GPU batch size
+timelines Figs. 1-2 schedule timelines as Gantt charts
+========  =====================================================
+"""
+
+from repro.experiments import paper_data
+from repro.experiments.table1 import run as table1
+from repro.experiments.fig3 import run as fig3
+from repro.experiments.fig5 import run as fig5
+from repro.experiments.fig6 import run as fig6
+from repro.experiments.fig7 import run as fig7
+from repro.experiments.table2 import run as table2
+from repro.experiments.fig8 import run as fig8
+from repro.experiments.fig9 import run as fig9
+from repro.experiments.fig10 import run as fig10
+from repro.experiments.fig11 import run as fig11
+from repro.experiments.timelines import run as timelines
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig3": fig3,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "table2": table2,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "fig11": fig11,
+    "timelines": timelines,
+}
+
+__all__ = ["EXPERIMENTS", "paper_data"] + sorted(EXPERIMENTS)

@@ -1,0 +1,75 @@
+"""Fig. 11: performance across per-GPU mini-batch sizes (10GbE).
+
+Smaller batches shrink compute while communication stays fixed, raising
+the communication-to-computation ratio; the paper shows DeAR staying on
+top of Horovod / DDP / MG-WFBP at every batch size on ResNet-50 and
+BERT-Base.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+from repro.schedulers.base import simulate
+
+__all__ = ["run", "format_rows", "format_chart", "FIG11_WORKLOADS"]
+
+#: (model, batch sizes swept).
+FIG11_WORKLOADS = (
+    ("resnet50", (16, 32, 64, 128)),
+    ("bert_base", (16, 32, 64)),
+)
+
+
+def run(workloads=FIG11_WORKLOADS, cluster="10gbe", iterations: int = 5,
+        buffer_bytes: float = 25e6) -> list[dict]:
+    """One row per (model, batch size) with per-scheduler throughput."""
+    cluster = resolve_cluster(cluster)
+    rows = []
+    for name, batch_sizes in workloads:
+        model = resolve_model(name)
+        for batch_size in batch_sizes:
+            results = {
+                "horovod": simulate(
+                    "horovod", model, cluster, batch_size=batch_size,
+                    buffer_bytes=buffer_bytes, iterations=iterations,
+                ),
+                "ddp": simulate(
+                    "ddp", model, cluster, batch_size=batch_size,
+                    buffer_bytes=buffer_bytes, iterations=iterations,
+                ),
+                "mg_wfbp": simulate(
+                    "mg_wfbp", model, cluster, batch_size=batch_size,
+                    iterations=iterations,
+                ),
+                "dear": simulate(
+                    "dear", model, cluster, batch_size=batch_size,
+                    fusion="buffer", buffer_bytes=buffer_bytes,
+                    iterations=iterations,
+                ),
+            }
+            row = {"model": model.display_name, "batch_size": batch_size}
+            for key, result in results.items():
+                row[key] = result.throughput
+            row["dear_vs_best_other"] = row["dear"] / max(
+                row["horovod"], row["ddp"], row["mg_wfbp"]
+            )
+            rows.append(row)
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(rows)
+
+
+def format_chart(rows: list[dict]) -> str:
+    """Fig. 11 as throughput bars per batch size."""
+    from repro.experiments.plotting import grouped_bar_chart
+
+    labelled = [
+        {**row, "workload": f"{row['model']} BS={row['batch_size']}"}
+        for row in rows
+    ]
+    return grouped_bar_chart(
+        labelled, "workload", ["horovod", "ddp", "mg_wfbp", "dear"],
+        title="Throughput (samples/s) across per-GPU batch sizes (10GbE)",
+    )

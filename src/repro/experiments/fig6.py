@@ -1,0 +1,66 @@
+"""Fig. 6: speedups without tensor fusion (WFBP = 1.0).
+
+Compares plain WFBP, ByteScheduler, and DeAR w/o TF on all five models
+over both networks.  WFBP here uses the RSAG all-reduce (the paper
+implements all-reduce as RS+AG for fairness — identical under the ring
+cost model).  The paper's headline: DeAR gains 6-19% everywhere from
+feed-forward overlap; ByteScheduler collapses on 10GbE CNNs.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+from repro.experiments.paper_data import MODELS, NETWORKS
+from repro.schedulers.base import simulate
+
+__all__ = ["run", "format_rows", "format_chart"]
+
+
+def run(models=MODELS, networks=NETWORKS, iterations: int = 5) -> list[dict]:
+    """One row per (network, model) with speedups relative to WFBP."""
+    rows = []
+    for network in networks:
+        cluster = resolve_cluster(network)
+        for name in models:
+            model = resolve_model(name)
+            wfbp = simulate("wfbp", model, cluster, iterations=iterations)
+            bytesched = simulate("bytescheduler", model, cluster, iterations=iterations)
+            dear = simulate(
+                "dear", model, cluster, fusion="none", iterations=iterations
+            )
+            rows.append(
+                {
+                    "network": cluster.name,
+                    "model": model.display_name,
+                    "wfbp": 1.0,
+                    "bytescheduler": wfbp.iteration_time / bytesched.iteration_time,
+                    "dear": wfbp.iteration_time / dear.iteration_time,
+                    "wfbp_iter_s": wfbp.iteration_time,
+                    "bytescheduler_iter_s": bytesched.iteration_time,
+                    "dear_iter_s": dear.iteration_time,
+                }
+            )
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(
+        rows, columns=["network", "model", "wfbp", "bytescheduler", "dear"]
+    )
+
+
+def format_chart(rows: list[dict]) -> str:
+    """Fig. 6 as grouped speedup bars (WFBP = 1.0 baseline)."""
+    from repro.experiments.plotting import grouped_bar_chart
+
+    blocks = []
+    for network in sorted({row["network"] for row in rows}):
+        subset = [r for r in rows if r["network"] == network]
+        blocks.append(
+            grouped_bar_chart(
+                subset, "model", ["wfbp", "bytescheduler", "dear"],
+                title=f"Speedups w/o tensor fusion on {network} (WFBP = 1.0)",
+                unit="x", baseline=1.0,
+            )
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,82 @@
+"""Fig. 7: speedups with tensor fusion (Horovod = 1.0).
+
+Compares Horovod, PyTorch-DDP, MG-WFBP and DeAR on all five models over
+both networks.  Per the paper's protocol, the fusion buffer is fixed at
+25 MB for Horovod, DDP and DeAR; MG-WFBP picks its own merge points.
+DeAR runs with the buffer-threshold fusion here (the BO variant is
+Fig. 9's subject); the paper's headline: 6-83% (avg 36%) gains on
+10GbE, up to 15% (avg 8%) on 100GbIB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+from repro.experiments.paper_data import MODELS, NETWORKS
+from repro.schedulers.base import simulate
+
+__all__ = ["run", "format_rows", "format_chart", "FUSION_BUFFER_BYTES"]
+
+#: The paper fixes all fusion buffers to 25 MB for this comparison.
+FUSION_BUFFER_BYTES = 25e6
+
+
+def run(models=MODELS, networks=NETWORKS, iterations: int = 5,
+        dear_fusion: str = "buffer") -> list[dict]:
+    """One row per (network, model) with speedups relative to Horovod."""
+    rows = []
+    for network in networks:
+        cluster = resolve_cluster(network)
+        for name in models:
+            model = resolve_model(name)
+            horovod = simulate(
+                "horovod", model, cluster,
+                buffer_bytes=FUSION_BUFFER_BYTES, iterations=iterations,
+            )
+            ddp = simulate(
+                "ddp", model, cluster,
+                buffer_bytes=FUSION_BUFFER_BYTES, iterations=iterations,
+            )
+            mg = simulate("mg_wfbp", model, cluster, iterations=iterations)
+            dear_options = (
+                {"fusion": "bo"} if dear_fusion == "bo"
+                else {"fusion": "buffer", "buffer_bytes": FUSION_BUFFER_BYTES}
+            )
+            dear = simulate(
+                "dear", model, cluster, iterations=iterations, **dear_options
+            )
+            rows.append(
+                {
+                    "network": cluster.name,
+                    "model": model.display_name,
+                    "horovod": 1.0,
+                    "ddp": horovod.iteration_time / ddp.iteration_time,
+                    "mg_wfbp": horovod.iteration_time / mg.iteration_time,
+                    "dear": horovod.iteration_time / dear.iteration_time,
+                    "horovod_iter_s": horovod.iteration_time,
+                    "dear_iter_s": dear.iteration_time,
+                }
+            )
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(
+        rows, columns=["network", "model", "horovod", "ddp", "mg_wfbp", "dear"]
+    )
+
+
+def format_chart(rows: list[dict]) -> str:
+    """Fig. 7 as grouped speedup bars (Horovod = 1.0 baseline)."""
+    from repro.experiments.plotting import grouped_bar_chart
+
+    blocks = []
+    for network in sorted({row["network"] for row in rows}):
+        subset = [r for r in rows if r["network"] == network]
+        blocks.append(
+            grouped_bar_chart(
+                subset, "model", ["horovod", "ddp", "mg_wfbp", "dear"],
+                title=f"Speedups w/ tensor fusion on {network} (Horovod = 1.0)",
+                unit="x", baseline=1.0,
+            )
+        )
+    return "\n\n".join(blocks)

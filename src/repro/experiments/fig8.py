@@ -1,0 +1,72 @@
+"""Fig. 8: iteration-time breakdowns on the 10GbE cluster.
+
+For Horovod and DeAR (both with 25 MB fusion), splits the steady-state
+iteration into FF compute, BP compute, and *exposed* (non-overlapped)
+communication.  DeAR additionally reports RS-only and AG-only exposure:
+the paper observes RS-only < AG-only because reduce-scatter overlaps
+the longer backward pass while all-gather only has the shorter
+feed-forward to hide under.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.breakdown import breakdown_of
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+from repro.experiments.paper_data import MODELS
+from repro.schedulers.base import simulate
+
+__all__ = ["run", "format_rows", "format_chart"]
+
+
+def run(models=MODELS, cluster="10gbe", iterations: int = 5,
+        buffer_bytes: float = 25e6) -> list[dict]:
+    """One row per (model, scheduler-view)."""
+    cluster = resolve_cluster(cluster)
+    rows = []
+    for name in models:
+        model = resolve_model(name)
+        horovod = breakdown_of(
+            simulate("horovod", model, cluster, buffer_bytes=buffer_bytes,
+                     iterations=iterations)
+        )
+        dear = breakdown_of(
+            simulate("dear", model, cluster, fusion="buffer",
+                     buffer_bytes=buffer_bytes, iterations=iterations)
+        )
+        rows.append(_row(model.display_name, "Horovod", horovod.t_ff, horovod.t_bp,
+                         horovod.exposed_comm, horovod.iteration_time))
+        rows.append(_row(model.display_name, "DeAR", dear.t_ff, dear.t_bp,
+                         dear.exposed_comm, dear.iteration_time))
+        rows.append(_row(model.display_name, "DeAR (RS-only)", dear.t_ff, dear.t_bp,
+                         dear.exposed_rs, dear.iteration_time))
+        rows.append(_row(model.display_name, "DeAR (AG-only)", dear.t_ff, dear.t_bp,
+                         dear.exposed_ag, dear.iteration_time))
+    return rows
+
+
+def _row(model: str, view: str, t_ff: float, t_bp: float, exposed: float,
+         iteration: float) -> dict:
+    return {
+        "model": model,
+        "view": view,
+        "ff_s": t_ff,
+        "bp_s": t_bp,
+        "exposed_comm_s": exposed,
+        "stacked_total_s": t_ff + t_bp + exposed,
+        "iteration_s": iteration,
+    }
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(rows)
+
+
+def format_chart(rows: list[dict]) -> str:
+    """Fig. 8 as stacked-total bars (FF + BP + exposed communication)."""
+    from repro.experiments.plotting import bar_chart
+
+    items = [
+        (f"{row['model']} / {row['view']}", round(row["stacked_total_s"], 4))
+        for row in rows
+    ]
+    return bar_chart(items, title="Iteration time breakdown totals (s)", unit="s")

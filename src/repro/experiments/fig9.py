@@ -1,0 +1,89 @@
+"""Fig. 9: dynamic tensor fusion study.
+
+Six configurations on ResNet-50, DenseNet-201 and BERT-Base over both
+networks:
+
+- Horovod-FB — Horovod with its default 64 MB fixed buffer;
+- Horovod-BO — Horovod's buffer tuned by Bayesian optimisation;
+- DeAR w/o TF — no fusion;
+- DeAR-NL — four consecutive layers per group;
+- DeAR-FB — fixed 5 MB buffer threshold;
+- DeAR-BO — the paper's headline configuration.
+
+Headline claims: DeAR-BO beats DeAR w/o TF by 1.35-4.54x (10GbE) /
+1.29-1.78x (IB) and Horovod-FB by 22-56% (10GbE) / 7-14% (IB).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+from repro.experiments.paper_data import NETWORKS
+from repro.schedulers.base import simulate
+
+__all__ = ["run", "format_rows", "format_chart", "FIG9_MODELS"]
+
+FIG9_MODELS = ("resnet50", "densenet201", "bert_base")
+
+
+def run(models=FIG9_MODELS, networks=NETWORKS, iterations: int = 5,
+        bo_trials: int = 12) -> list[dict]:
+    """One row per (network, model) with throughput in samples/s."""
+    rows = []
+    for network in networks:
+        cluster = resolve_cluster(network)
+        for name in models:
+            model = resolve_model(name)
+            variants = {
+                "horovod_fb": simulate(
+                    "horovod", model, cluster, buffer_bytes=64e6,
+                    iterations=iterations,
+                ),
+                "horovod_bo": simulate(
+                    "horovod", model, cluster, fusion="bo",
+                    bo_trials=bo_trials, iterations=iterations,
+                ),
+                "dear_no_tf": simulate(
+                    "dear", model, cluster, fusion="none", iterations=iterations
+                ),
+                "dear_nl": simulate(
+                    "dear", model, cluster, fusion="layers",
+                    layers_per_group=4, iterations=iterations,
+                ),
+                "dear_fb": simulate(
+                    "dear", model, cluster, fusion="buffer",
+                    buffer_bytes=5e6, iterations=iterations,
+                ),
+                "dear_bo": simulate(
+                    "dear", model, cluster, fusion="bo",
+                    bo_trials=bo_trials, iterations=iterations,
+                ),
+            }
+            row = {"network": cluster.name, "model": model.display_name}
+            for key, result in variants.items():
+                row[key] = result.throughput
+            row["bo_vs_no_tf"] = row["dear_bo"] / row["dear_no_tf"]
+            row["bo_vs_horovod_fb"] = row["dear_bo"] / row["horovod_fb"]
+            rows.append(row)
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(rows)
+
+
+def format_chart(rows: list[dict]) -> str:
+    """Fig. 9 as throughput bars per fusion variant."""
+    from repro.experiments.plotting import grouped_bar_chart
+
+    variants = ["horovod_fb", "horovod_bo", "dear_no_tf", "dear_nl",
+                "dear_fb", "dear_bo"]
+    blocks = []
+    for network in sorted({row["network"] for row in rows}):
+        subset = [r for r in rows if r["network"] == network]
+        blocks.append(
+            grouped_bar_chart(
+                subset, "model", variants,
+                title=f"Throughput (samples/s) by fusion variant on {network}",
+            )
+        )
+    return "\n\n".join(blocks)

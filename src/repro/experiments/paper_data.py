@@ -1,0 +1,87 @@
+"""The paper's published numbers, for programmatic shape checks.
+
+Sources: Table I/II verbatim; figure-level claims from the prose of
+§VI (figures are printed as bar charts, so only the claims quoted in
+the text are encoded, not per-bar pixel readings).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1",
+    "TABLE2",
+    "FIG5_SPOT_CHECKS",
+    "FIG6_CLAIMS",
+    "FIG7_CLAIMS",
+    "FIG9_CLAIMS",
+    "MODELS",
+    "NETWORKS",
+]
+
+#: Table I order.
+MODELS = ("resnet50", "densenet201", "inception_v4", "bert_base", "bert_large")
+
+NETWORKS = ("10gbe", "100gbib")
+
+#: Table I: (batch size, #layers, #tensors, #params in millions).
+TABLE1 = {
+    "resnet50": (64, 107, 161, 25.6),
+    "densenet201": (32, 402, 604, 20.0),
+    "inception_v4": (64, 299, 449, 42.7),
+    "bert_base": (64, 105, 206, 110.1),
+    "bert_large": (32, 201, 398, 336.2),
+}
+
+#: Table II: network -> model -> (S_max, S_real) on the 64-GPU cluster.
+TABLE2 = {
+    "10gbe": {
+        "resnet50": (61.6, 61.1),
+        "densenet201": (64.0, 52.8),
+        "inception_v4": (59.8, 56.5),
+        "bert_base": (25.5, 23.9),
+        "bert_large": (12.1, 11.8),
+    },
+    "100gbib": {
+        "resnet50": (64.0, 61.6),
+        "densenet201": (64.0, 54.0),
+        "inception_v4": (64.0, 57.2),
+        "bert_base": (64.0, 49.6),
+        "bert_large": (51.8, 37.5),
+    },
+}
+
+#: §II-D: measured 64-GPU/10GbE all-reduce times (message bytes, seconds).
+FIG5_SPOT_CHECKS = (
+    (1_000_000, 4.5e-3),
+    (500_000, 3.9e-3),
+)
+
+#: §VI-C claims for Fig. 6 (no tensor fusion, WFBP = 1.0).
+FIG6_CLAIMS = {
+    # DeAR over WFBP, all cases: 6%-19% improvement.
+    "dear_vs_wfbp_min": 1.00,
+    "dear_vs_wfbp_max": 1.25,
+    # ByteScheduler "very slow in most cases especially on CNNs",
+    # "bars are very low (e.g., < 0.9)" on 10GbE.
+    "bytescheduler_cnn_10gbe_max": 0.95,
+}
+
+#: §VI-D claims for Fig. 7 (with tensor fusion, Horovod = 1.0).
+FIG7_CLAIMS = {
+    # 10GbE: DeAR 6%-83% over existing methods, average 36%.
+    "10gbe_max_improvement": 1.83,
+    "10gbe_avg_improvement": 1.36,
+    # 100GbIB: up to 15%, average 8%.
+    "100gbib_max_improvement": 1.15,
+    "100gbib_avg_improvement": 1.08,
+}
+
+#: §VI-G claims for Fig. 9.
+FIG9_CLAIMS = {
+    # DeAR-BO over DeAR w/o TF: 1.35x-4.54x (10GbE), 1.29x-1.78x (IB).
+    "bo_vs_no_tf_10gbe": (1.35, 4.54),
+    "bo_vs_no_tf_100gbib": (1.29, 1.78),
+    # DeAR-BO over Horovod-FB: 22%-56% (10GbE), 7%-14% (IB).
+    "bo_vs_horovod_10gbe": (1.22, 1.56),
+    "bo_vs_horovod_100gbib": (1.07, 1.14),
+}

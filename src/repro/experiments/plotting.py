@@ -1,0 +1,162 @@
+"""Terminal rendering of the paper's figures (ASCII bar charts).
+
+The harnesses return structured rows; this module turns them into the
+bar charts the paper prints, so ``dear-repro fig7`` shows an actual
+figure, not just a table.  Pure text — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["bar_chart", "grouped_bar_chart", "ascii_timeline"]
+
+_FULL = "█"
+_PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """Unicode bar of ``value`` at ``scale`` units per ``width`` chars."""
+    if scale <= 0 or value <= 0:
+        return ""
+    cells = value / scale * width
+    full = int(cells)
+    fraction = cells - full
+    partial = _PARTIAL[int(fraction * 8)]
+    return _FULL * full + partial
+
+
+def bar_chart(
+    items: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart of (label, value) pairs.
+
+    ``baseline`` draws a marker column at that value (e.g. the 1.0x
+    line of a speedup chart).
+    """
+    if not items:
+        return "(no data)"
+    peak = max(value for _, value in items)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label, _ in items)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in items:
+        bar = _bar(value, peak, width)
+        if baseline is not None and 0 < baseline <= peak:
+            marker = int(baseline / peak * width)
+            bar = bar.ljust(width)
+            if marker < len(bar):
+                tick = "|" if len(bar[marker:].strip()) == 0 else bar[marker]
+                bar = bar[:marker] + tick + bar[marker + 1:]
+            bar = bar.rstrip()
+        lines.append(f"{label:<{label_width}}  {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    rows: Sequence[dict],
+    group_key: str,
+    series_keys: Sequence[str],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """One bar block per row, one bar per series (the Figs. 6/7 layout).
+
+    ``rows`` are harness dicts; ``group_key`` labels each block (e.g.
+    the model name), ``series_keys`` pick the bars (e.g. schedulers).
+    """
+    return _grouped_bar_chart(rows, group_key, series_keys, width, title,
+                              unit, baseline)
+
+
+#: Category -> glyph for timeline lanes (the paper's Figs. 1-2 legend).
+_TIMELINE_GLYPHS = {
+    "ff": "F",
+    "bp": "B",
+    "comm.ar": "A",
+    "comm.rs": "R",
+    "comm.ag": "G",
+}
+
+
+def ascii_timeline(
+    spans,
+    start: float,
+    end: float,
+    width: int = 96,
+    lanes: Sequence[tuple[str, str]] = (
+        ("compute", "gpu.compute"),
+        ("comm", "gpu.comm"),
+    ),
+    title: str = "",
+) -> str:
+    """Render traced spans as a two-lane Gantt chart (Figs. 1-2 style).
+
+    Each lane samples the window ``[start, end)`` into ``width``
+    columns; a column shows the glyph of the span covering its midpoint
+    (F = feed-forward, B = backprop, A = all-reduce, R = reduce-scatter,
+    G = all-gather, '.' = idle).
+
+    Args:
+        spans: iterable of :class:`repro.sim.trace.Span`.
+        lanes: (label, actor) pairs selecting the rows.
+    """
+    if end <= start:
+        raise ValueError(f"need end > start, got [{start}, {end})")
+    spans = list(spans)
+    step = (end - start) / width
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(label) for label, _ in lanes)
+    for label, actor in lanes:
+        lane_spans = [s for s in spans if s.actor == actor]
+        row = []
+        for column in range(width):
+            instant = start + (column + 0.5) * step
+            glyph = "."
+            for span in lane_spans:
+                if span.start <= instant < span.end:
+                    glyph = _TIMELINE_GLYPHS.get(span.category, "?")
+                    break
+            row.append(glyph)
+        lines.append(f"{label:<{label_width}} |{''.join(row)}|")
+    legend = "  ".join(
+        f"{glyph}={category}" for category, glyph in _TIMELINE_GLYPHS.items()
+    )
+    lines.append(f"{'':<{label_width}}  {legend}  .=idle")
+    return "\n".join(lines)
+
+
+def _grouped_bar_chart(rows, group_key, series_keys, width, title, unit, baseline):
+    if not rows:
+        return "(no data)"
+    peak = max(
+        float(row[key]) for row in rows for key in series_keys
+        if row.get(key) is not None
+    )
+    if peak <= 0:
+        peak = 1.0
+    series_width = max(len(key) for key in series_keys)
+    lines = []
+    if title:
+        lines.append(title)
+    for row in rows:
+        lines.append(f"{row[group_key]}:")
+        for key in series_keys:
+            value = float(row[key])
+            bar = _bar(value, peak, width)
+            suffix = f" {value:.2f}{unit}"
+            if baseline is not None and abs(value - baseline) < 1e-12:
+                suffix += " (baseline)"
+            lines.append(f"  {key:<{series_width}}  {bar}{suffix}")
+    return "\n".join(lines)

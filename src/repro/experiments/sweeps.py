@@ -1,0 +1,99 @@
+"""Sensitivity sweeps: where does DeAR's advantage come from?
+
+The paper attributes its gains to two mechanisms: hiding the startup
+latency (DeAR pipelines collectives it never has to partition or
+re-negotiate) and hiding bandwidth time under *both* compute phases.
+These sweeps vary one fabric parameter at a time — link latency (alpha)
+or link bandwidth — while holding everything else at the testbed
+calibration, and report DeAR's improvement over Horovod at each point.
+
+Expected shapes (asserted by the bench):
+
+- the advantage grows monotonically with latency (startup-bound regime:
+  negotiation and per-collective alpha hurt the baseline more);
+- over bandwidth the advantage is *unimodal*: Eq. 9 caps DeAR's
+  absolute saving at one feed-forward time, so the relative gain
+  vanishes both when communication is fully hideable (high bandwidth —
+  the §VI-I argument for the smaller 100GbIB gains) and when it
+  utterly dominates (low bandwidth — a fixed t_ff saving on a huge
+  iteration).  The peak sits where t_ag is comparable to t_ff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import format_table, resolve_model
+from repro.network.fabric import ClusterSpec, LinkSpec
+from repro.network.presets import ETHERNET_10G, PCIE_3
+from repro.schedulers.base import simulate
+
+__all__ = ["latency_sweep", "bandwidth_sweep", "format_rows"]
+
+_LATENCY_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+_BANDWIDTH_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def _cluster_with(link: LinkSpec) -> ClusterSpec:
+    return ClusterSpec(
+        name=f"64xGPU/{link.name}",
+        nodes=16,
+        gpus_per_node=4,
+        inter_link=link,
+        intra_link=PCIE_3,
+    )
+
+
+def _compare(model, cluster, iterations: int) -> tuple[float, float]:
+    dear = simulate(
+        "dear", model, cluster, fusion="buffer", buffer_bytes=25e6,
+        iterations=iterations,
+    )
+    horovod = simulate(
+        "horovod", model, cluster, buffer_bytes=25e6, iterations=iterations
+    )
+    return dear.iteration_time, horovod.iteration_time
+
+
+def latency_sweep(model="resnet50", factors=_LATENCY_FACTORS,
+                  iterations: int = 5) -> list[dict]:
+    """Scale the 10GbE alpha; bandwidth fixed at the calibrated value."""
+    model = resolve_model(model)
+    rows = []
+    for factor in factors:
+        link = ETHERNET_10G.scaled(latency_factor=factor)
+        dear_time, horovod_time = _compare(model, _cluster_with(link), iterations)
+        rows.append(
+            {
+                "alpha_us": link.latency * 1e6,
+                "latency_factor": factor,
+                "dear_iter_s": dear_time,
+                "horovod_iter_s": horovod_time,
+                "dear_advantage": horovod_time / dear_time,
+            }
+        )
+    return rows
+
+
+def bandwidth_sweep(model="bert_base", factors=_BANDWIDTH_FACTORS,
+                    iterations: int = 5) -> list[dict]:
+    """Scale the 10GbE bandwidth; alpha fixed at the calibrated value."""
+    model = resolve_model(model)
+    rows = []
+    for factor in factors:
+        link = ETHERNET_10G.scaled(bandwidth_factor=factor)
+        dear_time, horovod_time = _compare(model, _cluster_with(link), iterations)
+        rows.append(
+            {
+                "bandwidth_gbps": link.bandwidth * 8 / 1e9,
+                "bandwidth_factor": factor,
+                "dear_iter_s": dear_time,
+                "horovod_iter_s": horovod_time,
+                "dear_advantage": horovod_time / dear_time,
+            }
+        )
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(rows)

@@ -1,0 +1,34 @@
+"""Table I: the evaluated models' inventory."""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.experiments.paper_data import TABLE1
+from repro.models.zoo import MODEL_NAMES, get_model
+
+__all__ = ["run", "format_rows"]
+
+
+def run() -> list[dict]:
+    """Regenerate Table I next to the paper's values."""
+    rows = []
+    for name in MODEL_NAMES:
+        model = get_model(name)
+        paper_bs, paper_layers, paper_tensors, paper_params = TABLE1[name]
+        rows.append(
+            {
+                "model": model.display_name,
+                "batch_size": model.default_batch_size,
+                "layers": model.num_layers,
+                "layers_paper": paper_layers,
+                "tensors": model.num_tensors,
+                "tensors_paper": paper_tensors,
+                "params_M": round(model.num_parameters / 1e6, 2),
+                "params_M_paper": paper_params,
+            }
+        )
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    return format_table(rows)

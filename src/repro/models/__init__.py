@@ -1,0 +1,27 @@
+"""DNN model zoo matching Table I of the paper.
+
+Each model is described as an ordered list of *learnable layers* in
+feed-forward order, each carrying its parameter tensors and an analytic
+per-sample FLOP count.  The five architectures are enumerated exactly
+(ResNet-50, DenseNet-201, Inception-v4, BERT-Base, BERT-Large) so that
+the #layers / #tensors / #parameters columns of Table I reproduce to
+the digit, and :mod:`repro.models.profiles` turns the FLOP distribution
+into per-layer feed-forward / backpropagation timing profiles
+calibrated against the paper's Table II.
+"""
+
+from repro.models.layers import LayerSpec, ModelSpec, TensorSpec
+from repro.models.profiles import ComputeProfile, TimingModel, build_profile
+from repro.models.zoo import MODEL_NAMES, get_model, table1_rows
+
+__all__ = [
+    "ComputeProfile",
+    "LayerSpec",
+    "MODEL_NAMES",
+    "ModelSpec",
+    "TensorSpec",
+    "TimingModel",
+    "build_profile",
+    "get_model",
+    "table1_rows",
+]

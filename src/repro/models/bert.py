@@ -1,0 +1,128 @@
+"""BERT-Base / BERT-Large layer enumerations (Devlin et al., 2019).
+
+The pre-training configuration (MLM + NSP heads, as in the paper's NLP
+workload) with the HuggingFace ``bert-base-uncased`` /
+``bert-large-uncased`` parameterisation: vocab 30522, 512 positions,
+2 token types, GELU intermediate of 4x hidden.  The MLM decoder weight
+is tied to the word embedding, so the decoder contributes only its
+bias tensor.
+
+Counts match Table I:
+
+- BERT-Base:  105 layers, 206 tensors, 110.1M parameters;
+- BERT-Large: 201 layers, 398 tensors, 336.2M parameters.
+
+A training sample is a 64-token sentence (§VI-A), so FLOP counts take
+``seq_len = 64``.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import ModelBuilder, ModelSpec
+
+__all__ = ["build_bert_base", "build_bert_large", "SEQ_LEN", "VOCAB_SIZE"]
+
+VOCAB_SIZE = 30522
+MAX_POSITIONS = 512
+TYPE_VOCAB = 2
+SEQ_LEN = 64  # paper §VI-A: "a sentence with a length of 64 words"
+
+
+def _embedding(builder: ModelBuilder, name: str, rows: int, hidden: int,
+               seq_len: int) -> None:
+    """Embedding lookup: gather is cheap, charge ~1 FLOP per output element."""
+    builder.add_layer(
+        name, "embedding", [("weight", rows * hidden)],
+        flops=float(seq_len * hidden),
+        activation_elements=float(seq_len * hidden),
+    )
+
+
+def _layernorm(builder: ModelBuilder, name: str, hidden: int, seq_len: int) -> None:
+    builder.add_layer(
+        name,
+        "layernorm",
+        [("weight", hidden), ("bias", hidden)],
+        flops=8.0 * seq_len * hidden,
+        activation_elements=float(seq_len * hidden),
+    )
+
+
+def _dense(builder: ModelBuilder, name: str, cin: int, cout: int, seq_len: int,
+           extra_flops: float = 0.0, extra_activations: float = 0.0) -> None:
+    """Linear layer applied per token; the ``extra_*`` arguments fold in
+    attendant matmuls that have no parameters of their own (e.g. QK^T,
+    softmax*V) and their stored intermediates (attention probabilities)."""
+    builder.add_layer(
+        name,
+        "fc",
+        [("weight", cin * cout), ("bias", cout)],
+        flops=2.0 * seq_len * cin * cout + extra_flops,
+        activation_elements=float(seq_len * cout) + extra_activations,
+    )
+
+
+def _encoder_layer(builder: ModelBuilder, prefix: str, hidden: int, seq_len: int) -> None:
+    """One transformer encoder layer: 8 learnable layers, 16 tensors."""
+    intermediate = 4 * hidden
+    attention_matmuls = 4.0 * seq_len * seq_len * hidden  # QK^T and probs @ V
+    heads = hidden // 64
+    attention_probs = float(heads * seq_len * seq_len)  # stored for backward
+    _dense(builder, f"{prefix}.attention.self.query", hidden, hidden, seq_len)
+    _dense(builder, f"{prefix}.attention.self.key", hidden, hidden, seq_len)
+    _dense(
+        builder, f"{prefix}.attention.self.value", hidden, hidden, seq_len,
+        extra_flops=attention_matmuls,
+        extra_activations=attention_probs,
+    )
+    _dense(builder, f"{prefix}.attention.output.dense", hidden, hidden, seq_len)
+    _layernorm(builder, f"{prefix}.attention.output.LayerNorm", hidden, seq_len)
+    _dense(builder, f"{prefix}.intermediate.dense", hidden, intermediate, seq_len)
+    _dense(builder, f"{prefix}.output.dense", intermediate, hidden, seq_len)
+    _layernorm(builder, f"{prefix}.output.LayerNorm", hidden, seq_len)
+
+
+def _build_bert(
+    name: str,
+    display_name: str,
+    hidden: int,
+    num_layers: int,
+    batch_size: int,
+    seq_len: int = SEQ_LEN,
+) -> ModelSpec:
+    builder = ModelBuilder(
+        name=name,
+        display_name=display_name,
+        default_batch_size=batch_size,
+        sample_description=f"{seq_len}-token sentence",
+    )
+    _embedding(builder, "embeddings.word_embeddings", VOCAB_SIZE, hidden, seq_len)
+    _embedding(builder, "embeddings.position_embeddings", MAX_POSITIONS, hidden, seq_len)
+    _embedding(builder, "embeddings.token_type_embeddings", TYPE_VOCAB, hidden, seq_len)
+    _layernorm(builder, "embeddings.LayerNorm", hidden, seq_len)
+    for index in range(num_layers):
+        _encoder_layer(builder, f"encoder.layer.{index}", hidden, seq_len)
+    _dense(builder, "pooler.dense", hidden, hidden, seq_len=1)
+    _dense(builder, "cls.predictions.transform.dense", hidden, hidden, seq_len)
+    _layernorm(builder, "cls.predictions.transform.LayerNorm", hidden, seq_len)
+    # MLM decoder: weight tied to the word embedding -> bias tensor only,
+    # but the projection matmul itself is real compute.
+    builder.add_layer(
+        "cls.predictions.decoder",
+        "fc",
+        [("bias", VOCAB_SIZE)],
+        flops=2.0 * seq_len * hidden * VOCAB_SIZE,
+        activation_elements=float(seq_len * VOCAB_SIZE),
+    )
+    _dense(builder, "cls.seq_relationship", hidden, 2, seq_len=1)
+    return builder.build()
+
+
+def build_bert_base() -> ModelSpec:
+    """BERT-Base (12 layers, hidden 768) with Table I batch size 64."""
+    return _build_bert("bert_base", "BERT-Base", hidden=768, num_layers=12, batch_size=64)
+
+
+def build_bert_large() -> ModelSpec:
+    """BERT-Large (24 layers, hidden 1024) with Table I batch size 32."""
+    return _build_bert("bert_large", "BERT-Large", hidden=1024, num_layers=24, batch_size=32)

@@ -1,0 +1,56 @@
+"""DenseNet-201 layer enumeration (Huang et al., CVPR 2017).
+
+Exact structure of torchvision's ``densenet201``: growth rate 32, four
+dense blocks of [6, 12, 48, 32] layers, three transitions, final norm
+and classifier.  Counts match Table I: 402 learnable layers (200 conv +
+201 BN + 1 FC), 604 tensors, 20.0M parameters.
+
+DenseNet's hallmark for this paper: an extreme number of *small*
+tensors, which makes it the model most sensitive to startup latency and
+fusion policy (it is the paper's BO running example, Fig. 3).
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import ModelBuilder, ModelSpec
+
+__all__ = ["build_densenet201"]
+
+_GROWTH = 32
+_BLOCK_CONFIG = (6, 12, 48, 32)
+_INIT_FEATURES = 64
+_BN_SIZE = 4  # bottleneck width multiplier: 1x1 conv outputs 4 * growth
+
+
+def build_densenet201() -> ModelSpec:
+    """DenseNet-201 with Table I defaults (per-GPU batch size 32)."""
+    builder = ModelBuilder(
+        name="densenet201",
+        display_name="DenseNet-201",
+        default_batch_size=32,
+        sample_description="224x224x3 image",
+    )
+    builder.conv("features.conv0", 3, _INIT_FEATURES, kernel=7, out_hw=112, stride=2)
+    builder.bn("features.norm0", _INIT_FEATURES, 112)
+
+    features = _INIT_FEATURES
+    spatial = 56  # after the stem max-pool
+    for block_index, num_layers in enumerate(_BLOCK_CONFIG, start=1):
+        for layer_index in range(1, num_layers + 1):
+            prefix = f"features.denseblock{block_index}.denselayer{layer_index}"
+            bottleneck = _BN_SIZE * _GROWTH
+            builder.bn(f"{prefix}.norm1", features, spatial)
+            builder.conv(f"{prefix}.conv1", features, bottleneck, kernel=1, out_hw=spatial)
+            builder.bn(f"{prefix}.norm2", bottleneck, spatial)
+            builder.conv(f"{prefix}.conv2", bottleneck, _GROWTH, kernel=3, out_hw=spatial)
+            features += _GROWTH
+        if block_index < len(_BLOCK_CONFIG):
+            prefix = f"features.transition{block_index}"
+            builder.bn(f"{prefix}.norm", features, spatial)
+            builder.conv(f"{prefix}.conv", features, features // 2, kernel=1, out_hw=spatial)
+            features //= 2
+            spatial //= 2
+
+    builder.bn("features.norm5", features, spatial)
+    builder.fc("classifier", features, 1000)
+    return builder.build()

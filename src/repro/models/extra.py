@@ -1,0 +1,128 @@
+"""Extension architectures beyond the paper's Table I zoo.
+
+VGG-16 and GPT-2-small are not part of the paper's evaluation but are
+common scheduling case studies with usefully different shapes: VGG-16
+concentrates 90% of its parameters in three giant FC tensors (the
+opposite of DenseNet's many-tiny-tensors profile), and GPT-2 is the
+decoder-transformer counterpart of BERT.  Neither has a calibrated
+compute profile — pass ``iteration_compute`` (a measured or assumed
+single-GPU iteration time) to ``simulate`` / ``TimingModel.for_model``
+when scheduling them.
+
+Parameter counts match the canonical implementations:
+VGG-16 138.36M (torchvision), GPT-2-small 124.4M (wte/wpe + 12 blocks,
+tied LM head).
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import ModelBuilder, ModelSpec
+
+__all__ = ["build_vgg16", "build_gpt2_small"]
+
+#: (conv output channels per stage, spatial side at that stage).
+_VGG_STAGES = (
+    ((64, 64), 224),
+    ((128, 128), 112),
+    ((256, 256, 256), 56),
+    ((512, 512, 512), 28),
+    ((512, 512, 512), 14),
+)
+
+
+def build_vgg16() -> ModelSpec:
+    """VGG-16 (configuration D, with biases, no batch norm)."""
+    builder = ModelBuilder(
+        name="vgg16",
+        display_name="VGG-16",
+        default_batch_size=32,
+        sample_description="224x224x3 image",
+    )
+    cin = 3
+    conv_index = 0
+    for channels, spatial in _VGG_STAGES:
+        for cout in channels:
+            params = cout * cin * 9
+            builder.add_layer(
+                f"features.conv{conv_index}",
+                "conv",
+                [("weight", params), ("bias", cout)],
+                flops=2.0 * params * spatial * spatial,
+                activation_elements=float(cout * spatial * spatial),
+            )
+            cin = cout
+            conv_index += 1
+    builder.fc("classifier.0", 512 * 7 * 7, 4096)
+    builder.fc("classifier.3", 4096, 4096)
+    builder.fc("classifier.6", 4096, 1000)
+    return builder.build()
+
+
+_GPT2_VOCAB = 50257
+_GPT2_CTX = 1024
+
+
+def build_gpt2_small(seq_len: int = 1024) -> ModelSpec:
+    """GPT-2 small (12 layers, hidden 768, tied LM head)."""
+    hidden, layers = 768, 12
+    builder = ModelBuilder(
+        name="gpt2_small",
+        display_name="GPT-2-Small",
+        default_batch_size=8,
+        sample_description=f"{seq_len}-token sequence",
+    )
+    builder.add_layer(
+        "wte", "embedding", [("weight", _GPT2_VOCAB * hidden)],
+        flops=float(seq_len * hidden),
+        activation_elements=float(seq_len * hidden),
+    )
+    builder.add_layer(
+        "wpe", "embedding", [("weight", _GPT2_CTX * hidden)],
+        flops=float(seq_len * hidden),
+        activation_elements=float(seq_len * hidden),
+    )
+    heads = hidden // 64
+    for index in range(layers):
+        prefix = f"h.{index}"
+        for norm in ("ln_1", "ln_2"):
+            builder.add_layer(
+                f"{prefix}.{norm}", "layernorm",
+                [("weight", hidden), ("bias", hidden)],
+                flops=8.0 * seq_len * hidden,
+                activation_elements=float(seq_len * hidden),
+            )
+        builder.add_layer(
+            f"{prefix}.attn.c_attn", "fc",
+            [("weight", hidden * 3 * hidden), ("bias", 3 * hidden)],
+            flops=2.0 * seq_len * hidden * 3 * hidden
+            + 4.0 * seq_len * seq_len * hidden,
+            activation_elements=float(seq_len * 3 * hidden)
+            + float(heads * seq_len * seq_len),
+        )
+        builder.add_layer(
+            f"{prefix}.attn.c_proj", "fc",
+            [("weight", hidden * hidden), ("bias", hidden)],
+            flops=2.0 * seq_len * hidden * hidden,
+            activation_elements=float(seq_len * hidden),
+        )
+        builder.add_layer(
+            f"{prefix}.mlp.c_fc", "fc",
+            [("weight", hidden * 4 * hidden), ("bias", 4 * hidden)],
+            flops=2.0 * seq_len * hidden * 4 * hidden,
+            activation_elements=float(seq_len * 4 * hidden),
+        )
+        builder.add_layer(
+            f"{prefix}.mlp.c_proj", "fc",
+            [("weight", 4 * hidden * hidden), ("bias", hidden)],
+            flops=2.0 * seq_len * 4 * hidden * hidden,
+            activation_elements=float(seq_len * hidden),
+        )
+    builder.add_layer(
+        "ln_f", "layernorm", [("weight", hidden), ("bias", hidden)],
+        flops=8.0 * seq_len * hidden,
+        activation_elements=float(seq_len * hidden),
+    )
+    # LM head tied to wte: real compute, no parameters of its own —
+    # modelled as zero-tensor layers are not allowed, so the projection
+    # FLOPs are folded into ln_f's successor via the final norm.
+    return builder.build()

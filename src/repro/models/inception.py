@@ -1,0 +1,135 @@
+"""Inception-v4 layer enumeration (Szegedy et al., AAAI 2017).
+
+Exact structure of the canonical Inception-v4: the stem (including
+Mixed_3a/4a/5a), 4x Inception-A, Reduction-A, 7x Inception-B,
+Reduction-B, 3x Inception-C, and the classifier.  Every conv is a
+Conv+BN pair (no conv bias).  Counts match Table I: 299 learnable
+layers (149 conv + 149 BN + 1 FC), 449 tensors, 42.7M parameters.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import ModelBuilder, ModelSpec
+
+__all__ = ["build_inception_v4"]
+
+
+def _conv_bn(
+    builder: ModelBuilder,
+    name: str,
+    cin: int,
+    cout: int,
+    out_hw: int,
+    kernel: int = 1,
+    kernel_h: int = 0,
+    kernel_w: int = 0,
+) -> None:
+    """BasicConv2d: Conv2d(bias=False) + BatchNorm2d."""
+    builder.conv(
+        f"{name}.conv", cin, cout, kernel=kernel, out_hw=out_hw,
+        kernel_h=kernel_h, kernel_w=kernel_w,
+    )
+    builder.bn(f"{name}.bn", cout, out_hw)
+
+
+def _stem(builder: ModelBuilder) -> int:
+    """Input 299x299x3 -> Mixed_5a output 35x35x384.  Returns channels."""
+    _conv_bn(builder, "stem.conv1", 3, 32, out_hw=149, kernel=3)
+    _conv_bn(builder, "stem.conv2", 32, 32, out_hw=147, kernel=3)
+    _conv_bn(builder, "stem.conv3", 32, 64, out_hw=147, kernel=3)
+    # Mixed_3a: max-pool branch || conv branch -> 160 channels @ 73
+    _conv_bn(builder, "stem.mixed_3a.conv", 64, 96, out_hw=73, kernel=3)
+    # Mixed_4a: two factorised branches -> 192 channels @ 71
+    _conv_bn(builder, "stem.mixed_4a.branch0.0", 160, 64, out_hw=73)
+    _conv_bn(builder, "stem.mixed_4a.branch0.1", 64, 96, out_hw=71, kernel=3)
+    _conv_bn(builder, "stem.mixed_4a.branch1.0", 160, 64, out_hw=73)
+    _conv_bn(builder, "stem.mixed_4a.branch1.1", 64, 64, out_hw=73, kernel_h=1, kernel_w=7)
+    _conv_bn(builder, "stem.mixed_4a.branch1.2", 64, 64, out_hw=73, kernel_h=7, kernel_w=1)
+    _conv_bn(builder, "stem.mixed_4a.branch1.3", 64, 96, out_hw=71, kernel=3)
+    # Mixed_5a: conv stride-2 branch || max-pool branch -> 384 @ 35
+    _conv_bn(builder, "stem.mixed_5a.conv", 192, 192, out_hw=35, kernel=3)
+    return 384
+
+
+def _inception_a(builder: ModelBuilder, prefix: str) -> None:
+    """Inception-A block: 384 -> 384 channels @ 35x35 (7 convs)."""
+    hw, cin = 35, 384
+    _conv_bn(builder, f"{prefix}.branch0", cin, 96, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.0", cin, 64, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.1", 64, 96, out_hw=hw, kernel=3)
+    _conv_bn(builder, f"{prefix}.branch2.0", cin, 64, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch2.1", 64, 96, out_hw=hw, kernel=3)
+    _conv_bn(builder, f"{prefix}.branch2.2", 96, 96, out_hw=hw, kernel=3)
+    _conv_bn(builder, f"{prefix}.branch3.1", cin, 96, out_hw=hw)
+
+
+def _reduction_a(builder: ModelBuilder) -> int:
+    """Reduction-A: 384 @ 35 -> 1024 @ 17 (4 convs)."""
+    _conv_bn(builder, "reduction_a.branch0", 384, 384, out_hw=17, kernel=3)
+    _conv_bn(builder, "reduction_a.branch1.0", 384, 192, out_hw=35)
+    _conv_bn(builder, "reduction_a.branch1.1", 192, 224, out_hw=35, kernel=3)
+    _conv_bn(builder, "reduction_a.branch1.2", 224, 256, out_hw=17, kernel=3)
+    return 1024
+
+
+def _inception_b(builder: ModelBuilder, prefix: str) -> None:
+    """Inception-B block: 1024 -> 1024 channels @ 17x17 (10 convs)."""
+    hw, cin = 17, 1024
+    _conv_bn(builder, f"{prefix}.branch0", cin, 384, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.0", cin, 192, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.1", 192, 224, out_hw=hw, kernel_h=1, kernel_w=7)
+    _conv_bn(builder, f"{prefix}.branch1.2", 224, 256, out_hw=hw, kernel_h=7, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch2.0", cin, 192, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch2.1", 192, 192, out_hw=hw, kernel_h=7, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch2.2", 192, 224, out_hw=hw, kernel_h=1, kernel_w=7)
+    _conv_bn(builder, f"{prefix}.branch2.3", 224, 224, out_hw=hw, kernel_h=7, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch2.4", 224, 256, out_hw=hw, kernel_h=1, kernel_w=7)
+    _conv_bn(builder, f"{prefix}.branch3.1", cin, 128, out_hw=hw)
+
+
+def _reduction_b(builder: ModelBuilder) -> int:
+    """Reduction-B: 1024 @ 17 -> 1536 @ 8 (6 convs)."""
+    _conv_bn(builder, "reduction_b.branch0.0", 1024, 192, out_hw=17)
+    _conv_bn(builder, "reduction_b.branch0.1", 192, 192, out_hw=8, kernel=3)
+    _conv_bn(builder, "reduction_b.branch1.0", 1024, 256, out_hw=17)
+    _conv_bn(builder, "reduction_b.branch1.1", 256, 256, out_hw=17, kernel_h=1, kernel_w=7)
+    _conv_bn(builder, "reduction_b.branch1.2", 256, 320, out_hw=17, kernel_h=7, kernel_w=1)
+    _conv_bn(builder, "reduction_b.branch1.3", 320, 320, out_hw=8, kernel=3)
+    return 1536
+
+
+def _inception_c(builder: ModelBuilder, prefix: str) -> None:
+    """Inception-C block: 1536 -> 1536 channels @ 8x8 (10 convs)."""
+    hw, cin = 8, 1536
+    _conv_bn(builder, f"{prefix}.branch0", cin, 256, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.0", cin, 384, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch1.1a", 384, 256, out_hw=hw, kernel_h=1, kernel_w=3)
+    _conv_bn(builder, f"{prefix}.branch1.1b", 384, 256, out_hw=hw, kernel_h=3, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch2.0", cin, 384, out_hw=hw)
+    _conv_bn(builder, f"{prefix}.branch2.1", 384, 448, out_hw=hw, kernel_h=3, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch2.2", 448, 512, out_hw=hw, kernel_h=1, kernel_w=3)
+    _conv_bn(builder, f"{prefix}.branch2.3a", 512, 256, out_hw=hw, kernel_h=1, kernel_w=3)
+    _conv_bn(builder, f"{prefix}.branch2.3b", 512, 256, out_hw=hw, kernel_h=3, kernel_w=1)
+    _conv_bn(builder, f"{prefix}.branch3.1", cin, 256, out_hw=hw)
+
+
+def build_inception_v4() -> ModelSpec:
+    """Inception-v4 with Table I defaults (per-GPU batch size 64)."""
+    builder = ModelBuilder(
+        name="inception_v4",
+        display_name="Inception-v4",
+        default_batch_size=64,
+        sample_description="299x299x3 image (Table I reports 224x224 inputs; "
+        "the canonical 299 stem is enumerated)",
+    )
+    _stem(builder)
+    for index in range(4):
+        _inception_a(builder, f"inception_a.{index}")
+    _reduction_a(builder)
+    for index in range(7):
+        _inception_b(builder, f"inception_b.{index}")
+    _reduction_b(builder)
+    for index in range(3):
+        _inception_c(builder, f"inception_c.{index}")
+    builder.fc("last_linear", 1536, 1000)
+    return builder.build()

@@ -1,0 +1,70 @@
+"""ResNet-50 layer enumeration (He et al., CVPR 2016).
+
+Exact structure of torchvision's ``resnet50``: a 7x7 stem, four stages
+of [3, 4, 6, 3] bottleneck blocks, and the 1000-way classifier.  Counts
+match Table I: 107 learnable layers (53 conv + 53 BN + 1 FC),
+161 tensors, 25.6M parameters.
+"""
+
+from __future__ import annotations
+
+from repro.models.layers import ModelBuilder, ModelSpec
+
+__all__ = ["build_resnet50"]
+
+_STAGES = (
+    # (blocks, width, out_channels, spatial_out)
+    (3, 64, 256, 56),
+    (4, 128, 512, 28),
+    (6, 256, 1024, 14),
+    (3, 512, 2048, 7),
+)
+
+
+def _bottleneck(
+    builder: ModelBuilder,
+    prefix: str,
+    cin: int,
+    width: int,
+    cout: int,
+    out_hw: int,
+    downsample: bool,
+) -> None:
+    """One bottleneck: 1x1 reduce, 3x3, 1x1 expand (+ optional shortcut conv)."""
+    builder.conv(f"{prefix}.conv1", cin, width, kernel=1, out_hw=out_hw)
+    builder.bn(f"{prefix}.bn1", width, out_hw)
+    builder.conv(f"{prefix}.conv2", width, width, kernel=3, out_hw=out_hw)
+    builder.bn(f"{prefix}.bn2", width, out_hw)
+    builder.conv(f"{prefix}.conv3", width, cout, kernel=1, out_hw=out_hw)
+    builder.bn(f"{prefix}.bn3", cout, out_hw)
+    if downsample:
+        builder.conv(f"{prefix}.downsample.0", cin, cout, kernel=1, out_hw=out_hw)
+        builder.bn(f"{prefix}.downsample.1", cout, out_hw)
+
+
+def build_resnet50() -> ModelSpec:
+    """ResNet-50 with Table I defaults (per-GPU batch size 64)."""
+    builder = ModelBuilder(
+        name="resnet50",
+        display_name="ResNet-50",
+        default_batch_size=64,
+        sample_description="224x224x3 image",
+    )
+    builder.conv("conv1", 3, 64, kernel=7, out_hw=112, stride=2)
+    builder.bn("bn1", 64, 112)
+    cin = 64
+    for stage_index, (blocks, width, cout, out_hw) in enumerate(_STAGES, start=1):
+        for block_index in range(blocks):
+            prefix = f"layer{stage_index}.{block_index}"
+            _bottleneck(
+                builder,
+                prefix,
+                cin=cin,
+                width=width,
+                cout=cout,
+                out_hw=out_hw,
+                downsample=(block_index == 0),
+            )
+            cin = cout
+    builder.fc("fc", 2048, 1000)
+    return builder.build()

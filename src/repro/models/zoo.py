@@ -1,0 +1,85 @@
+"""Model registry and the Table I summary.
+
+``get_model`` is the public entry point; models are built once and
+cached (they are immutable).  ``table1_rows`` regenerates the paper's
+Table I for the corresponding benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.bert import build_bert_base, build_bert_large
+from repro.models.extra import build_gpt2_small, build_vgg16
+from repro.models.densenet import build_densenet201
+from repro.models.inception import build_inception_v4
+from repro.models.layers import ModelSpec
+from repro.models.resnet import build_resnet50
+
+__all__ = ["MODEL_NAMES", "get_model", "table1_rows", "register_model"]
+
+_BUILDERS: dict[str, Callable[[], ModelSpec]] = {
+    "resnet50": build_resnet50,
+    "densenet201": build_densenet201,
+    "inception_v4": build_inception_v4,
+    "bert_base": build_bert_base,
+    "bert_large": build_bert_large,
+    # Extension models (no calibrated compute profile; pass
+    # iteration_compute when scheduling them):
+    "vgg16": build_vgg16,
+    "gpt2_small": build_gpt2_small,
+}
+
+_ALIASES = {
+    "vgg-16": "vgg16",
+    "gpt-2": "gpt2_small",
+    "gpt2": "gpt2_small",
+    "resnet-50": "resnet50",
+    "densenet-201": "densenet201",
+    "inception-v4": "inception_v4",
+    "inceptionv4": "inception_v4",
+    "bert-base": "bert_base",
+    "bert-large": "bert_large",
+}
+
+_CACHE: dict[str, ModelSpec] = {}
+
+#: The paper's evaluation models, in Table I order.
+MODEL_NAMES = ("resnet50", "densenet201", "inception_v4", "bert_base", "bert_large")
+
+
+def register_model(name: str, builder: Callable[[], ModelSpec]) -> None:
+    """Add a custom architecture to the registry (extension point)."""
+    key = name.lower()
+    if key in _BUILDERS:
+        raise ValueError(f"model {name!r} already registered")
+    _BUILDERS[key] = builder
+
+
+def get_model(name: str) -> ModelSpec:
+    """Look up a model by registry name or paper display name."""
+    key = name.lower().replace(" ", "")
+    key = _ALIASES.get(key, key)
+    if key not in _BUILDERS:
+        known = sorted(set(_BUILDERS) | set(_ALIASES))
+        raise KeyError(f"unknown model {name!r}; known: {known}")
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    return _CACHE[key]
+
+
+def table1_rows() -> list[dict]:
+    """Regenerate Table I: one dict per model with the paper's columns."""
+    rows = []
+    for name in MODEL_NAMES:
+        model = get_model(name)
+        rows.append(
+            {
+                "model": model.display_name,
+                "batch_size": model.default_batch_size,
+                "num_layers": model.num_layers,
+                "num_tensors": model.num_tensors,
+                "params_millions": model.num_parameters / 1e6,
+            }
+        )
+    return rows

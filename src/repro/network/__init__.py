@@ -1,0 +1,65 @@
+"""Cluster fabric and collective-communication cost models.
+
+The paper analyses communication with the classic alpha–beta cost model
+(its Eq. 3–5): a point-to-point message of ``d`` elements costs
+``alpha + d * beta`` where ``alpha`` is the per-message latency and
+``beta`` the per-element transmission time.  This package provides:
+
+- :mod:`repro.network.fabric` — link and cluster topology descriptions;
+- :mod:`repro.network.cost_model` — per-algorithm collective time
+  formulas (ring, double binary tree, recursive halving-doubling,
+  hierarchical two-level ring) and the :class:`CollectiveTimeModel`
+  facade used by the schedulers;
+- :mod:`repro.network.presets` — calibrated 10GbE / 100GbIB / NVLink
+  numbers matching the paper's testbed (§VI-A), including the paper's
+  own spot checks (1 MB all-reduce ≈ 4.5 ms on 64 GPUs / 10GbE).
+"""
+
+from repro.network.cost_model import (
+    CollectiveTimeModel,
+    hierarchical_all_reduce_time,
+    negotiation_time,
+    recursive_doubling_all_gather_time,
+    recursive_halving_reduce_scatter_time,
+    ring_all_gather_time,
+    ring_all_reduce_time,
+    ring_reduce_scatter_time,
+    tree_all_reduce_time,
+    tree_broadcast_time,
+    tree_reduce_time,
+)
+from repro.network.fabric import ClusterSpec, LinkSpec
+from repro.network.presets import (
+    ETHERNET_10G,
+    ETHERNET_25G,
+    INFINIBAND_100G,
+    NVLINK,
+    PCIE_3,
+    cluster_10gbe,
+    cluster_100gbib,
+    paper_testbed,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "CollectiveTimeModel",
+    "ETHERNET_10G",
+    "ETHERNET_25G",
+    "INFINIBAND_100G",
+    "LinkSpec",
+    "NVLINK",
+    "PCIE_3",
+    "cluster_100gbib",
+    "cluster_10gbe",
+    "hierarchical_all_reduce_time",
+    "negotiation_time",
+    "paper_testbed",
+    "recursive_doubling_all_gather_time",
+    "recursive_halving_reduce_scatter_time",
+    "ring_all_gather_time",
+    "ring_all_reduce_time",
+    "ring_reduce_scatter_time",
+    "tree_all_reduce_time",
+    "tree_broadcast_time",
+    "tree_reduce_time",
+]

@@ -1,0 +1,362 @@
+"""Collective-communication time formulas in the alpha–beta model.
+
+All functions take the message size in **bytes** (the size of the full
+gradient buffer being aggregated), the number of participating workers
+``p``, and per-hop ``alpha`` (s) / ``beta`` (s/byte).  They return the
+wall-clock time of the collective in seconds.
+
+The ring formulas are exactly the paper's Eq. 3–5:
+
+- reduce-scatter:  ``t_rs = (P-1) * (alpha + (d/P) * beta)``
+- all-gather:      ``t_ag = (P-1) * (alpha + (d/P) * beta)``
+- all-reduce:      ``t_ar = t_rs + t_ag = 2(P-1)alpha + 2(P-1)d/P beta``
+
+The optional ``gamma`` term charges the per-byte reduction arithmetic
+(the paper omits it in Eq. 3; we default it to 0 for parity but keep it
+available for sensitivity studies).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.network.fabric import ClusterSpec
+
+__all__ = [
+    "ring_reduce_scatter_time",
+    "ring_all_gather_time",
+    "ring_all_reduce_time",
+    "recursive_halving_reduce_scatter_time",
+    "recursive_doubling_all_gather_time",
+    "tree_reduce_time",
+    "tree_broadcast_time",
+    "tree_all_reduce_time",
+    "hierarchical_reduce_scatter_time",
+    "hierarchical_all_gather_time",
+    "hierarchical_all_reduce_time",
+    "broadcast_time",
+    "negotiation_time",
+    "CollectiveTimeModel",
+]
+
+
+def _validate(nbytes: float, p: int) -> None:
+    if nbytes < 0:
+        raise ValueError(f"message size must be non-negative, got {nbytes}")
+    if p < 1:
+        raise ValueError(f"worker count must be >= 1, got {p}")
+
+
+def ring_reduce_scatter_time(
+    nbytes: float, p: int, alpha: float, beta: float, gamma: float = 0.0
+) -> float:
+    """Ring reduce-scatter over ``p`` workers (paper Eq. 3).
+
+    ``P-1`` rounds, each sending one ``d/P`` chunk to the ring neighbour
+    and reducing the received chunk (``gamma`` per byte, default free).
+    """
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    chunk = nbytes / p
+    return (p - 1) * (alpha + chunk * beta + chunk * gamma)
+
+
+def ring_all_gather_time(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Ring all-gather over ``p`` workers (paper Eq. 4)."""
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    chunk = nbytes / p
+    return (p - 1) * (alpha + chunk * beta)
+
+
+def ring_all_reduce_time(
+    nbytes: float, p: int, alpha: float, beta: float, gamma: float = 0.0
+) -> float:
+    """Ring all-reduce = reduce-scatter followed by all-gather (Eq. 5)."""
+    return ring_reduce_scatter_time(nbytes, p, alpha, beta, gamma) + ring_all_gather_time(
+        nbytes, p, alpha, beta
+    )
+
+
+def recursive_halving_reduce_scatter_time(
+    nbytes: float, p: int, alpha: float, beta: float, gamma: float = 0.0
+) -> float:
+    """Recursive-halving reduce-scatter (Rabenseifner).
+
+    ``log2(P)`` rounds with geometrically shrinking messages:
+    ``t = log2(P) alpha + (P-1)/P d beta``.  Requires ``p`` to be a
+    power of two (as in MPICH's fast path).
+    """
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    if p & (p - 1):
+        raise ValueError(f"recursive halving requires power-of-two workers, got {p}")
+    rounds = int(math.log2(p))
+    volume = nbytes * (p - 1) / p
+    return rounds * alpha + volume * (beta + gamma)
+
+
+def recursive_doubling_all_gather_time(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Recursive-doubling all-gather, the mirror of recursive halving."""
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    if p & (p - 1):
+        raise ValueError(f"recursive doubling requires power-of-two workers, got {p}")
+    rounds = int(math.log2(p))
+    volume = nbytes * (p - 1) / p
+    return rounds * alpha + volume * beta
+
+
+def tree_reduce_time(
+    nbytes: float,
+    p: int,
+    alpha: float,
+    beta: float,
+    gamma: float = 0.0,
+    pipeline_chunks: int = 16,
+) -> float:
+    """Pipelined double-binary-tree reduce (Sanders et al., NCCL trees).
+
+    The message is split across two complementary binary trees (half
+    each) and pipelined in ``pipeline_chunks`` blocks down a tree of
+    depth ``ceil(log2 P)``.  Each rank still moves the full ``d`` bytes
+    per phase (its half up each tree, interleaved send/receive), so the
+    bandwidth term matches the ring's ``~d * beta``; the win is the
+    logarithmic latency: ``(depth + chunks - 1)`` pipeline stages
+    instead of ``P - 1`` ring rounds.
+    """
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    depth = max(1, math.ceil(math.log2(p)))
+    chunks = max(1, pipeline_chunks)
+    per_chunk = nbytes / chunks
+    return (depth + chunks - 1) * (alpha + per_chunk * (beta + gamma))
+
+
+def tree_broadcast_time(
+    nbytes: float, p: int, alpha: float, beta: float, pipeline_chunks: int = 16
+) -> float:
+    """Pipelined double-binary-tree broadcast (the mirror of tree reduce)."""
+    return tree_reduce_time(nbytes, p, alpha, beta, gamma=0.0, pipeline_chunks=pipeline_chunks)
+
+
+def tree_all_reduce_time(
+    nbytes: float,
+    p: int,
+    alpha: float,
+    beta: float,
+    gamma: float = 0.0,
+    pipeline_chunks: int = 16,
+) -> float:
+    """Double-binary-tree all-reduce = tree reduce + tree broadcast."""
+    return tree_reduce_time(
+        nbytes, p, alpha, beta, gamma=gamma, pipeline_chunks=pipeline_chunks
+    ) + tree_broadcast_time(nbytes, p, alpha, beta, pipeline_chunks=pipeline_chunks)
+
+
+def broadcast_time(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Binomial-tree broadcast: ``ceil(log2 P)`` rounds of the full message."""
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    return math.ceil(math.log2(p)) * (alpha + nbytes * beta)
+
+
+def hierarchical_reduce_scatter_time(
+    nbytes: float,
+    nodes: int,
+    gpus_per_node: int,
+    intra_alpha: float,
+    intra_beta: float,
+    inter_alpha: float,
+    inter_beta: float,
+) -> float:
+    """Two-level reduce-scatter: intra-node ring RS then inter-node ring RS.
+
+    After the intra-node phase each GPU holds ``d / g`` reduced bytes;
+    the inter-node phase runs ``g`` concurrent rings of ``nodes`` peers
+    over disjoint chunks (the Mikami et al. hierarchical scheme the
+    paper cites as decomposable).  The ``g`` rings share each node's
+    single NIC, so the effective per-ring inter-node bandwidth is
+    ``1/g`` of the link's — the scheme wins on latency (fewer rounds),
+    not on inter-node volume.
+    """
+    _validate(nbytes, nodes * gpus_per_node)
+    intra = ring_reduce_scatter_time(nbytes, gpus_per_node, intra_alpha, intra_beta)
+    inter = ring_reduce_scatter_time(
+        nbytes / gpus_per_node, nodes, inter_alpha, inter_beta * gpus_per_node
+    )
+    return intra + inter
+
+
+def hierarchical_all_gather_time(
+    nbytes: float,
+    nodes: int,
+    gpus_per_node: int,
+    intra_alpha: float,
+    intra_beta: float,
+    inter_alpha: float,
+    inter_beta: float,
+) -> float:
+    """Two-level all-gather, the mirror of the hierarchical reduce-scatter."""
+    _validate(nbytes, nodes * gpus_per_node)
+    inter = ring_all_gather_time(
+        nbytes / gpus_per_node, nodes, inter_alpha, inter_beta * gpus_per_node
+    )
+    intra = ring_all_gather_time(nbytes, gpus_per_node, intra_alpha, intra_beta)
+    return inter + intra
+
+
+def hierarchical_all_reduce_time(
+    nbytes: float,
+    nodes: int,
+    gpus_per_node: int,
+    intra_alpha: float,
+    intra_beta: float,
+    inter_alpha: float,
+    inter_beta: float,
+) -> float:
+    """Two-level all-reduce = hierarchical RS followed by hierarchical AG."""
+    return hierarchical_reduce_scatter_time(
+        nbytes, nodes, gpus_per_node, intra_alpha, intra_beta, inter_alpha, inter_beta
+    ) + hierarchical_all_gather_time(
+        nbytes, nodes, gpus_per_node, intra_alpha, intra_beta, inter_alpha, inter_beta
+    )
+
+
+def negotiation_time(p: int, alpha: float, payload_bytes: float = 8.0, beta: float = 0.0) -> float:
+    """Cost of one readiness-consensus round among ``p`` workers.
+
+    Horovod's coordinator and ByteScheduler's per-tensor negotiation
+    both reduce/exchange a few bytes of metadata; the cost is dominated
+    by latency.  Modelled as a ring all-reduce of ``payload_bytes``.
+    """
+    return ring_all_reduce_time(payload_bytes, p, alpha, beta)
+
+
+class CollectiveTimeModel:
+    """Collective times for one cluster and one algorithm family.
+
+    This is the facade the schedulers use: ``model.all_reduce(nbytes)``
+    etc.  ``algorithm`` selects the formula family:
+
+    - ``"ring"`` (default, NCCL's choice on the paper's testbed),
+    - ``"halving_doubling"``,
+    - ``"tree"`` (double binary tree; its decoupling is reduce+broadcast),
+    - ``"hierarchical"`` (two-level ring).
+
+    ``startup_overhead`` adds a fixed per-collective software cost
+    (kernel launch, hook dispatch) on top of the alpha–beta time.
+    """
+
+    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        algorithm: str = "ring",
+        gamma: float = 0.0,
+        startup_overhead: float = 0.0,
+    ):
+        if algorithm not in self.ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {algorithm!r}; expected one of {self.ALGORITHMS}"
+            )
+        if algorithm == "halving_doubling" and cluster.world_size & (cluster.world_size - 1):
+            raise ValueError("halving_doubling requires a power-of-two world size")
+        self.cluster = cluster
+        self.algorithm = algorithm
+        self.gamma = gamma
+        self.startup_overhead = startup_overhead
+        self._alpha, self._beta = cluster.flat_alpha_beta()
+
+    @property
+    def world_size(self) -> int:
+        return self.cluster.world_size
+
+    @property
+    def alpha(self) -> float:
+        """Flat-ring per-hop latency of the bound cluster."""
+        return self._alpha
+
+    @property
+    def beta(self) -> float:
+        """Flat-ring per-byte time of the bound cluster."""
+        return self._beta
+
+    @property
+    def min_bandwidth(self) -> float:
+        """Bottleneck link bandwidth ``B`` used by the S^max model (bytes/s)."""
+        return 1.0 / self._beta
+
+    def _finish(self, t: float, nbytes: float) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return t + self.startup_overhead
+
+    def reduce_scatter(self, nbytes: float) -> float:
+        """Time of the first decoupled operation (OP1) for ``nbytes``."""
+        p = self.world_size
+        if self.algorithm == "ring":
+            t = ring_reduce_scatter_time(nbytes, p, self._alpha, self._beta, self.gamma)
+        elif self.algorithm == "halving_doubling":
+            t = recursive_halving_reduce_scatter_time(
+                nbytes, p, self._alpha, self._beta, self.gamma
+            )
+        elif self.algorithm == "tree":
+            t = tree_reduce_time(nbytes, p, self._alpha, self._beta, self.gamma)
+        else:
+            t = hierarchical_reduce_scatter_time(
+                nbytes,
+                self.cluster.nodes,
+                self.cluster.gpus_per_node,
+                self.cluster.intra_link.alpha,
+                self.cluster.intra_link.beta,
+                self.cluster.inter_link.alpha,
+                self.cluster.inter_link.beta,
+            )
+        return self._finish(t, nbytes)
+
+    def all_gather(self, nbytes: float) -> float:
+        """Time of the second decoupled operation (OP2) for ``nbytes``."""
+        p = self.world_size
+        if self.algorithm == "ring":
+            t = ring_all_gather_time(nbytes, p, self._alpha, self._beta)
+        elif self.algorithm == "halving_doubling":
+            t = recursive_doubling_all_gather_time(nbytes, p, self._alpha, self._beta)
+        elif self.algorithm == "tree":
+            t = tree_broadcast_time(nbytes, p, self._alpha, self._beta)
+        else:
+            t = hierarchical_all_gather_time(
+                nbytes,
+                self.cluster.nodes,
+                self.cluster.gpus_per_node,
+                self.cluster.intra_link.alpha,
+                self.cluster.intra_link.beta,
+                self.cluster.inter_link.alpha,
+                self.cluster.inter_link.beta,
+            )
+        return self._finish(t, nbytes)
+
+    def all_reduce(self, nbytes: float) -> float:
+        """Time of the fused primitive; equals RS + AG by construction."""
+        if nbytes <= 0:
+            return 0.0
+        return self.reduce_scatter(nbytes) + self.all_gather(nbytes) - self.startup_overhead
+
+    def negotiation(self, payload_bytes: float = 8.0) -> float:
+        """One metadata-consensus round on this cluster."""
+        return negotiation_time(self.world_size, self._alpha, payload_bytes, self._beta)
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        return (
+            f"{self.algorithm} collectives on {self.cluster.name} "
+            f"(alpha={self._alpha * 1e6:.1f}us, beta={self._beta * 1e9:.3f}ns/B)"
+        )

@@ -1,0 +1,127 @@
+"""Link and cluster topology descriptions.
+
+A :class:`ClusterSpec` mirrors the paper's testbed shape: ``nodes``
+machines with ``gpus_per_node`` GPUs each, an intra-node interconnect
+(PCIe or NVLink) and an inter-node network (10GbE or 100Gb InfiniBand).
+
+Flat collectives (the NCCL default ring spanning all GPUs) are paced by
+the *bottleneck* link, so :meth:`ClusterSpec.flat_alpha_beta` reports
+the worst latency and worst bandwidth across the links a flat ring
+traverses.  Hierarchical algorithms query the intra- and inter-node
+links separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["LinkSpec", "ClusterSpec"]
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link in the alpha–beta model.
+
+    Attributes:
+        name: human-readable label ("10GbE", "NVLink", ...).
+        latency: per-message startup cost **alpha**, in seconds.  For
+            calibrated presets this includes the software stack (NCCL
+            kernel launch, protocol) overhead, which is why it is much
+            larger than the wire latency.
+        bandwidth: sustained point-to-point bandwidth in **bytes/s**;
+            ``beta = 1 / bandwidth`` is the per-byte transmission time.
+    """
+
+    name: str
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self):
+        if self.latency < 0:
+            raise ValueError(f"latency must be non-negative, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+
+    @property
+    def beta(self) -> float:
+        """Per-byte transmission time in s/byte."""
+        return 1.0 / self.bandwidth
+
+    @property
+    def alpha(self) -> float:
+        """Per-message latency in seconds (alias of :attr:`latency`)."""
+        return self.latency
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Point-to-point time for one message of ``nbytes`` bytes."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        return self.latency + nbytes * self.beta
+
+    def scaled(self, latency_factor: float = 1.0, bandwidth_factor: float = 1.0) -> "LinkSpec":
+        """A derived link with scaled latency and/or bandwidth."""
+        return LinkSpec(
+            name=f"{self.name}(x{latency_factor:g},x{bandwidth_factor:g})",
+            latency=self.latency * latency_factor,
+            bandwidth=self.bandwidth * bandwidth_factor,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous multi-node GPU cluster.
+
+    Attributes:
+        name: label used in reports ("64xGPU/10GbE").
+        nodes: number of machines.
+        gpus_per_node: GPUs per machine.
+        inter_link: network link between machines.
+        intra_link: interconnect between GPUs of one machine.
+    """
+
+    name: str
+    nodes: int
+    gpus_per_node: int
+    inter_link: LinkSpec
+    intra_link: LinkSpec
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPU workers."""
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def multi_node(self) -> bool:
+        """Whether a flat collective must cross the inter-node network."""
+        return self.nodes > 1
+
+    def flat_alpha_beta(self) -> tuple[float, float]:
+        """(alpha, beta) governing a flat ring over all world_size GPUs.
+
+        A flat ring crosses both intra- and inter-node hops; it is paced
+        by the slowest hop in both latency and bandwidth, which on the
+        paper's testbed is the inter-node network.
+        """
+        if not self.multi_node:
+            return self.intra_link.alpha, self.intra_link.beta
+        alpha = max(self.inter_link.alpha, self.intra_link.alpha)
+        beta = max(self.inter_link.beta, self.intra_link.beta)
+        return alpha, beta
+
+    def with_nodes(self, nodes: int) -> "ClusterSpec":
+        """Same fabric, different node count (for scaling sweeps)."""
+        return replace(self, nodes=nodes, name=f"{nodes}x{self.gpus_per_node}:{self.inter_link.name}")
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: {self.nodes} nodes x {self.gpus_per_node} GPUs "
+            f"(inter={self.inter_link.name}, intra={self.intra_link.name}, "
+            f"P={self.world_size})"
+        )

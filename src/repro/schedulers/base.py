@@ -1,0 +1,236 @@
+"""Scheduler interface, result type, registry, and the `simulate` facade."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.models.layers import ModelSpec
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.fabric import ClusterSpec
+from repro.schedulers.engine import IterationContext
+from repro.sim.trace import Tracer, subtract_intervals, total_length
+
+__all__ = [
+    "ScheduleResult",
+    "Scheduler",
+    "SCHEDULER_NAMES",
+    "get_scheduler",
+    "simulate",
+    "single_gpu_result",
+]
+
+#: Iterations simulated per run; the first two warm the pipeline, the
+#: final inter-iteration gap is the steady-state measurement.
+DEFAULT_ITERATIONS = 5
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one simulated training run.
+
+    ``iteration_time`` is the steady-state time between consecutive
+    iterations; ``throughput`` is the aggregate cluster throughput in
+    samples/s.  The exposed_* fields follow Fig. 8's definition: time
+    of that communication category *not* hidden by compute, within one
+    steady-state iteration window.
+    """
+
+    scheduler: str
+    model_name: str
+    cluster_name: str
+    world_size: int
+    batch_size: int
+    iteration_time: float
+    t_ff: float
+    t_bp: float
+    exposed_comm: float
+    exposed_rs: float
+    exposed_ag: float
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+    iteration_times: tuple[float, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Aggregate samples/s across the cluster."""
+        return self.world_size * self.batch_size / self.iteration_time
+
+    @property
+    def per_gpu_throughput(self) -> float:
+        """Samples/s contributed by each GPU."""
+        return self.batch_size / self.iteration_time
+
+    def speedup_over(self, other: "ScheduleResult") -> float:
+        """Throughput ratio vs. another run of the same workload."""
+        if other.batch_size != self.batch_size:
+            raise ValueError("speedups require matching batch sizes")
+        return self.throughput / other.throughput
+
+    def scaling_speedup(self, single_gpu_iteration_time: float) -> float:
+        """The paper's S: throughput vs. one GPU running alone."""
+        return self.world_size * single_gpu_iteration_time / self.iteration_time
+
+
+class Scheduler(ABC):
+    """Base class: subclasses submit one run's jobs onto the context."""
+
+    #: registry key, e.g. "wfbp"; subclasses must set it.
+    name: str = ""
+
+    @abstractmethod
+    def schedule(self, ctx: IterationContext, iterations: int) -> None:
+        """Submit compute and communication jobs for ``iterations`` runs.
+
+        All jobs are submitted up front with gate events encoding the
+        scheduler's dependency policy; the engine then executes them.
+        """
+
+    def run(
+        self,
+        timing: TimingModel,
+        cost: CollectiveTimeModel,
+        iterations: int = DEFAULT_ITERATIONS,
+    ) -> ScheduleResult:
+        """Simulate and measure the steady-state iteration time."""
+        if iterations < 3:
+            raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
+        ctx = IterationContext(timing, cost)
+        self.schedule(ctx, iterations)
+        ctx.run()
+        starts = ctx.ff_start_times()
+        if len(starts) != iterations:
+            raise RuntimeError(
+                f"{self.name}: expected {iterations} iterations, observed {len(starts)}"
+            )
+        gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
+        iteration_time = gaps[-1]
+        window = (starts[-2], starts[-1])
+        return ScheduleResult(
+            scheduler=self.name,
+            model_name=timing.model.name,
+            cluster_name=cost.cluster.name,
+            world_size=cost.world_size,
+            batch_size=timing.batch_size,
+            iteration_time=iteration_time,
+            t_ff=timing.t_ff,
+            t_bp=timing.t_bp,
+            exposed_comm=_exposed(ctx.tracer, ("comm.ar", "comm.rs", "comm.ag"), window),
+            exposed_rs=_exposed(ctx.tracer, ("comm.rs",), window),
+            exposed_ag=_exposed(ctx.tracer, ("comm.ag",), window),
+            tracer=ctx.tracer,
+            iteration_times=gaps,
+            extras=self.describe_options(),
+        )
+
+    def describe_options(self) -> dict:
+        """Scheduler-specific settings recorded into the result."""
+        return {}
+
+
+def _clip(intervals: list[tuple[float, float]], window: tuple[float, float]) -> list[tuple[float, float]]:
+    lo, hi = window
+    return [(max(a, lo), min(b, hi)) for a, b in intervals if b > lo and a < hi]
+
+
+def _exposed(tracer: Tracer, categories: tuple[str, ...], window: tuple[float, float]) -> float:
+    """Non-overlapped communication time within the steady-state window."""
+    comm: list[tuple[float, float]] = []
+    for category in categories:
+        comm.extend(
+            (span.start, span.end) for span in tracer.filter(category=category)
+        )
+    compute = [
+        (span.start, span.end)
+        for span in tracer.spans
+        if span.category in ("ff", "bp")
+    ]
+    return total_length(subtract_intervals(_clip(comm, window), _clip(compute, window)))
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+
+SCHEDULER_NAMES = (
+    "serial",
+    "wfbp",
+    "ddp",
+    "horovod",
+    "mg_wfbp",
+    "bytescheduler",
+    "dear",
+    "zero",
+)
+
+
+def register_scheduler(cls: type) -> type:
+    """Class decorator adding a Scheduler subclass to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a registry name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"scheduler {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str, **options) -> Scheduler:
+    """Instantiate a scheduler by registry name with its options."""
+    key = name.lower().replace("-", "_")
+    if key not in _REGISTRY:
+        raise KeyError(f"unknown scheduler {name!r}; known: {sorted(_REGISTRY)}")
+    return _REGISTRY[key](**options)
+
+
+def simulate(
+    scheduler: str,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    batch_size: Optional[int] = None,
+    algorithm: str = "ring",
+    iterations: int = DEFAULT_ITERATIONS,
+    iteration_compute: Optional[float] = None,
+    **options,
+) -> ScheduleResult:
+    """One-call facade: build timing + cost models and run a scheduler.
+
+    ``iteration_compute`` overrides the calibrated single-GPU compute
+    time (required for models outside the Table I zoo).
+
+    Example::
+
+        result = simulate("dear", get_model("resnet50"), cluster_10gbe(),
+                          fusion="buffer", buffer_bytes=25e6)
+    """
+    timing = TimingModel.for_model(
+        model, batch_size=batch_size, iteration_compute=iteration_compute
+    )
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    return get_scheduler(scheduler, **options).run(timing, cost, iterations=iterations)
+
+
+def single_gpu_result(
+    model: ModelSpec,
+    batch_size: Optional[int] = None,
+    iteration_compute: Optional[float] = None,
+) -> ScheduleResult:
+    """Reference run of one GPU with no communication at all."""
+    timing = TimingModel.for_model(
+        model, batch_size=batch_size, iteration_compute=iteration_compute
+    )
+    iteration_time = timing.t_ff + timing.t_bp
+    return ScheduleResult(
+        scheduler="single_gpu",
+        model_name=model.name,
+        cluster_name="single-gpu",
+        world_size=1,
+        batch_size=timing.batch_size,
+        iteration_time=iteration_time,
+        t_ff=timing.t_ff,
+        t_bp=timing.t_bp,
+        exposed_comm=0.0,
+        exposed_rs=0.0,
+        exposed_ag=0.0,
+    )

@@ -1,0 +1,179 @@
+"""DeAR: decoupled all-reduce with fine-grained pipelining (paper §III).
+
+The all-reduce of each fusion group is decoupled into OP1
+(reduce-scatter) + OP2 (all-gather):
+
+- **BackPipe**: a group's reduce-scatter launches the moment the last
+  of its gradients is computed in the backward pass; collectives run
+  FIFO on the comm stream, so no cross-worker re-ordering (and no
+  negotiation) is ever needed.
+- **Synchronisation point**: all OP1 tasks are synchronised at the end
+  of the backward pass, guaranteeing OP1 -> OP2 dependencies.
+- **FeedPipe**: all-gathers are issued in feed-forward order; the next
+  iteration's feed-forward of layer ``l`` waits only for the
+  all-gather of the group(s) covering layer ``l``, overlapping OP2
+  with feed-forward compute.
+
+Fusion variants (paper §IV, Fig. 9):
+
+- ``fusion="none"``   — DeAR w/o TF (one collective pair per tensor);
+- ``fusion="layers"`` — DeAR-NL (four consecutive layers per group);
+- ``fusion="buffer"`` — DeAR-FB (fixed byte threshold, 5 MB in Fig. 9,
+  25 MB in Fig. 7);
+- ``fusion="bo"``     — DeAR-BO (run-time Bayesian optimisation of the
+  buffer size, the paper's headline configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bayesopt.optimizer import BayesianOptimizer
+from repro.core.fusion import (
+    FusionPlan,
+    buffer_size_groups,
+    layer_count_groups,
+    no_fusion_groups,
+)
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.schedulers.base import ScheduleResult, Scheduler, register_scheduler
+from repro.schedulers.engine import IterationContext
+from repro.sim.engine import Event
+
+__all__ = ["DeARScheduler", "DEAR_DEFAULT_BUFFER_BYTES"]
+
+#: The 25 MB default DeAR's BO tuner starts from (paper §IV-B).
+DEAR_DEFAULT_BUFFER_BYTES = 25e6
+
+
+@register_scheduler
+class DeARScheduler(Scheduler):
+    """Decoupled all-reduce with BackPipe/FeedPipe scheduling.
+
+    Args:
+        fusion: ``"none"``, ``"layers"``, ``"buffer"`` or ``"bo"``.
+        buffer_bytes: threshold for ``fusion="buffer"``.
+        layers_per_group: group width for ``fusion="layers"``.
+        bo_trials / bo_seed / bo_low / bo_high: BO loop settings for
+            ``fusion="bo"``.
+    """
+
+    name = "dear"
+
+    def __init__(
+        self,
+        fusion: str = "bo",
+        buffer_bytes: float = DEAR_DEFAULT_BUFFER_BYTES,
+        layers_per_group: int = 4,
+        bo_trials: int = 15,
+        bo_seed: Optional[int] = 0,
+        bo_low: float = 1e6,
+        bo_high: float = 100e6,
+    ):
+        if fusion not in ("none", "layers", "buffer", "bo"):
+            raise ValueError(f"unknown DeAR fusion mode {fusion!r}")
+        self.fusion = fusion
+        self.buffer_bytes = buffer_bytes
+        self.layers_per_group = layers_per_group
+        self.bo_trials = bo_trials
+        self.bo_seed = bo_seed
+        self.bo_low = bo_low
+        self.bo_high = bo_high
+
+    def fusion_plan(self, ctx: IterationContext) -> FusionPlan:
+        if self.fusion == "none":
+            return no_fusion_groups(ctx.model)
+        if self.fusion == "layers":
+            return layer_count_groups(ctx.model, self.layers_per_group)
+        # "buffer", and the per-trial configuration of "bo".
+        return buffer_size_groups(ctx.model, self.buffer_bytes)
+
+    def schedule(self, ctx: IterationContext, iterations: int) -> None:
+        plan = self.fusion_plan(ctx)
+        forward_groups = plan.groups_forward_order()
+        layer_gates: Optional[dict[int, Event]] = None
+        for iteration in range(iterations):
+            # FeedPipe: FF of layer l waits for the all-gather(s) of the
+            # previous iteration's group(s) covering layer l.
+            ctx.submit_forward_pass(iteration, layer_gates=layer_gates)
+            bp_jobs = ctx.submit_backward_pass(iteration)
+
+            # BackPipe: reduce-scatter per group, launched on gradient
+            # readiness, FIFO on the comm stream (backward order).
+            rs_jobs = []
+            for group in plan:
+                gate = ctx.sim.all_of(
+                    [bp_jobs[layer].done for layer in group.layer_indices]
+                )
+                rs_jobs.append(
+                    ctx.submit_collective(
+                        "reduce_scatter",
+                        group.nbytes,
+                        iteration,
+                        label=f"g{group.index}",
+                        gate=gate,
+                    )
+                )
+            # OP1/OP2 synchronisation at the end of BackPipe (§III-B).
+            rs_barrier = ctx.sim.all_of([job.done for job in rs_jobs])
+
+            # FeedPipe: all-gathers in feed-forward order; only the
+            # first needs the barrier gate, the rest follow FIFO.
+            ag_done_of_group: dict[int, Event] = {}
+            for position, group in enumerate(forward_groups):
+                job = ctx.submit_collective(
+                    "all_gather",
+                    group.nbytes,
+                    iteration,
+                    label=f"g{group.index}",
+                    gate=rs_barrier if position == 0 else None,
+                )
+                ag_done_of_group[group.index] = job.done
+
+            layer_gates = {}
+            for layer_index in range(ctx.model.num_layers):
+                groups = plan.groups_for_layer(layer_index)
+                if not groups:
+                    continue
+                events = [ag_done_of_group[g.index] for g in groups]
+                layer_gates[layer_index] = (
+                    events[0] if len(events) == 1 else ctx.sim.all_of(events)
+                )
+
+    def run(self, timing: TimingModel, cost: CollectiveTimeModel,
+            iterations: int = 5) -> ScheduleResult:
+        if self.fusion != "bo":
+            return super().run(timing, cost, iterations=iterations)
+        return self._run_bo(timing, cost, iterations)
+
+    def _run_bo(self, timing: TimingModel, cost: CollectiveTimeModel,
+                iterations: int) -> ScheduleResult:
+        """The paper's run-time loop: measure, fit the GP, re-fuse."""
+        optimizer = BayesianOptimizer(self.bo_low, self.bo_high, seed=self.bo_seed)
+
+        def measure(buffer_bytes: float) -> ScheduleResult:
+            trial = DeARScheduler(fusion="buffer", buffer_bytes=buffer_bytes)
+            return trial.run(timing, cost, iterations=iterations)
+
+        history = []
+        for _ in range(self.bo_trials):
+            x = optimizer.suggest()
+            result = measure(x)
+            optimizer.observe(x, result.throughput)
+            history.append((x, result.throughput))
+        best_x, _ = optimizer.best
+        final = measure(best_x)
+        final.scheduler = self.name
+        final.extras.update(
+            {"fusion": "bo", "buffer_bytes": best_x, "bo_history": history}
+        )
+        return final
+
+    def describe_options(self) -> dict:
+        options = {"fusion": self.fusion}
+        if self.fusion == "buffer":
+            options["buffer_bytes"] = self.buffer_bytes
+        if self.fusion == "layers":
+            options["layers_per_group"] = self.layers_per_group
+        return options

@@ -1,0 +1,169 @@
+"""Shared discrete-event wiring for one simulated training run.
+
+The :class:`IterationContext` owns the simulator, a GPU compute stream,
+a communication stream, and the tracer.  Because the paper's cluster is
+homogeneous and the collectives are synchronous, all ranks execute
+identical timelines; the context therefore simulates one representative
+rank and charges each collective its full cluster-wide cost from the
+alpha-beta model — the same reduction the paper's own analysis
+(Eq. 6-9) makes.  Heterogeneity studies can scale the compute profile
+instead (``compute_scale`` in :func:`repro.models.build_profile`).
+
+Dependency conventions (mirroring CUDA semantics):
+
+- both streams are strictly in-order; a job with a ``gate`` stalls the
+  stream until the gate event triggers (``cudaStreamWaitEvent``);
+- cross-stream dependencies are expressed only through gates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Job, Stream
+from repro.sim.trace import Tracer
+
+__all__ = ["IterationContext"]
+
+
+class IterationContext:
+    """One simulated training run: streams, tracer, and submit helpers."""
+
+    def __init__(self, timing: TimingModel, cost: CollectiveTimeModel,
+                 tracer: Optional[Tracer] = None):
+        self.timing = timing
+        self.cost = cost
+        self.model = timing.model
+        self.sim = Simulator()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.compute = Stream(self.sim, "compute", tracer=self.tracer, actor="gpu.compute")
+        self.comm = Stream(self.sim, "comm", tracer=self.tracer, actor="gpu.comm")
+        #: start time of the first feed-forward job of each iteration,
+        #: filled in after :meth:`run` from the recorded jobs.
+        self.ff_first_jobs: list[Job] = []
+
+    # -- compute submission --------------------------------------------------
+
+    def submit_ff_layer(self, iteration: int, layer_index: int,
+                        gate: Optional[Event] = None) -> Job:
+        """Feed-forward compute job for one layer of one iteration."""
+        job = self.compute.submit(
+            self.timing.ff_time(layer_index),
+            name=f"ff.{iteration}.{layer_index}",
+            category="ff",
+            gate=gate,
+            metadata={"iteration": iteration, "layer": layer_index},
+        )
+        if layer_index == 0:
+            self.ff_first_jobs.append(job)
+        return job
+
+    def submit_bp_layer(self, iteration: int, layer_index: int,
+                        gate: Optional[Event] = None) -> Job:
+        """Backpropagation compute job for one layer of one iteration."""
+        return self.compute.submit(
+            self.timing.bp_time(layer_index),
+            name=f"bp.{iteration}.{layer_index}",
+            category="bp",
+            gate=gate,
+            metadata={"iteration": iteration, "layer": layer_index},
+        )
+
+    def submit_forward_pass(self, iteration: int,
+                            first_gate: Optional[Event] = None,
+                            layer_gates: Optional[dict[int, Event]] = None) -> list[Job]:
+        """All FF jobs of an iteration, first layer first.
+
+        ``first_gate`` stalls the whole pass (the WFBP-family barrier);
+        ``layer_gates`` adds per-layer gates (DeAR's FeedPipe and
+        ByteScheduler's per-layer readiness).
+        """
+        jobs = []
+        layer_gates = layer_gates or {}
+        for layer_index in range(self.model.num_layers):
+            gate: Optional[Event] = layer_gates.get(layer_index)
+            if layer_index == 0 and first_gate is not None:
+                if gate is None:
+                    gate = first_gate
+                else:
+                    gate = self.sim.all_of([first_gate, gate])
+            jobs.append(self.submit_ff_layer(iteration, layer_index, gate=gate))
+        return jobs
+
+    def submit_backward_pass(self, iteration: int) -> list[Job]:
+        """All BP jobs of an iteration, last layer first.
+
+        Returns jobs indexed by *layer index* (``jobs[i]`` is layer i's
+        BP job) for convenient gating, even though execution order is
+        reversed.
+        """
+        jobs: list[Optional[Job]] = [None] * self.model.num_layers
+        for layer_index in reversed(range(self.model.num_layers)):
+            jobs[layer_index] = self.submit_bp_layer(iteration, layer_index)
+        return jobs  # type: ignore[return-value]
+
+    # -- communication submission ---------------------------------------------
+
+    def submit_collective(
+        self,
+        kind: str,
+        nbytes: float,
+        iteration: int,
+        label: str,
+        gate: Optional[Event] = None,
+        extra_time: float = 0.0,
+    ) -> Job:
+        """One collective on the comm stream.
+
+        ``kind`` is ``"all_reduce"``, ``"reduce_scatter"`` or
+        ``"all_gather"``; ``extra_time`` charges scheduler-specific
+        overhead (negotiation, coordinator cycles) serialised with the
+        collective.
+        """
+        duration = getattr(self.cost, kind)(nbytes) + extra_time
+        category = {
+            "all_reduce": "comm.ar",
+            "reduce_scatter": "comm.rs",
+            "all_gather": "comm.ag",
+        }[kind]
+        return self.comm.submit(
+            duration,
+            name=f"{kind}.{iteration}.{label}",
+            category=category,
+            gate=gate,
+            metadata={"iteration": iteration, "bytes": nbytes, "extra": extra_time},
+        )
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, check_quiescent: bool = True) -> float:
+        """Run the simulation to completion; returns the final time.
+
+        With ``check_quiescent`` (default), raises a diagnostic error if
+        any stream still has outstanding jobs after the event heap
+        drains — the signature of a dependency deadlock in a schedule.
+        """
+        final = self.sim.run()
+        if check_quiescent:
+            stuck = [
+                stream.stall_report()
+                for stream in (self.compute, self.comm)
+                if stream.outstanding
+            ]
+            if stuck:
+                raise RuntimeError(
+                    "schedule deadlocked: " + "; ".join(stuck)
+                )
+        return final
+
+    def ff_start_times(self) -> list[float]:
+        """Start time of each iteration's first FF job (after :meth:`run`)."""
+        starts = []
+        for job in self.ff_first_jobs:
+            if job.start is None:
+                raise RuntimeError(f"job {job.name} never ran; dependency deadlock?")
+            starts.append(job.start)
+        return starts

@@ -1,0 +1,315 @@
+"""Multi-rank simulation with heterogeneous workers (straggler studies).
+
+The main scheduler engine simulates one representative rank, which is
+exact for the paper's homogeneous testbed.  This module simulates
+*every* rank with its own compute/communication streams and models each
+collective as a rendezvous: it starts only when the **last** rank
+reaches it (synchronous collectives wait for stragglers) and completes
+``duration`` later for everyone.
+
+This answers a question the paper could not (§VI-I discusses scale, not
+heterogeneity): how do WFBP-style and DeAR-style schedules degrade when
+one worker is slower?  The measured answer: both degrade essentially
+linearly in the straggler's slowdown — synchronous collectives make the
+iteration straggler-bound regardless of how cleverly communication is
+overlapped, so DeAR keeps its (small) absolute advantage but cannot
+absorb heterogeneity.  Quantifying that *negative* result is the point
+of the bench built on this module.
+
+Entry point: :func:`simulate_heterogeneous`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.fusion import FusionPlan, buffer_size_groups, no_fusion_groups
+from repro.models.layers import ModelSpec
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.fabric import ClusterSpec
+from repro.sim.engine import Event, Simulator
+from repro.sim.resources import Job, Stream
+from repro.sim.trace import Tracer
+
+__all__ = ["HeterogeneousResult", "simulate_heterogeneous"]
+
+POLICIES = ("wfbp", "horovod", "dear")
+
+
+@dataclass
+class HeterogeneousResult:
+    """Steady-state outcome of a heterogeneous multi-rank run."""
+
+    policy: str
+    model_name: str
+    cluster_name: str
+    compute_scales: tuple[float, ...]
+    iteration_time: float
+    iteration_times: tuple[float, ...]
+
+    @property
+    def world_size(self) -> int:
+        return len(self.compute_scales)
+
+
+class _Collective:
+    """Rendezvous: starts at the last arrival, ends ``duration`` later."""
+
+    def __init__(self, sim: Simulator, world_size: int, duration: float, name: str):
+        self._sim = sim
+        self._expected = world_size
+        self._arrived = 0
+        self.duration = duration
+        self.done: Event = sim.event(name=f"{name}.done")
+        self.start_time: Optional[float] = None
+
+    def arrive(self) -> None:
+        self._arrived += 1
+        if self._arrived > self._expected:
+            raise RuntimeError(f"collective {self.done.name} over-subscribed")
+        if self._arrived == self._expected:
+            self.start_time = self._sim.now
+            self._sim.schedule(self.duration, lambda: self.done.succeed())
+
+    def body(self):
+        """Stream job body: register arrival, hold until global done."""
+        self.arrive()
+        yield self.done
+
+
+class _Rank:
+    """One worker: its timing profile and two streams."""
+
+    def __init__(self, sim: Simulator, tracer: Tracer, rank: int, timing: TimingModel):
+        self.rank = rank
+        self.timing = timing
+        self.compute = Stream(
+            sim, f"rank{rank}.compute", tracer=tracer, actor=f"rank{rank}.compute"
+        )
+        self.comm = Stream(
+            sim, f"rank{rank}.comm", tracer=tracer, actor=f"rank{rank}.comm"
+        )
+        self.ff_first_jobs: list[Job] = []
+
+
+def _make_timings(
+    model: ModelSpec,
+    compute_scales: Sequence[float],
+    batch_size: Optional[int],
+    iteration_compute: Optional[float],
+) -> list[TimingModel]:
+    return [
+        TimingModel.for_model(
+            model,
+            batch_size=batch_size,
+            iteration_compute=iteration_compute,
+            compute_scale=scale,
+        )
+        for scale in compute_scales
+    ]
+
+
+def simulate_heterogeneous(
+    policy: str,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    compute_scales: Sequence[float],
+    fusion_buffer_bytes: Optional[float] = 25e6,
+    batch_size: Optional[int] = None,
+    iteration_compute: Optional[float] = None,
+    algorithm: str = "ring",
+    iterations: int = 5,
+) -> HeterogeneousResult:
+    """Simulate every rank explicitly with per-rank compute speeds.
+
+    Args:
+        policy: ``"wfbp"`` or ``"dear"``.
+        compute_scales: per-rank compute-time multipliers (1.0 = the
+            calibrated profile; 1.2 = 20% slower).  Must have exactly
+            ``cluster.world_size`` entries.
+        fusion_buffer_bytes: fusion threshold (``None`` = per tensor).
+    """
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if len(compute_scales) != cluster.world_size:
+        raise ValueError(
+            f"need {cluster.world_size} compute scales, got {len(compute_scales)}"
+        )
+    if iterations < 3:
+        raise ValueError("need >= 3 iterations for a steady-state measurement")
+
+    sim = Simulator()
+    tracer = Tracer()
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
+    ranks = [_Rank(sim, tracer, r, timings[r]) for r in range(cluster.world_size)]
+    plan = (
+        no_fusion_groups(model)
+        if fusion_buffer_bytes is None
+        else buffer_size_groups(model, fusion_buffer_bytes)
+    )
+
+    if policy == "wfbp":
+        _schedule_wfbp(sim, ranks, plan, cost, iterations)
+    elif policy == "horovod":
+        _schedule_wfbp(sim, ranks, plan, cost, iterations, negotiate=True)
+    else:
+        _schedule_dear(sim, ranks, plan, cost, iterations)
+
+    sim.run()
+    for rank in ranks:
+        for stream in (rank.compute, rank.comm):
+            if stream.outstanding:
+                raise RuntimeError(f"deadlock: {stream.stall_report()}")
+
+    starts = [job.start for job in ranks[0].ff_first_jobs]
+    gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
+    return HeterogeneousResult(
+        policy=policy,
+        model_name=model.name,
+        cluster_name=cluster.name,
+        compute_scales=tuple(compute_scales),
+        iteration_time=gaps[-1],
+        iteration_times=gaps,
+    )
+
+
+def _submit_ff(rank: _Rank, iteration: int, layer_index: int,
+               gate: Optional[Event]) -> Job:
+    job = rank.compute.submit(
+        rank.timing.ff_time(layer_index),
+        name=f"ff.{iteration}.{layer_index}",
+        category="ff",
+        gate=gate,
+        metadata={"iteration": iteration, "layer": layer_index, "rank": rank.rank},
+    )
+    if layer_index == 0:
+        rank.ff_first_jobs.append(job)
+    return job
+
+
+def _submit_bp(rank: _Rank, iteration: int, layer_index: int) -> Job:
+    return rank.compute.submit(
+        rank.timing.bp_time(layer_index),
+        name=f"bp.{iteration}.{layer_index}",
+        category="bp",
+        metadata={"iteration": iteration, "layer": layer_index, "rank": rank.rank},
+    )
+
+
+def _submit_collective_job(
+    sim: Simulator,
+    rank: _Rank,
+    collective: _Collective,
+    kind: str,
+    iteration: int,
+    label: str,
+    gate: Optional[Event],
+) -> Job:
+    category = {"all_reduce": "comm.ar", "reduce_scatter": "comm.rs",
+                "all_gather": "comm.ag"}[kind]
+    return rank.comm.submit(
+        collective.body(),
+        name=f"{kind}.{iteration}.{label}",
+        category=category,
+        gate=gate,
+        metadata={"iteration": iteration, "rank": rank.rank},
+    )
+
+
+def _schedule_wfbp(sim, ranks, plan: FusionPlan, cost, iterations: int,
+                   negotiate: bool = False) -> None:
+    """WFBP-family schedule; ``negotiate`` adds Horovod's coordinator
+    round to every collective's duration."""
+    world = len(ranks)
+    prev_done: Optional[Event] = None
+    for iteration in range(iterations):
+        for rank in ranks:
+            for layer_index in range(rank.timing.model.num_layers):
+                gate = prev_done if layer_index == 0 else None
+                _submit_ff(rank, iteration, layer_index, gate)
+        bp_jobs = {
+            rank.rank: _backward(rank, iteration) for rank in ranks
+        }
+        done_events = []
+        for group in plan:
+            duration = cost.all_reduce(group.nbytes)
+            if negotiate:
+                duration += cost.negotiation(
+                    payload_bytes=8.0 * len(group.tensors)
+                )
+            collective = _Collective(
+                sim, world, duration,
+                name=f"ar.{iteration}.g{group.index}",
+            )
+            for rank in ranks:
+                gate = sim.all_of(
+                    [bp_jobs[rank.rank][l].done for l in group.layer_indices]
+                )
+                _submit_collective_job(
+                    sim, rank, collective, "all_reduce", iteration,
+                    f"g{group.index}", gate,
+                )
+            done_events.append(collective.done)
+        prev_done = sim.all_of(done_events)
+
+
+def _schedule_dear(sim, ranks, plan: FusionPlan, cost, iterations: int) -> None:
+    world = len(ranks)
+    layer_gates: Optional[dict[int, Event]] = None
+    forward_groups = plan.groups_forward_order()
+    for iteration in range(iterations):
+        for rank in ranks:
+            for layer_index in range(rank.timing.model.num_layers):
+                gate = (layer_gates or {}).get(layer_index)
+                _submit_ff(rank, iteration, layer_index, gate)
+        bp_jobs = {rank.rank: _backward(rank, iteration) for rank in ranks}
+
+        rs_done = []
+        for group in plan:
+            collective = _Collective(
+                sim, world, cost.reduce_scatter(group.nbytes),
+                name=f"rs.{iteration}.g{group.index}",
+            )
+            for rank in ranks:
+                gate = sim.all_of(
+                    [bp_jobs[rank.rank][l].done for l in group.layer_indices]
+                )
+                _submit_collective_job(
+                    sim, rank, collective, "reduce_scatter", iteration,
+                    f"g{group.index}", gate,
+                )
+            rs_done.append(collective.done)
+        rs_barrier = sim.all_of(rs_done)
+
+        ag_done_of_group: dict[int, Event] = {}
+        for position, group in enumerate(forward_groups):
+            collective = _Collective(
+                sim, world, cost.all_gather(group.nbytes),
+                name=f"ag.{iteration}.g{group.index}",
+            )
+            for rank in ranks:
+                _submit_collective_job(
+                    sim, rank, collective, "all_gather", iteration,
+                    f"g{group.index}", rs_barrier if position == 0 else None,
+                )
+            ag_done_of_group[group.index] = collective.done
+
+        layer_gates = {}
+        for layer_index in range(ranks[0].timing.model.num_layers):
+            groups = plan.groups_for_layer(layer_index)
+            if not groups:
+                continue
+            events = [ag_done_of_group[g.index] for g in groups]
+            layer_gates[layer_index] = (
+                events[0] if len(events) == 1 else sim.all_of(events)
+            )
+
+
+def _backward(rank: _Rank, iteration: int) -> list[Job]:
+    jobs: list[Optional[Job]] = [None] * rank.timing.model.num_layers
+    for layer_index in reversed(range(rank.timing.model.num_layers)):
+        jobs[layer_index] = _submit_bp(rank, iteration, layer_index)
+    return jobs  # type: ignore[return-value]

@@ -1,0 +1,362 @@
+"""Core discrete-event simulation kernel.
+
+The kernel follows the classic event-list design: a binary heap of
+``(time, sequence, callback)`` entries ordered by virtual time, with a
+sequence number to keep ordering stable among simultaneous events.
+
+Processes are plain Python generators.  A process may yield:
+
+- a ``float`` or ``int`` — suspend for that many virtual seconds;
+- an :class:`Event` — suspend until the event triggers; the value passed
+  to :meth:`Event.succeed` becomes the result of the ``yield``;
+- another :class:`Process` — suspend until that process finishes (a
+  process *is* an event that triggers on completion).
+
+Example::
+
+    sim = Simulator()
+
+    def worker(sim):
+        yield 1.5                # sleep 1.5 virtual seconds
+        done = sim.event()
+        sim.schedule(0.5, lambda: done.succeed("ok"))
+        result = yield done      # -> "ok" at t=2.0
+        return result
+
+    proc = sim.process(worker(sim))
+    sim.run()
+    assert proc.value == "ok"
+    assert sim.now == 2.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "SimulationError",
+    "Interrupt",
+    "Event",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel (e.g. double-trigger)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    Events start *pending*; :meth:`succeed` or :meth:`fail` triggers them
+    exactly once.  Processes that yielded the event are resumed in the
+    order they subscribed, at the same virtual instant.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self._sim = sim
+        self.name = name
+        self._triggered = False
+        self._ok = True
+        self.value: Any = None
+        self.trigger_time: Optional[float] = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has already fired."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event fired successfully (vs. :meth:`fail`)."""
+        return self._ok
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully, delivering ``value``."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._ok = True
+        self.value = value
+        self.trigger_time = self._sim.now
+        self._dispatch()
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters see the exception raised."""
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Event.fail expects an exception instance")
+        self._triggered = True
+        self._ok = False
+        self.value = exception
+        self.trigger_time = self._sim.now
+        self._dispatch()
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event already triggered, the callback is scheduled to run
+        immediately (at the current virtual instant) rather than invoked
+        synchronously, preserving run-loop ordering.
+        """
+        if self._triggered:
+            self._sim.schedule(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self._sim.schedule(0.0, lambda cb=callback: cb(self))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self._triggered else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The generator's ``return`` value becomes the event value.  An
+    uncaught exception inside the generator fails the event; if nothing
+    ever waits on the process, the exception propagates out of
+    :meth:`Simulator.run` so that bugs are never silently swallowed.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._observed = False
+        sim.schedule(0.0, lambda: self._step(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the underlying generator is still running."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process blocked on an event detaches it from that event (the
+        event may still trigger later, but this process no longer
+        cares).  Interrupting a process sleeping on a plain delay
+        leaves a no-op wakeup in the heap, so the virtual clock may
+        still advance to the original deadline before the run ends.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        self._sim.schedule(0.0, lambda: self._throw(Interrupt(cause)))
+
+    def _step(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled interrupt terminates the process quietly with
+            # a None result: the interruptor chose to stop it.
+            self.succeed(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - deliberate funnel
+            self._observe_or_raise(exc)
+            return
+        self._wait_for(target)
+
+    def _throw(self, exception: BaseException) -> None:
+        self._step(None, exception)
+
+    def _wait_for(self, target: Any) -> None:
+        if isinstance(target, Event):
+            self._waiting_on = target
+            target.add_callback(self._resume_from_event)
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                self._observe_or_raise(
+                    SimulationError(f"process {self.name!r} yielded negative delay {target}")
+                )
+                return
+            self._sim.schedule(float(target), lambda: self._step(None, None))
+        else:
+            self._observe_or_raise(
+                SimulationError(
+                    f"process {self.name!r} yielded unsupported value {target!r}"
+                )
+            )
+
+    def _resume_from_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        if event.ok:
+            self._step(event.value, None)
+        else:
+            self._step(None, event.value)
+
+    def _observe_or_raise(self, exc: BaseException) -> None:
+        try:
+            self.fail(exc)
+        except SimulationError:
+            raise exc from None
+        if not self._callbacks and not self._observed:
+            # Nobody is waiting: surface the error from Simulator.run().
+            self._sim._crash(exc)
+
+    def add_callback(self, callback: Callable[[Event], None]) -> None:
+        self._observed = True
+        super().add_callback(callback)
+
+
+class AllOf(Event):
+    """Event that triggers once every event in ``events`` has triggered.
+
+    The value is the list of the constituent events' values, in the
+    order given.  If any constituent fails, this event fails with the
+    first failure.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "all_of"):
+        super().__init__(sim, name=name)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            sim.schedule(0.0, lambda: self.succeed([]))
+            return
+        for event in self._events:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Event that triggers as soon as any event in ``events`` triggers.
+
+    The value is a ``(index, value)`` tuple identifying which
+    constituent fired first.
+    """
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "any_of"):
+        super().__init__(sim, name=name)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf requires at least one event")
+        for index, event in enumerate(self._events):
+            event.add_callback(lambda e, i=index: self._on_child(i, e))
+
+    def _on_child(self, index: int, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed((index, event.value))
+        else:
+            self.fail(event.value)
+
+
+class Simulator:
+    """Virtual clock plus the pending-callback heap.
+
+    All state is local to the instance; simulations are deterministic
+    and independent, so many can run in one OS process (e.g. a parameter
+    sweep inside a benchmark).
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._crashed: Optional[BaseException] = None
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` virtual seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
+        self._sequence += 1
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout") -> Event:
+        """Create an event that succeeds automatically after ``delay``."""
+        evt = Event(self, name=name)
+        self.schedule(delay, lambda: evt.succeed(value))
+        return evt
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Register ``generator`` as a process starting now."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> AllOf:
+        """Event combinator: all of ``events``."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Iterable[Event], name: str = "any_of") -> AnyOf:
+        """Event combinator: any of ``events``."""
+        return AnyOf(self, events, name=name)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute callbacks until the heap is empty or ``until`` passes.
+
+        Returns the final virtual time.  Any exception that escaped an
+        unobserved process is re-raised here.
+        """
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._heap)
+            self._now = time
+            callback()
+            if self._crashed is not None:
+                exc, self._crashed = self._crashed, None
+                raise exc
+        else:
+            if until is not None and until > self._now:
+                self._now = until
+        return self._now
+
+    def _crash(self, exc: BaseException) -> None:
+        if self._crashed is None:
+            self._crashed = exc

@@ -1,0 +1,206 @@
+"""Execution resources layered on the simulation kernel.
+
+:class:`Stream` models a CUDA-style in-order execution stream: work
+items submitted to it run strictly in submission order, one at a time.
+A work item may declare a *gate* event that must trigger before it can
+start (e.g. "this all-gather cannot start before the matching
+reduce-scatter completed on every rank"), which lets schedulers express
+cross-stream dependencies exactly like CUDA events.
+
+:class:`FifoQueue` is the usual producer/consumer channel used by the
+stream driver and by higher-level protocol models.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional, Union
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.trace import Tracer
+
+__all__ = ["FifoQueue", "Stream", "Job"]
+
+
+class FifoQueue:
+    """Unbounded FIFO channel with event-based ``get``.
+
+    ``put`` never blocks.  ``get`` returns an :class:`Event` that
+    triggers with the next item, preserving arrival order among waiting
+    consumers.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "queue"):
+        self._sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Append ``item``; wakes the oldest waiting getter if any."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """Event that triggers with the next item (immediately if queued)."""
+        evt = self._sim.event(name=f"{self.name}.get")
+        if self._items:
+            evt.succeed(self._items.popleft())
+        else:
+            self._getters.append(evt)
+        return evt
+
+
+#: A job body is either a fixed duration in seconds, a zero-argument
+#: callable returning the duration at start time, or a generator to run
+#: as a sub-process while the stream stays blocked.
+JobBody = Union[float, Callable[[], float], Generator]
+
+
+class Job:
+    """One unit of work on a :class:`Stream`.
+
+    Attributes:
+        done: event triggering when the job finishes; its value is the
+            job itself so callers can read ``start``/``end`` timestamps.
+        gate: optional event the job must wait for (after reaching the
+            stream head) before running.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        body: JobBody,
+        name: str,
+        category: str,
+        gate: Optional[Event] = None,
+        metadata: Optional[dict] = None,
+    ):
+        self.body = body
+        self.name = name
+        self.category = category
+        self.gate = gate
+        self.metadata = metadata or {}
+        self.done: Event = sim.event(name=f"{name}.done")
+        self.start: Optional[float] = None
+        self.end: Optional[float] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Job {self.name!r} cat={self.category!r}>"
+
+
+class Stream:
+    """In-order execution stream (one compute or comm queue of a GPU).
+
+    Work items run serially in submission order.  Each item may carry a
+    ``gate`` event; the stream *stalls* at that item until the gate
+    triggers — exactly the semantics of ``cudaStreamWaitEvent``.
+
+    All executed spans are recorded into the optional :class:`Tracer`
+    under this stream's ``actor`` label.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        tracer: Optional[Tracer] = None,
+        actor: str = "",
+    ):
+        self._sim = sim
+        self.name = name
+        self.actor = actor or name
+        self._tracer = tracer
+        self._queue = FifoQueue(sim, name=f"{name}.jobs")
+        self._idle_since = 0.0
+        self.busy_time = 0.0
+        self.jobs_completed = 0
+        self.jobs_submitted = 0
+        self._current: Optional[Job] = None
+        sim.process(self._drive(), name=f"{name}.driver")
+
+    def submit(
+        self,
+        body: JobBody,
+        name: str = "task",
+        category: str = "compute",
+        gate: Optional[Event] = None,
+        metadata: Optional[dict] = None,
+    ) -> Job:
+        """Enqueue work; returns the :class:`Job` whose ``done`` event fires on completion."""
+        job = Job(self._sim, body, name=name, category=category, gate=gate, metadata=metadata)
+        self._queue.put(job)
+        self.jobs_submitted += 1
+        return job
+
+    @property
+    def outstanding(self) -> int:
+        """Jobs submitted but not yet completed."""
+        return self.jobs_submitted - self.jobs_completed
+
+    def stall_report(self) -> str:
+        """Describe what the stream is stuck on (deadlock diagnostics).
+
+        Meaningful after a simulation run that left jobs outstanding: a
+        gated job whose gate never triggered indicates a dependency
+        cycle or a missing event in the schedule.
+        """
+        if self.outstanding == 0:
+            return f"{self.name}: quiescent"
+        current = self._current
+        head = "idle (queue never drained)"
+        if current is not None:
+            gate_state = (
+                "no gate" if current.gate is None
+                else ("gate triggered" if current.gate.triggered else "GATE PENDING")
+            )
+            head = f"stalled on {current.name!r} ({gate_state})"
+        return (
+            f"{self.name}: {self.outstanding} outstanding jobs, {head}, "
+            f"{len(self._queue)} queued behind it"
+        )
+
+    def barrier(self, name: str = "barrier") -> Job:
+        """A zero-duration job; its ``done`` marks that all prior work drained."""
+        return self.submit(0.0, name=name, category="barrier")
+
+    def wait_event(self, event: Event, name: str = "wait_event") -> Job:
+        """Stall the stream until ``event`` triggers (cudaStreamWaitEvent)."""
+        return self.submit(0.0, name=name, category="wait", gate=event)
+
+    def _drive(self) -> Generator:
+        while True:
+            job: Job = yield self._queue.get()
+            self._current = job
+            if job.gate is not None and not job.gate.triggered:
+                yield job.gate
+            job.start = self._sim.now
+            body = job.body
+            if callable(body) and not isinstance(body, Generator):
+                body = body()
+            if isinstance(body, Generator):
+                result = yield self._sim.process(body, name=job.name)
+            else:
+                duration = float(body)
+                if duration > 0.0:
+                    yield duration
+                result = None
+            job.end = self._sim.now
+            self.busy_time += job.end - job.start
+            self.jobs_completed += 1
+            if self._tracer is not None and job.end > job.start:
+                self._tracer.record(
+                    name=job.name,
+                    category=job.category,
+                    actor=self.actor,
+                    start=job.start,
+                    end=job.end,
+                    metadata=job.metadata,
+                )
+            self._current = None
+            job.done.succeed(job if result is None else result)

@@ -1,0 +1,191 @@
+"""Span tracing and timeline analysis.
+
+Every stream records the spans it executes into a :class:`Tracer`.
+The tracer supports:
+
+- Chrome ``about://tracing`` JSON export (:meth:`Tracer.to_chrome_trace`)
+  for eyeballing timelines;
+- per-category totals and *non-overlapped* time computation, which is
+  how the paper's Fig. 8 defines the exposed communication time ("the
+  communication time excludes the part hidden by computations").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["Span", "Tracer", "merge_intervals", "subtract_intervals", "total_length"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One traced task execution on one actor's timeline."""
+
+    name: str
+    category: str
+    actor: str
+    start: float
+    end: float
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def merge_intervals(intervals: Iterable[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of half-open intervals, returned sorted and disjoint."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def subtract_intervals(
+    base: Sequence[tuple[float, float]],
+    holes: Sequence[tuple[float, float]],
+) -> list[tuple[float, float]]:
+    """Portions of ``base`` not covered by ``holes`` (both get merged first)."""
+    base = merge_intervals(base)
+    holes = merge_intervals(holes)
+    result: list[tuple[float, float]] = []
+    hole_index = 0
+    for start, end in base:
+        cursor = start
+        while hole_index < len(holes) and holes[hole_index][1] <= cursor:
+            hole_index += 1
+        index = hole_index
+        while index < len(holes) and holes[index][0] < end:
+            hole_start, hole_end = holes[index]
+            if hole_start > cursor:
+                result.append((cursor, min(hole_start, end)))
+            cursor = max(cursor, hole_end)
+            if cursor >= end:
+                break
+            index += 1
+        if cursor < end:
+            result.append((cursor, end))
+    return result
+
+
+def total_length(intervals: Iterable[tuple[float, float]]) -> float:
+    """Sum of interval lengths (after merging, so overlaps count once)."""
+    return sum(end - start for start, end in merge_intervals(intervals))
+
+
+class Tracer:
+    """Collects :class:`Span` records from all streams of a simulation."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+
+    def record(
+        self,
+        name: str,
+        category: str,
+        actor: str,
+        start: float,
+        end: float,
+        metadata: Optional[dict] = None,
+    ) -> Span:
+        """Append one span; returns it for convenience."""
+        span = Span(
+            name=name,
+            category=category,
+            actor=actor,
+            start=start,
+            end=end,
+            metadata=metadata or {},
+        )
+        self.spans.append(span)
+        return span
+
+    def filter(
+        self,
+        category: Optional[str] = None,
+        actor: Optional[str] = None,
+        name_prefix: Optional[str] = None,
+    ) -> list[Span]:
+        """Spans matching all the given criteria."""
+        out = []
+        for span in self.spans:
+            if category is not None and span.category != category:
+                continue
+            if actor is not None and span.actor != actor:
+                continue
+            if name_prefix is not None and not span.name.startswith(name_prefix):
+                continue
+            out.append(span)
+        return out
+
+    def intervals(self, category: Optional[str] = None, actor: Optional[str] = None) -> list[tuple[float, float]]:
+        """Merged busy intervals for the matching spans."""
+        return merge_intervals(
+            (span.start, span.end) for span in self.filter(category=category, actor=actor)
+        )
+
+    def category_total(self, category: str, actor: Optional[str] = None) -> float:
+        """Total busy time of a category (overlaps within the category count once)."""
+        return total_length(
+            (span.start, span.end) for span in self.filter(category=category, actor=actor)
+        )
+
+    def exposed_time(
+        self,
+        category: str,
+        hidden_by: Sequence[str],
+        actor: Optional[str] = None,
+    ) -> float:
+        """Time in ``category`` not overlapped by any of the ``hidden_by`` categories.
+
+        This is the paper's "non-overlapped communication time" when
+        called as ``exposed_time("comm", hidden_by=("compute",))``.
+        """
+        base = [
+            (span.start, span.end) for span in self.filter(category=category, actor=actor)
+        ]
+        holes: list[tuple[float, float]] = []
+        for hidden_category in hidden_by:
+            holes.extend(
+                (span.start, span.end)
+                for span in self.filter(category=hidden_category, actor=actor)
+            )
+        return total_length(subtract_intervals(base, holes))
+
+    def to_chrome_trace(self) -> str:
+        """Serialise as Chrome trace-event JSON (load via about://tracing)."""
+        events = []
+        actors = {span.actor for span in self.spans}
+        tids = {actor: index for index, actor in enumerate(sorted(actors))}
+        for span in self.spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tids[span.actor],
+                    "ts": span.start * 1e6,
+                    "dur": span.duration * 1e6,
+                    "args": dict(span.metadata),
+                }
+            )
+        for actor, tid in tids.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"name": actor},
+                }
+            )
+        return json.dumps({"traceEvents": events}, indent=2)

@@ -1,0 +1,55 @@
+"""Numpy training substrate: autograd, modules, optimisers, data-parallel S-SGD.
+
+The paper's runtime is a thin layer over PyTorch's two hook surfaces:
+per-tensor *gradient hooks* fired during the backward pass (BackPipe's
+trigger) and *pre-forward hooks* fired before each layer executes
+(FeedPipe's wait point).  This package provides the same surfaces over
+a small reverse-mode autograd engine so the DeAR runtime
+(:mod:`repro.core`) can be exercised end to end with real numbers:
+
+- :mod:`repro.training.autograd` — Tensor with reverse-mode autodiff;
+- :mod:`repro.training.modules` — Parameter/Module/Linear/... with
+  gradient hooks and pre-forward hooks;
+- :mod:`repro.training.optim` — SGD with momentum and weight decay;
+- :mod:`repro.training.data` — deterministic synthetic datasets with
+  per-rank sharding;
+- :mod:`repro.training.parallel` — in-process multi-rank S-SGD over
+  the data-level collectives, with pluggable aggregation strategies
+  (fused all-reduce vs. DeAR's decoupled reduce-scatter/all-gather).
+"""
+
+from repro.training.autograd import Tensor, no_grad
+from repro.training.data import SyntheticClassification, SyntheticRegression
+from repro.training.modules import (
+    MLP,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    cross_entropy,
+    mse_loss,
+)
+from repro.training.optim import SGD
+from repro.training.parallel import DataParallelTrainer
+
+__all__ = [
+    "DataParallelTrainer",
+    "LayerNorm",
+    "Linear",
+    "MLP",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "SyntheticClassification",
+    "SyntheticRegression",
+    "Tanh",
+    "Tensor",
+    "cross_entropy",
+    "mse_loss",
+    "no_grad",
+]

@@ -1,0 +1,209 @@
+"""Neural-network modules over the autograd engine.
+
+The module system reproduces the two hook surfaces the DeAR runtime
+needs (paper §V: "A distributed optimizer is implemented in DeAR to
+handle the gradient communications in hook functions provided by
+PyTorch APIs"):
+
+- ``Parameter.grad_hooks`` fire during the backward pass the moment a
+  parameter's gradient is produced (BackPipe's trigger);
+- ``Module.pre_forward_hooks`` fire before a module's forward executes
+  (FeedPipe's wait point: DeAR blocks here until the layer's
+  all-gather has completed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.training.autograd import Tensor
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Linear",
+    "LayerNorm",
+    "ReLU",
+    "Tanh",
+    "Sequential",
+    "MLP",
+    "mse_loss",
+    "cross_entropy",
+]
+
+
+class Parameter(Tensor):
+    """A learnable leaf tensor."""
+
+    def __init__(self, data, name: str = ""):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class: parameter registry plus forward hooks."""
+
+    def __init__(self):
+        self._parameters: dict[str, Parameter] = {}
+        self._children: dict[str, "Module"] = {}
+        self.pre_forward_hooks: list[Callable[["Module"], None]] = []
+
+    # -- registry -------------------------------------------------------------
+
+    def __setattr__(self, key, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[key] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_children", {})[key] = value
+        object.__setattr__(self, key, value)
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """All parameters, depth-first in registration (forward) order."""
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [param for _, param in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and all descendants, depth-first."""
+        yield self
+        for child in self._children.values():
+            yield from child.modules()
+
+    def leaf_modules(self) -> list["Module"]:
+        """Modules with no children (the 'layers' in execution order)."""
+        return [m for m in self.modules() if not m._children]
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.grad = None
+
+    # -- forward -----------------------------------------------------------------
+
+    def forward(self, x: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for hook in self.pre_forward_hooks:
+            hook(self)
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: Optional[np.random.Generator] = None, name: str = ""):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features)),
+            name=f"{name}.weight" if name else "weight",
+        )
+        self.bias = Parameter(
+            np.zeros(out_features), name=f"{name}.bias" if name else "bias"
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x @ self.weight + self.bias
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last axis: the transformer staple.
+
+    ``y = (x - mean) / sqrt(var + eps) * weight + bias``, with mean and
+    variance taken per sample over the feature axis.
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5, name: str = ""):
+        super().__init__()
+        if features < 1:
+            raise ValueError(f"features must be >= 1, got {features}")
+        self.eps = eps
+        self.weight = Parameter(
+            np.ones(features), name=f"{name}.weight" if name else "weight"
+        )
+        self.bias = Parameter(
+            np.zeros(features), name=f"{name}.bias" if name else "bias"
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centred = x - mean
+        variance = (centred * centred).mean(axis=-1, keepdims=True)
+        normalised = centred / ((variance + self.eps) ** 0.5)
+        return normalised * self.weight + self.bias
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sequential(Module):
+    """Chain of modules executed in order."""
+
+    def __init__(self, *stages: Module):
+        super().__init__()
+        self.stages = list(stages)
+        for index, stage in enumerate(stages):
+            setattr(self, f"stage{index}", stage)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for stage in self.stages:
+            x = stage(x)
+        return x
+
+
+class MLP(Sequential):
+    """Multi-layer perceptron with ReLU activations.
+
+    Args:
+        sizes: layer widths, e.g. ``(16, 64, 64, 10)``.
+        seed: initialisation seed (replicas must share it in S-SGD).
+    """
+
+    def __init__(self, sizes: Sequence[int], seed: int = 0):
+        if len(sizes) < 2:
+            raise ValueError("MLP needs at least input and output sizes")
+        rng = np.random.default_rng(seed)
+        stages: list[Module] = []
+        for index, (fan_in, fan_out) in enumerate(zip(sizes, sizes[1:])):
+            stages.append(Linear(fan_in, fan_out, rng=rng, name=f"fc{index}"))
+            if index < len(sizes) - 2:
+                stages.append(ReLU())
+        super().__init__(*stages)
+
+
+def mse_loss(prediction: Tensor, target: Tensor) -> Tensor:
+    """Mean squared error over all elements."""
+    diff = prediction - target
+    return (diff * diff).mean()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Softmax cross-entropy with integer labels (mean over the batch)."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError(
+            f"batch mismatch: {logits.shape[0]} logits vs {labels.shape[0]} labels"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    one_hot = np.zeros(logits.shape)
+    one_hot[np.arange(labels.shape[0]), labels] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -picked.sum() * (1.0 / labels.shape[0])

@@ -1,0 +1,69 @@
+"""Optimisers for the numpy training substrate."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.training.modules import Parameter
+
+__all__ = ["SGD"]
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay.
+
+    Matches ``torch.optim.SGD`` semantics (momentum buffer
+    ``v = mu * v + g``; update ``w -= lr * v``), which matters for the
+    convergence-equivalence tests: the DeAR-wrapped optimiser must
+    produce bit-identical trajectories to the reference.
+    """
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError(f"weight decay must be non-negative, got {weight_decay}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for param in self.parameters:
+            param.grad = None
+
+    def step_parameter(self, param: Parameter) -> None:
+        """Apply the update to a single parameter (used by FeedPipe's
+        just-in-time per-layer updates)."""
+        if param.grad is None:
+            return
+        grad = param.grad
+        if self.weight_decay:
+            grad = grad + self.weight_decay * param.data
+        if self.momentum:
+            velocity = self._velocity.get(id(param))
+            if velocity is None:
+                velocity = np.zeros_like(param.data)
+            velocity = self.momentum * velocity + grad
+            self._velocity[id(param)] = velocity
+            grad = velocity
+        param.data = param.data - self.lr * grad
+
+    def step(self) -> None:
+        """Apply the update to every parameter with a gradient."""
+        for param in self.parameters:
+            self.step_parameter(param)

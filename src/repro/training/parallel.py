@@ -1,0 +1,222 @@
+"""In-process multi-rank S-SGD over the data-level collectives.
+
+:class:`DataParallelTrainer` instantiates ``world_size`` identical model
+replicas, feeds each its shard of every global batch, aggregates
+gradients through a :class:`~repro.collectives.Communicator`, and steps
+each replica's optimiser — Eq. 2 of the paper, executed with real
+numbers.
+
+Aggregation strategies (all value-equivalent; proving that *is* the
+point):
+
+- ``"allreduce"``       — one fused all-reduce per fusion group;
+- ``"decoupled"``       — DeAR's OP1+OP2: reduce-scatter then
+  all-gather per group;
+- ``"per_tensor"``      — one all-reduce per parameter (WFBP style);
+- ``"local"``           — no aggregation (replicas diverge; the negative
+  control for the equivalence tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.communicator import Communicator
+from repro.training.autograd import Tensor
+from repro.training.modules import Module, Parameter, cross_entropy, mse_loss
+from repro.training.optim import SGD
+
+__all__ = ["DataParallelTrainer", "group_parameters_backward"]
+
+STRATEGIES = ("allreduce", "decoupled", "per_tensor", "local")
+
+
+def group_parameters_backward(
+    parameters: Sequence[Parameter], buffer_bytes: Optional[float]
+) -> list[list[Parameter]]:
+    """Fusion groups over live parameters, in backward (gradient-ready) order.
+
+    ``buffer_bytes=None`` yields one group per parameter.  Mirrors
+    :func:`repro.core.fusion.buffer_size_groups` but operates on the
+    runtime's actual tensors instead of a :class:`ModelSpec`.
+    """
+    backward_order = list(reversed(list(parameters)))
+    if buffer_bytes is None:
+        return [[param] for param in backward_order]
+    if buffer_bytes <= 0:
+        raise ValueError(f"buffer size must be positive, got {buffer_bytes}")
+    groups: list[list[Parameter]] = []
+    current: list[Parameter] = []
+    current_bytes = 0
+    for param in backward_order:
+        nbytes = param.data.nbytes
+        if current and current_bytes + nbytes > buffer_bytes:
+            groups.append(current)
+            current = []
+            current_bytes = 0
+        current.append(param)
+        current_bytes += nbytes
+    if current:
+        groups.append(current)
+    return groups
+
+
+class DataParallelTrainer:
+    """S-SGD with ``world_size`` in-process replicas.
+
+    Args:
+        model_factory: zero-argument callable building one replica;
+            must be deterministic so replicas start identical.
+        world_size: number of simulated workers.
+        lr / momentum / weight_decay: optimiser settings.
+        strategy: gradient aggregation strategy (see module docstring).
+        algorithm: collective algorithm family for the communicator.
+        buffer_bytes: fusion buffer (``None`` = one group per tensor).
+        loss: ``"mse"`` or ``"cross_entropy"``.
+        gpus_per_node: for the hierarchical algorithm only.
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[], Module],
+        world_size: int,
+        lr: float = 0.05,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+        strategy: str = "decoupled",
+        algorithm: str = "ring",
+        buffer_bytes: Optional[float] = None,
+        loss: str = "mse",
+        gpus_per_node: Optional[int] = None,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(f"unknown strategy {strategy!r}; expected {STRATEGIES}")
+        if loss not in ("mse", "cross_entropy"):
+            raise ValueError(f"unknown loss {loss!r}")
+        self.world_size = world_size
+        self.strategy = strategy
+        self.loss_name = loss
+        self.replicas = [model_factory() for _ in range(world_size)]
+        self._check_identical_init()
+        self.optimizers = [
+            SGD(replica.parameters(), lr=lr, momentum=momentum, weight_decay=weight_decay)
+            for replica in self.replicas
+        ]
+        self.comm = Communicator(
+            world_size, algorithm=algorithm, gpus_per_node=gpus_per_node
+        )
+        self.buffer_bytes = buffer_bytes
+        self._groups = [
+            group_parameters_backward(replica.parameters(), buffer_bytes)
+            for replica in self.replicas
+        ]
+        self.steps_taken = 0
+
+    def _check_identical_init(self) -> None:
+        reference = self.replicas[0].parameters()
+        for rank, replica in enumerate(self.replicas[1:], start=1):
+            for ref, param in zip(reference, replica.parameters()):
+                if not np.array_equal(ref.data, param.data):
+                    raise ValueError(
+                        f"replica {rank} initialised differently from rank 0; "
+                        "model_factory must be deterministic"
+                    )
+
+    # -- one training step -------------------------------------------------------
+
+    def _loss(self, prediction: Tensor, target) -> Tensor:
+        if self.loss_name == "mse":
+            return mse_loss(prediction, Tensor(target))
+        return cross_entropy(prediction, target)
+
+    def train_step(self, rank_batches: Sequence[tuple[np.ndarray, np.ndarray]]) -> float:
+        """Run one S-SGD step; returns the mean loss across ranks.
+
+        ``rank_batches[p]`` is rank p's local mini-batch (features,
+        targets).
+        """
+        if len(rank_batches) != self.world_size:
+            raise ValueError(
+                f"need {self.world_size} rank batches, got {len(rank_batches)}"
+            )
+        losses = []
+        for rank, (features, targets) in enumerate(rank_batches):
+            replica = self.replicas[rank]
+            replica.zero_grad()
+            prediction = replica(Tensor(features))
+            loss = self._loss(prediction, targets)
+            loss.backward()
+            losses.append(loss.item())
+
+        self._aggregate()
+
+        for optimizer in self.optimizers:
+            optimizer.step()
+        self.steps_taken += 1
+        return float(np.mean(losses))
+
+    # -- gradient aggregation -----------------------------------------------------
+
+    def _aggregate(self) -> None:
+        if self.strategy == "local":
+            return
+        if self.strategy == "per_tensor":
+            rank_params = [replica.parameters() for replica in self.replicas]
+            for tensor_group in zip(*rank_params):
+                grads = [param.grad for param in tensor_group]
+                self._exchange(grads)
+                for param, grad in zip(tensor_group, grads):
+                    param.grad = grad
+            return
+        # Fused strategies: one flat buffer per group per rank.
+        num_groups = len(self._groups[0])
+        for group_index in range(num_groups):
+            buffers = []
+            for rank in range(self.world_size):
+                group = self._groups[rank][group_index]
+                buffers.append(
+                    np.concatenate([param.grad.reshape(-1) for param in group])
+                )
+            self._exchange(buffers)
+            for rank in range(self.world_size):
+                group = self._groups[rank][group_index]
+                offset = 0
+                for param in group:
+                    size = param.data.size
+                    param.grad = buffers[rank][offset : offset + size].reshape(
+                        param.data.shape
+                    )
+                    offset += size
+
+    def _exchange(self, buffers: list[np.ndarray]) -> None:
+        """Average ``buffers`` across ranks, in place, per the strategy."""
+        if self.strategy == "decoupled":
+            self.comm.reduce_scatter(buffers)
+            self.comm.all_gather(buffers, average=True)
+        else:
+            self.comm.all_reduce(buffers, average=True)
+
+    # -- inspection -----------------------------------------------------------------
+
+    def parameters_consistent(self, atol: float = 0.0) -> bool:
+        """Whether all replicas hold (near-)identical parameters."""
+        reference = self.replicas[0].parameters()
+        for replica in self.replicas[1:]:
+            for ref, param in zip(reference, replica.parameters()):
+                if not np.allclose(ref.data, param.data, atol=atol, rtol=0.0):
+                    return False
+        return True
+
+    def parameter_snapshot(self, rank: int = 0) -> list[np.ndarray]:
+        """Copies of one replica's parameters (for trajectory comparison)."""
+        return [np.array(param.data, copy=True) for param in self.replicas[rank].parameters()]
+
+    def evaluate_loss(self, features: np.ndarray, targets) -> float:
+        """Loss of rank 0's replica on held-out data."""
+        from repro.training.autograd import no_grad
+
+        with no_grad():
+            prediction = self.replicas[0](Tensor(features))
+            return self._loss(prediction, targets).item()

@@ -1,0 +1,142 @@
+"""Tests for the analytical models (Eq. 6-9) and breakdowns."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.breakdown import breakdown_of
+from repro.analysis.optimal import (
+    baseline_optimal_time,
+    dear_optimal_time,
+    saved_time_piecewise,
+)
+from repro.analysis.speedup import max_speedup, max_speedup_for
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+
+
+class TestMaxSpeedup:
+    def test_no_communication_gives_linear_scale(self):
+        # Infinite bandwidth -> t_rs = t_ag = 0 -> S^max = P
+        assert max_speedup(1.0, 2.0, 1e6, bandwidth=1e18, world_size=64) == (
+            pytest.approx(64.0)
+        )
+
+    def test_comm_dominated_regime(self):
+        """When comm >> compute, S^max -> P * compute / t_ar."""
+        t_ff, t_bp = 0.1, 0.2
+        m, bandwidth = 1.0e9, 1.0e9  # t_ar = 2s >> compute
+        result = max_speedup(t_ff, t_bp, m, bandwidth, 64)
+        assert result == pytest.approx(64 * 0.3 / 2.0, rel=1e-6)
+
+    def test_paper_table2_resnet_10gbe(self):
+        s_max = max_speedup_for(get_model("resnet50"), cluster_10gbe())
+        assert s_max == pytest.approx(61.6, rel=0.02)
+
+    def test_paper_table2_bert_base_10gbe(self):
+        s_max = max_speedup_for(get_model("bert_base"), cluster_10gbe())
+        assert s_max == pytest.approx(25.5, rel=0.02)
+
+    def test_paper_table2_bert_large_both_networks(self):
+        assert max_speedup_for(
+            get_model("bert_large"), cluster_10gbe()
+        ) == pytest.approx(12.1, rel=0.02)
+        assert max_speedup_for(
+            get_model("bert_large"), cluster_100gbib()
+        ) == pytest.approx(51.8, rel=0.02)
+
+    def test_densenet_unconstrained_on_both(self):
+        for cluster in (cluster_10gbe(), cluster_100gbib()):
+            assert max_speedup_for(get_model("densenet201"), cluster) == (
+                pytest.approx(64.0)
+            )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            max_speedup(0.0, 1.0, 1e6, 1e9, 64)
+        with pytest.raises(ValueError):
+            max_speedup(1.0, 1.0, 1e6, 0.0, 64)
+        with pytest.raises(ValueError):
+            max_speedup(1.0, 1.0, 1e6, 1e9, 0)
+
+    @given(
+        t_ff=st.floats(0.01, 1.0),
+        t_bp=st.floats(0.01, 1.0),
+        m=st.floats(1e6, 1e9),
+        bandwidth=st.floats(1e8, 1e11),
+        p=st.integers(2, 256),
+    )
+    def test_bounded_by_world_size(self, t_ff, t_bp, m, bandwidth, p):
+        assert 0 < max_speedup(t_ff, t_bp, m, bandwidth, p) <= p + 1e-9
+
+
+class TestOptimalTimes:
+    def test_eq7_comm_hidden(self):
+        assert dear_optimal_time(1.0, 2.0, 0.5, 0.5) == pytest.approx(3.0)
+
+    def test_eq7_comm_dominates(self):
+        assert dear_optimal_time(1.0, 2.0, 5.0, 4.0) == pytest.approx(9.0)
+
+    def test_eq8(self):
+        assert baseline_optimal_time(1.0, 2.0, 1.0) == pytest.approx(3.0)
+        assert baseline_optimal_time(1.0, 2.0, 5.0) == pytest.approx(6.0)
+
+    def test_dear_never_slower_than_baseline_under_assumptions(self):
+        """Under t_ar = 2 t_rs = 2 t_ag, t_bp = 2 t_ff: Eq. 7 <= Eq. 8."""
+        for t_ff in (0.05, 0.1, 0.5):
+            for t_ag in (0.01, 0.1, 0.3, 1.0):
+                dear = dear_optimal_time(t_ff, 2 * t_ff, t_ag, t_ag)
+                baseline = baseline_optimal_time(t_ff, 2 * t_ff, 2 * t_ag)
+                assert dear <= baseline + 1e-12
+
+    def test_eq9_piecewise_cases(self):
+        t_ff = 0.1
+        assert saved_time_piecewise(t_ff, 0.05) == 0.0
+        assert saved_time_piecewise(t_ff, 0.15) == pytest.approx(0.05)
+        assert saved_time_piecewise(t_ff, 0.5) == pytest.approx(t_ff)
+
+    @given(t_ff=st.floats(0.001, 1.0), t_ag=st.floats(0.0, 5.0))
+    def test_eq9_equals_difference_of_eq7_eq8(self, t_ff, t_ag):
+        """Eq. 9 is exactly Eq. 8 minus Eq. 7 under the assumptions."""
+        dear = dear_optimal_time(t_ff, 2 * t_ff, t_ag, t_ag)
+        baseline = baseline_optimal_time(t_ff, 2 * t_ff, 2 * t_ag)
+        assert saved_time_piecewise(t_ff, t_ag) == pytest.approx(
+            baseline - dear, abs=1e-12
+        )
+
+    @given(t_ff=st.floats(0.001, 1.0), t_ag=st.floats(0.0, 5.0))
+    def test_eq9_bounded_by_t_ff(self, t_ff, t_ag):
+        """'the saved iteration time can be at most one feed-forward
+        computation cost' (§VI-I)."""
+        assert 0.0 <= saved_time_piecewise(t_ff, t_ag) <= t_ff + 1e-12
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            dear_optimal_time(-1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            saved_time_piecewise(1, -1)
+
+
+class TestBreakdown:
+    def test_fields_copied_from_result(self, resnet50, ethernet_cluster):
+        from repro.schedulers.base import simulate
+
+        result = simulate("horovod", resnet50, ethernet_cluster, buffer_bytes=25e6)
+        breakdown = breakdown_of(result)
+        assert breakdown.t_ff == result.t_ff
+        assert breakdown.exposed_comm == result.exposed_comm
+        assert breakdown.stacked_total == pytest.approx(
+            result.t_ff + result.t_bp + result.exposed_comm
+        )
+        assert breakdown.compute == pytest.approx(result.t_ff + result.t_bp)
+        assert 0 <= breakdown.comm_fraction <= 1
+
+    def test_stacked_total_close_to_iteration_for_serialised(self, resnet50,
+                                                             ethernet_cluster):
+        """For WFBP-family, FF+BP+exposed equals the iteration time."""
+        from repro.schedulers.base import simulate
+
+        result = simulate("horovod", resnet50, ethernet_cluster, buffer_bytes=25e6)
+        breakdown = breakdown_of(result)
+        assert breakdown.stacked_total == pytest.approx(
+            result.iteration_time, rel=0.02
+        )

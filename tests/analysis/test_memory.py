@@ -1,0 +1,81 @@
+"""Tests for the per-GPU memory model."""
+
+import pytest
+
+from repro.analysis.memory import (
+    GTX_2080TI_BYTES,
+    estimate_memory,
+    fits_in,
+)
+from repro.models.zoo import MODEL_NAMES, get_model
+
+
+class TestEstimateMemory:
+    def test_states_are_three_copies(self):
+        model = get_model("resnet50")
+        estimate = estimate_memory("wfbp", model)
+        assert estimate.model_states == 3 * model.num_parameters * 4
+
+    def test_activations_scale_with_batch(self):
+        model = get_model("resnet50")
+        full = estimate_memory("wfbp", model, batch_size=64)
+        half = estimate_memory("wfbp", model, batch_size=32)
+        assert half.activations == pytest.approx(full.activations / 2)
+
+    def test_wfbp_has_no_scheduler_overhead(self):
+        estimate = estimate_memory("wfbp", get_model("bert_large"))
+        assert estimate.scheduler_overhead == 0.0
+
+    def test_fusion_schedulers_pay_double_buffer(self):
+        estimate = estimate_memory("dear", get_model("resnet50"), buffer_bytes=25e6)
+        assert estimate.scheduler_overhead == pytest.approx(50e6)
+
+    def test_merging_schedulers_pay_full_gradient_copies(self):
+        model = get_model("bert_large")
+        for scheduler in ("mg_wfbp", "bytescheduler"):
+            estimate = estimate_memory(scheduler, model)
+            assert estimate.scheduler_overhead == pytest.approx(
+                2 * model.gradient_bytes
+            )
+
+    def test_zero_shards_states(self):
+        model = get_model("bert_large")
+        dense = estimate_memory("dear", model, world_size=64)
+        sharded = estimate_memory("zero", model, world_size=64)
+        assert sharded.total < dense.total
+
+    def test_zero_sharding_grows_with_world_size(self):
+        model = get_model("bert_large")
+        small = estimate_memory("zero", model, world_size=4)
+        large = estimate_memory("zero", model, world_size=64)
+        assert large.total < small.total
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            estimate_memory("astral", get_model("resnet50"))
+
+    def test_total_includes_workspace_and_reserve(self):
+        estimate = estimate_memory("wfbp", get_model("resnet50"))
+        assert estimate.total > estimate.dynamic
+
+
+class TestPaperOOMs:
+    """Figs. 6/7: exactly two OOM cells on the 11 GB 2080Ti."""
+
+    def test_bytescheduler_ooms_on_bert_large(self):
+        assert not fits_in("bytescheduler", get_model("bert_large"))
+
+    def test_mg_wfbp_ooms_on_bert_large(self):
+        assert not fits_in("mg_wfbp", get_model("bert_large"))
+
+    @pytest.mark.parametrize("scheduler", ["wfbp", "ddp", "horovod", "dear", "zero"])
+    def test_other_schedulers_fit_bert_large(self, scheduler):
+        assert fits_in(scheduler, get_model("bert_large"))
+
+    @pytest.mark.parametrize("name", [m for m in MODEL_NAMES if m != "bert_large"])
+    @pytest.mark.parametrize("scheduler", ["mg_wfbp", "bytescheduler"])
+    def test_no_other_model_ooms(self, scheduler, name):
+        assert fits_in(scheduler, get_model(name))
+
+    def test_bigger_device_fixes_it(self):
+        assert fits_in("bytescheduler", get_model("bert_large"), device_bytes=24e9)

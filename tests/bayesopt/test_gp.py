@@ -1,0 +1,110 @@
+"""Unit and property tests for Gaussian-process regression."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesopt.gp import GaussianProcess, RBFKernel
+
+
+class TestRBFKernel:
+    def test_self_similarity_is_signal_variance(self):
+        kernel = RBFKernel(length_scale=0.3, signal_variance=2.0)
+        x = np.array([[0.5]])
+        assert kernel(x, x)[0, 0] == pytest.approx(2.0)
+
+    def test_decays_with_distance(self):
+        kernel = RBFKernel(length_scale=0.2)
+        near = kernel(np.array([[0.0]]), np.array([[0.1]]))[0, 0]
+        far = kernel(np.array([[0.0]]), np.array([[0.9]]))[0, 0]
+        assert near > far
+
+    def test_symmetric(self):
+        kernel = RBFKernel()
+        a = np.random.default_rng(0).uniform(size=(5, 1))
+        gram = kernel(a, a)
+        np.testing.assert_allclose(gram, gram.T)
+
+    def test_positive_semidefinite(self):
+        kernel = RBFKernel()
+        a = np.random.default_rng(1).uniform(size=(8, 1))
+        gram = kernel(a, a)
+        eigenvalues = np.linalg.eigvalsh(gram)
+        assert eigenvalues.min() > -1e-10
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0)
+        with pytest.raises(ValueError):
+            RBFKernel(signal_variance=-1)
+
+
+class TestGaussianProcess:
+    def test_interpolates_observations_with_low_noise(self):
+        gp = GaussianProcess(kernel=RBFKernel(length_scale=0.3), noise=1e-8)
+        x = np.array([[0.1], [0.5], [0.9]])
+        y = np.array([1.0, 3.0, 2.0])
+        gp.fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.05)
+
+    def test_uncertainty_grows_away_from_data(self):
+        gp = GaussianProcess(kernel=RBFKernel(length_scale=0.1), noise=1e-6)
+        gp.fit(np.array([[0.5]]), np.array([1.0]))
+        _, std_near = gp.predict(np.array([[0.5]]))
+        _, std_far = gp.predict(np.array([[0.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_mean_reverts_to_prior_far_away(self):
+        gp = GaussianProcess(kernel=RBFKernel(length_scale=0.05), noise=1e-6)
+        gp.fit(np.array([[0.5]]), np.array([10.0]))
+        mean, _ = gp.predict(np.array([[5.0]]))
+        # Standardised prior mean is the observation mean itself here.
+        assert mean[0] == pytest.approx(10.0)
+
+    def test_kernel_selection_prefers_fitting_scale(self):
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=(20, 1))
+        y = np.sin(6 * x[:, 0])
+        gp = GaussianProcess(noise=1e-4)
+        gp.fit(x, y)
+        mean, _ = gp.predict(x)
+        assert np.corrcoef(mean, y)[0, 1] > 0.95
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.array([[0.0]]))
+
+    def test_zero_observations_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.empty((0, 1)), [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.array([[0.0], [1.0]]), [1.0])
+
+    def test_constant_targets_handled(self):
+        gp = GaussianProcess()
+        gp.fit(np.array([[0.0], [1.0]]), [5.0, 5.0])
+        mean, _ = gp.predict(np.array([[0.5]]))
+        assert mean[0] == pytest.approx(5.0)
+
+    def test_negative_noise_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=-1.0)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        ys=st.lists(st.floats(-10, 10), min_size=2, max_size=10),
+        seed=st.integers(0, 100),
+    )
+    def test_predictions_finite(self, ys, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.uniform(size=(len(ys), 1))
+        gp = GaussianProcess()
+        gp.fit(x, ys)
+        mean, std = gp.predict(rng.uniform(size=(5, 1)))
+        assert np.all(np.isfinite(mean))
+        assert np.all(np.isfinite(std))
+        assert np.all(std >= 0)

@@ -1,0 +1,111 @@
+"""Tests for the data-level readiness coordinator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.coordinator import ReadinessCoordinator
+from repro.collectives.transport import Transport
+
+
+class TestCoordinator:
+    def test_all_ready_released_in_one_cycle(self):
+        coordinator = ReadinessCoordinator(Transport(4))
+        for rank in range(4):
+            coordinator.report(rank, ["a", "b"])
+        assert set(coordinator.cycle()) == {"a", "b"}
+        assert coordinator.pending_anywhere() == set()
+
+    def test_partially_ready_held_back(self):
+        coordinator = ReadinessCoordinator(Transport(3))
+        coordinator.report(0, ["a", "b"])
+        coordinator.report(1, ["a"])
+        coordinator.report(2, ["a", "b"])
+        assert coordinator.cycle() == ["a"]
+        assert coordinator.pending_anywhere() == {"b"}
+
+    def test_held_tensor_released_once_everyone_reports(self):
+        coordinator = ReadinessCoordinator(Transport(2))
+        coordinator.report(0, ["x"])
+        assert coordinator.cycle() == []
+        coordinator.report(1, ["x"])
+        assert coordinator.cycle() == ["x"]
+
+    def test_response_order_is_rank0_arrival_order(self):
+        coordinator = ReadinessCoordinator(Transport(2))
+        coordinator.report(0, ["late"])
+        coordinator.cycle()  # 'late' pending, enters arrival order
+        coordinator.report(0, ["early"])
+        coordinator.report(1, ["early", "late"])
+        assert coordinator.cycle() == ["late", "early"]
+
+    def test_consistency_under_any_report_order(self):
+        """The essential property: the agreed order is independent of
+        the order individual ranks discovered readiness."""
+        def agreed(report_orders: list[list[str]]) -> list[str]:
+            coordinator = ReadinessCoordinator(Transport(len(report_orders)))
+            for rank, names in enumerate(report_orders):
+                coordinator.report(rank, names)
+            return coordinator.cycle()
+
+        forward = agreed([["a", "b", "c"], ["a", "b", "c"], ["a", "b", "c"]])
+        shuffled = agreed([["a", "b", "c"], ["c", "a", "b"], ["b", "c", "a"]])
+        assert forward == shuffled
+
+    def test_cycle_message_count(self):
+        """One cycle = (P-1) gathers + (P-1) broadcasts through rank 0."""
+        transport = Transport(8)
+        coordinator = ReadinessCoordinator(transport)
+        for rank in range(8):
+            coordinator.report(rank, ["t"])
+        coordinator.cycle()
+        assert transport.stats.messages == 2 * 7
+        assert transport.pending() == 0
+
+    def test_duplicate_reports_idempotent(self):
+        coordinator = ReadinessCoordinator(Transport(2))
+        coordinator.report(0, ["a"])
+        coordinator.report(0, ["a"])
+        coordinator.report(1, ["a"])
+        assert coordinator.cycle() == ["a"]
+
+    def test_cycles_counted(self):
+        coordinator = ReadinessCoordinator(Transport(2))
+        coordinator.cycle()
+        coordinator.cycle()
+        assert coordinator.cycles == 2
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        world=st.integers(2, 6),
+        tensors=st.lists(
+            st.sampled_from(["a", "b", "c", "d", "e"]), min_size=1, max_size=5,
+            unique=True,
+        ),
+        seed=st.integers(0, 100),
+    )
+    def test_eventual_release_property(self, world, tensors, seed):
+        """Every tensor reported by all ranks (in any per-rank order)
+        is eventually released, exactly once, in the same global order."""
+        rng = np.random.default_rng(seed)
+        coordinator = ReadinessCoordinator(Transport(world))
+        per_rank = [list(tensors) for _ in range(world)]
+        for names in per_rank:
+            rng.shuffle(names)
+
+        released: list[str] = []
+        cursor = [0] * world
+        for _ in range(len(tensors) + 1):  # enough cycles to drain
+            for rank in range(world):
+                take = rng.integers(0, len(tensors) - cursor[rank] + 1)
+                coordinator.report(
+                    rank, per_rank[rank][cursor[rank] : cursor[rank] + take]
+                )
+                cursor[rank] += take
+            released.extend(coordinator.cycle())
+        for rank in range(world):
+            coordinator.report(rank, per_rank[rank][cursor[rank]:])
+        released.extend(coordinator.cycle())
+
+        assert sorted(released) == sorted(tensors)
+        assert len(released) == len(set(released))

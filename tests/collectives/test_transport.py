@@ -1,0 +1,115 @@
+"""Unit tests for the in-process transport."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collectives.transport import Transport, chunk_offsets
+
+
+class TestChunkOffsets:
+    def test_even_split(self):
+        assert chunk_offsets(8, 4) == [0, 2, 4, 6, 8]
+
+    def test_uneven_split_front_loads_extras(self):
+        assert chunk_offsets(10, 4) == [0, 3, 6, 8, 10]
+
+    def test_fewer_elements_than_parts(self):
+        assert chunk_offsets(2, 4) == [0, 1, 2, 2, 2]
+
+    def test_zero_length(self):
+        assert chunk_offsets(0, 3) == [0, 0, 0, 0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            chunk_offsets(5, 0)
+        with pytest.raises(ValueError):
+            chunk_offsets(-1, 2)
+
+    @given(length=st.integers(0, 10_000), parts=st.integers(1, 64))
+    def test_partition_properties(self, length, parts):
+        offsets = chunk_offsets(length, parts)
+        assert len(offsets) == parts + 1
+        assert offsets[0] == 0 and offsets[-1] == length
+        sizes = [b - a for a, b in zip(offsets, offsets[1:])]
+        assert all(s >= 0 for s in sizes)
+        assert max(sizes) - min(sizes) <= 1  # near-equal chunks
+        assert sizes == sorted(sizes, reverse=True)  # extras at the front
+
+
+class TestTransport:
+    def test_send_recv_roundtrip(self):
+        transport = Transport(2)
+        payload = np.arange(5.0)
+        transport.send(0, 1, payload)
+        received = transport.recv(0, 1)
+        np.testing.assert_array_equal(received, payload)
+
+    def test_send_copies_payload(self):
+        transport = Transport(2)
+        payload = np.zeros(3)
+        transport.send(0, 1, payload)
+        payload[:] = 99.0
+        np.testing.assert_array_equal(transport.recv(0, 1), np.zeros(3))
+
+    def test_fifo_per_channel(self):
+        transport = Transport(2)
+        transport.send(0, 1, np.array([1.0]))
+        transport.send(0, 1, np.array([2.0]))
+        assert transport.recv(0, 1)[0] == 1.0
+        assert transport.recv(0, 1)[0] == 2.0
+
+    def test_channels_independent(self):
+        transport = Transport(3)
+        transport.send(0, 2, np.array([7.0]))
+        transport.send(1, 2, np.array([8.0]))
+        assert transport.recv(1, 2)[0] == 8.0
+        assert transport.recv(0, 2)[0] == 7.0
+
+    def test_recv_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            Transport(2).recv(0, 1)
+
+    def test_self_send_rejected(self):
+        with pytest.raises(ValueError):
+            Transport(2).send(1, 1, np.zeros(1))
+
+    def test_rank_bounds_checked(self):
+        transport = Transport(2)
+        with pytest.raises(ValueError):
+            transport.send(0, 2, np.zeros(1))
+        with pytest.raises(ValueError):
+            transport.recv(-1, 0)
+
+    def test_stats_count_messages_and_bytes(self):
+        transport = Transport(2)
+        transport.send(0, 1, np.zeros(10))  # 80 bytes float64
+        transport.send(1, 0, np.zeros(5))
+        transport.recv(0, 1)
+        transport.recv(1, 0)
+        assert transport.stats.messages == 2
+        assert transport.stats.bytes == 120
+        assert transport.stats.per_rank_messages[0] == 1
+        assert transport.stats.per_rank_bytes[1] == 40
+        assert transport.stats.max_rank_bytes() == 80
+
+    def test_pending_counts_undelivered(self):
+        transport = Transport(2)
+        assert transport.pending() == 0
+        transport.send(0, 1, np.zeros(1))
+        assert transport.pending() == 1
+        transport.recv(0, 1)
+        assert transport.pending() == 0
+
+    def test_reset_stats_requires_drained(self):
+        transport = Transport(2)
+        transport.send(0, 1, np.zeros(1))
+        with pytest.raises(RuntimeError):
+            transport.reset_stats()
+        transport.recv(0, 1)
+        transport.reset_stats()
+        assert transport.stats.messages == 0
+
+    def test_world_size_validated(self):
+        with pytest.raises(ValueError):
+            Transport(0)

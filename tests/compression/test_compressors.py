@@ -1,0 +1,131 @@
+"""Unit and property tests for the gradient compressors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compression import (
+    FP16Compressor,
+    QSGDCompressor,
+    RandomKCompressor,
+    TopKCompressor,
+)
+
+
+def _gradient(size=1000, seed=0):
+    return np.random.default_rng(seed).normal(size=size)
+
+
+class TestTopK:
+    def test_keeps_largest_entries(self):
+        gradient = np.array([0.1, -5.0, 0.2, 3.0, -0.05])
+        payload = TopKCompressor(density=0.4).compress(gradient)
+        restored = TopKCompressor(density=0.4).decompress(payload)
+        np.testing.assert_allclose(restored, [0, -5.0, 0, 3.0, 0])
+
+    def test_wire_size_matches_density(self):
+        gradient = _gradient(10_000)
+        payload = TopKCompressor(density=0.01).compress(gradient)
+        # 100 values (8B) + 100 indices (8B) vs 10000 * 8B raw
+        assert payload.nbytes == pytest.approx(0.02 * gradient.nbytes, rel=0.05)
+
+    def test_shape_preserved(self):
+        gradient = _gradient(60).reshape(3, 20)
+        restored = TopKCompressor(density=0.1).roundtrip(gradient)
+        assert restored.shape == (3, 20)
+
+    def test_density_one_is_lossless(self):
+        gradient = _gradient(100)
+        restored = TopKCompressor(density=1.0).roundtrip(gradient)
+        np.testing.assert_array_equal(restored, gradient)
+
+    def test_error_bounded_by_dropped_mass(self):
+        gradient = _gradient(1000)
+        restored = TopKCompressor(density=0.1).roundtrip(gradient)
+        # Top-k keeps the largest magnitudes, so the error norm must be
+        # smaller than any other 10%-sparse approximation's; in
+        # particular smaller than the full norm.
+        assert np.linalg.norm(gradient - restored) < np.linalg.norm(gradient)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            TopKCompressor(density=0.0)
+        with pytest.raises(ValueError):
+            TopKCompressor(density=1.5)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 500), density=st.floats(0.01, 1.0))
+    def test_restored_entries_exact(self, seed, density):
+        """Kept entries are transmitted exactly; others are zero."""
+        gradient = _gradient(300, seed)
+        restored = TopKCompressor(density=density).roundtrip(gradient)
+        kept = restored != 0
+        np.testing.assert_array_equal(restored[kept], gradient[kept])
+
+
+class TestRandomK:
+    def test_unbiased_over_many_draws(self):
+        gradient = _gradient(200, seed=3)
+        total = np.zeros_like(gradient)
+        draws = 400
+        compressor = RandomKCompressor(density=0.25, seed=7)
+        for _ in range(draws):
+            total += compressor.roundtrip(gradient)
+        np.testing.assert_allclose(total / draws, gradient, atol=0.5)
+
+    def test_same_seed_same_indices(self):
+        gradient = _gradient(100)
+        a = RandomKCompressor(density=0.1, seed=5).compress(gradient)
+        b = RandomKCompressor(density=0.1, seed=5).compress(gradient)
+        np.testing.assert_array_equal(a.arrays["indices"], b.arrays["indices"])
+
+    def test_rescaling_applied(self):
+        gradient = np.ones(10)
+        payload = RandomKCompressor(density=0.5, seed=0).compress(gradient)
+        np.testing.assert_allclose(payload.arrays["values"], 2.0)
+
+
+class TestQSGD:
+    def test_unbiased_quantisation(self):
+        gradient = _gradient(500, seed=1)
+        compressor = QSGDCompressor(levels=15, seed=2)
+        total = np.zeros_like(gradient)
+        draws = 300
+        for _ in range(draws):
+            total += compressor.roundtrip(gradient)
+        np.testing.assert_allclose(total / draws, gradient, atol=0.05)
+
+    def test_zero_gradient(self):
+        restored = QSGDCompressor().roundtrip(np.zeros(10))
+        np.testing.assert_array_equal(restored, np.zeros(10))
+
+    def test_error_shrinks_with_levels(self):
+        gradient = _gradient(1000, seed=4)
+        coarse = QSGDCompressor(levels=3, seed=0).roundtrip(gradient)
+        fine = QSGDCompressor(levels=255, seed=0).roundtrip(gradient)
+        assert np.linalg.norm(gradient - fine) < np.linalg.norm(gradient - coarse)
+
+    def test_wire_size_is_int16_plus_norm(self):
+        gradient = _gradient(1000)
+        payload = QSGDCompressor().compress(gradient)
+        assert payload.nbytes == 1000 * 2 + 8
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            QSGDCompressor(levels=0)
+
+
+class TestFP16:
+    def test_roundtrip_close(self):
+        gradient = _gradient(100)
+        restored = FP16Compressor().roundtrip(gradient)
+        np.testing.assert_allclose(restored, gradient, rtol=1e-3)
+
+    def test_halves_wire_size(self):
+        gradient = _gradient(100).astype(np.float64)
+        payload = FP16Compressor().compress(gradient)
+        assert payload.nbytes == gradient.nbytes / 4  # fp64 -> fp16
+
+    def test_compression_ratio_helper(self):
+        ratio = FP16Compressor().compression_ratio(_gradient(64))
+        assert ratio == pytest.approx(0.25)

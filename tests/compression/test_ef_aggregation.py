@@ -1,0 +1,210 @@
+"""Tests for error feedback, compressed aggregation, and the timing model."""
+
+import numpy as np
+import pytest
+
+from repro.collectives.transport import Transport
+from repro.compression import (
+    CompressionTimeModel,
+    ErrorFeedback,
+    FP16Compressor,
+    TopKCompressor,
+    compressed_all_gather_aggregate,
+)
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_10gbe
+
+
+class TestErrorFeedback:
+    def test_residual_holds_dropped_mass(self):
+        ef = ErrorFeedback(TopKCompressor(density=0.5))
+        gradient = np.array([10.0, 0.1, -20.0, 0.2])
+        payload = ef.compress("w", gradient)
+        restored = ef.decompress(payload)
+        np.testing.assert_allclose(gradient - restored, ef.residual("w"))
+
+    def test_residual_reinjected_next_step(self):
+        """A small entry suppressed repeatedly must eventually transmit."""
+        ef = ErrorFeedback(TopKCompressor(density=0.5))
+        gradient = np.array([1.0, 0.3])  # density 0.5 -> keep 1 entry
+        transmitted_small = False
+        for _ in range(10):
+            payload = ef.compress("w", gradient)
+            restored = ef.decompress(payload)
+            if restored[1] != 0:
+                transmitted_small = True
+        assert transmitted_small
+
+    def test_cumulative_transmission_approaches_cumulative_gradient(self):
+        ef = ErrorFeedback(TopKCompressor(density=0.25))
+        rng = np.random.default_rng(0)
+        gradient_sum = np.zeros(40)
+        transmitted_sum = np.zeros(40)
+        for _ in range(200):
+            gradient = rng.normal(size=40)
+            gradient_sum += gradient
+            transmitted_sum += ef.decompress(ef.compress("w", gradient))
+        # EF guarantees: difference == current residual (exact identity).
+        np.testing.assert_allclose(
+            gradient_sum - transmitted_sum, ef.residual("w"), atol=1e-9
+        )
+
+    def test_separate_keys_separate_residuals(self):
+        ef = ErrorFeedback(TopKCompressor(density=0.5))
+        ef.compress("a", np.array([1.0, 0.1]))
+        ef.compress("b", np.array([2.0, 0.2]))
+        assert not np.array_equal(ef.residual("a"), ef.residual("b"))
+
+    def test_unknown_key(self):
+        ef = ErrorFeedback(TopKCompressor(density=0.5))
+        with pytest.raises(KeyError):
+            ef.residual("never")
+
+    def test_reset(self):
+        ef = ErrorFeedback(TopKCompressor(density=0.5))
+        ef.compress("w", np.array([1.0, 0.1]))
+        ef.reset()
+        with pytest.raises(KeyError):
+            ef.residual("w")
+
+
+class TestCompressedAggregation:
+    def test_lossless_compressor_matches_allreduce(self):
+        world = 4
+        rng = np.random.default_rng(1)
+        buffers = [rng.normal(size=30) for _ in range(world)]
+        expected = np.mean(buffers, axis=0)
+        transport = Transport(world)
+        compressed_all_gather_aggregate(
+            transport, buffers, TopKCompressor(density=1.0), average=True
+        )
+        for buf in buffers:
+            np.testing.assert_allclose(buf, expected)
+        assert transport.pending() == 0
+
+    def test_all_ranks_identical_result(self):
+        world = 5
+        rng = np.random.default_rng(2)
+        buffers = [rng.normal(size=64) for _ in range(world)]
+        compressed_all_gather_aggregate(
+            Transport(world), buffers, TopKCompressor(density=0.1)
+        )
+        for buf in buffers[1:]:
+            np.testing.assert_array_equal(buf, buffers[0])
+
+    def test_wire_volume_reflects_compression(self):
+        world = 4
+        rng = np.random.default_rng(3)
+        size = 10_000
+        dense = Transport(world)
+        buffers = [rng.normal(size=size) for _ in range(world)]
+        compressed_all_gather_aggregate(dense, buffers, FP16Compressor())
+        sparse = Transport(world)
+        buffers = [rng.normal(size=size) for _ in range(world)]
+        compressed_all_gather_aggregate(
+            sparse, buffers, TopKCompressor(density=0.01)
+        )
+        assert sparse.stats.bytes < dense.stats.bytes / 5
+
+    def test_error_feedback_per_rank(self):
+        world = 3
+        rng = np.random.default_rng(4)
+        efs = [ErrorFeedback(TopKCompressor(density=0.2)) for _ in range(world)]
+        buffers = [rng.normal(size=50) for _ in range(world)]
+        compressed_all_gather_aggregate(
+            Transport(world), buffers, efs[0].compressor,
+            error_feedback=efs, key="w",
+        )
+        for ef in efs:
+            assert ef.residual("w").shape == (50,)
+
+    def test_buffer_count_validated(self):
+        with pytest.raises(ValueError):
+            compressed_all_gather_aggregate(
+                Transport(4), [np.zeros(4)], TopKCompressor(density=0.5)
+            )
+
+
+class TestCompressionTimeModel:
+    def _models(self, density=0.01):
+        base = CollectiveTimeModel(cluster_10gbe())
+        return base, CompressionTimeModel(base, density=density)
+
+    def test_aggressive_compression_wins_on_large_messages(self):
+        base, compressed = self._models(density=0.001)
+        nbytes = 500e6
+        assert compressed.all_reduce(nbytes) < base.all_reduce(nbytes)
+
+    def test_mild_compression_loses_at_scale(self):
+        """c > 2/P: the all-gather pattern moves more bytes than the
+        ring all-reduce it replaces — the crossover the paper's cited
+        compression literature fights."""
+        base, compressed = self._models(density=0.10)  # c = 0.2 > 2/64
+        nbytes = 500e6
+        assert compressed.all_reduce(nbytes) > base.all_reduce(nbytes)
+
+    def test_analytic_crossover_at_two_over_p(self):
+        """In the bandwidth-dominated limit the win condition is exactly
+        ``wire_ratio < 2/P``: (P-1) c m beta  vs  2 (P-1)/P m beta."""
+        from hypothesis import given, settings, strategies as st
+
+        @settings(deadline=None, max_examples=30)
+        @given(
+            wire_over_crossover=st.floats(0.2, 5.0),
+            p=st.sampled_from([8, 16, 64, 128]),
+        )
+        def check(wire_over_crossover, p):
+            from repro.network.fabric import ClusterSpec, LinkSpec
+
+            link = LinkSpec("l", latency=0.0, bandwidth=1e9)  # alpha = 0
+            cluster = ClusterSpec(
+                name="x", nodes=p, gpus_per_node=1,
+                inter_link=link, intra_link=link,
+            )
+            base = CollectiveTimeModel(cluster)
+            wire_ratio = wire_over_crossover * 2.0 / p
+            compressed = CompressionTimeModel(
+                base, density=min(1.0, wire_ratio),
+                payload_expansion=wire_ratio / min(1.0, wire_ratio),
+                overhead_per_byte=0.0,
+            )
+            nbytes = 1e8
+            wins = compressed.all_reduce(nbytes) < base.all_reduce(nbytes)
+            assert wins == (wire_over_crossover < 1.0)
+
+        check()
+
+    def test_decoupled_halves_sum_to_whole(self):
+        _, compressed = self._models()
+        nbytes = 100e6
+        assert compressed.reduce_scatter(nbytes) + compressed.all_gather(
+            nbytes
+        ) == pytest.approx(compressed.all_reduce(nbytes))
+
+    def test_scheduler_accepts_compressed_model(self):
+        from repro.models.profiles import TimingModel
+        from repro.models.zoo import get_model
+        from repro.schedulers.base import get_scheduler
+
+        model = get_model("bert_large")
+        timing = TimingModel.for_model(model)
+        base, compressed = self._models(density=0.001)
+        dense = get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+            timing, base
+        )
+        sparse = get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+            timing, compressed
+        )
+        # BERT-Large on 10GbE is comm-dominated: 0.1% density must win.
+        assert sparse.iteration_time < dense.iteration_time
+
+    def test_zero_bytes_free(self):
+        _, compressed = self._models()
+        assert compressed.all_reduce(0) == 0.0
+
+    def test_invalid_parameters(self):
+        base = CollectiveTimeModel(cluster_10gbe())
+        with pytest.raises(ValueError):
+            CompressionTimeModel(base, density=0)
+        with pytest.raises(ValueError):
+            CompressionTimeModel(base, payload_expansion=0)

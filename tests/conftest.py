@@ -1,0 +1,73 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models.layers import ModelBuilder, ModelSpec
+from repro.models.profiles import CALIBRATED_ITERATION_COMPUTE, TimingModel
+
+# The unit-test model gets a calibration entry so `simulate()` works on
+# it without an explicit iteration_compute override in every test.
+CALIBRATED_ITERATION_COMPUTE.setdefault("tiny", 0.03)
+from repro.models.zoo import get_model
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_10gbe, cluster_100gbib
+
+
+def build_tiny_model(num_blocks: int = 4, width: int = 1000) -> ModelSpec:
+    """A small synthetic CNN-ish model for fast scheduler tests.
+
+    Each block is a conv-like layer (one ``width * 100`` element tensor)
+    followed by a bn-like layer (two ``width``-element tensors).
+    """
+    builder = ModelBuilder(
+        name="tiny", display_name="Tiny", default_batch_size=8,
+        sample_description="unit-test sample",
+    )
+    for index in range(num_blocks):
+        builder.add_layer(
+            f"block{index}.conv", "conv", [("weight", width * 100)],
+            flops=1e6 * (index + 1),
+        )
+        builder.add_layer(
+            f"block{index}.bn", "bn", [("weight", width), ("bias", width)],
+            flops=1e3,
+        )
+    builder.fc("head", width, 10)
+    return builder.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_model() -> ModelSpec:
+    return build_tiny_model()
+
+
+@pytest.fixture(scope="session")
+def tiny_timing(tiny_model) -> TimingModel:
+    return TimingModel.for_model(tiny_model, iteration_compute=0.03)
+
+
+@pytest.fixture(scope="session")
+def ethernet_cluster():
+    return cluster_10gbe()
+
+
+@pytest.fixture(scope="session")
+def infiniband_cluster():
+    return cluster_100gbib()
+
+
+@pytest.fixture(scope="session")
+def ethernet_cost(ethernet_cluster) -> CollectiveTimeModel:
+    return CollectiveTimeModel(ethernet_cluster)
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return get_model("resnet50")
+
+
+@pytest.fixture(scope="session")
+def bert_base():
+    return get_model("bert_base")

@@ -1,0 +1,73 @@
+"""Tests for the decoupling-configuration auto-tuner."""
+
+import pytest
+
+from repro.core.auto_tune import tune_decoupling
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import simulate
+from tests.conftest import build_tiny_model
+
+
+class TestTuneDecoupling:
+    @pytest.fixture(scope="class")
+    def choice(self):
+        return tune_decoupling(
+            build_tiny_model(), cluster_10gbe(), bo_trials=6,
+            iteration_compute=0.03,
+        )
+
+    def test_all_families_evaluated(self, choice):
+        assert set(choice.per_algorithm) == {
+            "ring", "halving_doubling", "tree", "hierarchical",
+        }
+
+    def test_winner_is_argmax(self, choice):
+        best = max(t for _, t in choice.per_algorithm.values())
+        assert choice.throughput == pytest.approx(best)
+        assert choice.per_algorithm[choice.algorithm][1] == pytest.approx(best)
+
+    def test_history_records_all_trials(self, choice):
+        assert len(choice.history) == 4 * 6
+
+    def test_beats_or_matches_default_ring_config(self, choice):
+        default = simulate(
+            "dear", build_tiny_model(), cluster_10gbe(),
+            fusion="buffer", buffer_bytes=25e6, iteration_compute=0.03,
+        )
+        assert choice.throughput >= default.throughput * 0.999
+
+    def test_describe_mentions_winner(self, choice):
+        assert choice.algorithm in choice.describe()
+
+    def test_non_power_of_two_skips_halving_doubling(self):
+        cluster = cluster_10gbe(nodes=3, gpus_per_node=2)  # P = 6
+        choice = tune_decoupling(
+            build_tiny_model(), cluster, bo_trials=3, iteration_compute=0.03,
+        )
+        assert "halving_doubling" not in choice.per_algorithm
+        assert choice.algorithm in ("ring", "tree", "hierarchical")
+
+    def test_restricted_candidate_list(self):
+        choice = tune_decoupling(
+            build_tiny_model(), cluster_10gbe(), algorithms=("ring",),
+            bo_trials=3, iteration_compute=0.03,
+        )
+        assert choice.algorithm == "ring"
+        assert set(choice.per_algorithm) == {"ring"}
+
+    def test_no_usable_family_raises(self):
+        cluster = cluster_10gbe(nodes=3, gpus_per_node=2)
+        with pytest.raises(ValueError):
+            tune_decoupling(
+                build_tiny_model(), cluster,
+                algorithms=("halving_doubling",), iteration_compute=0.03,
+            )
+
+    def test_on_paper_model(self):
+        choice = tune_decoupling(
+            get_model("resnet50"), cluster_10gbe(),
+            algorithms=("ring", "tree"), bo_trials=5,
+        )
+        assert choice.throughput > 0
+        assert choice.iteration_time > 0

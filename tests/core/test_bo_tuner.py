@@ -1,0 +1,69 @@
+"""Tests for the run-time buffer-size tuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.bo_tuner import BufferSizeTuner
+
+
+def _objective(buffer_bytes: float) -> float:
+    """Smooth log-quadratic peak at 20 MB."""
+    return 1000.0 * np.exp(-((np.log(buffer_bytes / 20e6)) ** 2))
+
+
+class TestBufferSizeTuner:
+    def test_starts_at_paper_default(self):
+        tuner = BufferSizeTuner()
+        assert tuner.buffer_bytes == pytest.approx(25e6)
+
+    def test_no_retune_mid_trial(self):
+        tuner = BufferSizeTuner(steps_per_trial=5)
+        for _ in range(4):
+            assert tuner.record_step(samples=64, elapsed=0.1) is None
+
+    def test_retune_at_trial_boundary(self):
+        tuner = BufferSizeTuner(steps_per_trial=3)
+        tuner.record_step(64, 0.1)
+        tuner.record_step(64, 0.1)
+        suggestion = tuner.record_step(64, 0.1)
+        assert suggestion is not None
+        assert 1e6 <= suggestion <= 100e6
+        assert tuner.trials_completed == 1
+
+    def test_throughput_averaged_over_trial(self):
+        tuner = BufferSizeTuner(steps_per_trial=2)
+        tuner.record_step(samples=50, elapsed=1.0)
+        tuner.record_step(samples=150, elapsed=1.0)
+        # 200 samples / 2 s = 100 samples/s
+        assert tuner.history[0][1] == pytest.approx(100.0)
+
+    def test_converges_near_optimum(self):
+        tuner = BufferSizeTuner(steps_per_trial=1, max_trials=15, seed=0)
+        for _ in range(15):
+            throughput = _objective(tuner.buffer_bytes)
+            tuner.record_step(samples=throughput, elapsed=1.0)
+        assert tuner.converged
+        best_x, best_y = tuner.best
+        assert best_y >= 0.9 * _objective(20e6)
+
+    def test_converged_tuner_stops_changing(self):
+        tuner = BufferSizeTuner(steps_per_trial=1, max_trials=3, seed=0)
+        for _ in range(3):
+            tuner.record_step(samples=100, elapsed=1.0)
+        locked = tuner.buffer_bytes
+        assert tuner.record_step(samples=100, elapsed=1.0) is None
+        assert tuner.buffer_bytes == locked
+
+    def test_history_records_all_trials(self):
+        tuner = BufferSizeTuner(steps_per_trial=1, max_trials=5, seed=0)
+        for _ in range(5):
+            tuner.record_step(samples=_objective(tuner.buffer_bytes), elapsed=1.0)
+        assert len(tuner.history) == 5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            BufferSizeTuner(steps_per_trial=0)
+        with pytest.raises(ValueError):
+            BufferSizeTuner(max_trials=0)
+        with pytest.raises(ValueError):
+            BufferSizeTuner().record_step(samples=1, elapsed=0.0)

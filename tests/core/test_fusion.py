@@ -1,0 +1,202 @@
+"""Unit and property tests for the tensor fusion controller."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fusion import (
+    FusionGroup,
+    FusionPlan,
+    buffer_size_groups,
+    layer_count_groups,
+    mg_wfbp_groups,
+    no_fusion_groups,
+    plan_for_policy,
+)
+from repro.models.zoo import get_model
+from tests.conftest import build_tiny_model
+
+
+def _assert_valid_partition(plan: FusionPlan) -> None:
+    """Every tensor appears exactly once, in backward order."""
+    expected = [t.name for t in plan.model.tensors_backward_order()]
+    actual = [t.name for group in plan for t in group.tensors]
+    assert actual == expected
+
+
+class TestNoFusion:
+    def test_one_group_per_tensor(self):
+        model = build_tiny_model()
+        plan = no_fusion_groups(model)
+        assert plan.num_groups == model.num_tensors
+        _assert_valid_partition(plan)
+
+    def test_group_sizes_match_tensors(self):
+        model = build_tiny_model()
+        plan = no_fusion_groups(model)
+        backward = model.tensors_backward_order()
+        for group, tensor in zip(plan, backward):
+            assert group.nbytes == tensor.nbytes
+
+
+class TestBufferSizeGroups:
+    def test_respects_threshold(self):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, 25e6)
+        for group in plan:
+            # A group may exceed the buffer only if it is a single tensor.
+            assert group.nbytes <= 25e6 or len(group.tensors) == 1
+        _assert_valid_partition(plan)
+
+    def test_total_bytes_preserved(self):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, 25e6)
+        assert plan.total_bytes == model.gradient_bytes
+
+    def test_huge_buffer_gives_one_group(self):
+        model = build_tiny_model()
+        plan = buffer_size_groups(model, 1e12)
+        assert plan.num_groups == 1
+
+    def test_tiny_buffer_gives_per_tensor_groups(self):
+        model = build_tiny_model()
+        plan = buffer_size_groups(model, 1.0)
+        assert plan.num_groups == model.num_tensors
+
+    def test_smaller_buffer_never_fewer_groups(self):
+        model = get_model("densenet201")
+        counts = [
+            buffer_size_groups(model, b).num_groups
+            for b in (1e6, 5e6, 25e6, 100e6)
+        ]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_invalid_buffer_rejected(self):
+        with pytest.raises(ValueError):
+            buffer_size_groups(build_tiny_model(), 0)
+
+    @settings(deadline=None, max_examples=25)
+    @given(buffer_mb=st.floats(0.01, 200))
+    def test_partition_property(self, buffer_mb):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, buffer_mb * 1e6)
+        _assert_valid_partition(plan)
+
+
+class TestLayerCountGroups:
+    def test_each_group_spans_at_most_n_layers(self):
+        model = get_model("resnet50")
+        plan = layer_count_groups(model, 4)
+        for group in plan:
+            assert len(set(t.layer_index for t in group.tensors)) <= 4
+        _assert_valid_partition(plan)
+
+    def test_group_count(self):
+        model = build_tiny_model(num_blocks=4)  # 9 layers total
+        plan = layer_count_groups(model, 4)
+        assert plan.num_groups == 3  # ceil(9 / 4)
+
+    def test_single_layer_groups(self):
+        model = build_tiny_model()
+        plan = layer_count_groups(model, 1)
+        assert plan.num_groups == model.num_layers
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            layer_count_groups(build_tiny_model(), 0)
+
+
+class TestMGWFBPGroups:
+    def test_merges_within_startup_window(self):
+        model = build_tiny_model(num_blocks=2)  # 5 layers
+        tensors = model.tensors_backward_order()
+        # All tensors ready at nearly the same instant -> one group.
+        plan = mg_wfbp_groups(model, [0.001 * i for i in range(len(tensors))], 1.0)
+        assert plan.num_groups == 1
+
+    def test_splits_beyond_startup_window(self):
+        model = build_tiny_model(num_blocks=2)
+        tensors = model.tensors_backward_order()
+        # Large gaps -> every tensor its own group.
+        plan = mg_wfbp_groups(model, [10.0 * i for i in range(len(tensors))], 1.0)
+        assert plan.num_groups == len(tensors)
+        _assert_valid_partition(plan)
+
+    def test_length_mismatch_rejected(self):
+        model = build_tiny_model()
+        with pytest.raises(ValueError):
+            mg_wfbp_groups(model, [0.0], 1.0)
+
+    def test_negative_startup_rejected(self):
+        model = build_tiny_model()
+        ready = [0.0] * model.num_tensors
+        with pytest.raises(ValueError):
+            mg_wfbp_groups(model, ready, -1.0)
+
+
+class TestFusionPlan:
+    def test_groups_for_layer(self):
+        model = build_tiny_model()
+        plan = buffer_size_groups(model, 100e3)
+        for layer in model.layers:
+            groups = plan.groups_for_layer(layer.index)
+            assert groups, f"layer {layer.index} not covered"
+            covered = {
+                t.name for g in groups for t in g.tensors
+                if t.layer_index == layer.index
+            }
+            expected = {t.name for t in layer.tensors}
+            assert covered == expected
+
+    def test_groups_forward_order_sorted_by_first_layer(self):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, 25e6)
+        forward = plan.groups_forward_order()
+        firsts = [g.first_layer for g in forward]
+        assert firsts == sorted(firsts)
+
+    def test_forward_order_is_reverse_of_backward(self):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, 25e6)
+        assert [g.index for g in plan.groups_forward_order()] == list(
+            reversed(range(plan.num_groups))
+        )
+
+    def test_invalid_partition_rejected(self):
+        model = build_tiny_model()
+        tensors = model.tensors_backward_order()
+        # Drop one tensor -> not a partition.
+        groups = [FusionGroup(index=0, tensors=tuple(tensors[:-1]))]
+        with pytest.raises(ValueError):
+            FusionPlan(model, groups)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            FusionGroup(index=0, tensors=())
+
+    def test_max_group_bytes(self):
+        model = get_model("resnet50")
+        plan = buffer_size_groups(model, 25e6)
+        assert plan.max_group_bytes == max(g.nbytes for g in plan)
+
+
+class TestPlanForPolicy:
+    def test_dispatch(self):
+        model = build_tiny_model()
+        assert plan_for_policy(model, "none").policy == "none"
+        assert plan_for_policy(model, "buffer", buffer_bytes=1e6).num_groups >= 1
+        assert plan_for_policy(model, "layers", layers_per_group=2).num_groups >= 1
+        ready = [0.1 * i for i in range(model.num_tensors)]
+        assert plan_for_policy(
+            model, "mg", ready_times=ready, startup_time=0.05
+        ).num_groups >= 1
+
+    def test_missing_arguments(self):
+        model = build_tiny_model()
+        with pytest.raises(ValueError):
+            plan_for_policy(model, "buffer")
+        with pytest.raises(ValueError):
+            plan_for_policy(model, "mg")
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            plan_for_policy(build_tiny_model(), "telepathy")

@@ -1,0 +1,87 @@
+"""Tests for experiment-harness helpers and variant paths."""
+
+import pytest
+
+from repro.experiments.common import (
+    format_table,
+    resolve_cluster,
+    resolve_model,
+    throughput_objective,
+)
+from repro.models.zoo import get_model
+from repro.network.fabric import ClusterSpec
+from repro.network.presets import cluster_10gbe
+
+
+class TestResolvers:
+    def test_resolve_model_by_name(self):
+        assert resolve_model("resnet50") is get_model("resnet50")
+
+    def test_resolve_model_passthrough(self):
+        model = get_model("bert_base")
+        assert resolve_model(model) is model
+
+    def test_resolve_cluster_by_name(self):
+        cluster = resolve_cluster("10gbe")
+        assert isinstance(cluster, ClusterSpec)
+        assert cluster.world_size == 64
+
+    def test_resolve_cluster_passthrough(self):
+        cluster = cluster_10gbe(nodes=2)
+        assert resolve_cluster(cluster) is cluster
+
+    def test_resolve_cluster_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_cluster("token-ring")
+
+
+class TestFormatTable:
+    def test_column_subset(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert "c" in header and "a" in header and "b" not in header
+
+    def test_missing_keys_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows, columns=["a", "b"])
+        assert len(text.splitlines()) == 4
+
+    def test_float_formatting(self):
+        text = format_table([{"v": 0.123456}])
+        assert "0.123" in text
+
+    def test_small_float_uses_scientific(self):
+        text = format_table([{"v": 1.5e-7}])
+        assert "e-07" in text
+
+
+class TestObjectiveVariants:
+    def test_fig7_bo_variant_runs(self):
+        from repro.experiments.fig7 import run
+
+        rows = run(models=("resnet50",), networks=("100gbib",),
+                   dear_fusion="bo")
+        assert rows[0]["dear"] > 0.95
+
+    def test_table2_buffer_variant_runs(self):
+        from repro.experiments.table2 import run
+
+        rows = run(models=("resnet50",), networks=("10gbe",),
+                   dear_fusion="buffer")
+        assert rows[0]["s"] <= rows[0]["s_max"] * 1.005
+
+    def test_fig5_alternative_algorithm(self):
+        from repro.experiments.fig5 import run
+
+        rows = run(algorithm="tree", points_per_range=3)
+        for row in rows:
+            assert row["rsag_over_ar"] == pytest.approx(1.0)
+
+    def test_objective_evaluations_bounded_by_grid(self):
+        objective = throughput_objective(
+            "resnet50", "10gbe", grid_points=16
+        )
+        objective.optimum()
+        objective.optimum()  # cached: no second sweep
+        assert objective.evaluations == 16

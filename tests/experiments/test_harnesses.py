@@ -1,0 +1,233 @@
+"""Each experiment harness must run and produce structurally sane rows."""
+
+import pytest
+
+from repro.experiments import (
+    fig3,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+    table2,
+)
+from repro.experiments.common import format_table, throughput_objective
+
+
+class TestTable1:
+    def test_matches_paper_exactly(self):
+        for row in table1():
+            assert row["layers"] == row["layers_paper"]
+            assert row["tensors"] == row["tensors_paper"]
+            assert row["params_M"] == pytest.approx(row["params_M_paper"], rel=0.005)
+
+
+class TestFig3:
+    def test_bo_finds_near_optimum_in_nine_samples(self):
+        rows = fig3(samples=9)
+        summary = next(r for r in rows if r["kind"] == "summary")
+        assert summary["fraction_of_optimum"] >= 0.9
+        samples = [r for r in rows if r["kind"] == "sample"]
+        assert len(samples) == 9
+        assert samples[0]["buffer_mb"] == pytest.approx(25.0)  # paper's x1
+
+    def test_posterior_rows_present(self):
+        rows = fig3(samples=5, posterior_points=10)
+        posterior = [r for r in rows if r["kind"] == "posterior"]
+        assert len(posterior) == 10
+        assert all(r["std"] >= 0 for r in posterior)
+
+
+class TestFig5:
+    def test_rsag_equals_allreduce(self):
+        for row in fig5():
+            assert row["rsag_over_ar"] == pytest.approx(1.0)
+
+    def test_rs_and_ag_each_half(self):
+        for row in fig5():
+            assert row["reduce_scatter_ms"] == pytest.approx(
+                row["allreduce_ms"] / 2
+            )
+            assert row["all_gather_ms"] == pytest.approx(row["allreduce_ms"] / 2)
+
+    def test_paper_spot_checks(self):
+        from repro.experiments.paper_data import FIG5_SPOT_CHECKS
+
+        rows = fig5(points_per_range=25)
+        for nbytes, seconds in FIG5_SPOT_CHECKS:
+            closest = min(rows, key=lambda r: abs(r["bytes"] - nbytes))
+            assert closest["allreduce_ms"] == pytest.approx(
+                seconds * 1e3, rel=0.12
+            )
+
+    def test_both_panels_present(self):
+        rows = fig5()
+        panels = {row["panel"] for row in rows}
+        assert panels == {"small", "large"}
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig6(models=("resnet50", "bert_base"))
+
+    def test_dear_beats_wfbp_everywhere(self, rows):
+        for row in rows:
+            assert row["dear"] >= 1.0, row
+
+    def test_bytescheduler_collapses_on_10gbe_cnn(self, rows):
+        cnn = next(
+            r for r in rows if r["model"] == "ResNet-50" and "10GbE" in r["network"]
+        )
+        assert cnn["bytescheduler"] < 0.95
+
+    def test_wfbp_is_unit_baseline(self, rows):
+        assert all(row["wfbp"] == 1.0 for row in rows)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig7(models=("resnet50", "bert_base"))
+
+    def test_dear_beats_horovod_everywhere(self, rows):
+        for row in rows:
+            assert row["dear"] >= 1.0, row
+
+    def test_gains_larger_on_ethernet(self, rows):
+        for model in ("ResNet-50", "BERT-Base"):
+            eth = next(r for r in rows if r["model"] == model and "10GbE" in r["network"])
+            ib = next(r for r in rows if r["model"] == model and "IB" in r["network"])
+            assert eth["dear"] >= ib["dear"] - 0.02
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return table2(models=("resnet50", "bert_large"), dear_fusion="bo",
+                      bo_trials=8)
+
+    def test_s_below_smax(self, rows):
+        for row in rows:
+            assert row["s"] <= row["s_max"] * 1.005, row
+
+    def test_smax_matches_paper(self, rows):
+        for row in rows:
+            assert row["s_max"] == pytest.approx(row["paper_s_max"], rel=0.03)
+
+    def test_dear_reaches_high_fraction(self, rows):
+        """Paper: 72.3-99.2% of the optimum across all cells."""
+        for row in rows:
+            assert row["ratio_pct"] >= 70.0, row
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig8(models=("resnet50", "bert_base"))
+
+    def test_four_views_per_model(self, rows):
+        views = [r["view"] for r in rows if r["model"] == "ResNet-50"]
+        assert views == ["Horovod", "DeAR", "DeAR (RS-only)", "DeAR (AG-only)"]
+
+    def test_dear_exposes_less_comm_than_horovod(self, rows):
+        for model in ("ResNet-50", "BERT-Base"):
+            horovod = next(
+                r for r in rows if r["model"] == model and r["view"] == "Horovod"
+            )
+            dear = next(r for r in rows if r["model"] == model and r["view"] == "DeAR")
+            assert dear["exposed_comm_s"] <= horovod["exposed_comm_s"] + 1e-9
+
+    def test_rs_exposure_below_ag_exposure(self, rows):
+        """§VI-F: reduce-scatter overlaps the longer backward pass, so
+        its exposure is smaller than all-gather's."""
+        for model in ("ResNet-50", "BERT-Base"):
+            rs = next(
+                r for r in rows
+                if r["model"] == model and r["view"] == "DeAR (RS-only)"
+            )
+            ag = next(
+                r for r in rows
+                if r["model"] == model and r["view"] == "DeAR (AG-only)"
+            )
+            assert rs["exposed_comm_s"] <= ag["exposed_comm_s"] + 1e-9
+
+    def test_ff_bp_same_across_views(self, rows):
+        for model in ("ResNet-50",):
+            ffs = {r["ff_s"] for r in rows if r["model"] == model}
+            assert len(ffs) == 1  # same backend, same compute (§VI-F)
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9(models=("resnet50",), bo_trials=6)
+
+    def test_bo_is_best_dear_variant(self, rows):
+        # Within 1%: BO is a stochastic tuner with a small trial budget
+        # here, and the claim is "matches or beats" the fixed policies.
+        for row in rows:
+            assert row["dear_bo"] >= row["dear_fb"] * 0.99
+            assert row["dear_bo"] >= row["dear_nl"] * 0.99
+            assert row["dear_bo"] >= row["dear_no_tf"] * 0.99
+
+    def test_fusion_matters_on_ethernet(self, rows):
+        eth = next(r for r in rows if "10GbE" in r["network"])
+        assert eth["bo_vs_no_tf"] > 1.3  # paper: 1.35x-4.54x
+
+    def test_bo_beats_horovod_fb(self, rows):
+        for row in rows:
+            assert row["bo_vs_horovod_fb"] > 1.0
+
+
+class TestFig10:
+    def test_bo_converges_fastest_on_average(self):
+        rows = fig10(models=("resnet50", "bert_base"), seeds=(0, 1, 2))
+        by_tuner = {}
+        for row in rows:
+            by_tuner.setdefault(row["tuner"], []).append(row["mean_trials"])
+        mean = lambda xs: sum(xs) / len(xs)
+        assert mean(by_tuner["bo"]) <= mean(by_tuner["random"])
+        assert mean(by_tuner["bo"]) <= mean(by_tuner["grid"])
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig11(workloads=(("resnet50", (16, 32, 64)),))
+
+    def test_dear_at_least_matches_best_rival(self, rows):
+        for row in rows:
+            assert row["dear_vs_best_other"] >= 0.999, row
+
+    def test_throughput_grows_with_batch(self, rows):
+        """Larger local batches amortise communication."""
+        values = [row["dear"] for row in rows]
+        assert values == sorted(values)
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        text = format_table([{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_throughput_objective_caches(self):
+        objective = throughput_objective("resnet50", "10gbe")
+        first = objective.true_value(25e6)
+        evaluations = objective.evaluations
+        second = objective.true_value(25e6)
+        assert first == second
+        assert objective.evaluations == evaluations
+
+    def test_objective_snaps_to_grid(self):
+        objective = throughput_objective("resnet50", "10gbe")
+        snapped = objective.snap(24.9e6)
+        assert snapped in set(objective.grid)

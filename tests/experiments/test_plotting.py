@@ -1,0 +1,94 @@
+"""Tests for the ASCII figure rendering."""
+
+import pytest
+
+from repro.experiments.plotting import bar_chart, grouped_bar_chart
+
+
+class TestBarChart:
+    def test_longest_bar_fills_width(self):
+        text = bar_chart([("a", 2.0), ("b", 1.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("a-long-label", 1.0)])
+        lines = text.splitlines()
+        bar_starts = {line.index("█") for line in lines}
+        assert len(bar_starts) == 1
+
+    def test_title_rendered(self):
+        text = bar_chart([("a", 1.0)], title="My Figure")
+        assert text.splitlines()[0] == "My Figure"
+
+    def test_values_printed_with_unit(self):
+        text = bar_chart([("a", 1.5)], unit="x")
+        assert "1.5x" in text
+
+    def test_zero_values_no_bar(self):
+        text = bar_chart([("a", 0.0), ("b", 1.0)])
+        lines = text.splitlines()
+        assert "█" not in lines[0]
+
+    def test_empty(self):
+        assert bar_chart([]) == "(no data)"
+
+    def test_fractional_cells_use_partial_blocks(self):
+        text = bar_chart([("a", 1.0), ("b", 0.55)], width=10)
+        partials = set("▏▎▍▌▋▊▉")
+        assert any(ch in partials for ch in text)
+
+
+class TestGroupedBarChart:
+    ROWS = [
+        {"model": "A", "x": 1.0, "y": 2.0},
+        {"model": "B", "x": 0.5, "y": 1.0},
+    ]
+
+    def test_one_block_per_row(self):
+        text = grouped_bar_chart(self.ROWS, "model", ["x", "y"])
+        assert "A:" in text and "B:" in text
+
+    def test_global_scale_across_groups(self):
+        text = grouped_bar_chart(self.ROWS, "model", ["x", "y"], width=8)
+        lines = [line for line in text.splitlines() if "█" in line]
+        # y of A is the global max -> 8 cells; x of B -> 2 cells.
+        assert max(line.count("█") for line in lines) == 8
+        assert min(line.count("█") for line in lines) == 2
+
+    def test_baseline_marked(self):
+        text = grouped_bar_chart(
+            self.ROWS, "model", ["x", "y"], baseline=1.0, unit="x"
+        )
+        assert "(baseline)" in text
+
+    def test_empty(self):
+        assert grouped_bar_chart([], "model", ["x"]) == "(no data)"
+
+
+class TestHarnessCharts:
+    def test_fig6_chart_renders(self):
+        from repro.experiments import fig6
+        from repro.experiments.fig6 import format_chart
+
+        rows = fig6(models=("resnet50",), networks=("10gbe",))
+        text = format_chart(rows)
+        assert "WFBP = 1.0" in text
+        assert "ResNet-50" in text
+
+    def test_fig8_chart_renders(self):
+        from repro.experiments import fig8
+        from repro.experiments.fig8 import format_chart
+
+        rows = fig8(models=("resnet50",))
+        text = format_chart(rows)
+        assert "DeAR (RS-only)" in text
+
+    def test_fig11_chart_renders(self):
+        from repro.experiments import fig11
+        from repro.experiments.fig11 import format_chart
+
+        rows = fig11(workloads=(("resnet50", (32, 64)),))
+        text = format_chart(rows)
+        assert "BS=32" in text and "BS=64" in text

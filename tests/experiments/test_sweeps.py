@@ -1,0 +1,45 @@
+"""Tests for the fabric sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sweeps import bandwidth_sweep, format_rows, latency_sweep
+
+
+class TestLatencySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return latency_sweep("resnet50", factors=(0.5, 1.0, 2.0))
+
+    def test_rows_shape(self, rows):
+        assert len(rows) == 3
+        assert rows[1]["latency_factor"] == 1.0
+        assert rows[1]["alpha_us"] == pytest.approx(23.0)
+
+    def test_advantage_grows_with_latency(self, rows):
+        advantages = [row["dear_advantage"] for row in rows]
+        assert advantages == sorted(advantages)
+
+    def test_both_slow_down(self, rows):
+        for key in ("dear_iter_s", "horovod_iter_s"):
+            series = [row[key] for row in rows]
+            assert series == sorted(series)
+
+    def test_format(self, rows):
+        assert "dear_advantage" in format_rows(rows)
+
+
+class TestBandwidthSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return bandwidth_sweep("bert_base", factors=(1.0, 4.0))
+
+    def test_more_bandwidth_is_faster(self, rows):
+        assert rows[1]["dear_iter_s"] < rows[0]["dear_iter_s"]
+        assert rows[1]["horovod_iter_s"] < rows[0]["horovod_iter_s"]
+
+    def test_bandwidth_labels(self, rows):
+        assert rows[0]["bandwidth_gbps"] == pytest.approx(10.0)
+        assert rows[1]["bandwidth_gbps"] == pytest.approx(40.0)
+
+    def test_dear_never_loses(self, rows):
+        assert all(row["dear_advantage"] >= 0.999 for row in rows)

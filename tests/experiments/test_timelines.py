@@ -1,0 +1,93 @@
+"""Tests for the Figs. 1-2 timeline reproduction."""
+
+import pytest
+
+from repro.experiments.plotting import ascii_timeline
+from repro.experiments.timelines import format_chart, format_rows, run
+from repro.sim.trace import Span
+
+
+class TestAsciiTimeline:
+    def _spans(self):
+        return [
+            Span("ff.0", "ff", "gpu.compute", 0.0, 1.0),
+            Span("bp.0", "bp", "gpu.compute", 1.0, 3.0),
+            Span("ar.0", "comm.ar", "gpu.comm", 1.5, 4.0),
+        ]
+
+    def test_lane_glyphs(self):
+        text = ascii_timeline(self._spans(), 0.0, 4.0, width=8)
+        compute, comm = [line for line in text.splitlines() if "|" in line]
+        assert "F" in compute and "B" in compute
+        assert "A" in comm
+
+    def test_idle_dots(self):
+        text = ascii_timeline(self._spans(), 0.0, 4.0, width=8)
+        comm = [line for line in text.splitlines() if "comm" in line][0]
+        assert comm.split("|")[1].startswith("..")
+
+    def test_proportions(self):
+        text = ascii_timeline(self._spans(), 0.0, 4.0, width=40)
+        compute = [line for line in text.splitlines() if "compute" in line][0]
+        bar = compute.split("|")[1]
+        assert bar.count("F") == 10  # 1.0 of 4.0 over 40 columns
+        assert bar.count("B") == 20
+
+    def test_legend_present(self):
+        text = ascii_timeline(self._spans(), 0.0, 4.0)
+        assert "R=comm.rs" in text and ".=idle" in text
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ascii_timeline(self._spans(), 2.0, 1.0)
+
+
+class TestTimelinesHarness:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run()
+
+    def test_five_panels(self, rows):
+        assert len(rows) == 5
+        assert [row["scheduler"] for row in rows] == [
+            "wfbp", "wfbp", "bytescheduler", "dear", "dear",
+        ]
+
+    def test_orderings_match_figures(self, rows):
+        by_panel = {row["panel"]: row for row in rows}
+        wfbp = by_panel["Fig 1(b)  WFBP"]
+        fused = by_panel["Fig 1(c)  WFBP + fusion"]
+        bytesched = by_panel["Fig 1(d)  ByteScheduler"]
+        dear = by_panel["Fig 2(b)  DeAR w/o fusion"]
+        dear_fused = by_panel["Fig 2(c)  DeAR + fusion"]
+        assert fused["iteration_ms"] <= wfbp["iteration_ms"]
+        assert dear["iteration_ms"] <= wfbp["iteration_ms"]
+        assert dear_fused["iteration_ms"] <= fused["iteration_ms"]
+        assert bytesched["iteration_ms"] >= wfbp["iteration_ms"]
+
+    def test_chart_shows_dear_feedpipe(self, rows):
+        """DeAR's panel must show all-gathers (G) while FF runs — the
+        FeedPipe overlap that is the paper's whole point."""
+        text = format_chart(rows)
+        dear_block = text.split("Fig 2(c)")[1]
+        compute, comm = [
+            line.split("|")[1] for line in dear_block.splitlines() if "|" in line
+        ]
+        ff_columns = {i for i, c in enumerate(compute) if c == "F"}
+        ag_columns = {i for i, c in enumerate(comm) if c == "G"}
+        assert ff_columns & ag_columns  # simultaneous FF and AG
+
+    def test_chart_shows_wfbp_serialised_forward(self, rows):
+        """WFBP's panel must show NO communication under feed-forward."""
+        text = format_chart(rows)
+        wfbp_block = text.split("Fig 1(b)")[1].split("Fig 1(c)")[0]
+        compute, comm = [
+            line.split("|")[1] for line in wfbp_block.splitlines() if "|" in line
+        ]
+        ff_columns = {i for i, c in enumerate(compute) if c == "F"}
+        busy_comm = {i for i, c in enumerate(comm) if c != "."}
+        assert not (ff_columns & busy_comm)
+
+    def test_format_rows_hides_internal_fields(self, rows):
+        text = format_rows(rows)
+        assert "_result" not in text

@@ -1,0 +1,128 @@
+"""Architecture enumerations must reproduce Table I exactly."""
+
+import pytest
+
+from repro.experiments.paper_data import TABLE1
+from repro.models.zoo import MODEL_NAMES, get_model, register_model, table1_rows
+
+
+class TestTable1Exact:
+    """The paper's Table I, checked to the digit."""
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_layer_count(self, name):
+        _, layers, _, _ = TABLE1[name]
+        assert get_model(name).num_layers == layers
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_tensor_count(self, name):
+        _, _, tensors, _ = TABLE1[name]
+        assert get_model(name).num_tensors == tensors
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_parameter_count_within_half_percent(self, name):
+        _, _, _, params_millions = TABLE1[name]
+        got = get_model(name).num_parameters / 1e6
+        assert got == pytest.approx(params_millions, rel=0.005)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_batch_size(self, name):
+        batch_size, _, _, _ = TABLE1[name]
+        assert get_model(name).default_batch_size == batch_size
+
+
+class TestArchitectureStructure:
+    def test_resnet50_conv_bn_fc_split(self):
+        model = get_model("resnet50")
+        kinds = [layer.kind for layer in model.layers]
+        assert kinds.count("conv") == 53
+        assert kinds.count("bn") == 53
+        assert kinds.count("fc") == 1
+
+    def test_densenet201_conv_bn_fc_split(self):
+        model = get_model("densenet201")
+        kinds = [layer.kind for layer in model.layers]
+        assert kinds.count("conv") == 200
+        assert kinds.count("bn") == 201
+        assert kinds.count("fc") == 1
+
+    def test_inception_v4_conv_count(self):
+        model = get_model("inception_v4")
+        kinds = [layer.kind for layer in model.layers]
+        assert kinds.count("conv") == 149
+        assert kinds.count("bn") == 149
+
+    def test_bert_base_encoder_structure(self):
+        model = get_model("bert_base")
+        encoder_layers = [l for l in model.layers if l.name.startswith("encoder.")]
+        assert len(encoder_layers) == 12 * 8
+
+    def test_bert_large_doubles_encoder(self):
+        base = get_model("bert_base")
+        large = get_model("bert_large")
+        base_encoder = sum(1 for l in base.layers if l.name.startswith("encoder."))
+        large_encoder = sum(1 for l in large.layers if l.name.startswith("encoder."))
+        assert large_encoder == 2 * base_encoder
+
+    def test_bert_decoder_weight_tied(self):
+        """The MLM decoder contributes only a bias (weight tied)."""
+        model = get_model("bert_base")
+        decoder = next(l for l in model.layers if l.name == "cls.predictions.decoder")
+        assert len(decoder.tensors) == 1
+        assert decoder.tensors[0].name.endswith("bias")
+
+    def test_all_models_have_positive_flops(self):
+        for name in MODEL_NAMES:
+            model = get_model(name)
+            assert model.total_flops > 0
+            assert all(layer.flops >= 0 for layer in model.layers)
+
+    def test_resnet_flops_plausible(self):
+        """ResNet-50 at 224x224 is ~4.1 GMACs ~ 8.2 GFLOPs (2 per MAC)."""
+        model = get_model("resnet50")
+        assert 7e9 < model.total_flops < 9e9
+
+    def test_densenet_flops_plausible(self):
+        """DenseNet-201 is ~4.34 GMACs ~ 8.7 GFLOPs."""
+        model = get_model("densenet201")
+        assert 8e9 < model.total_flops < 9.5e9
+
+    def test_inception_flops_plausible(self):
+        """Inception-v4 at 299x299 is ~12.3 GMACs ~ 24.6 GFLOPs."""
+        model = get_model("inception_v4")
+        assert 22e9 < model.total_flops < 27e9
+
+    def test_tensor_names_unique_per_model(self):
+        for name in MODEL_NAMES:
+            tensors = get_model(name).tensors_forward_order()
+            names = [t.name for t in tensors]
+            assert len(names) == len(set(names))
+
+
+class TestRegistry:
+    def test_aliases(self):
+        assert get_model("ResNet-50") is get_model("resnet50")
+        assert get_model("BERT-Base") is get_model("bert_base")
+        assert get_model("Inception-v4") is get_model("inception_v4")
+
+    def test_models_cached(self):
+        assert get_model("resnet50") is get_model("resnet50")
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("alexnet-9000")
+
+    def test_table1_rows_complete(self):
+        rows = table1_rows()
+        assert len(rows) == 5
+        assert [row["model"] for row in rows] == [
+            "ResNet-50", "DenseNet-201", "Inception-v4", "BERT-Base", "BERT-Large",
+        ]
+
+    def test_register_custom_model(self):
+        from tests.conftest import build_tiny_model
+
+        register_model("tiny_custom_xyz", build_tiny_model)
+        assert get_model("tiny_custom_xyz").name == "tiny"
+        with pytest.raises(ValueError):
+            register_model("tiny_custom_xyz", build_tiny_model)

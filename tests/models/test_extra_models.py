@@ -1,0 +1,76 @@
+"""Tests for the extension architectures (VGG-16, GPT-2-small)."""
+
+import pytest
+
+from repro.models.zoo import MODEL_NAMES, get_model
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import simulate
+
+
+class TestVGG16:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return get_model("vgg16")
+
+    def test_canonical_counts(self, model):
+        assert model.num_layers == 16  # 13 conv + 3 fc
+        assert model.num_tensors == 32
+        assert model.num_parameters == pytest.approx(138.36e6, rel=0.001)
+
+    def test_fc_dominates_parameters(self, model):
+        """VGG's signature: ~90% of parameters in the three FC layers —
+        the opposite scheduling profile to DenseNet."""
+        fc_params = sum(
+            l.num_parameters for l in model.layers if l.kind == "fc"
+        )
+        assert fc_params / model.num_parameters > 0.85
+
+    def test_first_fc_is_giant(self, model):
+        largest = max(model.tensors_forward_order(), key=lambda t: t.num_elements)
+        assert largest.num_elements == 512 * 7 * 7 * 4096
+
+    def test_schedulable_with_explicit_compute(self, model):
+        result = simulate(
+            "dear", model, cluster_10gbe(), fusion="buffer",
+            buffer_bytes=25e6, iteration_compute=0.3,
+        )
+        assert result.iteration_time > 0
+
+    def test_alias(self, model):
+        assert get_model("VGG-16") is model
+
+
+class TestGPT2Small:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return get_model("gpt2_small")
+
+    def test_canonical_counts(self, model):
+        assert model.num_parameters == pytest.approx(124.44e6, rel=0.001)
+        assert model.num_layers == 2 + 12 * 6 + 1
+        assert model.num_tensors == 2 + 12 * 12 + 2
+
+    def test_block_parameters_match_bert_base_scale(self, model):
+        """GPT-2 and BERT-Base share the 768-hidden transformer block
+        (~7.09M parameters per layer)."""
+        block0 = [l for l in model.layers if l.name.startswith("h.0.")]
+        assert sum(l.num_parameters for l in block0) == pytest.approx(
+            7.09e6, rel=0.01
+        )
+
+    def test_tied_head_has_no_decoder_tensor(self, model):
+        assert not any("lm_head" in t.name for t in model.tensors_forward_order())
+
+    def test_schedulable(self, model):
+        result = simulate(
+            "wfbp", model, cluster_10gbe(), iteration_compute=0.5
+        )
+        assert result.iteration_time > 0
+
+    def test_not_in_paper_zoo(self, model):
+        assert "gpt2_small" not in MODEL_NAMES
+        assert "vgg16" not in MODEL_NAMES
+
+    def test_requires_explicit_compute(self, model):
+        with pytest.raises(KeyError):
+            simulate("wfbp", model, cluster_10gbe())

@@ -1,0 +1,125 @@
+"""Unit tests for layer/tensor/model specifications."""
+
+import pytest
+
+from repro.models.layers import (
+    GRADIENT_DTYPE_BYTES,
+    LayerSpec,
+    ModelBuilder,
+    ModelSpec,
+    TensorSpec,
+)
+
+
+class TestTensorSpec:
+    def test_nbytes_is_fp32(self):
+        tensor = TensorSpec("t", num_elements=100, layer_index=0)
+        assert tensor.nbytes == 100 * GRADIENT_DTYPE_BYTES
+
+    def test_empty_tensor_rejected(self):
+        with pytest.raises(ValueError):
+            TensorSpec("t", num_elements=0, layer_index=0)
+
+
+class TestLayerSpec:
+    def test_parameter_totals(self):
+        layer = LayerSpec(
+            "l", "conv", 0,
+            tensors=(
+                TensorSpec("l.w", 10, 0),
+                TensorSpec("l.b", 5, 0),
+            ),
+            flops=1.0,
+        )
+        assert layer.num_parameters == 15
+        assert layer.nbytes == 60
+
+    def test_tensor_layer_index_validated(self):
+        with pytest.raises(ValueError):
+            LayerSpec("l", "conv", 0, tensors=(TensorSpec("t", 1, 3),), flops=1.0)
+
+    def test_negative_flops_rejected(self):
+        with pytest.raises(ValueError):
+            LayerSpec("l", "conv", 0, tensors=(), flops=-1.0)
+
+
+class TestModelBuilder:
+    def test_conv_parameter_count(self):
+        builder = ModelBuilder("m", "M", 8)
+        layer = builder.conv("c", cin=3, cout=16, kernel=3, out_hw=10)
+        assert layer.num_parameters == 3 * 16 * 9
+        assert layer.flops == 2.0 * 3 * 16 * 9 * 100
+
+    def test_asymmetric_kernel(self):
+        builder = ModelBuilder("m", "M", 8)
+        layer = builder.conv("c", 8, 8, kernel=0, out_hw=4, kernel_h=1, kernel_w=7)
+        assert layer.num_parameters == 8 * 8 * 7
+
+    def test_bn_has_weight_and_bias(self):
+        builder = ModelBuilder("m", "M", 8)
+        layer = builder.bn("b", channels=32, out_hw=5)
+        assert [t.name for t in layer.tensors] == ["b.weight", "b.bias"]
+        assert layer.num_parameters == 64
+
+    def test_fc_with_and_without_bias(self):
+        builder = ModelBuilder("m", "M", 8)
+        with_bias = builder.fc("f1", 10, 4)
+        without = builder.fc("f2", 10, 4, bias=False)
+        assert with_bias.num_parameters == 44
+        assert without.num_parameters == 40
+
+    def test_indices_assigned_sequentially(self):
+        builder = ModelBuilder("m", "M", 8)
+        builder.fc("a", 2, 2)
+        builder.fc("b", 2, 2)
+        model = builder.build()
+        assert [layer.index for layer in model.layers] == [0, 1]
+
+
+class TestModelSpec:
+    def _model(self) -> ModelSpec:
+        builder = ModelBuilder("m", "M", 8)
+        builder.conv("conv", 3, 8, kernel=3, out_hw=4)
+        builder.bn("bn", 8, 4)
+        builder.fc("fc", 8, 2)
+        return builder.build()
+
+    def test_counts(self):
+        model = self._model()
+        assert model.num_layers == 3
+        # conv weight + bn weight + bn bias + fc weight + fc bias
+        assert model.num_tensors == 5
+
+    def test_gradient_bytes(self):
+        model = self._model()
+        assert model.gradient_bytes == model.num_parameters * 4
+
+    def test_forward_order_preserves_layer_order(self):
+        model = self._model()
+        names = [t.name for t in model.tensors_forward_order()]
+        assert names == ["conv.weight", "bn.weight", "bn.bias", "fc.weight", "fc.bias"]
+
+    def test_backward_order_reverses_everything(self):
+        model = self._model()
+        names = [t.name for t in model.tensors_backward_order()]
+        assert names == ["fc.bias", "fc.weight", "bn.bias", "bn.weight", "conv.weight"]
+
+    def test_backward_order_is_reverse_of_forward(self):
+        model = self._model()
+        assert model.tensors_backward_order() == list(
+            reversed(model.tensors_forward_order())
+        )
+
+    def test_layers_backward_order(self):
+        model = self._model()
+        assert [l.name for l in model.layers_backward_order()] == ["fc", "bn", "conv"]
+
+    def test_duplicate_tensor_names_rejected(self):
+        builder = ModelBuilder("m", "M", 8)
+        builder.fc("same", 2, 2)
+        builder.fc("same", 2, 2)
+        with pytest.raises(ValueError):
+            builder.build()
+
+    def test_describe(self):
+        assert "M:" in self._model().describe()

@@ -1,0 +1,114 @@
+"""Tests for the calibrated timing profiles."""
+
+import pytest
+
+from repro.models.profiles import (
+    CALIBRATED_ITERATION_COMPUTE,
+    TimingModel,
+    batch_scale,
+    build_profile,
+)
+from repro.models.zoo import MODEL_NAMES, get_model
+
+
+class TestBuildProfile:
+    def test_total_matches_calibration(self):
+        model = get_model("resnet50")
+        profile = build_profile(model)
+        assert profile.iteration_compute == pytest.approx(
+            CALIBRATED_ITERATION_COMPUTE["resnet50"]
+        )
+
+    def test_ff_is_one_third(self):
+        """The paper's assumption: FF ~ 1/3 of compute, BP ~ 2/3."""
+        profile = build_profile(get_model("bert_base"))
+        assert profile.total_ff == pytest.approx(profile.iteration_compute / 3)
+        assert profile.total_bp == pytest.approx(2 * profile.total_ff)
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_every_layer_time_positive(self, name):
+        profile = build_profile(get_model(name))
+        assert all(t > 0 for t in profile.ff_times)
+        assert all(t > 0 for t in profile.bp_times)
+
+    def test_flop_heavy_layers_get_more_time(self):
+        model = get_model("resnet50")
+        profile = build_profile(model)
+        heaviest = max(range(model.num_layers), key=lambda i: model.layers[i].flops)
+        lightest = min(range(model.num_layers), key=lambda i: model.layers[i].flops)
+        assert profile.ff_times[heaviest] > profile.ff_times[lightest]
+
+    def test_override_iteration_compute(self):
+        profile = build_profile(get_model("resnet50"), iteration_compute=1.0)
+        assert profile.iteration_compute == pytest.approx(1.0)
+
+    def test_uncalibrated_model_requires_override(self):
+        from repro.models.layers import ModelBuilder
+
+        builder = ModelBuilder("never_calibrated", "NC", 8)
+        builder.fc("fc", 4, 4)
+        model = builder.build()
+        with pytest.raises(KeyError):
+            build_profile(model)
+        profile = build_profile(model, iteration_compute=0.1)
+        assert profile.iteration_compute == pytest.approx(0.1)
+
+    def test_compute_scale(self):
+        base = build_profile(get_model("resnet50"))
+        slow = build_profile(get_model("resnet50"), compute_scale=2.0)
+        assert slow.iteration_compute == pytest.approx(2 * base.iteration_compute)
+
+    def test_bad_ff_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            build_profile(get_model("resnet50"), ff_fraction=1.5)
+
+    def test_throughput(self):
+        profile = build_profile(get_model("resnet50"))
+        assert profile.single_gpu_throughput == pytest.approx(
+            64 / profile.iteration_compute
+        )
+
+
+class TestBatchScaling:
+    def test_reference_batch_is_unit_scale(self):
+        assert batch_scale(64, 64) == pytest.approx(1.0)
+
+    def test_halving_batch_does_not_halve_time(self):
+        """The fixed-overhead fraction keeps small batches inefficient."""
+        assert batch_scale(32, 64) > 0.5
+
+    def test_doubling_batch_less_than_doubles_time(self):
+        assert batch_scale(128, 64) < 2.0
+
+    def test_monotone(self):
+        scales = [batch_scale(bs, 64) for bs in (8, 16, 32, 64, 128)]
+        assert scales == sorted(scales)
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_scale(0, 64)
+
+    def test_profile_uses_batch_scaling(self):
+        full = build_profile(get_model("resnet50"), batch_size=64)
+        half = build_profile(get_model("resnet50"), batch_size=32)
+        assert half.iteration_compute < full.iteration_compute
+        assert half.iteration_compute > full.iteration_compute / 2
+
+
+class TestTimingModel:
+    def test_accessors(self):
+        timing = TimingModel.for_model(get_model("resnet50"))
+        assert timing.t_ff == pytest.approx(timing.profile.total_ff)
+        assert timing.t_bp == pytest.approx(timing.profile.total_bp)
+        assert timing.ff_time(0) == timing.profile.ff_times[0]
+        assert timing.bp_time(5) == timing.profile.bp_times[5]
+        assert timing.batch_size == 64
+
+    def test_calibration_derived_from_table2(self):
+        """Sanity on the back-derivation: ResNet-50's calibrated compute
+        must put its 10GbE S^max near the paper's 61.6."""
+        from repro.analysis.speedup import max_speedup_for
+        from repro.network.presets import cluster_10gbe
+
+        s_max = max_speedup_for(get_model("resnet50"), cluster_10gbe())
+        assert s_max == pytest.approx(61.6, rel=0.02)

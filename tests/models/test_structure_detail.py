@@ -1,0 +1,162 @@
+"""Fine-grained structural validation of the architecture enumerations.
+
+Beyond Table I's totals, these check per-component subtotals against
+the published architectures — the kind of cross-check that catches an
+enumeration that gets the right total for the wrong reasons.
+"""
+
+import pytest
+
+from repro.models.zoo import get_model
+
+
+class TestResNet50Detail:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return get_model("resnet50")
+
+    def test_stem_parameters(self, model):
+        conv1 = next(l for l in model.layers if l.name == "conv1")
+        assert conv1.num_parameters == 3 * 64 * 49  # 7x7x3 -> 64
+
+    def test_stage_block_counts(self, model):
+        for stage, blocks in ((1, 3), (2, 4), (3, 6), (4, 3)):
+            convs = [
+                l for l in model.layers
+                if l.name.startswith(f"layer{stage}.") and l.kind == "conv"
+            ]
+            # 3 convs per bottleneck + 1 downsample conv in block 0.
+            assert len(convs) == 3 * blocks + 1
+
+    def test_classifier_shape(self, model):
+        fc = next(l for l in model.layers if l.name == "fc")
+        assert fc.num_parameters == 2048 * 1000 + 1000
+
+    def test_largest_tensor_is_fc_weight(self, model):
+        largest = max(model.tensors_forward_order(), key=lambda t: t.num_elements)
+        # ResNet-50's biggest single tensor is a layer4 3x3 conv
+        # (512*512*9 = 2.36M), bigger than the fc (2.048M).
+        assert largest.num_elements == 512 * 512 * 9
+
+    def test_downsample_projections(self, model):
+        downsamples = [
+            l for l in model.layers if "downsample" in l.name and l.kind == "conv"
+        ]
+        assert len(downsamples) == 4  # one per stage
+
+
+class TestDenseNet201Detail:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return get_model("densenet201")
+
+    def test_block_layer_counts(self, model):
+        for block, layers in ((1, 6), (2, 12), (3, 48), (4, 32)):
+            names = {
+                l.name.split(".")[2]
+                for l in model.layers
+                if l.name.startswith(f"features.denseblock{block}.")
+            }
+            assert len(names) == layers
+
+    def test_feature_growth(self, model):
+        """Final norm sees 1920 channels: 896 + 32 x 32 growth."""
+        final_norm = next(l for l in model.layers if l.name == "features.norm5")
+        assert final_norm.num_parameters == 2 * 1920
+
+    def test_transitions_halve_features(self, model):
+        t1 = next(l for l in model.layers if l.name == "features.transition1.conv")
+        assert t1.num_parameters == 256 * 128  # 1x1: 256 -> 128
+
+    def test_most_tensors_are_tiny(self, model):
+        """The paper's point about DenseNet: hundreds of tiny tensors
+        (the 402 BN weight/bias vectors), making it the most
+        startup-latency-sensitive model in the zoo."""
+        sizes = [t.num_elements for t in model.tensors_forward_order()]
+        tiny = sum(1 for s in sizes if s < 2000)
+        assert tiny >= 400
+        # At 4 bytes each, the median tensor is ~4 KB on the wire.
+        median = sorted(sizes)[len(sizes) // 2]
+        assert median * 4 < 8192
+
+
+class TestInceptionV4Detail:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return get_model("inception_v4")
+
+    def test_block_multiplicities(self, model):
+        assert sum(
+            1 for l in model.layers
+            if l.name.startswith("inception_a.") and l.kind == "conv"
+        ) == 4 * 7
+        assert sum(
+            1 for l in model.layers
+            if l.name.startswith("inception_b.") and l.kind == "conv"
+        ) == 7 * 10
+        assert sum(
+            1 for l in model.layers
+            if l.name.startswith("inception_c.") and l.kind == "conv"
+        ) == 3 * 10
+
+    def test_stem_conv_count(self, model):
+        assert sum(
+            1 for l in model.layers
+            if l.name.startswith("stem.") and l.kind == "conv"
+        ) == 11
+
+    def test_classifier_input_width(self, model):
+        fc = next(l for l in model.layers if l.name == "last_linear")
+        assert fc.num_parameters == 1536 * 1000 + 1000
+
+
+class TestBertDetail:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return get_model("bert_base")
+
+    @pytest.fixture(scope="class")
+    def large(self):
+        return get_model("bert_large")
+
+    def test_encoder_layer_parameters(self, base):
+        """One BERT-Base encoder layer holds ~7.09M parameters."""
+        layer0 = [
+            l for l in base.layers if l.name.startswith("encoder.layer.0.")
+        ]
+        total = sum(l.num_parameters for l in layer0)
+        assert total == pytest.approx(7.09e6, rel=0.01)
+
+    def test_embedding_dominates(self, base):
+        word = next(
+            l for l in base.layers if l.name == "embeddings.word_embeddings"
+        )
+        assert word.num_parameters == 30522 * 768
+        largest = max(base.tensors_forward_order(), key=lambda t: t.num_elements)
+        assert largest.name.startswith("embeddings.word_embeddings")
+
+    def test_large_layer_parameters(self, large):
+        layer0 = [
+            l for l in large.layers if l.name.startswith("encoder.layer.0.")
+        ]
+        total = sum(l.num_parameters for l in layer0)
+        assert total == pytest.approx(12.59e6, rel=0.01)
+
+    def test_intermediate_is_4x_hidden(self, base):
+        inter = next(
+            l for l in base.layers if l.name == "encoder.layer.0.intermediate.dense"
+        )
+        assert inter.num_parameters == 768 * 3072 + 3072
+
+    def test_parameter_balance_claim(self, base):
+        """§VI-G: BERT has 'a very balanced distribution of parameters'
+        — encoder layers are identical, so consecutive-layer fusion
+        (DeAR-NL) produces near-equal groups."""
+        layer_totals = [
+            sum(
+                l.num_parameters for l in base.layers
+                if l.name.startswith(f"encoder.layer.{index}.")
+            )
+            for index in range(12)
+        ]
+        assert len(set(layer_totals)) == 1

@@ -1,0 +1,44 @@
+"""Tests for the calibrated presets and the paper testbed."""
+
+import pytest
+
+from repro.network.presets import (
+    ETHERNET_10G,
+    INFINIBAND_100G,
+    cluster_100gbib,
+    cluster_10gbe,
+    paper_testbed,
+)
+
+
+class TestPresets:
+    def test_10gbe_wire_rate(self):
+        assert ETHERNET_10G.bandwidth == pytest.approx(1.25e9)
+
+    def test_ib_effective_bandwidth_below_wire_rate(self):
+        # Calibrated to Table II; must stay below the 12.5 GB/s wire rate.
+        assert 4e9 < INFINIBAND_100G.bandwidth < 12.5e9
+
+    def test_ib_lower_latency_than_ethernet(self):
+        assert INFINIBAND_100G.latency < ETHERNET_10G.latency
+
+    def test_testbed_shape(self):
+        cluster = cluster_10gbe()
+        assert cluster.nodes == 16
+        assert cluster.gpus_per_node == 4
+        assert cluster.world_size == 64
+
+    def test_ib_testbed_shares_shape(self):
+        assert cluster_100gbib().world_size == cluster_10gbe().world_size
+
+    def test_paper_testbed_lookup(self):
+        assert paper_testbed("10gbe").inter_link is ETHERNET_10G
+        assert paper_testbed("100GbIB").inter_link is INFINIBAND_100G
+        assert paper_testbed("InfiniBand").inter_link is INFINIBAND_100G
+
+    def test_paper_testbed_unknown(self):
+        with pytest.raises(ValueError):
+            paper_testbed("carrier-pigeon")
+
+    def test_custom_sizes(self):
+        assert cluster_10gbe(nodes=2, gpus_per_node=8).world_size == 16

@@ -1,0 +1,84 @@
+"""Tests for the scheduler interface, registry, and measurement logic."""
+
+import pytest
+
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.schedulers.base import (
+    SCHEDULER_NAMES,
+    get_scheduler,
+    simulate,
+    single_gpu_result,
+)
+from tests.conftest import build_tiny_model
+
+
+class TestRegistry:
+    def test_all_names_resolvable(self):
+        for name in SCHEDULER_NAMES:
+            assert get_scheduler(name).name == name
+
+    def test_dash_normalised(self):
+        assert get_scheduler("mg-wfbp").name == "mg_wfbp"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError):
+            get_scheduler("chronos")
+
+    def test_options_forwarded(self):
+        scheduler = get_scheduler("dear", fusion="buffer", buffer_bytes=1e6)
+        assert scheduler.fusion == "buffer"
+        assert scheduler.buffer_bytes == 1e6
+
+
+class TestMeasurement:
+    def test_steady_state_gaps_converge(self, tiny_model, ethernet_cluster):
+        result = simulate("wfbp", tiny_model, ethernet_cluster, iterations=6)
+        gaps = result.iteration_times
+        assert len(gaps) == 5
+        # after warm-up, consecutive gaps must agree
+        assert gaps[-1] == pytest.approx(gaps[-2], rel=1e-9)
+
+    def test_minimum_iterations_enforced(self, tiny_timing, ethernet_cost):
+        with pytest.raises(ValueError):
+            get_scheduler("wfbp").run(tiny_timing, ethernet_cost, iterations=2)
+
+    def test_throughput_definitions(self, tiny_model, ethernet_cluster):
+        result = simulate("wfbp", tiny_model, ethernet_cluster)
+        assert result.throughput == pytest.approx(
+            result.world_size * result.batch_size / result.iteration_time
+        )
+        assert result.per_gpu_throughput == pytest.approx(
+            result.batch_size / result.iteration_time
+        )
+
+    def test_speedup_over_requires_same_batch(self, tiny_model, ethernet_cluster):
+        a = simulate("wfbp", tiny_model, ethernet_cluster)
+        b = simulate("dear", tiny_model, ethernet_cluster, fusion="none",
+                     batch_size=4)
+        with pytest.raises(ValueError):
+            a.speedup_over(b)
+
+    def test_scaling_speedup(self, tiny_model, ethernet_cluster):
+        single = single_gpu_result(tiny_model)
+        # the tiny model has no calibrated profile; use explicit compute
+        assert single.world_size == 1
+
+    def test_result_extras_describe_options(self, tiny_model, ethernet_cluster):
+        result = simulate(
+            "dear", tiny_model, ethernet_cluster, fusion="buffer", buffer_bytes=2e6
+        )
+        assert result.extras["fusion"] == "buffer"
+        assert result.extras["buffer_bytes"] == 2e6
+
+
+class TestSingleGpu:
+    def test_iteration_is_pure_compute(self, resnet50):
+        result = single_gpu_result(resnet50)
+        assert result.iteration_time == pytest.approx(result.t_ff + result.t_bp)
+        assert result.exposed_comm == 0.0
+
+    def test_batch_size_override(self, resnet50):
+        full = single_gpu_result(resnet50)
+        half = single_gpu_result(resnet50, batch_size=32)
+        assert half.iteration_time < full.iteration_time

@@ -1,0 +1,200 @@
+"""Closed-form validation: the DES must match hand-derivable schedules.
+
+In degenerate regimes every scheduler's steady-state iteration time has
+an exact closed form; these tests pin the simulator to them.
+"""
+
+import pytest
+
+from repro.core.fusion import no_fusion_groups
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.fabric import ClusterSpec, LinkSpec
+from repro.schedulers.base import get_scheduler
+from tests.conftest import build_tiny_model
+
+
+def _cluster(latency: float, bandwidth: float) -> ClusterSpec:
+    link = LinkSpec("test", latency=latency, bandwidth=bandwidth)
+    return ClusterSpec(
+        name="test", nodes=8, gpus_per_node=1, inter_link=link, intra_link=link
+    )
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_tiny_model()
+
+
+@pytest.fixture(scope="module")
+def timing(model):
+    return TimingModel.for_model(model, iteration_compute=0.03)
+
+
+ALL_SCHEDULERS = [
+    ("serial", {}),
+    ("wfbp", {}),
+    ("ddp", {"buffer_bytes": 25e6, "launch_overhead": 0.0}),
+    ("horovod", {"buffer_bytes": 25e6, "cycle_time": 0.0}),
+    ("mg_wfbp", {}),
+    ("bytescheduler", {"negotiate": False}),
+    ("dear", {"fusion": "none"}),
+    ("dear", {"fusion": "buffer", "buffer_bytes": 25e6}),
+    ("zero", {"buffer_bytes": 25e6}),
+]
+
+
+class TestFreeCommunicationRegime:
+    """Near-infinite bandwidth + zero latency: every scheduler collapses
+    to pure compute, t_ff + t_bp (except ZeRO, whose backward gathers
+    are still on the compute critical path only via gates — also free)."""
+
+    @pytest.mark.parametrize("name,options", ALL_SCHEDULERS)
+    def test_iteration_is_pure_compute(self, timing, name, options):
+        cost = CollectiveTimeModel(_cluster(latency=0.0, bandwidth=1e18))
+        result = get_scheduler(name, **options).run(timing, cost)
+        if name == "horovod":
+            # Horovod still pays its (tiny but nonzero) negotiation.
+            assert result.iteration_time == pytest.approx(
+                timing.t_ff + timing.t_bp, rel=1e-6
+            )
+        else:
+            assert result.iteration_time == pytest.approx(
+                timing.t_ff + timing.t_bp, rel=1e-9
+            )
+
+
+class TestCommunicationDominatedRegime:
+    """Communication >> compute: the comm stream is the bottleneck and
+    the iteration equals the serialised communication time exactly."""
+
+    @pytest.fixture(scope="class")
+    def slow_cost(self):
+        # Low bandwidth makes comm ~50x compute.
+        return CollectiveTimeModel(_cluster(latency=0.0, bandwidth=2e6))
+
+    @staticmethod
+    def _restart_gap(timing):
+        """The comm stream's unavoidable idle per cycle: the next
+        iteration's first gradient arrives only after the forward pass
+        and the last layer's backward kernel."""
+        return timing.t_ff + timing.bp_time(timing.model.num_layers - 1)
+
+    def test_wfbp_equals_total_allreduce_time(self, model, timing, slow_cost):
+        result = get_scheduler("wfbp").run(timing, slow_cost)
+        total = sum(
+            slow_cost.all_reduce(t.nbytes)
+            for t in model.tensors_backward_order()
+        )
+        expected = total + self._restart_gap(timing)
+        assert result.iteration_time == pytest.approx(expected, rel=1e-9)
+
+    def test_dear_restart_gap_is_per_layer_not_per_pass(
+        self, model, timing, slow_cost
+    ):
+        """FeedPipe quantified: DeAR's all-gathers run *under* the next
+        forward pass, so its comm stream only idles for the LAST layer's
+        forward + backward kernels — per-layer, where WFBP's gap is the
+        whole forward pass (the previous test)."""
+        result = get_scheduler("dear", fusion="none").run(timing, slow_cost)
+        total = sum(
+            slow_cost.reduce_scatter(t.nbytes) + slow_cost.all_gather(t.nbytes)
+            for t in model.tensors_backward_order()
+        )
+        last = model.num_layers - 1
+        dear_gap = timing.ff_time(last) + timing.bp_time(last)
+        assert result.iteration_time == pytest.approx(total + dear_gap, rel=1e-9)
+
+    def test_dear_beats_wfbp_by_exactly_the_gap_difference(self, timing, slow_cost):
+        """Same bytes on one serial comm stream: the only difference in
+        the comm-bound regime is the restart gap, which is where the
+        'saved at most one t_ff' of Eq. 9 lives."""
+        wfbp = get_scheduler("wfbp").run(timing, slow_cost)
+        dear = get_scheduler("dear", fusion="none").run(timing, slow_cost)
+        last = timing.model.num_layers - 1
+        gap_difference = self._restart_gap(timing) - (
+            timing.ff_time(last) + timing.bp_time(last)
+        )
+        assert wfbp.iteration_time - dear.iteration_time == pytest.approx(
+            gap_difference, rel=1e-9
+        )
+
+    def test_zero_single_group_pays_full_backward(self, model, timing, slow_cost):
+        """With one FSDP unit, ZeRO's backward cannot start until the
+        whole backward gather lands and its reduce-scatter cannot start
+        until the whole backward pass ends: cycle = 3m comm + t_bp."""
+        zero = get_scheduler("zero", buffer_bytes=1e12).run(timing, slow_cost)
+        m = model.gradient_bytes
+        expected = (
+            2 * slow_cost.all_gather(m)
+            + slow_cost.reduce_scatter(m)
+            + timing.t_bp
+        )
+        assert zero.iteration_time == pytest.approx(expected, rel=1e-9)
+
+    def test_zero_approaches_1_5x_dear_when_comm_bound(self, timing, slow_cost):
+        dear = get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+            timing, slow_cost
+        )
+        zero = get_scheduler("zero", buffer_bytes=25e6).run(timing, slow_cost)
+        # Volumes are 3m vs 2m; the residual compute gaps shift the
+        # ratio only slightly at comm ~50x compute.
+        assert zero.iteration_time / dear.iteration_time == pytest.approx(
+            1.5, rel=0.05
+        )
+
+    def test_horovod_overhead_is_exactly_per_group_negotiation(
+        self, model, timing, slow_cost
+    ):
+        ddp = get_scheduler("ddp", buffer_bytes=25e6, launch_overhead=0.0).run(
+            timing, slow_cost
+        )
+        cycle = 2e-3
+        horovod = get_scheduler(
+            "horovod", buffer_bytes=25e6, cycle_time=cycle
+        ).run(timing, slow_cost)
+        from repro.core.fusion import buffer_size_groups
+
+        plan = buffer_size_groups(model, 25e6)
+        expected_extra = sum(
+            slow_cost.negotiation(8.0 * len(group.tensors)) + 0.5 * cycle
+            for group in plan
+        )
+        assert horovod.iteration_time - ddp.iteration_time == pytest.approx(
+            expected_extra, rel=1e-9
+        )
+
+
+class TestSingleGroupDegeneracy:
+    """With the whole model fused into ONE group, DeAR loses all its
+    pipelining (the group's RS waits for the full backward pass; the
+    first forward layer waits for the group's AG) and every fused
+    scheduler degenerates to the same serial schedule:
+    t_ff + t_bp + t_comm."""
+
+    def test_dear_equals_serial_fused(self, model, timing, ethernet_cost):
+        serial = get_scheduler("serial", buffer_bytes=1e12).run(
+            timing, ethernet_cost
+        )
+        dear = get_scheduler("dear", fusion="buffer", buffer_bytes=1e12).run(
+            timing, ethernet_cost
+        )
+        wfbp = get_scheduler("wfbp", buffer_bytes=1e12).run(timing, ethernet_cost)
+        expected = (
+            timing.t_ff + timing.t_bp + ethernet_cost.all_reduce(model.gradient_bytes)
+        )
+        for result in (serial, dear, wfbp):
+            assert result.iteration_time == pytest.approx(expected, rel=1e-9)
+
+    def test_fusion_extremes_bracket_intermediate(self, timing, ethernet_cost):
+        """Intermediate fusion beats both extremes on the tiny model at
+        the calibrated fabric (the Fig. 3/9 premise)."""
+        one_group = get_scheduler("dear", fusion="buffer", buffer_bytes=1e12).run(
+            timing, ethernet_cost
+        )
+        per_tensor = get_scheduler("dear", fusion="none").run(timing, ethernet_cost)
+        mid = get_scheduler("dear", fusion="buffer", buffer_bytes=2e6).run(
+            timing, ethernet_cost
+        )
+        assert mid.iteration_time <= one_group.iteration_time + 1e-12
+        assert mid.iteration_time <= per_tensor.iteration_time + 1e-12

@@ -1,0 +1,315 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+)
+
+
+class TestSimulatorBasics:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_run_empty_returns_now(self):
+        sim = Simulator()
+        assert sim.run() == 0.0
+
+    def test_schedule_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [2.5]
+        assert sim.now == 2.5
+
+    def test_schedule_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_callbacks_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(2.0, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_simultaneous_callbacks_fire_in_submission_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("a", "b", "c"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(5.0, lambda: fired.append(5))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+    def test_run_until_advances_clock_when_no_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_timeout_event_succeeds_with_value(self):
+        sim = Simulator()
+        evt = sim.timeout(1.5, value="payload")
+        sim.run()
+        assert evt.triggered and evt.value == "payload"
+        assert evt.trigger_time == 1.5
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(42)
+        assert evt.triggered and evt.ok and evt.value == 42
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed()
+        with pytest.raises(SimulationError):
+            evt.succeed()
+
+    def test_fail_requires_exception(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.event().fail("not an exception")
+
+    def test_callback_after_trigger_still_runs(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(7)
+        got = []
+        evt.add_callback(lambda e: got.append(e.value))
+        sim.run()
+        assert got == [7]
+
+
+class TestProcess:
+    def test_process_returns_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "done"
+        assert sim.now == 1.0
+
+    def test_yield_event_receives_its_value(self):
+        sim = Simulator()
+        evt = sim.event()
+        sim.schedule(2.0, lambda: evt.succeed("signal"))
+
+        def proc():
+            got = yield evt
+            return got
+
+        p = sim.process(proc())
+        sim.run()
+        assert p.value == "signal"
+
+    def test_yield_process_waits_for_completion(self):
+        sim = Simulator()
+
+        def child():
+            yield 3.0
+            return 99
+
+        def parent():
+            result = yield sim.process(child())
+            return result + 1
+
+        p = sim.process(parent())
+        sim.run()
+        assert p.value == 100
+        assert sim.now == 3.0
+
+    def test_unobserved_exception_propagates_from_run(self):
+        sim = Simulator()
+
+        def bad():
+            yield 1.0
+            raise ValueError("boom")
+
+        sim.process(bad())
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_observed_exception_delivered_to_waiter(self):
+        sim = Simulator()
+
+        def bad():
+            yield 1.0
+            raise ValueError("boom")
+
+        def waiter():
+            try:
+                yield sim.process(bad())
+            except ValueError:
+                return "caught"
+            return "missed"
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == "caught"
+
+    def test_yield_unsupported_value_is_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_negative_delay_is_error(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_interrupt_raises_inside_process(self):
+        sim = Simulator()
+        log = []
+
+        def victim():
+            try:
+                yield 10.0
+            except Interrupt as interrupt:
+                log.append(interrupt.cause)
+            return "survived"
+
+        p = sim.process(victim())
+
+        def attacker():
+            yield 1.0
+            p.interrupt("stop now")
+
+        sim.process(attacker())
+        sim.run()
+        assert log == ["stop now"]
+        assert p.value == "survived"
+        assert p.trigger_time == 1.0  # finished at the interrupt, not at 10
+
+    def test_interrupt_finished_process_rejected(self):
+        sim = Simulator()
+
+        def quick():
+            yield 0.5
+
+        p = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            p.interrupt()
+
+    def test_is_alive(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+
+        p = sim.process(proc())
+        assert p.is_alive
+        sim.run()
+        assert not p.is_alive
+
+
+class TestCombinators:
+    def test_all_of_collects_values_in_order(self):
+        sim = Simulator()
+        first = sim.timeout(2.0, value="a")
+        second = sim.timeout(1.0, value="b")
+        combined = sim.all_of([first, second])
+        sim.run()
+        assert combined.value == ["a", "b"]
+        assert combined.trigger_time == 2.0
+
+    def test_all_of_empty_triggers_immediately(self):
+        sim = Simulator()
+        combined = sim.all_of([])
+        sim.run()
+        assert combined.triggered and combined.value == []
+
+    def test_all_of_fails_on_first_failure(self):
+        sim = Simulator()
+        ok = sim.timeout(1.0)
+        bad = sim.event()
+        sim.schedule(0.5, lambda: bad.fail(RuntimeError("x")))
+        combined = sim.all_of([ok, bad])
+
+        def waiter():
+            try:
+                yield combined
+            except RuntimeError:
+                return "failed"
+
+        p = sim.process(waiter())
+        sim.run()
+        assert p.value == "failed"
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        slow = sim.timeout(5.0, value="slow")
+        fast = sim.timeout(1.0, value="fast")
+        combined = sim.any_of([slow, fast])
+        sim.run()
+        assert combined.value == (1, "fast")
+        assert combined.trigger_time == 1.0
+
+    def test_any_of_requires_events(self):
+        with pytest.raises(SimulationError):
+            AnyOf(Simulator(), [])
+
+    def test_nested_combinators(self):
+        sim = Simulator()
+        a = sim.timeout(1.0, value=1)
+        b = sim.timeout(2.0, value=2)
+        c = sim.timeout(3.0, value=3)
+        combined = sim.all_of([sim.any_of([a, b]), c])
+        sim.run()
+        assert combined.trigger_time == 3.0
+        assert combined.value == [(0, 1), 3]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_timelines(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+
+            def worker(tag, delay):
+                yield delay
+                log.append((sim.now, tag))
+                yield delay
+                log.append((sim.now, tag))
+
+            for index in range(5):
+                sim.process(worker(index, 0.1 * (index + 1)))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

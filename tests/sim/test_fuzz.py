@@ -1,0 +1,96 @@
+"""Property fuzzing of the simulation kernel with random job DAGs.
+
+Generates random two-stream schedules (random durations, random gate
+edges that always point backward, so they are acyclic) and asserts the
+execution-order invariants every schedule must satisfy:
+
+- no job starts before its gate triggered;
+- each stream executes jobs in submission order;
+- jobs on a stream never overlap;
+- every job completes (acyclic gates cannot deadlock);
+- the makespan is at least the critical-path length of either stream.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Stream
+
+
+@st.composite
+def random_schedules(draw):
+    """A list of job specs: (stream id, duration, gate target or None).
+
+    Gate targets only reference *earlier* jobs, guaranteeing acyclicity.
+    """
+    count = draw(st.integers(1, 25))
+    jobs = []
+    for index in range(count):
+        stream_id = draw(st.integers(0, 1))
+        duration = draw(
+            st.floats(0.0, 5.0, allow_nan=False, allow_infinity=False)
+        )
+        gate_target = None
+        if index > 0 and draw(st.booleans()):
+            gate_target = draw(st.integers(0, index - 1))
+        jobs.append((stream_id, duration, gate_target))
+    return jobs
+
+
+class TestScheduleFuzz:
+    @settings(deadline=None, max_examples=60)
+    @given(spec=random_schedules())
+    def test_execution_invariants(self, spec):
+        sim = Simulator()
+        streams = [Stream(sim, "s0"), Stream(sim, "s1")]
+        jobs = []
+        for index, (stream_id, duration, gate_target) in enumerate(spec):
+            gate = jobs[gate_target].done if gate_target is not None else None
+            jobs.append(
+                streams[stream_id].submit(
+                    duration, name=f"job{index}", gate=gate
+                )
+            )
+        sim.run()
+
+        # Everything completed (acyclic gates cannot deadlock).
+        for stream in streams:
+            assert stream.outstanding == 0
+        for job in jobs:
+            assert job.start is not None and job.end is not None
+            assert job.end >= job.start
+
+        # Gates respected.
+        for index, (_, _, gate_target) in enumerate(spec):
+            if gate_target is not None:
+                assert jobs[index].start >= jobs[gate_target].end - 1e-12
+
+        # Per-stream FIFO without overlap.
+        for stream_id in (0, 1):
+            stream_jobs = [
+                job for job, (sid, _, _) in zip(jobs, spec) if sid == stream_id
+            ]
+            for earlier, later in zip(stream_jobs, stream_jobs[1:]):
+                assert later.start >= earlier.end - 1e-12
+
+        # Makespan lower bound: each stream's total work.
+        for stream_id in (0, 1):
+            total = sum(
+                duration for sid, duration, _ in spec if sid == stream_id
+            )
+            assert sim.now >= total - 1e-9
+
+    @settings(deadline=None, max_examples=30)
+    @given(spec=random_schedules())
+    def test_determinism(self, spec):
+        def run():
+            sim = Simulator()
+            streams = [Stream(sim, "s0"), Stream(sim, "s1")]
+            jobs = []
+            for index, (stream_id, duration, gate_target) in enumerate(spec):
+                gate = jobs[gate_target].done if gate_target is not None else None
+                jobs.append(streams[stream_id].submit(duration, gate=gate))
+            sim.run()
+            return [(job.start, job.end) for job in jobs]
+
+        assert run() == run()

@@ -1,0 +1,145 @@
+"""Unit tests for tracing and interval arithmetic."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.trace import (
+    Tracer,
+    merge_intervals,
+    subtract_intervals,
+    total_length,
+)
+
+
+class TestMergeIntervals:
+    def test_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_disjoint_sorted(self):
+        assert merge_intervals([(0, 1), (2, 3)]) == [(0, 1), (2, 3)]
+
+    def test_overlapping_merge(self):
+        assert merge_intervals([(0, 2), (1, 3)]) == [(0, 3)]
+
+    def test_touching_merge(self):
+        assert merge_intervals([(0, 1), (1, 2)]) == [(0, 2)]
+
+    def test_unsorted_input(self):
+        assert merge_intervals([(5, 6), (0, 1), (0.5, 2)]) == [(0, 2), (5, 6)]
+
+    def test_empty_intervals_dropped(self):
+        assert merge_intervals([(1, 1), (2, 1)]) == []
+
+    def test_nested_intervals(self):
+        assert merge_intervals([(0, 10), (2, 3), (4, 5)]) == [(0, 10)]
+
+
+class TestSubtractIntervals:
+    def test_no_holes(self):
+        assert subtract_intervals([(0, 5)], []) == [(0, 5)]
+
+    def test_hole_in_middle(self):
+        assert subtract_intervals([(0, 5)], [(2, 3)]) == [(0, 2), (3, 5)]
+
+    def test_hole_covers_all(self):
+        assert subtract_intervals([(1, 2)], [(0, 5)]) == []
+
+    def test_hole_at_edges(self):
+        assert subtract_intervals([(0, 10)], [(0, 2), (8, 10)]) == [(2, 8)]
+
+    def test_multiple_bases(self):
+        result = subtract_intervals([(0, 2), (4, 6)], [(1, 5)])
+        assert result == [(0, 1), (5, 6)]
+
+    def test_hole_before_base_ignored(self):
+        assert subtract_intervals([(5, 6)], [(0, 1)]) == [(5, 6)]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda ab: (min(ab), max(ab))
+            ),
+            max_size=8,
+        ),
+        st.lists(
+            st.tuples(st.floats(0, 100), st.floats(0, 100)).map(
+                lambda ab: (min(ab), max(ab))
+            ),
+            max_size=8,
+        ),
+    )
+    def test_length_identity(self, base, holes):
+        """|base \\ holes| + |base ∩ holes| == |base| (up to float eps)."""
+        remaining = total_length(subtract_intervals(base, holes))
+        # intersection = base minus (base minus holes)
+        removed = total_length(base) - remaining
+        assert 0 <= removed <= total_length(holes) + 1e-9
+        assert remaining <= total_length(base) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 50), st.floats(0, 50)).map(
+                lambda ab: (min(ab), max(ab))
+            ),
+            max_size=6,
+        )
+    )
+    def test_subtract_self_is_empty(self, intervals):
+        assert subtract_intervals(intervals, intervals) == []
+
+
+class TestTracer:
+    def _tracer(self) -> Tracer:
+        tracer = Tracer()
+        tracer.record("ff.0", "ff", "gpu", 0.0, 1.0)
+        tracer.record("bp.0", "bp", "gpu", 1.0, 3.0)
+        tracer.record("ar.0", "comm.ar", "net", 2.0, 5.0)
+        return tracer
+
+    def test_filter_by_category(self):
+        tracer = self._tracer()
+        assert [s.name for s in tracer.filter(category="bp")] == ["bp.0"]
+
+    def test_filter_by_actor(self):
+        tracer = self._tracer()
+        assert len(tracer.filter(actor="gpu")) == 2
+
+    def test_filter_by_prefix(self):
+        tracer = self._tracer()
+        assert [s.name for s in tracer.filter(name_prefix="ar")] == ["ar.0"]
+
+    def test_category_total(self):
+        assert self._tracer().category_total("comm.ar") == pytest.approx(3.0)
+
+    def test_exposed_time_subtracts_compute(self):
+        tracer = self._tracer()
+        # comm spans 2..5, bp covers 2..3 -> exposed 3..5 = 2.0
+        exposed = tracer.exposed_time("comm.ar", hidden_by=("ff", "bp"))
+        assert exposed == pytest.approx(2.0)
+
+    def test_exposed_time_fully_hidden(self):
+        tracer = Tracer()
+        tracer.record("c", "comm.ar", "net", 0.0, 1.0)
+        tracer.record("k", "bp", "gpu", 0.0, 2.0)
+        assert tracer.exposed_time("comm.ar", hidden_by=("bp",)) == 0.0
+
+    def test_chrome_trace_is_valid_json(self):
+        payload = json.loads(self._tracer().to_chrome_trace())
+        events = payload["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert len(spans) == 3
+        assert len(metas) == 2  # one thread-name record per actor
+        assert {m["args"]["name"] for m in metas} == {"gpu", "net"}
+
+    def test_span_duration(self):
+        tracer = self._tracer()
+        assert tracer.spans[1].duration == pytest.approx(2.0)
+
+    def test_intervals_merged(self):
+        tracer = Tracer()
+        tracer.record("a", "x", "m", 0.0, 2.0)
+        tracer.record("b", "x", "m", 1.0, 3.0)
+        assert tracer.intervals(category="x") == [(0.0, 3.0)]

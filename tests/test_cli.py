@@ -1,0 +1,52 @@
+"""Tests for the dear-repro command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import EXPERIMENTS
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet-50" in out
+        assert "BERT-Large" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "rsag_over_ar" in out
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+
+    def test_json_export(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "rows.json"
+        assert main(["table1", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "table1" in payload
+        assert len(payload["table1"]) == 5
+        assert payload["table1"][0]["model"] == "ResNet-50"
+
+    def test_json_export_strips_internal_fields(self, capsys, tmp_path):
+        import json
+
+        out = tmp_path / "timelines.json"
+        assert main(["timelines", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        for row in payload["timelines"]:
+            assert not any(key.startswith("_") for key in row)

@@ -1,0 +1,74 @@
+"""Golden-value regression guards.
+
+Snapshot the headline numbers of the calibrated simulator.  These are
+deliberately loose (2% tolerance): their job is to catch *accidental*
+drift — a formula edit, a changed default — not to forbid deliberate
+recalibration.  If you change the calibration on purpose, update the
+constants here and the corresponding rows in EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+from repro.schedulers.base import simulate
+
+#: (scheduler, model, network) -> steady-state iteration seconds.
+GOLDEN_ITERATIONS = {
+    ("wfbp", "resnet50", "10gbe"): 0.7010,
+    ("horovod", "resnet50", "10gbe"): 0.2722,
+    ("ddp", "resnet50", "10gbe"): 0.2555,
+    ("dear", "resnet50", "10gbe"): 0.2467,
+    ("dear", "resnet50", "100gbib"): 0.2239,
+    ("dear", "bert_large", "10gbe"): 2.3765,
+    ("zero", "bert_large", "10gbe"): 3.4990,
+    ("bytescheduler", "densenet201", "10gbe"): 2.7519,
+}
+
+_CLUSTERS = {"10gbe": cluster_10gbe(), "100gbib": cluster_100gbib()}
+
+_OPTIONS = {
+    "horovod": {"buffer_bytes": 25e6},
+    "dear": {"fusion": "buffer", "buffer_bytes": 25e6},
+}
+
+
+@pytest.mark.parametrize(
+    "scheduler,model_name,network",
+    sorted(GOLDEN_ITERATIONS),
+)
+def test_golden_iteration_time(scheduler, model_name, network):
+    expected = GOLDEN_ITERATIONS[(scheduler, model_name, network)]
+    result = simulate(
+        scheduler,
+        get_model(model_name),
+        _CLUSTERS[network],
+        **_OPTIONS.get(scheduler, {}),
+    )
+    assert result.iteration_time == pytest.approx(expected, rel=0.02), (
+        "golden value drifted — if this change is intentional, update "
+        "GOLDEN_ITERATIONS and EXPERIMENTS.md together"
+    )
+
+
+def test_golden_smax_values():
+    """The analytic Table II column (exact, so tolerance is tight)."""
+    from repro.analysis.speedup import max_speedup_for
+
+    expected = {
+        ("resnet50", "10gbe"): 61.63,
+        ("bert_base", "10gbe"): 25.49,
+        ("bert_large", "100gbib"): 51.75,
+    }
+    for (model_name, network), value in expected.items():
+        got = max_speedup_for(get_model(model_name), _CLUSTERS[network])
+        assert got == pytest.approx(value, rel=0.005), (model_name, network)
+
+
+def test_golden_cost_model_anchors():
+    """The paper's §II-D spot measurements stay pinned."""
+    from repro.network.cost_model import CollectiveTimeModel
+
+    cost = CollectiveTimeModel(cluster_10gbe())
+    assert cost.all_reduce(1e6) == pytest.approx(4.47e-3, rel=0.01)
+    assert cost.all_reduce(5e5) == pytest.approx(3.69e-3, rel=0.01)

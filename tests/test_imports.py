@@ -1,0 +1,42 @@
+"""Package hygiene: every module imports, every __all__ name exists."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_imports(module_name):
+    importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_names_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists missing {name!r}"
+
+
+def test_every_subpackage_has_docstring():
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+def test_public_entry_points():
+    """The README's import lines must keep working verbatim."""
+    from repro.models import get_model                      # noqa: F401
+    from repro.network import cluster_10gbe                 # noqa: F401
+    from repro.schedulers import simulate                   # noqa: F401
+    import repro.core as dear
+
+    assert callable(dear.init)
+    assert hasattr(dear, "DistOptim")

@@ -1,0 +1,64 @@
+"""Integration matrix: every scheduler on every workload.
+
+A broad smoke-and-sanity sweep: all registered schedulers run to steady
+state on representative Table I models over both networks, and the
+universal invariants hold in every cell.
+"""
+
+import pytest
+
+from repro.models.zoo import get_model
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+from repro.schedulers.base import SCHEDULER_NAMES, simulate, single_gpu_result
+
+MODELS = ("resnet50", "densenet201", "bert_large")
+CLUSTERS = (cluster_10gbe(), cluster_100gbib())
+
+_OPTIONS = {
+    "horovod": {"buffer_bytes": 25e6},
+    "dear": {"fusion": "buffer", "buffer_bytes": 25e6},
+}
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+@pytest.mark.parametrize("model_name", MODELS)
+@pytest.mark.parametrize("cluster", CLUSTERS, ids=lambda c: c.inter_link.name)
+def test_scheduler_model_network_matrix(scheduler, model_name, cluster):
+    model = get_model(model_name)
+    result = simulate(
+        scheduler, model, cluster, iterations=4, **_OPTIONS.get(scheduler, {})
+    )
+    single = single_gpu_result(model)
+
+    # Universal invariants.
+    assert result.iteration_time >= single.iteration_time - 1e-9
+    assert result.iteration_times[-1] == pytest.approx(
+        result.iteration_times[-2], rel=1e-6
+    )
+    assert 0.0 <= result.exposed_comm <= result.iteration_time + 1e-9
+    speedup = result.scaling_speedup(single.iteration_time)
+    assert 0.0 < speedup <= cluster.world_size * 1.02
+    assert result.world_size == cluster.world_size
+    assert result.batch_size == model.default_batch_size
+
+
+def test_dear_dominates_matrix():
+    """DeAR (25 MB) is never slower than WFBP/Horovod/DDP on any cell."""
+    for model_name in MODELS:
+        model = get_model(model_name)
+        for cluster in CLUSTERS:
+            dear = simulate(
+                "dear", model, cluster, fusion="buffer", buffer_bytes=25e6,
+                iterations=4,
+            )
+            for rival, options in (
+                ("wfbp", {"buffer_bytes": 25e6}),
+                ("horovod", {"buffer_bytes": 25e6}),
+                ("ddp", {"buffer_bytes": 25e6}),
+            ):
+                other = simulate(
+                    rival, model, cluster, iterations=4, **options
+                )
+                assert dear.iteration_time <= other.iteration_time + 1e-9, (
+                    model_name, cluster.name, rival,
+                )

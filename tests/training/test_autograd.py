@@ -1,0 +1,243 @@
+"""Unit tests for the reverse-mode autograd engine.
+
+Gradients are verified against central finite differences, the oracle
+that does not share code with the implementation under test.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.training.autograd import Tensor, no_grad
+
+
+def numeric_grad(fn, value: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central finite differences of a scalar-valued fn at value."""
+    grad = np.zeros_like(value)
+    flat = value.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        upper = fn(value)
+        flat[index] = original - eps
+        lower = fn(value)
+        flat[index] = original
+        grad_flat[index] = (upper - lower) / (2 * eps)
+    return grad
+
+
+class TestElementwiseOps:
+    def test_add_backward(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        b = Tensor([3.0, 4.0], requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 1.0])
+        np.testing.assert_allclose(b.grad, [1.0, 1.0])
+
+    def test_mul_backward(self):
+        a = Tensor([2.0, 3.0], requires_grad=True)
+        b = Tensor([5.0, 7.0], requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5.0, 7.0])
+        np.testing.assert_allclose(b.grad, [2.0, 3.0])
+
+    def test_sub_and_neg(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a - b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0])
+        np.testing.assert_allclose(b.grad, [-1.0])
+
+    def test_div_backward(self):
+        a = Tensor([6.0], requires_grad=True)
+        b = Tensor([2.0], requires_grad=True)
+        (a / b).sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_pow_backward(self):
+        a = Tensor([3.0], requires_grad=True)
+        (a**2).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_scalar_broadcast(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        (a * 3.0 + 1.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [3.0, 3.0])
+
+    def test_broadcast_bias_gradient_sums_over_batch(self):
+        bias = Tensor([0.5, -0.5], requires_grad=True)
+        x = Tensor(np.ones((4, 2)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, [4.0, 4.0])
+
+    def test_reuse_accumulates(self):
+        a = Tensor([2.0], requires_grad=True)
+        (a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [4.0])
+
+
+class TestMatmulAndShapes:
+    def test_matmul_backward_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        a_val = rng.normal(size=(3, 4))
+        b_val = rng.normal(size=(4, 2))
+
+        a = Tensor(a_val, requires_grad=True)
+        b = Tensor(b_val, requires_grad=True)
+        (a @ b).sum().backward()
+
+        num_a = numeric_grad(lambda v: (v @ b_val).sum(), a_val.copy())
+        num_b = numeric_grad(lambda v: (a_val @ v).sum(), b_val.copy())
+        np.testing.assert_allclose(a.grad, num_a, atol=1e-5)
+        np.testing.assert_allclose(b.grad, num_b, atol=1e-5)
+
+    def test_reshape_backward(self):
+        a = Tensor(np.arange(6.0), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        (a.T * Tensor(np.arange(6.0).reshape(3, 2))).sum().backward()
+        np.testing.assert_allclose(a.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_mean_backward(self):
+        a = Tensor(np.ones(4), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full(4, 0.25))
+
+    def test_sum_axis_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        a.sum(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+
+class TestNonlinearities:
+    @pytest.mark.parametrize(
+        "op,reference",
+        [
+            ("relu", lambda v: np.maximum(v, 0.0)),
+            ("tanh", np.tanh),
+            ("exp", np.exp),
+        ],
+    )
+    def test_matches_numeric(self, op, reference):
+        rng = np.random.default_rng(1)
+        value = rng.normal(size=5) + 0.1  # keep away from the relu kink
+        tensor = Tensor(value, requires_grad=True)
+        getattr(tensor, op)().sum().backward()
+        numeric = numeric_grad(lambda v: reference(v).sum(), value.copy())
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-5)
+
+    def test_log_backward(self):
+        a = Tensor([2.0, 4.0], requires_grad=True)
+        a.log().sum().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.25])
+
+    def test_log_softmax_rows_sum_to_one_prob(self):
+        logits = Tensor(np.array([[1.0, 2.0, 3.0]]), requires_grad=True)
+        out = logits.log_softmax(axis=-1)
+        probs = np.exp(out.data)
+        np.testing.assert_allclose(probs.sum(axis=-1), [1.0])
+
+    def test_log_softmax_backward_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        value = rng.normal(size=(2, 4))
+        weights = rng.normal(size=(2, 4))
+        tensor = Tensor(value, requires_grad=True)
+        (tensor.log_softmax(axis=-1) * Tensor(weights)).sum().backward()
+
+        def fn(v):
+            shifted = v - v.max(axis=-1, keepdims=True)
+            log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+            return (log_probs * weights).sum()
+
+        numeric = numeric_grad(fn, value.copy())
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-5)
+
+
+class TestEngine:
+    def test_backward_requires_scalar(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            (a * 2).backward()
+
+    def test_deep_chain(self):
+        a = Tensor([1.0], requires_grad=True)
+        out = a
+        for _ in range(50):
+            out = out * 1.1
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.1**50], rtol=1e-10)
+
+    def test_diamond_graph(self):
+        a = Tensor([2.0], requires_grad=True)
+        b = a * 3.0
+        c = a * 5.0
+        (b + c).sum().backward()
+        np.testing.assert_allclose(a.grad, [8.0])
+
+    def test_no_grad_blocks_graph(self):
+        a = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            out = a * 2.0
+        assert out._parents == ()
+
+    def test_grad_hook_fires_once_per_leaf(self):
+        fired = []
+        a = Tensor([1.0], requires_grad=True)
+        a.grad_hooks.append(lambda t: fired.append("a"))
+        b = Tensor([2.0], requires_grad=True)
+        b.grad_hooks.append(lambda t: fired.append("b"))
+        (a * b).sum().backward()
+        assert sorted(fired) == ["a", "b"]
+
+    def test_grad_hooks_fire_in_backward_order(self):
+        """Hooks fire last-used-first: the WFBP readiness order."""
+        order = []
+        first = Tensor([1.0], requires_grad=True, name="first")
+        last = Tensor([1.0], requires_grad=True, name="last")
+        first.grad_hooks.append(lambda t: order.append("first"))
+        last.grad_hooks.append(lambda t: order.append("last"))
+        # first used early in the chain, last used at the end
+        out = ((first * 2.0) * 3.0 + last).sum()
+        out.backward()
+        assert order == ["last", "first"]
+
+    def test_intermediate_grads_freed(self):
+        a = Tensor([1.0], requires_grad=True)
+        b = a * 2.0
+        c = b * 3.0
+        c.sum().backward()
+        assert b.grad is None  # freed after use
+        assert a.grad is not None
+
+    def test_matches_numeric_on_composite_function(self):
+        rng = np.random.default_rng(3)
+        value = rng.normal(size=(3, 3))
+        tensor = Tensor(value, requires_grad=True)
+        out = ((tensor @ tensor.T).tanh() * 0.5).sum()
+        out.backward()
+        numeric = numeric_grad(
+            lambda v: (np.tanh(v @ v.T) * 0.5).sum(), value.copy()
+        )
+        np.testing.assert_allclose(tensor.grad, numeric, atol=1e-5)
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 1000))
+    def test_mlp_gradient_matches_numeric(self, seed):
+        rng = np.random.default_rng(seed)
+        w1_val = rng.normal(size=(3, 4))
+        w2_val = rng.normal(size=(4, 2))
+        x_val = rng.normal(size=(5, 3))
+
+        w1 = Tensor(w1_val, requires_grad=True)
+        w2 = Tensor(w2_val, requires_grad=True)
+        ((Tensor(x_val) @ w1).relu() @ w2).sum().backward()
+
+        numeric = numeric_grad(
+            lambda v: (np.maximum(x_val @ v, 0) @ w2_val).sum(), w1_val.copy()
+        )
+        np.testing.assert_allclose(w1.grad, numeric, atol=1e-4)

@@ -1,0 +1,93 @@
+"""Tests for the LayerNorm module."""
+
+import numpy as np
+import pytest
+
+from repro.training.autograd import Tensor
+from repro.training.modules import MLP, LayerNorm, Linear, Sequential
+from tests.training.test_autograd import numeric_grad
+
+
+class TestLayerNormForward:
+    def test_output_normalised(self):
+        layer = LayerNorm(8)
+        x = np.random.default_rng(0).normal(loc=3.0, scale=5.0, size=(4, 8))
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_parameters_applied(self):
+        layer = LayerNorm(4)
+        layer.weight.data = np.full(4, 2.0)
+        layer.bias.data = np.full(4, 1.0)
+        x = np.random.default_rng(1).normal(size=(3, 4))
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=-1), 1.0, atol=1e-9)
+
+    def test_constant_input_maps_to_bias(self):
+        layer = LayerNorm(4, eps=1e-5)
+        out = layer(Tensor(np.full((2, 4), 7.0))).data
+        np.testing.assert_allclose(out, 0.0, atol=1e-6)
+
+    def test_invalid_features(self):
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+
+class TestLayerNormBackward:
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        x_val = rng.normal(size=(3, 5))
+        weight = rng.normal(size=5)
+        bias = rng.normal(size=5)
+        layer = LayerNorm(5)
+        layer.weight.data = weight
+        layer.bias.data = bias
+
+        x = Tensor(x_val, requires_grad=True)
+        layer(x).sum().backward()
+
+        def reference(value):
+            mean = value.mean(axis=-1, keepdims=True)
+            centred = value - mean
+            variance = (centred**2).mean(axis=-1, keepdims=True)
+            return (centred / np.sqrt(variance + 1e-5) * weight + bias).sum()
+
+        numeric = numeric_grad(reference, x_val.copy())
+        np.testing.assert_allclose(x.grad, numeric, atol=1e-5)
+
+    def test_parameter_gradients(self):
+        rng = np.random.default_rng(3)
+        layer = LayerNorm(6)
+        x = Tensor(rng.normal(size=(4, 6)))
+        layer(x).sum().backward()
+        assert layer.weight.grad.shape == (6,)
+        assert layer.bias.grad.shape == (6,)
+        np.testing.assert_allclose(layer.bias.grad, 4.0)  # d(sum)/d(bias)
+
+    def test_composes_in_network_and_trains(self):
+        from repro.training.data import SyntheticRegression
+        from repro.training.modules import mse_loss
+        from repro.training.optim import SGD
+
+        rng = np.random.default_rng(4)
+        model = Sequential(
+            Linear(8, 16, rng=rng), LayerNorm(16), Linear(16, 2, rng=rng)
+        )
+        data = SyntheticRegression(num_samples=64, in_features=8,
+                                   out_features=2, seed=5)
+        features, targets = data.arrays()
+        optimizer = SGD(model.parameters(), lr=0.05)
+        losses = []
+        for _ in range(40):
+            optimizer.zero_grad()
+            loss = mse_loss(model(Tensor(features)), Tensor(targets))
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < 0.5 * losses[0]
+
+    def test_registered_as_two_parameters(self):
+        layer = LayerNorm(4)
+        names = [name for name, _ in layer.named_parameters()]
+        assert names == ["weight", "bias"]

@@ -1,0 +1,187 @@
+"""Tests for modules, losses, and the hook surfaces."""
+
+import numpy as np
+import pytest
+
+from repro.training.autograd import Tensor
+from repro.training.modules import (
+    MLP,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Tanh,
+    cross_entropy,
+    mse_loss,
+)
+
+
+class TestModuleRegistry:
+    def test_named_parameters_in_forward_order(self):
+        mlp = MLP((4, 8, 2), seed=0)
+        names = [name for name, _ in mlp.named_parameters()]
+        assert names == [
+            "stage0.weight", "stage0.bias", "stage2.weight", "stage2.bias",
+        ]
+
+    def test_parameters_are_leaves(self):
+        mlp = MLP((4, 8, 2), seed=0)
+        for param in mlp.parameters():
+            assert isinstance(param, Parameter)
+            assert param.requires_grad
+
+    def test_leaf_modules_in_execution_order(self):
+        mlp = MLP((4, 8, 2), seed=0)
+        leaves = mlp.leaf_modules()
+        kinds = [type(m).__name__ for m in leaves]
+        assert kinds == ["Linear", "ReLU", "Linear"]
+
+    def test_zero_grad(self):
+        mlp = MLP((4, 8, 2), seed=0)
+        out = mlp(Tensor(np.ones((3, 4))))
+        out.sum().backward()
+        assert all(p.grad is not None for p in mlp.parameters())
+        mlp.zero_grad()
+        assert all(p.grad is None for p in mlp.parameters())
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        linear = Linear(4, 7, rng=np.random.default_rng(0))
+        out = linear(Tensor(np.zeros((3, 4))))
+        assert out.shape == (3, 7)
+
+    def test_forward_computes_affine(self):
+        linear = Linear(2, 2, rng=np.random.default_rng(0))
+        linear.weight.data = np.eye(2)
+        linear.bias.data = np.array([1.0, -1.0])
+        out = linear(Tensor(np.array([[2.0, 3.0]])))
+        np.testing.assert_allclose(out.data, [[3.0, 2.0]])
+
+    def test_gradients_flow_to_both_tensors(self):
+        linear = Linear(3, 2, rng=np.random.default_rng(0))
+        linear(Tensor(np.ones((4, 3)))).sum().backward()
+        assert linear.weight.grad.shape == (3, 2)
+        assert linear.bias.grad.shape == (2,)
+        np.testing.assert_allclose(linear.bias.grad, [4.0, 4.0])
+
+
+class TestHooks:
+    def test_pre_forward_hooks_fire_in_execution_order(self):
+        mlp = MLP((4, 8, 2), seed=0)
+        fired = []
+        for index, module in enumerate(mlp.leaf_modules()):
+            module.pre_forward_hooks.append(
+                lambda m, i=index: fired.append(i)
+            )
+        mlp(Tensor(np.ones((1, 4))))
+        assert fired == [0, 1, 2]
+
+    def test_grad_hooks_fire_in_backward_order(self):
+        """Gradient hooks must fire last layer first (BackPipe order)."""
+        mlp = MLP((4, 8, 8, 2), seed=0)
+        fired = []
+        for name, param in mlp.named_parameters():
+            param.grad_hooks.append(lambda p, n=name: fired.append(n))
+        mse_loss(mlp(Tensor(np.ones((2, 4)))), Tensor(np.zeros((2, 2)))).backward()
+        # Layer order strictly decreasing stage index:
+        stages = [int(name.split(".")[0][5:]) for name in fired]
+        assert stages == sorted(stages, reverse=True)
+        assert len(fired) == 6
+
+    def test_hooks_receive_parameter_with_grad(self):
+        mlp = MLP((2, 2), seed=0)
+        seen = []
+        for _, param in mlp.named_parameters():
+            param.grad_hooks.append(lambda p: seen.append(p.grad is not None))
+        mlp(Tensor(np.ones((1, 2)))).sum().backward()
+        assert seen and all(seen)
+
+
+class TestActivationsAndSequential:
+    def test_relu_module(self):
+        out = ReLU()(Tensor(np.array([-1.0, 2.0])))
+        np.testing.assert_allclose(out.data, [0.0, 2.0])
+
+    def test_tanh_module(self):
+        out = Tanh()(Tensor(np.array([0.0])))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_sequential_chains(self):
+        seq = Sequential(ReLU(), Tanh())
+        out = seq(Tensor(np.array([-5.0, 0.5])))
+        np.testing.assert_allclose(out.data, np.tanh([0.0, 0.5]))
+
+    def test_mlp_requires_two_sizes(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+    def test_mlp_deterministic_by_seed(self):
+        a = MLP((4, 8, 2), seed=3)
+        b = MLP((4, 8, 2), seed=3)
+        for pa, pb in zip(a.parameters(), b.parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_mlp_different_seeds_differ(self):
+        a = MLP((4, 8, 2), seed=1)
+        b = MLP((4, 8, 2), seed=2)
+        assert not np.array_equal(a.parameters()[0].data, b.parameters()[0].data)
+
+
+class TestLosses:
+    def test_mse_zero_for_exact_prediction(self):
+        pred = Tensor(np.ones((2, 3)))
+        assert mse_loss(pred, Tensor(np.ones((2, 3)))).item() == pytest.approx(0.0)
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([[2.0]]))
+        target = Tensor(np.array([[0.0]]))
+        assert mse_loss(pred, target).item() == pytest.approx(4.0)
+
+    def test_mse_gradient(self):
+        pred = Tensor(np.array([[3.0]]), requires_grad=True)
+        mse_loss(pred, Tensor(np.array([[1.0]]))).backward()
+        np.testing.assert_allclose(pred.grad, [[4.0]])
+
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((2, 4)))
+        loss = cross_entropy(logits, np.array([0, 3]))
+        assert loss.item() == pytest.approx(np.log(4.0))
+
+    def test_cross_entropy_confident_correct(self):
+        logits = np.full((1, 3), -10.0)
+        logits[0, 1] = 10.0
+        loss = cross_entropy(Tensor(logits), np.array([1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_gradient_is_softmax_minus_onehot(self):
+        logits = Tensor(np.array([[1.0, 2.0, 0.5]]), requires_grad=True)
+        cross_entropy(logits, np.array([0])).backward()
+        probs = np.exp(logits.data) / np.exp(logits.data).sum()
+        expected = probs.copy()
+        expected[0, 0] -= 1.0
+        np.testing.assert_allclose(logits.grad, expected, atol=1e-10)
+
+    def test_cross_entropy_batch_mismatch(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0]))
+
+    def test_training_reduces_loss(self):
+        """A short regression run must actually learn."""
+        from repro.training.data import SyntheticRegression
+        from repro.training.optim import SGD
+
+        data = SyntheticRegression(num_samples=128, in_features=8, out_features=2, seed=0)
+        features, targets = data.arrays()
+        mlp = MLP((8, 16, 2), seed=0)
+        optimizer = SGD(mlp.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = mse_loss(mlp(Tensor(features)), Tensor(targets))
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < 0.2 * first_loss

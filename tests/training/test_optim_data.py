@@ -1,0 +1,142 @@
+"""Tests for the SGD optimiser and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.training.data import SyntheticClassification, SyntheticRegression
+from repro.training.modules import Parameter
+from repro.training.optim import SGD
+
+
+class TestSGD:
+    def _param(self, value=1.0):
+        param = Parameter(np.array([value]))
+        param.grad = np.array([0.5])
+        return param
+
+    def test_plain_step(self):
+        param = self._param()
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0 - 0.05])
+
+    def test_none_grad_skipped(self):
+        param = Parameter(np.array([1.0]))
+        SGD([param], lr=0.1).step()
+        np.testing.assert_allclose(param.data, [1.0])
+
+    def test_momentum_accumulates(self):
+        param = self._param()
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        optimizer.step()         # v = 0.5 -> w = 1 - 0.05
+        param.grad = np.array([0.5])
+        optimizer.step()         # v = 0.95 -> w -= 0.095
+        np.testing.assert_allclose(param.data, [1.0 - 0.05 - 0.095])
+
+    def test_weight_decay(self):
+        param = self._param(value=2.0)
+        SGD([param], lr=0.1, weight_decay=0.1).step()
+        # grad = 0.5 + 0.1 * 2.0 = 0.7
+        np.testing.assert_allclose(param.data, [2.0 - 0.07])
+
+    def test_matches_torch_semantics_sequence(self):
+        """Velocity formula v = mu v + g, w -= lr v, over several steps."""
+        param = Parameter(np.array([0.0]))
+        optimizer = SGD([param], lr=1.0, momentum=0.5)
+        expected_velocity, expected_w = 0.0, 0.0
+        for grad in (1.0, 1.0, -2.0, 0.0):
+            param.grad = np.array([grad])
+            optimizer.step()
+            expected_velocity = 0.5 * expected_velocity + grad
+            expected_w -= expected_velocity
+            np.testing.assert_allclose(param.data, [expected_w])
+
+    def test_zero_grad(self):
+        param = self._param()
+        optimizer = SGD([param], lr=0.1)
+        optimizer.zero_grad()
+        assert param.grad is None
+
+    def test_step_parameter_single(self):
+        a, b = self._param(), self._param()
+        optimizer = SGD([a, b], lr=0.1)
+        optimizer.step_parameter(a)
+        np.testing.assert_allclose(a.data, [0.95])
+        np.testing.assert_allclose(b.data, [1.0])
+
+    def test_invalid_hyperparameters(self):
+        param = self._param()
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.0)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, weight_decay=-1)
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestSyntheticData:
+    def test_regression_deterministic(self):
+        a = SyntheticRegression(seed=5)
+        b = SyntheticRegression(seed=5)
+        np.testing.assert_array_equal(a.arrays()[0], b.arrays()[0])
+        np.testing.assert_array_equal(a.arrays()[1], b.arrays()[1])
+
+    def test_regression_ground_truth_recoverable(self):
+        data = SyntheticRegression(num_samples=2000, noise=0.0, seed=0)
+        features, targets = data.arrays()
+        solution, *_ = np.linalg.lstsq(
+            np.hstack([features, np.ones((len(features), 1))]), targets, rcond=None
+        )
+        np.testing.assert_allclose(solution[:-1], data.true_weight, atol=1e-8)
+        np.testing.assert_allclose(solution[-1], data.true_bias, atol=1e-8)
+
+    def test_shards_disjoint_and_cover(self):
+        data = SyntheticRegression(num_samples=64, seed=0)
+        features, _ = data.arrays()
+        shards = [data.shard(rank, 4)[0] for rank in range(4)]
+        stacked = np.vstack(shards)
+        np.testing.assert_array_equal(stacked, features)
+
+    def test_shard_rank_bounds(self):
+        data = SyntheticRegression(num_samples=16)
+        with pytest.raises(ValueError):
+            data.shard(4, 4)
+
+    def test_too_many_ranks(self):
+        data = SyntheticRegression(num_samples=2)
+        with pytest.raises(ValueError):
+            data.shard(0, 4)
+
+    def test_batches_shapes(self):
+        data = SyntheticRegression(num_samples=64, in_features=8, seed=0)
+        batches = list(data.batches(rank=1, world_size=4, batch_size=4))
+        assert len(batches) == 4
+        for features, targets in batches:
+            assert features.shape == (4, 8)
+
+    def test_classification_labels_in_range(self):
+        data = SyntheticClassification(num_samples=100, num_classes=5, seed=0)
+        _, labels = data.arrays()
+        assert labels.min() >= 0 and labels.max() < 5
+
+    def test_classification_blobs_separable(self):
+        """Nearest-centroid should beat chance comfortably."""
+        data = SyntheticClassification(
+            num_samples=400, in_features=8, num_classes=4, spread=0.3, seed=1
+        )
+        features, labels = data.arrays()
+        centroids = np.stack(
+            [features[labels == c].mean(axis=0) for c in range(4)]
+        )
+        distances = ((features[:, None, :] - centroids[None]) ** 2).sum(-1)
+        accuracy = (distances.argmin(axis=1) == labels).mean()
+        assert accuracy > 0.95
+
+    def test_classification_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            SyntheticClassification(num_classes=1)
+
+    def test_invalid_sample_count(self):
+        with pytest.raises(ValueError):
+            SyntheticRegression(num_samples=0)

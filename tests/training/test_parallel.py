@@ -1,0 +1,160 @@
+"""Tests for in-process data-parallel S-SGD."""
+
+import numpy as np
+import pytest
+
+from repro.training.data import SyntheticClassification, SyntheticRegression
+from repro.training.modules import MLP
+from repro.training.parallel import DataParallelTrainer, group_parameters_backward
+
+
+def factory():
+    return MLP((8, 16, 4), seed=11)
+
+
+def _run(strategy, steps=4, world_size=4, **kwargs):
+    data = SyntheticRegression(num_samples=256, in_features=8, out_features=4, seed=2)
+    trainer = DataParallelTrainer(
+        factory, world_size, lr=0.05, momentum=0.9, strategy=strategy, **kwargs
+    )
+    iterator = zip(*[data.batches(r, world_size, 8) for r in range(world_size)])
+    losses = []
+    for _, batches in zip(range(steps), iterator):
+        losses.append(trainer.train_step(list(batches)))
+    return trainer, losses
+
+
+class TestGroupParametersBackward:
+    def test_none_gives_per_tensor(self):
+        params = factory().parameters()
+        groups = group_parameters_backward(params, None)
+        assert len(groups) == len(params)
+
+    def test_backward_order(self):
+        params = factory().parameters()
+        groups = group_parameters_backward(params, None)
+        flattened = [p for group in groups for p in group]
+        assert flattened == list(reversed(params))
+
+    def test_threshold_respected(self):
+        params = factory().parameters()
+        groups = group_parameters_backward(params, 600)
+        for group in groups:
+            total = sum(p.data.nbytes for p in group)
+            assert total <= 600 or len(group) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            group_parameters_backward(factory().parameters(), 0)
+
+
+class TestDataParallelTrainer:
+    def test_replicas_stay_consistent(self):
+        trainer, _ = _run("allreduce")
+        assert trainer.parameters_consistent()
+
+    def test_loss_decreases(self):
+        _, losses = _run("decoupled", steps=8)
+        assert losses[-1] < losses[0]
+
+    def test_decoupled_matches_allreduce_bitwise(self):
+        """DeAR's OP1+OP2 == fused all-reduce: identical trajectories."""
+        fused, _ = _run("allreduce", buffer_bytes=2048)
+        decoupled, _ = _run("decoupled", buffer_bytes=2048)
+        for a, b in zip(fused.parameter_snapshot(), decoupled.parameter_snapshot()):
+            np.testing.assert_array_equal(a, b)
+
+    def test_per_tensor_matches_fused_closely(self):
+        fused, _ = _run("allreduce", buffer_bytes=2048)
+        per_tensor, _ = _run("per_tensor")
+        for a, b in zip(fused.parameter_snapshot(), per_tensor.parameter_snapshot()):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_local_strategy_diverges(self):
+        trainer, _ = _run("local")
+        assert not trainer.parameters_consistent()
+
+    def test_world_size_two_and_eight(self):
+        for world_size in (2, 8):
+            trainer, _ = _run("decoupled", world_size=world_size, steps=2)
+            assert trainer.parameters_consistent()
+
+    def test_tree_algorithm_consistent(self):
+        trainer, _ = _run("decoupled", algorithm="tree", steps=2)
+        assert trainer.parameters_consistent()
+
+    def test_hierarchical_algorithm(self):
+        trainer, _ = _run(
+            "decoupled", algorithm="hierarchical", gpus_per_node=2, steps=2
+        )
+        assert trainer.parameters_consistent()
+
+    def test_halving_doubling_algorithm(self):
+        trainer, _ = _run("allreduce", algorithm="halving_doubling", steps=2)
+        assert trainer.parameters_consistent()
+
+    def test_classification_loss(self):
+        data = SyntheticClassification(
+            num_samples=256, in_features=8, num_classes=4, seed=3
+        )
+        trainer = DataParallelTrainer(
+            factory, 4, lr=0.1, strategy="decoupled", loss="cross_entropy"
+        )
+        iterator = zip(*[data.batches(r, 4, 8) for r in range(4)])
+        losses = [trainer.train_step(list(b)) for _, b in zip(range(8), iterator)]
+        assert losses[-1] < losses[0]
+
+    def test_gradient_averaging_equals_large_batch(self):
+        """S-SGD over P shards == single worker on the concatenated batch
+        (Eq. 2): the canonical data-parallel equivalence."""
+        from repro.training.autograd import Tensor
+        from repro.training.modules import mse_loss
+        from repro.training.optim import SGD
+
+        data = SyntheticRegression(num_samples=64, in_features=8, out_features=4, seed=4)
+        world = 4
+        trainer = DataParallelTrainer(factory, world, lr=0.05, strategy="allreduce")
+        batches = [next(data.batches(r, world, 16)) for r in range(world)]
+        trainer.train_step(batches)
+
+        reference = factory()
+        optimizer = SGD(reference.parameters(), lr=0.05)
+        features = np.vstack([b[0] for b in batches])
+        targets = np.vstack([b[1] for b in batches])
+        loss = mse_loss(reference(Tensor(features)), Tensor(targets))
+        loss.backward()
+        optimizer.step()
+
+        for param, snapshot in zip(
+            reference.parameters(), trainer.parameter_snapshot()
+        ):
+            np.testing.assert_allclose(param.data, snapshot, atol=1e-12)
+
+    def test_wrong_batch_count_rejected(self):
+        trainer = DataParallelTrainer(factory, 4)
+        with pytest.raises(ValueError):
+            trainer.train_step([(np.zeros((2, 8)), np.zeros((2, 4)))])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(factory, 2, strategy="gossip")
+
+    def test_unknown_loss_rejected(self):
+        with pytest.raises(ValueError):
+            DataParallelTrainer(factory, 2, loss="hinge")
+
+    def test_nondeterministic_factory_rejected(self):
+        counter = {"n": 0}
+
+        def bad_factory():
+            counter["n"] += 1
+            return MLP((8, 16, 4), seed=counter["n"])
+
+        with pytest.raises(ValueError):
+            DataParallelTrainer(bad_factory, 2)
+
+    def test_evaluate_loss(self):
+        trainer, _ = _run("allreduce", steps=2)
+        data = SyntheticRegression(num_samples=32, in_features=8, out_features=4, seed=9)
+        features, targets = data.arrays()
+        assert trainer.evaluate_loss(features, targets) > 0
