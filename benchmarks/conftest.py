@@ -5,21 +5,67 @@ experiment harness, times it with pytest-benchmark (single round — the
 simulations are deterministic), prints the result rows, and saves them
 under ``results/`` so the regenerated evaluation can be inspected after
 a ``pytest benchmarks/ --benchmark-only`` run.
+
+The session also feeds the same machine-readable reporter that
+``dear-repro bench`` uses: per-suite wall times land in
+``results/BENCH_<date>.json`` next to the text tables, so the BENCH
+perf trajectory and CI consume one artifact schema.  Simulations run
+against a fresh per-session result cache (rather than the developer's
+``.dear-cache/``), keeping the recorded wall times honest cold-run
+numbers.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
+import tempfile
+import time
+
+import pytest
+
+from repro.runner.cache import default_cache, reset_default_cache
+from repro.runner.report import BenchReporter
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+_REPORTER = BenchReporter()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_result_cache():
+    """Cold per-session cache so benchmark timings measure simulation."""
+    previous = os.environ.get("DEAR_CACHE_DIR")
+    with tempfile.TemporaryDirectory(prefix="dear-bench-cache-") as scratch:
+        os.environ["DEAR_CACHE_DIR"] = scratch
+        reset_default_cache()
+        yield
+    if previous is None:
+        os.environ.pop("DEAR_CACHE_DIR", None)
+    else:
+        os.environ["DEAR_CACHE_DIR"] = previous
+    reset_default_cache()
 
 
 def run_and_report(benchmark, name: str, run, format_rows) -> list[dict]:
     """Execute a harness once under the benchmark timer and report rows."""
+    started = time.perf_counter()
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _REPORTER.add_suite(name, time.perf_counter() - started)
     text = format_rows(rows)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n== {name} ==")
     print(text)
     return rows
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write the BENCH_<date>.json artifact for the recorded suites."""
+    if not _REPORTER.suites:
+        return
+    try:
+        path = _REPORTER.write(RESULTS_DIR, default_cache().stats())
+    except OSError:
+        return
+    print(f"\nbench report written to {path}")

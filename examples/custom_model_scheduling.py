@@ -21,7 +21,7 @@ import pathlib
 from repro.bayesopt import BayesianOptimizer
 from repro.models.layers import ModelBuilder
 from repro.models.profiles import TimingModel
-from repro.network import ClusterSpec, CollectiveTimeModel, ETHERNET_25G, NVLINK
+from repro.network import ETHERNET_25G, NVLINK, ClusterSpec, CollectiveTimeModel
 from repro.schedulers import get_scheduler
 
 #: Measured (hypothetically) single-GPU iteration compute time.

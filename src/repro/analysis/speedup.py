@@ -21,13 +21,13 @@ comm-dominated limit).  At the paper's P = 64 the gap is under 2%.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.models.layers import ModelSpec
 from repro.models.profiles import TimingModel
 from repro.network.fabric import ClusterSpec
 
-__all__ = ["max_speedup", "max_speedup_for"]
+__all__ = ["max_speedup", "max_speedup_for", "measured_speedup_curve"]
 
 
 def max_speedup(
@@ -75,3 +75,45 @@ def max_speedup_for(
         bandwidth=1.0 / beta,
         world_size=cluster.world_size,
     )
+
+
+def measured_speedup_curve(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    node_counts: Sequence[int],
+    scheduler: str = "dear",
+    iterations: int = 5,
+    jobs: Optional[int] = None,
+    **options,
+) -> list[dict]:
+    """Simulated speedup S vs. the Eq. 6 bound across cluster sizes.
+
+    Each cluster size is an independent simulation, so the whole curve
+    fans out through :func:`repro.runner.run_many` (cached and, with
+    ``jobs > 1``, concurrent).  One row per node count::
+
+        {"gpus", "iteration_time_s", "speedup", "efficiency", "s_max"}
+    """
+    from repro.runner import RunSpec, run_many
+    from repro.schedulers.base import single_gpu_result
+
+    clusters = [cluster.with_nodes(nodes) for nodes in node_counts]
+    specs = [
+        RunSpec.create(scheduler, model, sized, iterations=iterations, **options)
+        for sized in clusters
+    ]
+    results = run_many(specs, jobs=jobs)
+    single = single_gpu_result(model)
+    rows = []
+    for sized, result in zip(clusters, results):
+        speedup = result.scaling_speedup(single.iteration_time)
+        rows.append(
+            {
+                "gpus": sized.world_size,
+                "iteration_time_s": result.iteration_time,
+                "speedup": speedup,
+                "efficiency": speedup / sized.world_size,
+                "s_max": max_speedup_for(model, sized),
+            }
+        )
+    return rows

@@ -8,6 +8,15 @@ ASCII rendering of the figure where one exists)::
     dear-repro all                 # every experiment, in paper order
     dear-repro list                # available experiment names
     dear-repro fig7 --json out.json   # also dump the raw rows as JSON
+
+The benchmark suites run through their own subcommand::
+
+    dear-repro bench                  # full grid -> BENCH_<date>.json
+    dear-repro bench --quick          # the CI gate's reduced grid
+    dear-repro bench --quick --baseline benchmarks/baseline.json
+
+Exit codes: 0 success, 1 experiment failure, 2 unknown experiment /
+bad usage, 3 benchmark regression against the baseline.
 """
 
 from __future__ import annotations
@@ -46,14 +55,95 @@ def _run_one(name: str, json_sink: dict | None = None) -> None:
         json_sink[name] = _jsonable(rows)
 
 
+def _bench_main(argv: list[str]) -> int:
+    """The ``dear-repro bench`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="dear-repro bench",
+        description="Run the benchmark suites and write a BENCH_<date>.json report.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (two models, one network) for CI",
+    )
+    parser.add_argument(
+        "--output", metavar="DIR", default=".",
+        help="directory for the BENCH_<date>.json artifact (default: cwd)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation workers (default: DEAR_JOBS or auto)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against a baseline report; exit 3 on >10%% regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="regression tolerance as a fraction (default 0.10)",
+    )
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.runner import run_bench
+    from repro.runner.report import (
+        DEFAULT_TOLERANCE,
+        bench_filename,
+        compare_to_baseline,
+        format_regressions,
+    )
+
+    payload = run_bench(quick=args.quick, jobs=args.jobs)
+    for suite, body in payload["suites"].items():
+        print(
+            f"== bench:{suite} == {len(body['metrics'])} runs "
+            f"in {body['wall_time_s']:.2f}s"
+        )
+    cache = payload["cache"]
+    print(
+        f"cache: {cache.get('hits', 0)} hits / {cache.get('misses', 0)} misses "
+        f"(hit rate {100.0 * cache.get('hit_rate', 0.0):.0f}%)"
+    )
+    directory = Path(args.output)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / bench_filename()
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"report written to {path}")
+
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text())
+        except (OSError, ValueError) as error:
+            print(f"error: cannot read baseline {args.baseline!r}: {error}",
+                  file=sys.stderr)
+            return 2
+        tolerance = DEFAULT_TOLERANCE if args.tolerance is None else args.tolerance
+        regressions = compare_to_baseline(payload, baseline, tolerance=tolerance)
+        if regressions:
+            print(format_regressions(regressions), file=sys.stderr)
+            print(
+                f"error: {len(regressions)} metric(s) regressed more than "
+                f"{100.0 * tolerance:.0f}% vs {args.baseline}",
+                file=sys.stderr,
+            )
+            return 3
+        print(f"baseline check passed ({args.baseline}, "
+              f"tolerance {100.0 * tolerance:.0f}%)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="dear-repro",
         description="DeAR (ICDCS 2023) reproduction: run paper experiments.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', or 'list'",
+        help="experiment name (see 'list'), 'all', 'list', or 'bench'",
     )
     parser.add_argument(
         "--json",
@@ -69,17 +159,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     json_sink: dict | None = {} if args.json else None
-    if args.experiment == "all":
-        for name in EXPERIMENTS:
-            _run_one(name, json_sink)
-    elif args.experiment in EXPERIMENTS:
-        _run_one(args.experiment, json_sink)
-    else:
+    to_run = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
         print(
             f"unknown experiment {args.experiment!r}; try 'list'",
             file=sys.stderr,
         )
         return 2
+    for name in to_run:
+        try:
+            _run_one(name, json_sink)
+        except Exception as error:  # one readable line, not a traceback
+            print(f"error: experiment {name!r} failed: {error}", file=sys.stderr)
+            return 1
 
     if args.json and json_sink is not None:
         with open(args.json, "w") as handle:

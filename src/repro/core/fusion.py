@@ -26,7 +26,7 @@ All policies preserve order and produce an exact partition, which
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.models.layers import ModelSpec, TensorSpec
 

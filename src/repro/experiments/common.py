@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -10,7 +10,8 @@ from repro.models.layers import ModelSpec
 from repro.models.zoo import get_model
 from repro.network.fabric import ClusterSpec
 from repro.network.presets import paper_testbed
-from repro.schedulers.base import ScheduleResult, simulate
+from repro.runner import RunSpec, run_many, simulate_cached
+from repro.schedulers.base import ScheduleResult
 
 __all__ = [
     "resolve_cluster",
@@ -99,11 +100,21 @@ class throughput_objective:
         index = int(np.argmin(np.abs(np.log(self.grid) - np.log(buffer_bytes))))
         return float(self.grid[index])
 
+    def _spec(self, buffer_bytes: float) -> RunSpec:
+        return RunSpec.create(
+            "dear",
+            self.model,
+            self.cluster,
+            fusion="buffer",
+            buffer_bytes=buffer_bytes,
+            iterations=self.iterations,
+        )
+
     def true_value(self, buffer_bytes: float) -> float:
         """Noise-free throughput at the snapped buffer size (samples/s)."""
         snapped = self.snap(buffer_bytes)
         if snapped not in self._cache:
-            result: ScheduleResult = simulate(
+            result: ScheduleResult = simulate_cached(
                 "dear",
                 self.model,
                 self.cluster,
@@ -115,8 +126,23 @@ class throughput_objective:
             self.evaluations += 1
         return self._cache[snapped]
 
-    def optimum(self) -> tuple[float, float]:
+    def prefetch(self, jobs: Optional[int] = None) -> None:
+        """Evaluate every grid point through the parallel runner.
+
+        Fills the in-memory memo (and the on-disk cache) in one
+        fan-out; subsequent queries are pure lookups.
+        """
+        missing = [float(x) for x in self.grid if float(x) not in self._cache]
+        if not missing:
+            return
+        results = run_many([self._spec(x) for x in missing], jobs=jobs)
+        for x, result in zip(missing, results):
+            self._cache[x] = result.throughput
+            self.evaluations += 1
+
+    def optimum(self, jobs: Optional[int] = None) -> tuple[float, float]:
         """(buffer size, throughput) of the best grid point."""
+        self.prefetch(jobs=jobs)
         best_x, best_y = None, -np.inf
         for x in self.grid:
             y = self.true_value(float(x))

@@ -9,7 +9,7 @@ BERT-Base.
 from __future__ import annotations
 
 from repro.experiments.common import format_table, resolve_cluster, resolve_model
-from repro.schedulers.base import simulate
+from repro.runner import RunSpec, run_many
 
 __all__ = ["run", "format_rows", "format_chart", "FIG11_WORKLOADS"]
 
@@ -19,41 +19,47 @@ FIG11_WORKLOADS = (
     ("bert_base", (16, 32, 64)),
 )
 
+_SCHEDULER_KEYS = ("horovod", "ddp", "mg_wfbp", "dear")
+
 
 def run(workloads=FIG11_WORKLOADS, cluster="10gbe", iterations: int = 5,
         buffer_bytes: float = 25e6) -> list[dict]:
     """One row per (model, batch size) with per-scheduler throughput."""
     cluster = resolve_cluster(cluster)
+    cells = [
+        (resolve_model(name), batch_size)
+        for name, batch_sizes in workloads
+        for batch_size in batch_sizes
+    ]
+    specs = []
+    for model, batch_size in cells:
+        specs.append(
+            RunSpec.create("horovod", model, cluster, batch_size=batch_size,
+                           buffer_bytes=buffer_bytes, iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("ddp", model, cluster, batch_size=batch_size,
+                           buffer_bytes=buffer_bytes, iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("mg_wfbp", model, cluster, batch_size=batch_size,
+                           iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("dear", model, cluster, batch_size=batch_size,
+                           fusion="buffer", buffer_bytes=buffer_bytes,
+                           iterations=iterations)
+        )
+    results = run_many(specs)
     rows = []
-    for name, batch_sizes in workloads:
-        model = resolve_model(name)
-        for batch_size in batch_sizes:
-            results = {
-                "horovod": simulate(
-                    "horovod", model, cluster, batch_size=batch_size,
-                    buffer_bytes=buffer_bytes, iterations=iterations,
-                ),
-                "ddp": simulate(
-                    "ddp", model, cluster, batch_size=batch_size,
-                    buffer_bytes=buffer_bytes, iterations=iterations,
-                ),
-                "mg_wfbp": simulate(
-                    "mg_wfbp", model, cluster, batch_size=batch_size,
-                    iterations=iterations,
-                ),
-                "dear": simulate(
-                    "dear", model, cluster, batch_size=batch_size,
-                    fusion="buffer", buffer_bytes=buffer_bytes,
-                    iterations=iterations,
-                ),
-            }
-            row = {"model": model.display_name, "batch_size": batch_size}
-            for key, result in results.items():
-                row[key] = result.throughput
-            row["dear_vs_best_other"] = row["dear"] / max(
-                row["horovod"], row["ddp"], row["mg_wfbp"]
-            )
-            rows.append(row)
+    for index, (model, batch_size) in enumerate(cells):
+        row = {"model": model.display_name, "batch_size": batch_size}
+        for offset, key in enumerate(_SCHEDULER_KEYS):
+            row[key] = results[4 * index + offset].throughput
+        row["dear_vs_best_other"] = row["dear"] / max(
+            row["horovod"], row["ddp"], row["mg_wfbp"]
+        )
+        rows.append(row)
     return rows
 
 

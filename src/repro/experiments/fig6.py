@@ -11,35 +11,44 @@ from __future__ import annotations
 
 from repro.experiments.common import format_table, resolve_cluster, resolve_model
 from repro.experiments.paper_data import MODELS, NETWORKS
-from repro.schedulers.base import simulate
+from repro.runner import RunSpec, run_many
 
 __all__ = ["run", "format_rows", "format_chart"]
 
 
 def run(models=MODELS, networks=NETWORKS, iterations: int = 5) -> list[dict]:
     """One row per (network, model) with speedups relative to WFBP."""
+    cells = [
+        (resolve_cluster(network), resolve_model(name))
+        for network in networks
+        for name in models
+    ]
+    specs = []
+    for cluster, model in cells:
+        specs.append(RunSpec.create("wfbp", model, cluster, iterations=iterations))
+        specs.append(
+            RunSpec.create("bytescheduler", model, cluster, iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("dear", model, cluster, fusion="none",
+                           iterations=iterations)
+        )
+    results = run_many(specs)
     rows = []
-    for network in networks:
-        cluster = resolve_cluster(network)
-        for name in models:
-            model = resolve_model(name)
-            wfbp = simulate("wfbp", model, cluster, iterations=iterations)
-            bytesched = simulate("bytescheduler", model, cluster, iterations=iterations)
-            dear = simulate(
-                "dear", model, cluster, fusion="none", iterations=iterations
-            )
-            rows.append(
-                {
-                    "network": cluster.name,
-                    "model": model.display_name,
-                    "wfbp": 1.0,
-                    "bytescheduler": wfbp.iteration_time / bytesched.iteration_time,
-                    "dear": wfbp.iteration_time / dear.iteration_time,
-                    "wfbp_iter_s": wfbp.iteration_time,
-                    "bytescheduler_iter_s": bytesched.iteration_time,
-                    "dear_iter_s": dear.iteration_time,
-                }
-            )
+    for index, (cluster, model) in enumerate(cells):
+        wfbp, bytesched, dear = results[3 * index:3 * index + 3]
+        rows.append(
+            {
+                "network": cluster.name,
+                "model": model.display_name,
+                "wfbp": 1.0,
+                "bytescheduler": wfbp.iteration_time / bytesched.iteration_time,
+                "dear": wfbp.iteration_time / dear.iteration_time,
+                "wfbp_iter_s": wfbp.iteration_time,
+                "bytescheduler_iter_s": bytesched.iteration_time,
+                "dear_iter_s": dear.iteration_time,
+            }
+        )
     return rows
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.experiments.common import format_table, resolve_cluster, resolve_model
 from repro.experiments.paper_data import MODELS, NETWORKS
-from repro.schedulers.base import simulate
+from repro.runner import RunSpec, run_many
 
 __all__ = ["run", "format_rows", "format_chart", "FUSION_BUFFER_BYTES"]
 
@@ -23,39 +23,48 @@ FUSION_BUFFER_BYTES = 25e6
 def run(models=MODELS, networks=NETWORKS, iterations: int = 5,
         dear_fusion: str = "buffer") -> list[dict]:
     """One row per (network, model) with speedups relative to Horovod."""
+    dear_options = (
+        {"fusion": "bo"} if dear_fusion == "bo"
+        else {"fusion": "buffer", "buffer_bytes": FUSION_BUFFER_BYTES}
+    )
+    cells = [
+        (resolve_cluster(network), resolve_model(name))
+        for network in networks
+        for name in models
+    ]
+    specs = []
+    for cluster, model in cells:
+        specs.append(
+            RunSpec.create("horovod", model, cluster,
+                           buffer_bytes=FUSION_BUFFER_BYTES,
+                           iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("ddp", model, cluster,
+                           buffer_bytes=FUSION_BUFFER_BYTES,
+                           iterations=iterations)
+        )
+        specs.append(RunSpec.create("mg_wfbp", model, cluster, iterations=iterations))
+        specs.append(
+            RunSpec.create("dear", model, cluster, iterations=iterations,
+                           **dear_options)
+        )
+    results = run_many(specs)
     rows = []
-    for network in networks:
-        cluster = resolve_cluster(network)
-        for name in models:
-            model = resolve_model(name)
-            horovod = simulate(
-                "horovod", model, cluster,
-                buffer_bytes=FUSION_BUFFER_BYTES, iterations=iterations,
-            )
-            ddp = simulate(
-                "ddp", model, cluster,
-                buffer_bytes=FUSION_BUFFER_BYTES, iterations=iterations,
-            )
-            mg = simulate("mg_wfbp", model, cluster, iterations=iterations)
-            dear_options = (
-                {"fusion": "bo"} if dear_fusion == "bo"
-                else {"fusion": "buffer", "buffer_bytes": FUSION_BUFFER_BYTES}
-            )
-            dear = simulate(
-                "dear", model, cluster, iterations=iterations, **dear_options
-            )
-            rows.append(
-                {
-                    "network": cluster.name,
-                    "model": model.display_name,
-                    "horovod": 1.0,
-                    "ddp": horovod.iteration_time / ddp.iteration_time,
-                    "mg_wfbp": horovod.iteration_time / mg.iteration_time,
-                    "dear": horovod.iteration_time / dear.iteration_time,
-                    "horovod_iter_s": horovod.iteration_time,
-                    "dear_iter_s": dear.iteration_time,
-                }
-            )
+    for index, (cluster, model) in enumerate(cells):
+        horovod, ddp, mg, dear = results[4 * index:4 * index + 4]
+        rows.append(
+            {
+                "network": cluster.name,
+                "model": model.display_name,
+                "horovod": 1.0,
+                "ddp": horovod.iteration_time / ddp.iteration_time,
+                "mg_wfbp": horovod.iteration_time / mg.iteration_time,
+                "dear": horovod.iteration_time / dear.iteration_time,
+                "horovod_iter_s": horovod.iteration_time,
+                "dear_iter_s": dear.iteration_time,
+            }
+        )
     return rows
 
 

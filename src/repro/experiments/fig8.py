@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.analysis.breakdown import breakdown_of
 from repro.experiments.common import format_table, resolve_cluster, resolve_model
 from repro.experiments.paper_data import MODELS
-from repro.schedulers.base import simulate
+from repro.runner import RunSpec, run_many
 
 __all__ = ["run", "format_rows", "format_chart"]
 
@@ -22,17 +22,22 @@ def run(models=MODELS, cluster="10gbe", iterations: int = 5,
         buffer_bytes: float = 25e6) -> list[dict]:
     """One row per (model, scheduler-view)."""
     cluster = resolve_cluster(cluster)
+    resolved = [resolve_model(name) for name in models]
+    specs = []
+    for model in resolved:
+        specs.append(
+            RunSpec.create("horovod", model, cluster, buffer_bytes=buffer_bytes,
+                           iterations=iterations)
+        )
+        specs.append(
+            RunSpec.create("dear", model, cluster, fusion="buffer",
+                           buffer_bytes=buffer_bytes, iterations=iterations)
+        )
+    results = run_many(specs)
     rows = []
-    for name in models:
-        model = resolve_model(name)
-        horovod = breakdown_of(
-            simulate("horovod", model, cluster, buffer_bytes=buffer_bytes,
-                     iterations=iterations)
-        )
-        dear = breakdown_of(
-            simulate("dear", model, cluster, fusion="buffer",
-                     buffer_bytes=buffer_bytes, iterations=iterations)
-        )
+    for index, model in enumerate(resolved):
+        horovod = breakdown_of(results[2 * index])
+        dear = breakdown_of(results[2 * index + 1])
         rows.append(_row(model.display_name, "Horovod", horovod.t_ff, horovod.t_bp,
                          horovod.exposed_comm, horovod.iteration_time))
         rows.append(_row(model.display_name, "DeAR", dear.t_ff, dear.t_bp,

@@ -18,52 +18,63 @@ from __future__ import annotations
 
 from repro.experiments.common import format_table, resolve_cluster, resolve_model
 from repro.experiments.paper_data import NETWORKS
-from repro.schedulers.base import simulate
+from repro.runner import RunSpec, run_many
 
 __all__ = ["run", "format_rows", "format_chart", "FIG9_MODELS"]
 
 FIG9_MODELS = ("resnet50", "densenet201", "bert_base")
 
 
+def _variant_specs(model, cluster, iterations: int, bo_trials: int) -> dict:
+    """The six Fig. 9 configurations for one (model, network) cell."""
+    return {
+        "horovod_fb": RunSpec.create(
+            "horovod", model, cluster, buffer_bytes=64e6, iterations=iterations,
+        ),
+        "horovod_bo": RunSpec.create(
+            "horovod", model, cluster, fusion="bo", bo_trials=bo_trials,
+            iterations=iterations,
+        ),
+        "dear_no_tf": RunSpec.create(
+            "dear", model, cluster, fusion="none", iterations=iterations,
+        ),
+        "dear_nl": RunSpec.create(
+            "dear", model, cluster, fusion="layers", layers_per_group=4,
+            iterations=iterations,
+        ),
+        "dear_fb": RunSpec.create(
+            "dear", model, cluster, fusion="buffer", buffer_bytes=5e6,
+            iterations=iterations,
+        ),
+        "dear_bo": RunSpec.create(
+            "dear", model, cluster, fusion="bo", bo_trials=bo_trials,
+            iterations=iterations,
+        ),
+    }
+
+
 def run(models=FIG9_MODELS, networks=NETWORKS, iterations: int = 5,
         bo_trials: int = 12) -> list[dict]:
     """One row per (network, model) with throughput in samples/s."""
+    cells = [
+        (resolve_cluster(network), resolve_model(name))
+        for network in networks
+        for name in models
+    ]
+    keyed = [
+        _variant_specs(model, cluster, iterations, bo_trials)
+        for cluster, model in cells
+    ]
+    flat = [spec for variants in keyed for spec in variants.values()]
+    results = iter(run_many(flat))
     rows = []
-    for network in networks:
-        cluster = resolve_cluster(network)
-        for name in models:
-            model = resolve_model(name)
-            variants = {
-                "horovod_fb": simulate(
-                    "horovod", model, cluster, buffer_bytes=64e6,
-                    iterations=iterations,
-                ),
-                "horovod_bo": simulate(
-                    "horovod", model, cluster, fusion="bo",
-                    bo_trials=bo_trials, iterations=iterations,
-                ),
-                "dear_no_tf": simulate(
-                    "dear", model, cluster, fusion="none", iterations=iterations
-                ),
-                "dear_nl": simulate(
-                    "dear", model, cluster, fusion="layers",
-                    layers_per_group=4, iterations=iterations,
-                ),
-                "dear_fb": simulate(
-                    "dear", model, cluster, fusion="buffer",
-                    buffer_bytes=5e6, iterations=iterations,
-                ),
-                "dear_bo": simulate(
-                    "dear", model, cluster, fusion="bo",
-                    bo_trials=bo_trials, iterations=iterations,
-                ),
-            }
-            row = {"network": cluster.name, "model": model.display_name}
-            for key, result in variants.items():
-                row[key] = result.throughput
-            row["bo_vs_no_tf"] = row["dear_bo"] / row["dear_no_tf"]
-            row["bo_vs_horovod_fb"] = row["dear_bo"] / row["horovod_fb"]
-            rows.append(row)
+    for (cluster, model), variants in zip(cells, keyed):
+        row = {"network": cluster.name, "model": model.display_name}
+        for key in variants:
+            row[key] = next(results).throughput
+        row["bo_vs_no_tf"] = row["dear_bo"] / row["dear_no_tf"]
+        row["bo_vs_horovod_fb"] = row["dear_bo"] / row["horovod_fb"]
+        rows.append(row)
     return rows
 
 

@@ -7,6 +7,11 @@ These sweeps vary one fabric parameter at a time — link latency (alpha)
 or link bandwidth — while holding everything else at the testbed
 calibration, and report DeAR's improvement over Horovod at each point.
 
+Every point is an independent (scheduler, fabric) cell, so the sweeps
+fan out through :func:`repro.runner.run_many`: points run concurrently
+(``DEAR_JOBS`` workers) and repeat runs come out of the result cache,
+with row values bit-identical either way.
+
 Expected shapes (asserted by the bench):
 
 - the advantage grows monotonically with latency (startup-bound regime:
@@ -21,14 +26,13 @@ Expected shapes (asserted by the bench):
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.experiments.common import format_table, resolve_model
 from repro.network.fabric import ClusterSpec, LinkSpec
 from repro.network.presets import ETHERNET_10G, PCIE_3
-from repro.schedulers.base import simulate
+from repro.runner.executor import run_many
+from repro.runner.spec import RunSpec
 
-__all__ = ["latency_sweep", "bandwidth_sweep", "format_rows"]
+__all__ = ["latency_sweep", "bandwidth_sweep", "sweep_specs", "format_rows"]
 
 _LATENCY_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
 _BANDWIDTH_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
@@ -44,55 +48,75 @@ def _cluster_with(link: LinkSpec) -> ClusterSpec:
     )
 
 
-def _compare(model, cluster, iterations: int) -> tuple[float, float]:
-    dear = simulate(
-        "dear", model, cluster, fusion="buffer", buffer_bytes=25e6,
-        iterations=iterations,
-    )
-    horovod = simulate(
-        "horovod", model, cluster, buffer_bytes=25e6, iterations=iterations
-    )
-    return dear.iteration_time, horovod.iteration_time
+def _scaled_link(kind: str, factor: float) -> LinkSpec:
+    if kind == "latency":
+        return ETHERNET_10G.scaled(latency_factor=factor)
+    if kind == "bandwidth":
+        return ETHERNET_10G.scaled(bandwidth_factor=factor)
+    raise ValueError(f"unknown sweep kind {kind!r}")
+
+
+def sweep_specs(kind: str, factor: float, model="resnet50",
+                iterations: int = 5) -> list[tuple[str, RunSpec]]:
+    """The (dear, horovod) spec pair for one sweep point.
+
+    Shared with :mod:`repro.runner.bench`, so the bench suite and the
+    sweep harness hit the same cache entries.
+    """
+    cluster = _cluster_with(_scaled_link(kind, factor))
+    model = resolve_model(model)
+    return [
+        (
+            "dear",
+            RunSpec.create(
+                "dear", model, cluster, fusion="buffer", buffer_bytes=25e6,
+                iterations=iterations,
+            ),
+        ),
+        (
+            "horovod",
+            RunSpec.create(
+                "horovod", model, cluster, buffer_bytes=25e6,
+                iterations=iterations,
+            ),
+        ),
+    ]
+
+
+def _sweep(kind: str, model, factors, iterations: int) -> list[dict]:
+    """Fan every (factor, scheduler) cell out through the runner."""
+    specs = []
+    for factor in factors:
+        specs.extend(spec for _, spec in sweep_specs(kind, factor, model, iterations))
+    results = run_many(specs)
+    rows = []
+    for index, factor in enumerate(factors):
+        dear, horovod = results[2 * index], results[2 * index + 1]
+        link = _scaled_link(kind, factor)
+        row = {
+            "alpha_us" if kind == "latency" else "bandwidth_gbps": (
+                link.latency * 1e6 if kind == "latency"
+                else link.bandwidth * 8 / 1e9
+            ),
+            f"{kind}_factor": factor,
+            "dear_iter_s": dear.iteration_time,
+            "horovod_iter_s": horovod.iteration_time,
+            "dear_advantage": horovod.iteration_time / dear.iteration_time,
+        }
+        rows.append(row)
+    return rows
 
 
 def latency_sweep(model="resnet50", factors=_LATENCY_FACTORS,
                   iterations: int = 5) -> list[dict]:
     """Scale the 10GbE alpha; bandwidth fixed at the calibrated value."""
-    model = resolve_model(model)
-    rows = []
-    for factor in factors:
-        link = ETHERNET_10G.scaled(latency_factor=factor)
-        dear_time, horovod_time = _compare(model, _cluster_with(link), iterations)
-        rows.append(
-            {
-                "alpha_us": link.latency * 1e6,
-                "latency_factor": factor,
-                "dear_iter_s": dear_time,
-                "horovod_iter_s": horovod_time,
-                "dear_advantage": horovod_time / dear_time,
-            }
-        )
-    return rows
+    return _sweep("latency", model, factors, iterations)
 
 
 def bandwidth_sweep(model="bert_base", factors=_BANDWIDTH_FACTORS,
                     iterations: int = 5) -> list[dict]:
     """Scale the 10GbE bandwidth; alpha fixed at the calibrated value."""
-    model = resolve_model(model)
-    rows = []
-    for factor in factors:
-        link = ETHERNET_10G.scaled(bandwidth_factor=factor)
-        dear_time, horovod_time = _compare(model, _cluster_with(link), iterations)
-        rows.append(
-            {
-                "bandwidth_gbps": link.bandwidth * 8 / 1e9,
-                "bandwidth_factor": factor,
-                "dear_iter_s": dear_time,
-                "horovod_iter_s": horovod_time,
-                "dear_advantage": horovod_time / dear_time,
-            }
-        )
-    return rows
+    return _sweep("bandwidth", model, factors, iterations)
 
 
 def format_rows(rows: list[dict]) -> str:

@@ -11,7 +11,7 @@ communicate in (paper Fig. 1/2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Sequence
 
 __all__ = ["TensorSpec", "LayerSpec", "ModelSpec", "GRADIENT_DTYPE_BYTES"]
 

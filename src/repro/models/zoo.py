@@ -10,8 +10,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.models.bert import build_bert_base, build_bert_large
-from repro.models.extra import build_gpt2_small, build_vgg16
 from repro.models.densenet import build_densenet201
+from repro.models.extra import build_gpt2_small, build_vgg16
 from repro.models.inception import build_inception_v4
 from repro.models.layers import ModelSpec
 from repro.models.resnet import build_resnet50

@@ -19,7 +19,6 @@ available for sensitivity studies).
 from __future__ import annotations
 
 import math
-from typing import Optional
 
 from repro.network.fabric import ClusterSpec
 

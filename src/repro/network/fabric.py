@@ -116,7 +116,8 @@ class ClusterSpec:
 
     def with_nodes(self, nodes: int) -> "ClusterSpec":
         """Same fabric, different node count (for scaling sweeps)."""
-        return replace(self, nodes=nodes, name=f"{nodes}x{self.gpus_per_node}:{self.inter_link.name}")
+        name = f"{nodes}x{self.gpus_per_node}:{self.inter_link.name}"
+        return replace(self, nodes=nodes, name=name)
 
     def describe(self) -> str:
         """One-line human-readable summary."""

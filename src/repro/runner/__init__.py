@@ -1,0 +1,57 @@
+"""Parallel, content-addressed experiment execution.
+
+Every experiment, sweep, and benchmark routes its ``simulate`` calls
+through this subsystem, which layers three things on the simulator:
+
+- **identity** — :class:`RunSpec` canonically fingerprints one run
+  (scheduler + full model/cluster specs + every option);
+- **memoisation** — :class:`ResultCache` keeps results on disk under
+  ``.dear-cache/`` (``DEAR_CACHE_DIR`` overrides the root,
+  ``DEAR_CACHE=0`` disables), versioned by a schema tag;
+- **fan-out** — :func:`run_many` evaluates independent specs on a
+  process pool (``DEAR_JOBS`` workers) with deterministic, input-order
+  results and graceful serial fallback.
+
+:func:`simulate_cached` is the drop-in facade for single calls;
+:mod:`repro.runner.bench` and :mod:`repro.runner.report` turn batches
+of runs into the ``BENCH_<date>.json`` artifact CI consumes.
+"""
+
+from repro.runner.bench import bench_suites, run_bench
+from repro.runner.cache import (
+    SCHEMA_VERSION,
+    ResultCache,
+    default_cache,
+    reset_default_cache,
+    run_cached,
+)
+from repro.runner.executor import resolve_jobs, run_many, simulate_cached
+from repro.runner.report import (
+    BENCH_SCHEMA,
+    BenchReporter,
+    bench_filename,
+    compare_to_baseline,
+    format_regressions,
+    iteration_metrics,
+)
+from repro.runner.spec import RunSpec
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "SCHEMA_VERSION",
+    "BenchReporter",
+    "ResultCache",
+    "RunSpec",
+    "bench_filename",
+    "bench_suites",
+    "compare_to_baseline",
+    "default_cache",
+    "format_regressions",
+    "iteration_metrics",
+    "reset_default_cache",
+    "resolve_jobs",
+    "run_bench",
+    "run_cached",
+    "run_many",
+    "simulate_cached",
+]

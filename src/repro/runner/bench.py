@@ -1,0 +1,103 @@
+"""The ``dear-repro bench`` suites.
+
+Three suites cover the hot paths the paper's evaluation leans on:
+
+- ``schedulers`` — every scheduler on the paper's models/networks with
+  the standard 25 MB fusion protocol (the Fig. 6/7 workload);
+- ``fusion`` — DeAR's tensor-fusion variants (the Fig. 9 axis);
+- ``sweeps`` — the latency/bandwidth sensitivity points (§VI-I).
+
+``--quick`` shrinks each axis (two models, one network, fewer sweep
+points) for the CI gate; the full run covers the complete grid.  All
+specs execute through :func:`repro.runner.executor.run_many`, so a
+warm ``.dear-cache/`` makes a repeat run near-instant and the reported
+cache hit rate is the direct measure of amortisation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.runner.cache import ResultCache, default_cache
+from repro.runner.executor import run_many
+from repro.runner.report import BenchReporter, iteration_metrics
+from repro.runner.spec import RunSpec
+
+__all__ = ["bench_suites", "run_bench"]
+
+_QUICK_MODELS = ("resnet50", "bert_base")
+_FULL_MODELS = ("resnet50", "densenet201", "inception_v4", "bert_base", "bert_large")
+
+#: (scheduler, fixed options) — the Fig. 6/7 comparison protocol.
+_SCHEDULERS = (
+    ("wfbp", {}),
+    ("horovod", {"buffer_bytes": 25e6}),
+    ("ddp", {"buffer_bytes": 25e6}),
+    ("mg_wfbp", {}),
+    ("bytescheduler", {}),
+    ("dear", {"fusion": "buffer", "buffer_bytes": 25e6}),
+)
+
+#: (variant name, dear options) — the Fig. 9 fusion axis (BO excluded:
+#: its inner tuning loop is a search benchmark, not an iteration one).
+_FUSION_VARIANTS = (
+    ("no_tf", {"fusion": "none"}),
+    ("nl4", {"fusion": "layers", "layers_per_group": 4}),
+    ("fb5mb", {"fusion": "buffer", "buffer_bytes": 5e6}),
+    ("fb25mb", {"fusion": "buffer", "buffer_bytes": 25e6}),
+)
+
+
+def bench_suites(quick: bool = False) -> dict[str, dict[str, RunSpec]]:
+    """{suite: {metric key: spec}} for the requested depth."""
+    models = _QUICK_MODELS if quick else _FULL_MODELS
+    networks = ("10gbe",) if quick else ("10gbe", "100gbib")
+    latency_factors = (1.0, 4.0) if quick else (0.25, 0.5, 1.0, 2.0, 4.0)
+    bandwidth_factors = (1.0, 4.0) if quick else (0.5, 1.0, 2.0, 4.0, 8.0)
+
+    schedulers: dict[str, RunSpec] = {}
+    for network in networks:
+        for model in models:
+            for scheduler, options in _SCHEDULERS:
+                spec = RunSpec.create(scheduler, model, network, **options)
+                schedulers[spec.label] = spec
+
+    fusion: dict[str, RunSpec] = {}
+    for model in models:
+        for variant, options in _FUSION_VARIANTS:
+            spec = RunSpec.create("dear", model, "10gbe", **options)
+            fusion[f"dear[{variant}]/{model}"] = spec
+
+    from repro.experiments.sweeps import sweep_specs
+
+    sweeps: dict[str, RunSpec] = {}
+    for factor in latency_factors:
+        for scheduler, spec in sweep_specs("latency", factor, model="resnet50"):
+            sweeps[f"{scheduler}/resnet50/latency_x{factor:g}"] = spec
+    for factor in bandwidth_factors:
+        for scheduler, spec in sweep_specs("bandwidth", factor, model="bert_base"):
+            sweeps[f"{scheduler}/bert_base/bandwidth_x{factor:g}"] = spec
+
+    return {"schedulers": schedulers, "fusion": fusion, "sweeps": sweeps}
+
+
+def run_bench(
+    quick: bool = False,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> dict:
+    """Run every suite and return the report payload."""
+    cache = cache if cache is not None else default_cache()
+    reporter = BenchReporter(quick=quick)
+    for suite, keyed_specs in bench_suites(quick).items():
+        keys = list(keyed_specs)
+        started = time.perf_counter()
+        results = run_many([keyed_specs[key] for key in keys], jobs=jobs, cache=cache)
+        wall = time.perf_counter() - started
+        reporter.add_suite(
+            suite,
+            wall,
+            {key: iteration_metrics(result) for key, result in zip(keys, results)},
+        )
+    return reporter.payload(cache.stats())

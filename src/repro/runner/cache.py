@@ -1,0 +1,196 @@
+"""On-disk, content-addressed result cache.
+
+Entries live under ``.dear-cache/<schema>/<aa>/<fingerprint>.json``
+(override the root with ``DEAR_CACHE_DIR``; disable entirely with
+``DEAR_CACHE=0``).  The schema tag versions the *meaning* of cached
+results: bump :data:`SCHEMA_VERSION` whenever the simulator, the cost
+model, or the :class:`~repro.schedulers.base.ScheduleResult` layout
+changes, and every stale entry silently becomes a miss.
+
+Corruption is never fatal — an unreadable or mismatched entry is
+treated as a miss (and evicted), so the worst a damaged cache can do is
+force a recompute.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.runner.spec import RunSpec
+from repro.schedulers.base import ScheduleResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "ResultCache",
+    "default_cache",
+    "reset_default_cache",
+    "run_cached",
+    "result_to_dict",
+    "result_from_dict",
+]
+
+#: Bump when simulator semantics or the result layout change.
+SCHEMA_VERSION = "dear-cache-v1"
+
+#: Fields of ScheduleResult that persist (the tracer is deliberately
+#: dropped: it is large, not JSON-serialisable, and only timeline
+#: renderings need it — those run uncached).
+_RESULT_FIELDS = (
+    "scheduler",
+    "model_name",
+    "cluster_name",
+    "world_size",
+    "batch_size",
+    "iteration_time",
+    "t_ff",
+    "t_bp",
+    "exposed_comm",
+    "exposed_rs",
+    "exposed_ag",
+    "iteration_times",
+    "extras",
+)
+
+
+def result_to_dict(result: ScheduleResult) -> dict:
+    """JSON-ready view of a result (tracer dropped)."""
+    payload = {name: getattr(result, name) for name in _RESULT_FIELDS}
+    payload["iteration_times"] = list(result.iteration_times)
+    return payload
+
+
+def result_from_dict(payload: dict) -> ScheduleResult:
+    """Rebuild a (tracer-less) result from its cached form."""
+    data = dict(payload)
+    data["iteration_times"] = tuple(data.get("iteration_times", ()))
+    data.setdefault("extras", {})
+    return ScheduleResult(tracer=None, **data)
+
+
+class ResultCache:
+    """Filesystem cache keyed by :attr:`RunSpec.fingerprint`."""
+
+    def __init__(self, root: Optional[Path] = None, schema: str = SCHEMA_VERSION,
+                 enabled: bool = True):
+        if root is None:
+            root = Path(os.environ.get("DEAR_CACHE_DIR", ".dear-cache"))
+        self.root = Path(root)
+        self.schema = schema
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from disk."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": self.hit_rate,
+        }
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / self.schema / fingerprint[:2] / f"{fingerprint}.json"
+
+    def get(self, spec: RunSpec) -> Optional[ScheduleResult]:
+        """Cached result for ``spec``, or None on any kind of miss."""
+        if not self.enabled:
+            return None
+        fingerprint = spec.fingerprint
+        path = self._path(fingerprint)
+        try:
+            entry = json.loads(path.read_text())
+            if entry.get("schema") != self.schema:
+                raise ValueError("schema mismatch")
+            if entry.get("fingerprint") != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            result = result_from_dict(entry["result"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupted or stale entry: evict and recompute.
+            self._evict(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, spec: RunSpec, result: ScheduleResult) -> None:
+        """Persist ``result`` under the spec's fingerprint (atomically)."""
+        if not self.enabled:
+            return
+        fingerprint = spec.fingerprint
+        path = self._path(fingerprint)
+        entry = {
+            "schema": self.schema,
+            "fingerprint": fingerprint,
+            "label": spec.label,
+            "result": result_to_dict(result),
+        }
+        temp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=path.parent, suffix=".tmp", delete=False
+            )
+            temp_name = handle.name
+            with handle:
+                json.dump(entry, handle)
+            os.replace(temp_name, path)
+        except (OSError, TypeError):
+            # A cache that cannot write is a cache that is off.
+            if temp_name is not None:
+                self._evict(Path(temp_name))
+            return
+        self.puts += 1
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+_DEFAULT: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache (honours DEAR_CACHE / DEAR_CACHE_DIR)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        enabled = os.environ.get("DEAR_CACHE", "1") not in ("0", "false", "off")
+        _DEFAULT = ResultCache(enabled=enabled)
+    return _DEFAULT
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (re-reads env on next use)."""
+    global _DEFAULT
+    _DEFAULT = None
+
+
+def run_cached(spec: RunSpec, cache: Optional[ResultCache] = None) -> ScheduleResult:
+    """Execute ``spec`` through the cache.
+
+    Always returns a tracer-less result, so callers see identical
+    payloads whether the answer came from disk or a fresh simulation.
+    """
+    cache = cache if cache is not None else default_cache()
+    cached = cache.get(spec)
+    if cached is not None:
+        return cached
+    result = dataclasses.replace(spec.run(), tracer=None)
+    cache.put(spec, result)
+    return result

@@ -1,0 +1,132 @@
+"""Process-pool fan-out over independent run specs.
+
+``run_many`` is the one entry point: it answers what it can from the
+result cache, dedupes identical specs, fans the remainder out over a
+``ProcessPoolExecutor`` (worker count from the ``jobs`` argument, the
+``DEAR_JOBS`` environment variable, or a conservative default), and
+returns results in *input order* regardless of completion order — so a
+sweep is bit-identical whether it ran serially or on eight workers.
+
+The pool is an optimisation, never a requirement: with one job, one
+pending spec, or any pickling/pool failure, execution silently falls
+back to in-process serial simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.runner.cache import ResultCache, default_cache
+from repro.runner.spec import RunSpec
+from repro.schedulers.base import DEFAULT_ITERATIONS, ScheduleResult
+
+__all__ = ["resolve_jobs", "run_many", "simulate_cached"]
+
+#: Upper bound on the implicit default; explicit jobs / DEAR_JOBS win.
+_DEFAULT_JOBS_CAP = 4
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument > DEAR_JOBS env > capped default."""
+    if jobs is None:
+        env = os.environ.get("DEAR_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = None
+    if jobs is None:
+        jobs = min(_DEFAULT_JOBS_CAP, os.cpu_count() or 1)
+    return max(1, jobs)
+
+
+def _execute(spec: RunSpec) -> ScheduleResult:
+    """Worker entry point: simulate and strip the (unpicklable) tracer."""
+    return dataclasses.replace(spec.run(), tracer=None)
+
+
+def run_many(
+    specs: Sequence[RunSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> list[ScheduleResult]:
+    """Execute many independent specs, returning results in input order."""
+    specs = list(specs)
+    cache = cache if cache is not None else default_cache()
+    results: list[Optional[ScheduleResult]] = [None] * len(specs)
+
+    # Answer from the cache, deduping repeated specs as we go.
+    first_seen: dict[str, int] = {}
+    pending: list[int] = []
+    for index, spec in enumerate(specs):
+        fingerprint = spec.fingerprint
+        if fingerprint in first_seen:
+            continue
+        first_seen[fingerprint] = index
+        cached = cache.get(spec)
+        if cached is not None:
+            results[index] = cached
+        else:
+            pending.append(index)
+
+    if pending:
+        computed = _compute(specs, pending, resolve_jobs(jobs))
+        for index, result in zip(pending, computed):
+            cache.put(specs[index], result)
+            results[index] = result
+
+    # Fill duplicate slots from the canonical copy.
+    for index, spec in enumerate(specs):
+        if results[index] is None:
+            results[index] = results[first_seen[spec.fingerprint]]
+    return results  # type: ignore[return-value]
+
+
+def _compute(specs: list[RunSpec], pending: list[int], jobs: int) -> list[ScheduleResult]:
+    """Simulate the pending indices, in parallel when it can help."""
+    if jobs <= 1 or len(pending) <= 1:
+        return [_execute(specs[index]) for index in pending]
+    workers = min(jobs, len(pending))
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute, (specs[index] for index in pending)))
+    except (pickle.PicklingError, BrokenProcessPool, OSError):
+        # Pool unavailable (sandbox, unpicklable payload, fork limits):
+        # serial execution produces the exact same results.
+        return [_execute(specs[index]) for index in pending]
+
+
+def simulate_cached(
+    scheduler: str,
+    model,
+    cluster,
+    batch_size: Optional[int] = None,
+    algorithm: str = "ring",
+    iterations: int = DEFAULT_ITERATIONS,
+    iteration_compute: Optional[float] = None,
+    cache: Optional[ResultCache] = None,
+    **options,
+) -> ScheduleResult:
+    """Drop-in, cache-backed mirror of :func:`repro.schedulers.base.simulate`.
+
+    Returns a tracer-less result (see :func:`repro.runner.cache.run_cached`);
+    call sites that need the event trace should keep using ``simulate``.
+    """
+    from repro.runner.cache import run_cached
+
+    spec = RunSpec.create(
+        scheduler,
+        model,
+        cluster,
+        batch_size=batch_size,
+        algorithm=algorithm,
+        iterations=iterations,
+        iteration_compute=iteration_compute,
+        **options,
+    )
+    return run_cached(spec, cache=cache)

@@ -1,0 +1,163 @@
+"""Machine-readable bench reports and the regression gate.
+
+One JSON schema serves every consumer: ``dear-repro bench`` emits it,
+the pytest benchmark suite emits it, CI uploads it as an artifact, and
+the regression gate diffs it against ``benchmarks/baseline.json``.
+
+Payload layout (schema ``dear-bench-v1``)::
+
+    {
+      "schema": "dear-bench-v1",
+      "created": "2026-08-06T12:00:00+00:00",
+      "quick": true,
+      "cache": {"hits": 10, "misses": 2, "puts": 2, "hit_rate": 0.83},
+      "suites": {
+        "<suite>": {
+          "wall_time_s": 1.23,
+          "metrics": {"<scheduler>/<model>/<cluster>": {"median_iter_s": 0.25}}
+        }
+      }
+    }
+
+Wall times are informational (they vary with the host); the gate only
+compares the simulation-derived ``median_iter_s`` metrics, which are
+deterministic, so any drift it flags is a real behaviour change.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+from repro.schedulers.base import ScheduleResult
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchReporter",
+    "iteration_metrics",
+    "bench_filename",
+    "compare_to_baseline",
+    "format_regressions",
+]
+
+BENCH_SCHEMA = "dear-bench-v1"
+
+#: Gate threshold: fail when a metric slows down by more than this.
+DEFAULT_TOLERANCE = 0.10
+
+
+def iteration_metrics(result: ScheduleResult) -> dict:
+    """Per-run metric block: the median steady-ish iteration time.
+
+    The first gap warms the pipeline, so the median is taken over the
+    remaining gaps (falling back to the headline iteration time for
+    short runs).
+    """
+    gaps = result.iteration_times[1:] or (result.iteration_time,)
+    return {"median_iter_s": float(statistics.median(gaps))}
+
+
+def bench_filename(when: Optional[datetime] = None) -> str:
+    """Canonical artifact name: ``BENCH_<YYYY-MM-DD>.json``."""
+    when = when or datetime.now(timezone.utc)
+    return f"BENCH_{when.date().isoformat()}.json"
+
+
+class BenchReporter:
+    """Accumulates per-suite timings and metrics into one payload."""
+
+    def __init__(self, quick: bool = False):
+        self.quick = quick
+        self._suites: dict[str, dict] = {}
+
+    @property
+    def suites(self) -> dict[str, dict]:
+        """Recorded suites (name -> {wall_time_s, metrics})."""
+        return dict(self._suites)
+
+    def add_suite(self, name: str, wall_time_s: float,
+                  metrics: Optional[dict] = None) -> None:
+        """Record one suite; re-adding a name overwrites it."""
+        self._suites[name] = {
+            "wall_time_s": float(wall_time_s),
+            "metrics": dict(metrics or {}),
+        }
+
+    def add_result(self, suite: str, key: str, result: ScheduleResult) -> None:
+        """Attach one simulation's metrics to an already-recorded suite."""
+        self._suites.setdefault(suite, {"wall_time_s": 0.0, "metrics": {}})
+        self._suites[suite]["metrics"][key] = iteration_metrics(result)
+
+    def payload(self, cache_stats: Optional[dict] = None) -> dict:
+        return {
+            "schema": BENCH_SCHEMA,
+            "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "quick": self.quick,
+            "cache": dict(cache_stats or {}),
+            "suites": self._suites,
+        }
+
+    def write(self, directory: Path, cache_stats: Optional[dict] = None) -> Path:
+        """Write ``BENCH_<date>.json`` into ``directory``; returns the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / bench_filename()
+        path.write_text(json.dumps(self.payload(cache_stats), indent=2) + "\n")
+        return path
+
+
+def _flat_metrics(payload: dict) -> dict[str, float]:
+    """{"suite/key": median_iter_s} across every suite in a payload."""
+    flat: dict[str, float] = {}
+    for suite, body in payload.get("suites", {}).items():
+        for key, metrics in body.get("metrics", {}).items():
+            value = metrics.get("median_iter_s")
+            if isinstance(value, (int, float)):
+                flat[f"{suite}/{key}"] = float(value)
+    return flat
+
+
+def compare_to_baseline(
+    payload: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[dict]:
+    """Regressions of ``payload`` vs ``baseline`` beyond ``tolerance``.
+
+    A regression is a median iteration time more than ``tolerance``
+    *slower* than the baseline's.  Metrics present on only one side are
+    ignored (new suites must not fail the gate; refresh the baseline to
+    start tracking them).
+    """
+    current = _flat_metrics(payload)
+    reference = _flat_metrics(baseline)
+    regressions = []
+    for key in sorted(set(current) & set(reference)):
+        before, after = reference[key], current[key]
+        if before <= 0:
+            continue
+        ratio = after / before
+        if ratio > 1.0 + tolerance:
+            regressions.append(
+                {
+                    "metric": key,
+                    "baseline_s": before,
+                    "current_s": after,
+                    "slowdown_pct": 100.0 * (ratio - 1.0),
+                }
+            )
+    return regressions
+
+
+def format_regressions(regressions: list[dict]) -> str:
+    lines = []
+    for entry in regressions:
+        lines.append(
+            f"REGRESSION {entry['metric']}: "
+            f"{entry['baseline_s']:.6f}s -> {entry['current_s']:.6f}s "
+            f"(+{entry['slowdown_pct']:.1f}%)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,159 @@
+"""Content-addressed run specifications.
+
+A :class:`RunSpec` captures *everything* that determines the outcome of
+one ``simulate(...)`` call — scheduler, full model description, full
+cluster description, batch size, collective algorithm, iteration count,
+and every scheduler option — as a frozen, picklable value.  Its
+canonical-JSON form hashes to a stable fingerprint, which is the key
+the on-disk result cache and the fan-out executor are built on: two
+specs with the same fingerprint are the same experiment, no matter
+which process, machine, or session produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.models.layers import ModelSpec
+from repro.models.zoo import get_model
+from repro.network.fabric import ClusterSpec
+from repro.network.presets import paper_testbed
+from repro.schedulers.base import DEFAULT_ITERATIONS, ScheduleResult, simulate
+
+__all__ = ["RunSpec"]
+
+
+def _freeze_options(options: dict) -> tuple[tuple[str, Any], ...]:
+    """Sorted, hashable view of a scheduler-options dict."""
+    frozen = []
+    for key in sorted(options):
+        value = options[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation, ready to execute or cache.
+
+    Build via :meth:`RunSpec.create`, which accepts registry names
+    ("resnet50", "10gbe") as well as resolved spec objects.
+    """
+
+    scheduler: str
+    model: ModelSpec = field(repr=False)
+    cluster: ClusterSpec = field(repr=False)
+    batch_size: Optional[int] = None
+    algorithm: str = "ring"
+    iterations: int = DEFAULT_ITERATIONS
+    iteration_compute: Optional[float] = None
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        scheduler: str,
+        model,
+        cluster,
+        batch_size: Optional[int] = None,
+        algorithm: str = "ring",
+        iterations: int = DEFAULT_ITERATIONS,
+        iteration_compute: Optional[float] = None,
+        **options,
+    ) -> "RunSpec":
+        """Mirror of the ``simulate(...)`` signature."""
+        if not isinstance(model, ModelSpec):
+            model = get_model(model)
+        if not isinstance(cluster, ClusterSpec):
+            cluster = paper_testbed(cluster)
+        return cls(
+            scheduler=scheduler,
+            model=model,
+            cluster=cluster,
+            batch_size=batch_size,
+            algorithm=algorithm,
+            iterations=iterations,
+            iteration_compute=iteration_compute,
+            options=_freeze_options(options),
+        )
+
+    # -- identity ------------------------------------------------------------
+
+    def canonical_payload(self) -> dict:
+        """JSON-ready dict of every outcome-determining input.
+
+        Underscore-prefixed dataclass fields are dropped recursively:
+        they are lazy caches (e.g. ``ModelSpec._tensor_cache``) whose
+        fill state must not perturb the fingerprint.
+        """
+        return {
+            "scheduler": self.scheduler,
+            "model": _public_fields(dataclasses.asdict(self.model)),
+            "cluster": _public_fields(dataclasses.asdict(self.cluster)),
+            "batch_size": self.batch_size,
+            "algorithm": self.algorithm,
+            "iterations": self.iterations,
+            "iteration_compute": self.iteration_compute,
+            "options": [[key, value] for key, value in self.options],
+        }
+
+    def canonical_json(self) -> str:
+        """Deterministic serialisation: sorted keys, no whitespace."""
+        return json.dumps(
+            self.canonical_payload(),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_jsonify,
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON; stable across processes."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Human-readable key, e.g. for bench metric names."""
+        return f"{self.scheduler}/{self.model.name}/{self.cluster.name}"
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self) -> ScheduleResult:
+        """Execute the simulation this spec describes."""
+        return simulate(
+            self.scheduler,
+            self.model,
+            self.cluster,
+            batch_size=self.batch_size,
+            algorithm=self.algorithm,
+            iterations=self.iterations,
+            iteration_compute=self.iteration_compute,
+            **dict(self.options),
+        )
+
+
+def _public_fields(value):
+    """Recursively drop dict keys starting with an underscore."""
+    if isinstance(value, dict):
+        return {
+            key: _public_fields(item)
+            for key, item in value.items()
+            if not (isinstance(key, str) and key.startswith("_"))
+        }
+    if isinstance(value, (list, tuple)):
+        return [_public_fields(item) for item in value]
+    return value
+
+
+def _jsonify(value):
+    """Fallback encoder for option values (tuples are handled natively)."""
+    if isinstance(value, (set, frozenset)):
+        return sorted(value)
+    raise TypeError(f"{value!r} is not canonically serialisable")

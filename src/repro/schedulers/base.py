@@ -130,7 +130,9 @@ class Scheduler(ABC):
         return {}
 
 
-def _clip(intervals: list[tuple[float, float]], window: tuple[float, float]) -> list[tuple[float, float]]:
+def _clip(
+    intervals: list[tuple[float, float]], window: tuple[float, float]
+) -> list[tuple[float, float]]:
     lo, hi = window
     return [(max(a, lo), min(b, hi)) for a, b in intervals if b > lo and a < hi]
 

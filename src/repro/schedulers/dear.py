@@ -37,7 +37,7 @@ from repro.core.fusion import (
 )
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
-from repro.schedulers.base import ScheduleResult, Scheduler, register_scheduler
+from repro.schedulers.base import Scheduler, ScheduleResult, register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.sim.engine import Event
 

@@ -22,7 +22,7 @@ from repro.bayesopt.optimizer import BayesianOptimizer
 from repro.core.fusion import FusionGroup
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
-from repro.schedulers.base import ScheduleResult, Scheduler, register_scheduler
+from repro.schedulers.base import ScheduleResult, register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.schedulers.wfbp import WFBPScheduler
 

@@ -126,7 +126,9 @@ class Tracer:
             out.append(span)
         return out
 
-    def intervals(self, category: Optional[str] = None, actor: Optional[str] = None) -> list[tuple[float, float]]:
+    def intervals(
+        self, category: Optional[str] = None, actor: Optional[str] = None
+    ) -> list[tuple[float, float]]:
         """Merged busy intervals for the matching spans."""
         return merge_intervals(
             (span.start, span.end) for span in self.filter(category=category, actor=actor)

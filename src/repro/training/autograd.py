@@ -15,7 +15,7 @@ receives exactly one contribution per backward pass).
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 

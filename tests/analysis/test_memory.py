@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.analysis.memory import (
-    GTX_2080TI_BYTES,
-    estimate_memory,
-    fits_in,
-)
+from repro.analysis.memory import estimate_memory, fits_in
 from repro.models.zoo import MODEL_NAMES, get_model
 
 

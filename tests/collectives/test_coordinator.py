@@ -1,7 +1,6 @@
 """Tests for the data-level readiness coordinator."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collectives.coordinator import ReadinessCoordinator

@@ -6,13 +6,35 @@ import pytest
 
 from repro.models.layers import ModelBuilder, ModelSpec
 from repro.models.profiles import CALIBRATED_ITERATION_COMPUTE, TimingModel
+from repro.models.zoo import get_model
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+from repro.runner.cache import reset_default_cache
 
 # The unit-test model gets a calibration entry so `simulate()` works on
 # it without an explicit iteration_compute override in every test.
+# (The dict is only read at simulate() time, never at import time.)
 CALIBRATED_ITERATION_COMPUTE.setdefault("tiny", 0.03)
-from repro.models.zoo import get_model
-from repro.network.cost_model import CollectiveTimeModel
-from repro.network.presets import cluster_10gbe, cluster_100gbib
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_result_cache(tmp_path_factory):
+    """Point the runner's result cache at a per-session scratch dir.
+
+    Keeps test runs from seeding (or being seeded by) the developer's
+    ``.dear-cache/`` in the working tree.
+    """
+    import os
+
+    previous = os.environ.get("DEAR_CACHE_DIR")
+    os.environ["DEAR_CACHE_DIR"] = str(tmp_path_factory.mktemp("dear-cache"))
+    reset_default_cache()
+    yield
+    if previous is None:
+        os.environ.pop("DEAR_CACHE_DIR", None)
+    else:
+        os.environ["DEAR_CACHE_DIR"] = previous
+    reset_default_cache()
 
 
 def build_tiny_model(num_blocks: int = 4, width: int = 1000) -> ModelSpec:

@@ -3,14 +3,14 @@
 import pytest
 
 from repro.experiments import (
+    fig10,
+    fig11,
     fig3,
     fig5,
     fig6,
     fig7,
     fig8,
     fig9,
-    fig10,
-    fig11,
     table1,
     table2,
 )

@@ -1,6 +1,5 @@
 """Tests for the ASCII figure rendering."""
 
-import pytest
 
 from repro.experiments.plotting import bar_chart, grouped_bar_chart
 

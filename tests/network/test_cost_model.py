@@ -15,7 +15,7 @@ from repro.network.cost_model import (
     ring_reduce_scatter_time,
     tree_all_reduce_time,
 )
-from repro.network.presets import cluster_10gbe, cluster_100gbib
+from repro.network.presets import cluster_100gbib, cluster_10gbe
 
 ALPHA, BETA = 23e-6, 0.8e-9
 

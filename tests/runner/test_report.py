@@ -1,0 +1,115 @@
+"""Bench report payloads and the baseline regression gate."""
+
+import json
+
+import pytest
+
+from repro.runner.bench import bench_suites, run_bench
+from repro.runner.cache import ResultCache
+from repro.runner.report import (
+    BENCH_SCHEMA,
+    BenchReporter,
+    bench_filename,
+    compare_to_baseline,
+    format_regressions,
+    iteration_metrics,
+)
+from repro.runner.spec import RunSpec
+
+
+def _payload(value: float) -> dict:
+    return {
+        "schema": BENCH_SCHEMA,
+        "suites": {
+            "suite": {
+                "wall_time_s": 1.0,
+                "metrics": {"dear/resnet50": {"median_iter_s": value}},
+            }
+        },
+    }
+
+
+class TestReporter:
+    def test_payload_shape(self):
+        reporter = BenchReporter(quick=True)
+        reporter.add_suite("s", 1.5, {"k": {"median_iter_s": 0.2}})
+        payload = reporter.payload({"hits": 1, "misses": 0, "hit_rate": 1.0})
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["quick"] is True
+        assert payload["suites"]["s"]["wall_time_s"] == 1.5
+        assert payload["cache"]["hits"] == 1
+
+    def test_write_creates_dated_file(self, tmp_path):
+        reporter = BenchReporter()
+        reporter.add_suite("s", 0.1)
+        path = reporter.write(tmp_path)
+        assert path.name == bench_filename()
+        assert path.name.startswith("BENCH_")
+        assert json.loads(path.read_text())["schema"] == BENCH_SCHEMA
+
+    def test_iteration_metrics_median(self):
+        spec = RunSpec.create("wfbp", "resnet50", "10gbe", iterations=3)
+        metrics = iteration_metrics(spec.run())
+        assert metrics["median_iter_s"] > 0
+
+
+class TestBaselineGate:
+    def test_no_regression_when_identical(self):
+        assert compare_to_baseline(_payload(0.25), _payload(0.25)) == []
+
+    def test_improvement_passes(self):
+        assert compare_to_baseline(_payload(0.20), _payload(0.25)) == []
+
+    def test_small_slowdown_within_tolerance(self):
+        assert compare_to_baseline(_payload(0.26), _payload(0.25)) == []
+
+    def test_large_slowdown_fails(self):
+        regressions = compare_to_baseline(_payload(0.30), _payload(0.25))
+        assert len(regressions) == 1
+        assert regressions[0]["metric"] == "suite/dear/resnet50"
+        assert regressions[0]["slowdown_pct"] == pytest.approx(20.0)
+
+    def test_custom_tolerance(self):
+        assert compare_to_baseline(_payload(0.26), _payload(0.25),
+                                   tolerance=0.5) == []
+        assert compare_to_baseline(_payload(0.40), _payload(0.25),
+                                   tolerance=0.5)
+
+    def test_new_metrics_ignored(self):
+        current = _payload(0.25)
+        current["suites"]["suite"]["metrics"]["new/metric"] = {
+            "median_iter_s": 9.9
+        }
+        assert compare_to_baseline(current, _payload(0.25)) == []
+
+    def test_format_regressions_readable(self):
+        text = format_regressions(
+            compare_to_baseline(_payload(0.30), _payload(0.25))
+        )
+        assert "REGRESSION suite/dear/resnet50" in text
+        assert "+20.0%" in text
+
+
+class TestBenchSuites:
+    def test_quick_is_a_subset(self):
+        quick = bench_suites(quick=True)
+        full = bench_suites(quick=False)
+        assert set(quick) == set(full) == {"schedulers", "fusion", "sweeps"}
+        for suite in quick:
+            assert len(quick[suite]) < len(full[suite])
+
+    def test_quick_bench_end_to_end(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        payload = run_bench(quick=True, jobs=1, cache=cache)
+        assert payload["schema"] == BENCH_SCHEMA
+        assert payload["quick"] is True
+        for body in payload["suites"].values():
+            assert body["wall_time_s"] >= 0
+            for metrics in body["metrics"].values():
+                assert metrics["median_iter_s"] > 0
+        # Second run is answered from the cache with identical metrics.
+        warm = run_bench(quick=True, jobs=1, cache=cache)
+        assert warm["cache"]["hit_rate"] > 0
+        assert {s: b["metrics"] for s, b in warm["suites"].items()} == {
+            s: b["metrics"] for s, b in payload["suites"].items()
+        }

@@ -2,16 +2,12 @@
 
 import pytest
 
-from repro.models.profiles import TimingModel
-from repro.network.cost_model import CollectiveTimeModel
 from repro.schedulers.base import (
     SCHEDULER_NAMES,
     get_scheduler,
     simulate,
     single_gpu_result,
 )
-from tests.conftest import build_tiny_model
-
 
 class TestRegistry:
     def test_all_names_resolvable(self):

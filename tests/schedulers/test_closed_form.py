@@ -6,7 +6,6 @@ an exact closed form; these tests pin the simulator to them.
 
 import pytest
 
-from repro.core.fusion import no_fusion_groups
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
 from repro.network.fabric import ClusterSpec, LinkSpec

@@ -13,7 +13,7 @@ from hypothesis import given, settings, strategies as st
 from repro.models.layers import ModelBuilder
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
-from repro.network.presets import cluster_10gbe, cluster_100gbib
+from repro.network.presets import cluster_100gbib, cluster_10gbe
 from repro.schedulers.base import get_scheduler
 
 SCHEDULER_CASES = [

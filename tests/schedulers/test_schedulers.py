@@ -7,10 +7,10 @@ schedule can be checked against the simulator's answer.
 
 import pytest
 
-from repro.core.fusion import buffer_size_groups, no_fusion_groups
+from repro.core.fusion import no_fusion_groups
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
-from repro.schedulers.base import get_scheduler, simulate
+from repro.schedulers.base import get_scheduler
 from tests.conftest import build_tiny_model
 
 

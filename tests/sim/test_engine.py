@@ -3,11 +3,8 @@
 import pytest
 
 from repro.sim.engine import (
-    AllOf,
     AnyOf,
-    Event,
     Interrupt,
-    Process,
     SimulationError,
     Simulator,
 )

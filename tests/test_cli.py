@@ -1,5 +1,7 @@
 """Tests for the dear-repro command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,8 +35,6 @@ class TestCli:
         assert excinfo.value.code == 0
 
     def test_json_export(self, capsys, tmp_path):
-        import json
-
         out = tmp_path / "rows.json"
         assert main(["table1", "--json", str(out)]) == 0
         payload = json.loads(out.read_text())
@@ -43,10 +43,98 @@ class TestCli:
         assert payload["table1"][0]["model"] == "ResNet-50"
 
     def test_json_export_strips_internal_fields(self, capsys, tmp_path):
-        import json
-
         out = tmp_path / "timelines.json"
         assert main(["timelines", "--json", str(out)]) == 0
         payload = json.loads(out.read_text())
         for row in payload["timelines"]:
             assert not any(key.startswith("_") for key in row)
+
+    def test_json_round_trip(self, capsys, tmp_path):
+        """The --json dump reloads to exactly what the harness returns."""
+        import importlib
+
+        fig5 = importlib.import_module("repro.experiments.fig5")
+        out = tmp_path / "fig5.json"
+        assert main(["fig5", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        direct = json.loads(json.dumps([
+            {key: value for key, value in row.items()
+             if not key.startswith("_")}
+            for row in fig5.run()
+        ]))
+        assert payload["fig5"] == direct
+
+    def test_experiment_failure_is_one_line(self, capsys, monkeypatch):
+        """A crashing experiment yields exit 1 and no traceback."""
+        import importlib
+
+        fig5 = importlib.import_module("repro.experiments.fig5")
+
+        def explode():
+            raise RuntimeError("synthetic failure")
+
+        monkeypatch.setattr(fig5, "run", explode)
+        assert main(["fig5"]) == 1
+        err = capsys.readouterr().err
+        assert "error: experiment 'fig5' failed: synthetic failure" in err
+        assert "Traceback" not in err
+
+
+class TestBenchCli:
+    @pytest.fixture()
+    def bench_env(self, tmp_path, monkeypatch):
+        from repro.runner.cache import reset_default_cache
+
+        monkeypatch.setenv("DEAR_CACHE_DIR", str(tmp_path / "cache"))
+        monkeypatch.setenv("DEAR_JOBS", "1")
+        reset_default_cache()
+        yield tmp_path
+        reset_default_cache()
+
+    def _metrics(self, path):
+        payload = json.loads(path.read_text())
+        return {
+            suite: body["metrics"]
+            for suite, body in payload["suites"].items()
+        }
+
+    def test_bench_quick_produces_artifact(self, capsys, bench_env):
+        assert main(["bench", "--quick", "--output", str(bench_env)]) == 0
+        artifacts = list(bench_env.glob("BENCH_*.json"))
+        assert len(artifacts) == 1
+        payload = json.loads(artifacts[0].read_text())
+        assert payload["schema"] == "dear-bench-v1"
+        assert payload["quick"] is True
+        assert set(payload["suites"]) == {"schedulers", "fusion", "sweeps"}
+
+    def test_second_run_hits_cache_with_identical_metrics(
+            self, capsys, bench_env):
+        assert main(["bench", "--quick", "--output", str(bench_env)]) == 0
+        artifact = next(bench_env.glob("BENCH_*.json"))
+        cold = self._metrics(artifact)
+        assert main(["bench", "--quick", "--output", str(bench_env)]) == 0
+        warm_payload = json.loads(artifact.read_text())
+        assert warm_payload["cache"]["hit_rate"] > 0
+        assert self._metrics(artifact) == cold
+
+    def test_baseline_pass_and_fail(self, capsys, bench_env):
+        assert main(["bench", "--quick", "--output", str(bench_env)]) == 0
+        artifact = next(bench_env.glob("BENCH_*.json"))
+        baseline = bench_env / "baseline.json"
+        baseline.write_text(artifact.read_text())
+        assert main(["bench", "--quick", "--output", str(bench_env),
+                     "--baseline", str(baseline)]) == 0
+
+        # Shrink every baseline metric: now everything looks regressed.
+        payload = json.loads(baseline.read_text())
+        for body in payload["suites"].values():
+            for metrics in body["metrics"].values():
+                metrics["median_iter_s"] *= 0.5
+        baseline.write_text(json.dumps(payload))
+        assert main(["bench", "--quick", "--output", str(bench_env),
+                     "--baseline", str(baseline)]) == 3
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_missing_baseline_is_usage_error(self, capsys, bench_env):
+        assert main(["bench", "--quick", "--output", str(bench_env),
+                     "--baseline", str(bench_env / "nope.json")]) == 2

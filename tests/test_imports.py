@@ -33,10 +33,10 @@ def test_every_subpackage_has_docstring():
 
 def test_public_entry_points():
     """The README's import lines must keep working verbatim."""
+    import repro.core as dear
     from repro.models import get_model                      # noqa: F401
     from repro.network import cluster_10gbe                 # noqa: F401
     from repro.schedulers import simulate                   # noqa: F401
-    import repro.core as dear
 
     assert callable(dear.init)
     assert hasattr(dear, "DistOptim")

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.training.autograd import Tensor
-from repro.training.modules import MLP, LayerNorm, Linear, Sequential
+from repro.training.modules import LayerNorm, Linear, Sequential
 from tests.training.test_autograd import numeric_grad
 
 

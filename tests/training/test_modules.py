@@ -7,7 +7,6 @@ from repro.training.autograd import Tensor
 from repro.training.modules import (
     MLP,
     Linear,
-    Module,
     Parameter,
     ReLU,
     Sequential,
