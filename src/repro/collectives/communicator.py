@@ -38,6 +38,8 @@ class Communicator:
         algorithm: ``"ring"`` (default), ``"halving_doubling"``,
             ``"tree"``, or ``"hierarchical"``.
         gpus_per_node: required for ``"hierarchical"``.
+        zero_copy: deliver read-only views instead of per-hop copies
+            (see :class:`~repro.collectives.transport.Transport`).
     """
 
     ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
@@ -47,6 +49,7 @@ class Communicator:
         world_size: int,
         algorithm: str = "ring",
         gpus_per_node: Optional[int] = None,
+        zero_copy: bool = False,
     ):
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
@@ -62,7 +65,7 @@ class Communicator:
         self.world_size = world_size
         self.algorithm = algorithm
         self.gpus_per_node = gpus_per_node
-        self.transport = Transport(world_size)
+        self.transport = Transport(world_size, zero_copy=zero_copy)
         self.collectives_issued = 0
 
     @property

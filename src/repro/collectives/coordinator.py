@@ -38,7 +38,7 @@ def _encode(names: list[str]) -> np.ndarray:
 
 
 def _decode(payload: np.ndarray) -> list[str]:
-    return json.loads(bytes(bytearray(payload.tolist())).decode())
+    return json.loads(payload.tobytes().decode())
 
 
 class ReadinessCoordinator:

@@ -252,6 +252,13 @@ class CollectiveTimeModel:
 
     ``startup_overhead`` adds a fixed per-collective software cost
     (kernel launch, hook dispatch) on top of the alpha–beta time.
+
+    Results are memoized per instance: sweeps and BO warm-up query the
+    same handful of ``nbytes`` values thousands of times, so each
+    (operation, nbytes) pair is computed once.  The model is treated as
+    immutable after construction — mutate ``algorithm`` / ``gamma`` /
+    ``startup_overhead`` on a live instance and the memo goes stale;
+    build a fresh model instead.
     """
 
     ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
@@ -274,6 +281,9 @@ class CollectiveTimeModel:
         self.gamma = gamma
         self.startup_overhead = startup_overhead
         self._alpha, self._beta = cluster.flat_alpha_beta()
+        #: (operation tag, nbytes) -> seconds; missing is None (0.0 is
+        #: a legitimate cached value for empty messages).
+        self._memo: dict[tuple[str, float], float] = {}
 
     @property
     def world_size(self) -> int:
@@ -301,6 +311,13 @@ class CollectiveTimeModel:
 
     def reduce_scatter(self, nbytes: float) -> float:
         """Time of the first decoupled operation (OP1) for ``nbytes``."""
+        key = ("rs", nbytes)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._memo[key] = self._reduce_scatter(nbytes)
+        return cached
+
+    def _reduce_scatter(self, nbytes: float) -> float:
         p = self.world_size
         if self.algorithm == "ring":
             t = ring_reduce_scatter_time(nbytes, p, self._alpha, self._beta, self.gamma)
@@ -324,6 +341,13 @@ class CollectiveTimeModel:
 
     def all_gather(self, nbytes: float) -> float:
         """Time of the second decoupled operation (OP2) for ``nbytes``."""
+        key = ("ag", nbytes)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._memo[key] = self._all_gather(nbytes)
+        return cached
+
+    def _all_gather(self, nbytes: float) -> float:
         p = self.world_size
         if self.algorithm == "ring":
             t = ring_all_gather_time(nbytes, p, self._alpha, self._beta)
@@ -351,7 +375,13 @@ class CollectiveTimeModel:
 
     def negotiation(self, payload_bytes: float = 8.0) -> float:
         """One metadata-consensus round on this cluster."""
-        return negotiation_time(self.world_size, self._alpha, payload_bytes, self._beta)
+        key = ("neg", payload_bytes)
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._memo[key] = negotiation_time(
+                self.world_size, self._alpha, payload_bytes, self._beta
+            )
+        return cached
 
     def describe(self) -> str:
         """One-line summary for reports."""

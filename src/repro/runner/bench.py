@@ -1,11 +1,14 @@
 """The ``dear-repro bench`` suites.
 
-Three suites cover the hot paths the paper's evaluation leans on:
+Four suites cover the hot paths the paper's evaluation leans on:
 
 - ``schedulers`` — every scheduler on the paper's models/networks with
   the standard 25 MB fusion protocol (the Fig. 6/7 workload);
 - ``fusion`` — DeAR's tensor-fusion variants (the Fig. 9 axis);
-- ``sweeps`` — the latency/bandwidth sensitivity points (§VI-I).
+- ``sweeps`` — the latency/bandwidth sensitivity points (§VI-I);
+- ``simcore`` — simulator-performance microbenchmarks (event-kernel
+  throughput, vectorized-replay speedup, uncached sweep wall time);
+  host-dependent, so excluded from the regression gate by key choice.
 
 ``--quick`` shrinks each axis (two models, one network, fewer sweep
 points) for the CI gate; the full run covers the complete grid.  All
@@ -22,6 +25,7 @@ from typing import Optional
 from repro.runner.cache import ResultCache, default_cache
 from repro.runner.executor import run_many
 from repro.runner.report import BenchReporter, iteration_metrics
+from repro.runner.simcore import run_simcore
 from repro.runner.spec import RunSpec
 
 __all__ = ["bench_suites", "run_bench"]
@@ -100,4 +104,10 @@ def run_bench(
             wall,
             {key: iteration_metrics(result) for key, result in zip(keys, results)},
         )
+    # Simulator-performance suite: host wall-clock numbers, never cached
+    # and (by key choice) invisible to the regression gate — see
+    # :mod:`repro.runner.simcore`.
+    started = time.perf_counter()
+    simcore_metrics = run_simcore(quick)
+    reporter.add_suite("simcore", time.perf_counter() - started, simcore_metrics)
     return reporter.payload(cache.stats())

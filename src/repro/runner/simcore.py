@@ -1,0 +1,189 @@
+"""Simulation-core microbenchmarks (the ``simcore`` bench suite).
+
+Unlike the scheduler/fusion/sweep suites, which measure *simulated*
+time (deterministic, host-independent), simcore measures how fast the
+simulator itself runs on this host: event-kernel throughput, the
+vectorized replay's advantage over the event kernel on an identical
+schedule, and end-to-end uncached sweep wall time with the fast path
+off vs. on.
+
+All metrics here are host-dependent wall-clock numbers, so they are
+deliberately published under keys other than ``median_iter_s`` — the
+regression gate (:func:`repro.runner.report.compare_to_baseline`) only
+reads ``median_iter_s`` and therefore ignores this suite.  The numbers
+are for humans and for the committed ``BENCH_*.json`` evidence trail;
+see ``docs/PERF.md`` for how to read them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+
+from repro.models import get_model
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_10gbe
+from repro.schedulers.base import get_scheduler
+from repro.schedulers.engine import FastIterationContext, IterationContext
+from repro.sim.engine import Simulator
+
+__all__ = ["run_simcore"]
+
+#: Schedulers exercised by the uncached mini-sweep; one cheap, one
+#: gate-heavy, one with DeAR's two-collective pipeline.
+_SWEEP_SCHEDULERS = (
+    ("wfbp", {}),
+    ("mg_wfbp", {}),
+    ("dear", {"fusion": "buffer", "buffer_bytes": 25e6}),
+)
+
+
+@contextmanager
+def _fastpath(enabled: bool):
+    previous = os.environ.get("DEAR_FASTPATH")
+    os.environ["DEAR_FASTPATH"] = "1" if enabled else "0"
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("DEAR_FASTPATH", None)
+        else:
+            os.environ["DEAR_FASTPATH"] = previous
+
+
+def _bench_timer_chain(events: int) -> float:
+    """Heap-path throughput: one process yielding ``events`` delays."""
+
+    def chain():
+        for _ in range(events):
+            yield 1e-6
+
+    sim = Simulator()
+    sim.process(chain())
+    started = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - started
+
+
+def _bench_zero_delay_cascade(events: int) -> float:
+    """Tail-path throughput: a chain of immediately-succeeding events."""
+
+    def cascade():
+        for _ in range(events):
+            evt = sim.event()
+            evt.succeed()
+            yield evt
+
+    sim = Simulator()
+    sim.process(cascade())
+    started = time.perf_counter()
+    sim.run()
+    return time.perf_counter() - started
+
+
+def _replay_workload():
+    """(timing, cost, scheduler, iterations) for the replay comparison."""
+    timing = TimingModel.for_model(get_model("resnet50"))
+    cost = CollectiveTimeModel(cluster_10gbe())
+    return timing, cost, get_scheduler("wfbp"), 5
+
+
+def _bench_replay(repeats: int) -> dict[str, float]:
+    """Same recorded schedule through both execution paths.
+
+    Job submission is excluded from the timed region on both sides —
+    event-kernel contexts are pre-built (their run is single-shot), the
+    fast-path timeline is recorded once and replayed per repeat (the
+    replay is a pure function of the recording).  Both timed regions
+    include tracer span recording, so this compares executing the
+    schedule, not building it.
+    """
+    from repro.sim.trace import Tracer
+
+    timing, cost, scheduler, iterations = _replay_workload()
+
+    contexts = []
+    for _ in range(repeats):
+        ctx = IterationContext(timing, cost)
+        scheduler.schedule(ctx, iterations)
+        contexts.append(ctx)
+    jobs = contexts[0].compute.jobs_submitted + contexts[0].comm.jobs_submitted
+    started = time.perf_counter()
+    for ctx in contexts:
+        ctx.run()
+    event_elapsed = (time.perf_counter() - started) / repeats
+
+    fast = FastIterationContext(timing, cost)
+    scheduler.schedule(fast, iterations)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        fast._timeline.replay(Tracer())
+    fast_elapsed = (time.perf_counter() - started) / repeats
+
+    reference = contexts[0].sim.now
+    if abs(fast._timeline.final_time - reference) > 1e-9 * max(reference, 1.0):
+        raise RuntimeError(
+            "fastpath replay diverged from event kernel: "
+            f"{fast._timeline.final_time} vs {reference}"
+        )
+    return {
+        "jobs": float(jobs),
+        "jobs_per_sec_event_kernel": jobs / event_elapsed,
+        "jobs_per_sec_fastpath": jobs / fast_elapsed,
+        "fastpath_speedup": event_elapsed / fast_elapsed,
+    }
+
+
+def _bench_sweep(models: tuple[str, ...], repeats: int) -> dict[str, float]:
+    """Uncached end-to-end sweep wall time, fast path off vs. on."""
+    from repro.schedulers.base import simulate
+
+    cluster = cluster_10gbe()
+    specs = [
+        (get_model(model), scheduler, options)
+        for model in models
+        for scheduler, options in _SWEEP_SCHEDULERS
+    ]
+
+    def sweep() -> float:
+        started = time.perf_counter()
+        for _ in range(repeats):
+            for model, scheduler, options in specs:
+                simulate(scheduler, model, cluster, **options)
+        return (time.perf_counter() - started) / repeats
+
+    with _fastpath(False):
+        event_elapsed = sweep()
+    with _fastpath(True):
+        fast_elapsed = sweep()
+    return {
+        "runs": float(len(specs)),
+        "wall_s_event_kernel": event_elapsed,
+        "wall_s_fastpath": fast_elapsed,
+        "fastpath_speedup": event_elapsed / fast_elapsed,
+    }
+
+
+def run_simcore(quick: bool = False) -> dict[str, dict[str, float]]:
+    """All simcore metrics, keyed like a bench suite's metric block."""
+    kernel_events = 50_000 if quick else 200_000
+    replay_repeats = 5 if quick else 20
+    sweep_models = ("resnet50",) if quick else ("resnet50", "bert_large")
+    sweep_repeats = 1 if quick else 3
+
+    timer_elapsed = _bench_timer_chain(kernel_events)
+    cascade_elapsed = _bench_zero_delay_cascade(kernel_events)
+    return {
+        "kernel/timer_chain": {
+            "events": float(kernel_events),
+            "events_per_sec": kernel_events / timer_elapsed,
+        },
+        "kernel/zero_delay_cascade": {
+            "events": float(kernel_events),
+            "events_per_sec": kernel_events / cascade_elapsed,
+        },
+        "replay/wfbp_resnet50": _bench_replay(replay_repeats),
+        "sweep/uncached_mini": _bench_sweep(sweep_models, sweep_repeats),
+    }

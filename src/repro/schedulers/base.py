@@ -10,7 +10,8 @@ from repro.models.layers import ModelSpec
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
 from repro.network.fabric import ClusterSpec
-from repro.schedulers.engine import IterationContext
+from repro.schedulers.engine import FastIterationContext, IterationContext
+from repro.sim.fastpath import FastPathUnsupported, fast_path_enabled
 from repro.sim.trace import Tracer, subtract_intervals, total_length
 
 __all__ = [
@@ -80,6 +81,15 @@ class Scheduler(ABC):
     #: registry key, e.g. "wfbp"; subclasses must set it.
     name: str = ""
 
+    #: Whether this policy's schedule is static (fixed durations, gates
+    #: over previously submitted jobs only) and therefore eligible for
+    #: the vectorized replay.  Schedulers that drive dynamic events or
+    #: processes (e.g. bytescheduler's priority engine) set this False.
+    #: The flag is advisory — a scheduler that claims support but uses a
+    #: dynamic feature raises FastPathUnsupported at record time and
+    #: falls back; the differential suite pins the timings either way.
+    supports_fast_path: bool = True
+
     @abstractmethod
     def schedule(self, ctx: IterationContext, iterations: int) -> None:
         """Submit compute and communication jobs for ``iterations`` runs.
@@ -87,6 +97,26 @@ class Scheduler(ABC):
         All jobs are submitted up front with gate events encoding the
         scheduler's dependency policy; the engine then executes them.
         """
+
+    def _build_and_run(
+        self,
+        timing: TimingModel,
+        cost: CollectiveTimeModel,
+        iterations: int,
+    ) -> IterationContext:
+        """Schedule + execute on the fastest applicable context."""
+        if self.supports_fast_path and fast_path_enabled():
+            ctx = FastIterationContext(timing, cost)
+            try:
+                self.schedule(ctx, iterations)
+                ctx.run()
+                return ctx
+            except FastPathUnsupported:
+                pass
+        ctx = IterationContext(timing, cost)
+        self.schedule(ctx, iterations)
+        ctx.run()
+        return ctx
 
     def run(
         self,
@@ -97,9 +127,7 @@ class Scheduler(ABC):
         """Simulate and measure the steady-state iteration time."""
         if iterations < 3:
             raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
-        ctx = IterationContext(timing, cost)
-        self.schedule(ctx, iterations)
-        ctx.run()
+        ctx = self._build_and_run(timing, cost, iterations)
         starts = ctx.ff_start_times()
         if len(starts) != iterations:
             raise RuntimeError(

@@ -73,6 +73,9 @@ class ByteSchedulerScheduler(Scheduler):
     """
 
     name = "bytescheduler"
+    #: the credit engine reacts to events at runtime; the schedule is
+    #: not static, so the vectorized replay cannot express it.
+    supports_fast_path = False
 
     def __init__(
         self,

@@ -23,10 +23,19 @@ from typing import Optional
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
 from repro.sim.engine import Event, Simulator
+from repro.sim.fastpath import FastTimeline
 from repro.sim.resources import Job, Stream
 from repro.sim.trace import Tracer
 
-__all__ = ["IterationContext"]
+__all__ = ["IterationContext", "FastIterationContext"]
+
+#: Tracer category of each collective kind (hoisted: ``submit_collective``
+#: is called once per fusion group per iteration).
+COLLECTIVE_CATEGORIES = {
+    "all_reduce": "comm.ar",
+    "reduce_scatter": "comm.rs",
+    "all_gather": "comm.ag",
+}
 
 
 class IterationContext:
@@ -44,6 +53,13 @@ class IterationContext:
         #: start time of the first feed-forward job of each iteration,
         #: filled in after :meth:`run` from the recorded jobs.
         self.ff_first_jobs: list[Job] = []
+        #: kind -> bound cost-model method (dict dispatch beats the
+        #: per-call ``getattr`` lookup on this hot path).
+        self._collective_time = {
+            "all_reduce": cost.all_reduce,
+            "reduce_scatter": cost.reduce_scatter,
+            "all_gather": cost.all_gather,
+        }
 
     # -- compute submission --------------------------------------------------
 
@@ -123,12 +139,14 @@ class IterationContext:
         overhead (negotiation, coordinator cycles) serialised with the
         collective.
         """
-        duration = getattr(self.cost, kind)(nbytes) + extra_time
-        category = {
-            "all_reduce": "comm.ar",
-            "reduce_scatter": "comm.rs",
-            "all_gather": "comm.ag",
-        }[kind]
+        try:
+            duration = self._collective_time[kind](nbytes) + extra_time
+        except KeyError:
+            raise ValueError(
+                f"unknown collective kind {kind!r}; "
+                f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
+            ) from None
+        category = COLLECTIVE_CATEGORIES[kind]
         return self.comm.submit(
             duration,
             name=f"{kind}.{iteration}.{label}",
@@ -167,3 +185,44 @@ class IterationContext:
                 raise RuntimeError(f"job {job.name} never ran; dependency deadlock?")
             starts.append(job.start)
         return starts
+
+
+class FastIterationContext(IterationContext):
+    """IterationContext backed by the vectorized replay.
+
+    Presents the same submit API, but records jobs into a
+    :class:`~repro.sim.fastpath.FastTimeline` instead of driving the
+    event kernel; :meth:`run` replays the recorded schedule in closed
+    form (see :mod:`repro.sim.fastpath` for the recurrence and its
+    equivalence argument).  Schedulers that need dynamic events or
+    process bodies make the recorder raise
+    :class:`~repro.sim.fastpath.FastPathUnsupported`, which
+    :meth:`repro.schedulers.base.Scheduler.run` catches to fall back to
+    the event-driven context.
+    """
+
+    def __init__(self, timing: TimingModel, cost: CollectiveTimeModel,
+                 tracer: Optional[Tracer] = None):
+        self.timing = timing
+        self.cost = cost
+        self.model = timing.model
+        self.tracer = tracer if tracer is not None else Tracer()
+        self._timeline = FastTimeline()
+        self.sim = self._timeline.sim
+        self.compute = self._timeline.stream("compute", actor="gpu.compute")
+        self.comm = self._timeline.stream("comm", actor="gpu.comm")
+        self.ff_first_jobs = []
+        self._collective_time = {
+            "all_reduce": cost.all_reduce,
+            "reduce_scatter": cost.reduce_scatter,
+            "all_gather": cost.all_gather,
+        }
+
+    def run(self, check_quiescent: bool = True) -> float:
+        """Replay the recorded schedule; returns the final virtual time.
+
+        ``check_quiescent`` is accepted for interface parity but has
+        nothing to check: recordable schedules only carry back-edges, so
+        they cannot deadlock.
+        """
+        return self._timeline.replay(self.tracer)

@@ -4,6 +4,15 @@ The kernel follows the classic event-list design: a binary heap of
 ``(time, sequence, callback)`` entries ordered by virtual time, with a
 sequence number to keep ordering stable among simultaneous events.
 
+Zero-delay work — event-callback dispatch, process wake-ups at the
+current instant — dominates real schedules, so it bypasses the heap
+entirely: a FIFO *tail* queue holds ``(fn, arg)`` pairs that run after
+every heap entry at the current time.  The ordering is identical to
+pushing them through the heap (any heap entry at time ``now`` was
+scheduled strictly earlier, i.e. with a smaller sequence number, than
+a tail entry created at ``now``), but each one saves a heappush /
+heappop round-trip and a closure allocation.  See docs/PERF.md.
+
 Processes are plain Python generators.  A process may yield:
 
 - a ``float`` or ``int`` — suspend for that many virtual seconds;
@@ -32,6 +41,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -43,6 +53,9 @@ __all__ = [
     "AnyOf",
     "Simulator",
 ]
+
+#: Sentinel marking a tail entry whose callback takes no argument.
+_NO_ARG = object()
 
 
 class SimulationError(Exception):
@@ -68,6 +81,9 @@ class Event:
     exactly once.  Processes that yielded the event are resumed in the
     order they subscribed, at the same virtual instant.
     """
+
+    __slots__ = ("_sim", "name", "_triggered", "_ok", "value", "trigger_time",
+                 "_callbacks")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self._sim = sim
@@ -95,7 +111,7 @@ class Event:
         self._triggered = True
         self._ok = True
         self.value = value
-        self.trigger_time = self._sim.now
+        self.trigger_time = self._sim._now
         self._dispatch()
         return self
 
@@ -108,7 +124,7 @@ class Event:
         self._triggered = True
         self._ok = False
         self.value = exception
-        self.trigger_time = self._sim.now
+        self.trigger_time = self._sim._now
         self._dispatch()
         return self
 
@@ -120,14 +136,15 @@ class Event:
         synchronously, preserving run-loop ordering.
         """
         if self._triggered:
-            self._sim.schedule(0.0, lambda: callback(self))
+            self._sim._tail.append((callback, self))
         else:
             self._callbacks.append(callback)
 
     def _dispatch(self) -> None:
         callbacks, self._callbacks = self._callbacks, []
+        tail = self._sim._tail
         for callback in callbacks:
-            self._sim.schedule(0.0, lambda cb=callback: cb(self))
+            tail.append((callback, self))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self._triggered else "pending"
@@ -143,12 +160,14 @@ class Process(Event):
     :meth:`Simulator.run` so that bugs are never silently swallowed.
     """
 
+    __slots__ = ("_generator", "_waiting_on", "_observed")
+
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self._observed = False
-        sim.schedule(0.0, lambda: self._step(None, None))
+        sim._tail.append((Process._resume, self))
 
     @property
     def is_alive(self) -> bool:
@@ -169,8 +188,11 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished process {self.name!r}")
         self._sim.schedule(0.0, lambda: self._throw(Interrupt(cause)))
 
+    def _resume(self) -> None:
+        self._step(None, None)
+
     def _step(self, value: Any, exception: Optional[BaseException]) -> None:
-        if self.triggered:
+        if self._triggered:
             return
         self._waiting_on = None
         try:
@@ -204,7 +226,7 @@ class Process(Event):
                     SimulationError(f"process {self.name!r} yielded negative delay {target}")
                 )
                 return
-            self._sim.schedule(float(target), lambda: self._step(None, None))
+            self._sim.schedule(float(target), self._resume)
         else:
             self._observe_or_raise(
                 SimulationError(
@@ -215,7 +237,7 @@ class Process(Event):
     def _resume_from_event(self, event: Event) -> None:
         if self._waiting_on is not event:
             return  # stale wake-up after an interrupt
-        if event.ok:
+        if event._ok:
             self._step(event.value, None)
         else:
             self._step(None, event.value)
@@ -242,20 +264,25 @@ class AllOf(Event):
     first failure.
     """
 
+    __slots__ = ("_events", "_pending")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "all_of"):
         super().__init__(sim, name=name)
         self._events = list(events)
         self._pending = len(self._events)
         if self._pending == 0:
-            sim.schedule(0.0, lambda: self.succeed([]))
+            sim._tail.append((AllOf._succeed_empty, self))
             return
         for event in self._events:
             event.add_callback(self._on_child)
 
+    def _succeed_empty(self) -> None:
+        self.succeed([])
+
     def _on_child(self, event: Event) -> None:
-        if self.triggered:
+        if self._triggered:
             return
-        if not event.ok:
+        if not event._ok:
             self.fail(event.value)
             return
         self._pending -= 1
@@ -270,6 +297,8 @@ class AnyOf(Event):
     constituent fired first.
     """
 
+    __slots__ = ("_events",)
+
     def __init__(self, sim: "Simulator", events: Iterable[Event], name: str = "any_of"):
         super().__init__(sim, name=name)
         self._events = list(events)
@@ -279,25 +308,31 @@ class AnyOf(Event):
             event.add_callback(lambda e, i=index: self._on_child(i, e))
 
     def _on_child(self, index: int, event: Event) -> None:
-        if self.triggered:
+        if self._triggered:
             return
-        if event.ok:
+        if event._ok:
             self.succeed((index, event.value))
         else:
             self.fail(event.value)
 
 
 class Simulator:
-    """Virtual clock plus the pending-callback heap.
+    """Virtual clock plus the pending-callback heap and tail queue.
 
     All state is local to the instance; simulations are deterministic
     and independent, so many can run in one OS process (e.g. a parameter
     sweep inside a benchmark).
     """
 
+    __slots__ = ("_now", "_heap", "_sequence", "_crashed", "_tail")
+
     def __init__(self):
         self._now = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        #: FIFO of ``(fn, arg)`` pairs to run at the current instant,
+        #: after every heap entry whose time equals ``now``.  ``arg`` is
+        #: ``_NO_ARG`` for zero-argument callbacks.
+        self._tail: deque[tuple] = deque()
         self._sequence = 0
         self._crashed: Optional[BaseException] = None
 
@@ -308,8 +343,11 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` after ``delay`` virtual seconds."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        if delay <= 0.0:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule into the past (delay={delay})")
+            self._tail.append((callback, _NO_ARG))
+            return
         heapq.heappush(self._heap, (self._now + delay, self._sequence, callback))
         self._sequence += 1
 
@@ -336,25 +374,40 @@ class Simulator:
         return AnyOf(self, events, name=name)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Execute callbacks until the heap is empty or ``until`` passes.
+        """Execute callbacks until both queues drain or ``until`` passes.
 
         Returns the final virtual time.  Any exception that escaped an
         unobserved process is re-raised here.
         """
-        while self._heap:
-            time, _, callback = self._heap[0]
-            if until is not None and time > until:
-                self._now = until
+        heap = self._heap
+        tail = self._tail
+        while True:
+            # Heap entries at the current instant precede tail entries:
+            # they were scheduled earlier, i.e. with a smaller sequence.
+            if heap and (not tail or heap[0][0] <= self._now):
+                time, _, callback = heap[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(heap)
+                self._now = time
+                callback()
+            elif tail:
+                if until is not None and self._now > until:
+                    self._now = until
+                    break
+                fn, arg = tail.popleft()
+                if arg is _NO_ARG:
+                    fn()
+                else:
+                    fn(arg)
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
                 break
-            heapq.heappop(self._heap)
-            self._now = time
-            callback()
             if self._crashed is not None:
                 exc, self._crashed = self._crashed, None
                 raise exc
-        else:
-            if until is not None and until > self._now:
-                self._now = until
         return self._now
 
     def _crash(self, exc: BaseException) -> None:

@@ -1,0 +1,327 @@
+"""Vectorized timeline replay for static-gate stream schedules.
+
+The event-driven kernel (:mod:`repro.sim.engine`) is fully general:
+processes, dynamic events, priority engines.  But every single-rank
+scheduler policy in this repository submits its *entire* schedule up
+front as jobs on two strictly in-order streams, where each job's only
+dependencies are (a) its stream predecessor and (b) an optional static
+gate over the ``done`` events of previously submitted jobs.  For that
+shape the timeline is a closed-form recurrence, not a simulation:
+
+    start[i] = max(end[prev on stream], gate[i])
+    end[i]   = start[i] + duration[i]
+
+This module records such schedules symbolically (no events, no
+generators, no heap) and replays them with numpy.  Within one *segment*
+— a maximal run of consecutively submitted same-stream jobs — the
+recurrence telescopes to a prefix-max::
+
+    end[j] = C[j] + max_{k <= j} (G[k] - C[k-1])      (C = cumsum of d)
+
+evaluated with ``np.cumsum`` + ``np.maximum.accumulate``.  Gates always
+point at earlier-submitted jobs, so processing segments in submission
+order resolves every dependency; a same-stream gate is subsumed by
+stream ordering and is dropped.  Consequence: any schedule expressible
+in this API is deadlock-free by construction (the dependency graph only
+has back-edges), matching the event kernel, which completes the same
+schedules.
+
+The replay is verified against the event-driven kernel by the
+differential suite in ``tests/sim/test_fastpath.py``; agreement is
+exact up to floating-point summation order (different association of
+the same additions, ~1e-15 relative).  Anything the recorder cannot
+express — process bodies, ``sim.event()``, dynamic callbacks — raises
+:class:`FastPathUnsupported`, and the caller falls back to the event
+kernel.  Selection lives in :meth:`repro.schedulers.base.Scheduler.run`
+and can be disabled globally with ``DEAR_FASTPATH=0``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.sim.trace import Span
+
+__all__ = [
+    "FastPathUnsupported",
+    "fast_path_enabled",
+    "FastGate",
+    "FastJob",
+    "FastStream",
+    "FastSimShim",
+    "FastTimeline",
+]
+
+_NEG_INF = float("-inf")
+
+
+class FastPathUnsupported(RuntimeError):
+    """The schedule uses a feature only the event-driven kernel has."""
+
+
+def fast_path_enabled() -> bool:
+    """Whether automatic fast-path selection is on (``DEAR_FASTPATH``).
+
+    Any of ``0``, ``off``, ``false``, ``no`` (case-insensitive) disables
+    it; everything else — including unset — enables it.
+    """
+    return os.environ.get("DEAR_FASTPATH", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+class FastGate:
+    """A static gate: the set of job indices that must all have ended.
+
+    Plays the role of an :class:`~repro.sim.engine.Event` (a job's
+    ``done``, or an ``all_of`` combination) in recorded schedules.
+    """
+
+    __slots__ = ("job_ids",)
+
+    def __init__(self, job_ids: tuple[int, ...]):
+        self.job_ids = job_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FastGate jobs={self.job_ids}>"
+
+
+class FastJob:
+    """Recorded counterpart of :class:`repro.sim.resources.Job`.
+
+    ``start`` / ``end`` read the replay's result arrays and are ``None``
+    until :meth:`FastTimeline.replay` has run, mirroring the unset
+    timestamps of a job the event kernel has not executed yet.
+    """
+
+    __slots__ = ("_timeline", "index", "name", "category", "metadata", "done")
+
+    def __init__(self, timeline: "FastTimeline", index: int, name: str,
+                 category: str, metadata: dict):
+        self._timeline = timeline
+        self.index = index
+        self.name = name
+        self.category = category
+        self.metadata = metadata
+        self.done = FastGate((index,))
+
+    @property
+    def start(self) -> Optional[float]:
+        starts = self._timeline._starts
+        return None if starts is None else float(starts[self.index])
+
+    @property
+    def end(self) -> Optional[float]:
+        ends = self._timeline._ends
+        return None if ends is None else float(ends[self.index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FastJob {self.name!r} cat={self.category!r}>"
+
+
+class FastStream:
+    """In-order stream recording into a shared :class:`FastTimeline`."""
+
+    __slots__ = ("_timeline", "stream_id", "name", "actor", "jobs_submitted")
+
+    def __init__(self, timeline: "FastTimeline", stream_id: int, name: str,
+                 actor: str):
+        self._timeline = timeline
+        self.stream_id = stream_id
+        self.name = name
+        self.actor = actor or name
+        self.jobs_submitted = 0
+
+    def submit(
+        self,
+        body: Any,
+        name: str = "task",
+        category: str = "compute",
+        gate: Optional[FastGate] = None,
+        metadata: Optional[dict] = None,
+    ) -> FastJob:
+        """Record one fixed-duration job; mirrors ``Stream.submit``."""
+        if isinstance(body, bool) or not isinstance(body, (int, float)):
+            raise FastPathUnsupported(
+                f"fast path requires fixed job durations, got {type(body).__name__}"
+            )
+        if gate is not None and not isinstance(gate, FastGate):
+            raise FastPathUnsupported(
+                f"fast path requires static job gates, got {type(gate).__name__}"
+            )
+        if body < 0:
+            raise ValueError(f"job {name!r} has negative duration {body}")
+        self.jobs_submitted += 1
+        return self._timeline._record(
+            self, float(body), name, category, gate, metadata or {}
+        )
+
+    def barrier(self, name: str = "barrier") -> FastJob:
+        """A zero-duration job marking that all prior work drained."""
+        return self.submit(0.0, name=name, category="barrier")
+
+    def wait_event(self, event: FastGate, name: str = "wait_event") -> FastJob:
+        """Stall the stream until ``event`` (cudaStreamWaitEvent)."""
+        return self.submit(0.0, name=name, category="wait", gate=event)
+
+
+class FastSimShim:
+    """The slice of the :class:`Simulator` API a static schedule may use.
+
+    ``all_of`` composes gates; everything dynamic raises
+    :class:`FastPathUnsupported` so the caller can fall back to the
+    event-driven kernel.
+    """
+
+    __slots__ = ("_timeline",)
+
+    def __init__(self, timeline: "FastTimeline"):
+        self._timeline = timeline
+
+    def all_of(self, events: Iterable[Any], name: str = "all_of") -> FastGate:
+        """Combine gates: all referenced jobs must have ended."""
+        job_ids: list[int] = []
+        for event in events:
+            if not isinstance(event, FastGate):
+                raise FastPathUnsupported(
+                    f"fast path cannot wait on {type(event).__name__}"
+                )
+            job_ids.extend(event.job_ids)
+        return FastGate(tuple(job_ids))
+
+    def _unsupported(self, feature: str):
+        raise FastPathUnsupported(f"fast path does not support {feature}")
+
+    def event(self, name: str = ""):
+        self._unsupported("dynamic events (sim.event)")
+
+    def timeout(self, delay: float, value: Any = None, name: str = "timeout"):
+        self._unsupported("timeouts (sim.timeout)")
+
+    def process(self, generator, name: str = ""):
+        self._unsupported("processes (sim.process)")
+
+    def any_of(self, events, name: str = "any_of"):
+        self._unsupported("any_of combinators")
+
+    def schedule(self, delay: float, callback):
+        self._unsupported("raw callbacks (sim.schedule)")
+
+    @property
+    def now(self) -> float:
+        return self._timeline.final_time
+
+
+class FastTimeline:
+    """Job recorder plus the vectorized replay."""
+
+    __slots__ = ("sim", "_streams", "_stream_ids", "_durations", "_gates",
+                 "_handles", "_starts", "_ends", "final_time")
+
+    def __init__(self):
+        self.sim = FastSimShim(self)
+        self._streams: list[FastStream] = []
+        self._stream_ids: list[int] = []
+        self._durations: list[float] = []
+        self._gates: list[Optional[tuple[int, ...]]] = []
+        self._handles: list[FastJob] = []
+        self._starts: Optional[np.ndarray] = None
+        self._ends: Optional[np.ndarray] = None
+        self.final_time = 0.0
+
+    def stream(self, name: str, actor: str = "") -> FastStream:
+        """Create a new in-order stream on this timeline."""
+        stream = FastStream(self, len(self._streams), name, actor)
+        self._streams.append(stream)
+        return stream
+
+    def _record(self, stream: FastStream, duration: float, name: str,
+                category: str, gate: Optional[FastGate],
+                metadata: dict) -> FastJob:
+        index = len(self._handles)
+        job = FastJob(self, index, name, category, metadata)
+        self._stream_ids.append(stream.stream_id)
+        self._durations.append(duration)
+        self._gates.append(gate.job_ids if gate is not None else None)
+        self._handles.append(job)
+        return job
+
+    def replay(self, tracer=None) -> float:
+        """Compute every job's start/end; returns the final virtual time.
+
+        Optionally records spans with positive duration into ``tracer``
+        (the same ones the event kernel's streams would have recorded).
+        """
+        n = len(self._handles)
+        starts = np.zeros(n)
+        ends = np.zeros(n)
+        # Python-float mirror of `ends`, grown segment by segment: gate
+        # lookups and span emission read it instead of extracting numpy
+        # scalars one element at a time.
+        ends_list: list[float] = []
+        if n:
+            stream_ids = self._stream_ids
+            gates = self._gates
+            durations = np.asarray(self._durations)
+            prev_end = [0.0] * len(self._streams)
+            i = 0
+            while i < n:
+                sid = stream_ids[i]
+                j = i + 1
+                while j < n and stream_ids[j] == sid:
+                    j += 1
+                m = j - i
+                # Gate instants.  A gate id inside the segment (>= i) is
+                # an earlier same-stream job: subsumed by stream order.
+                gate_times = np.full(m, _NEG_INF)
+                for k in range(i, j):
+                    gate = gates[k]
+                    if gate is not None:
+                        best = _NEG_INF
+                        for gid in gate:
+                            if gid < i:
+                                e = ends_list[gid]
+                                if e > best:
+                                    best = e
+                        gate_times[k - i] = best
+                # end[j] = C[j] + max_{k<=j}(G[k] - C[k-1]).
+                cum = np.cumsum(durations[i:j])
+                shifted = np.empty(m)
+                shifted[0] = 0.0
+                shifted[1:] = cum[:-1]
+                base = gate_times.copy()
+                if base[0] < prev_end[sid]:
+                    base[0] = prev_end[sid]
+                seg_ends = cum + np.maximum.accumulate(base - shifted)
+                seg_prev = np.empty(m)
+                seg_prev[0] = prev_end[sid]
+                seg_prev[1:] = seg_ends[:-1]
+                starts[i:j] = np.maximum(seg_prev, gate_times)
+                ends[i:j] = seg_ends
+                ends_list.extend(seg_ends.tolist())
+                prev_end[sid] = seg_ends[-1]
+                i = j
+        self._starts = starts
+        self._ends = ends
+        self.final_time = float(ends.max()) if n else 0.0
+        if tracer is not None:
+            spans = tracer.spans
+            streams = self._streams
+            stream_ids = self._stream_ids
+            starts_list = starts.tolist()
+            for index, job in enumerate(self._handles):
+                start = starts_list[index]
+                end = ends_list[index]
+                if end > start:
+                    spans.append(Span(
+                        job.name,
+                        job.category,
+                        streams[stream_ids[index]].actor,
+                        start,
+                        end,
+                        job.metadata,
+                    ))
+        return self.final_time

@@ -30,6 +30,8 @@ class FifoQueue:
     consumers.
     """
 
+    __slots__ = ("_sim", "name", "_items", "_getters")
+
     def __init__(self, sim: Simulator, name: str = "queue"):
         self._sim = sim
         self.name = name
@@ -72,6 +74,9 @@ class Job:
             stream head) before running.
     """
 
+    __slots__ = ("body", "name", "category", "gate", "metadata", "done",
+                 "start", "end")
+
     def __init__(
         self,
         sim: Simulator,
@@ -104,6 +109,9 @@ class Stream:
     All executed spans are recorded into the optional :class:`Tracer`
     under this stream's ``actor`` label.
     """
+
+    __slots__ = ("_sim", "name", "actor", "_tracer", "_queue", "_idle_since",
+                 "busy_time", "jobs_completed", "jobs_submitted", "_current")
 
     def __init__(
         self,

@@ -66,6 +66,30 @@ class TestCommunicator:
         comm.all_reduce(_buffers(4, 16))
         assert comm.stats.bytes == 2 * first
 
+    @pytest.mark.parametrize("algorithm,kwargs,p", ALGORITHM_CASES)
+    def test_zero_copy_matches_copying_mode(self, algorithm, kwargs, p):
+        """Zero-copy results and traffic accounting are bit-identical."""
+        expected = np.sum(_buffers(p, 33), axis=0)
+        outcomes = {}
+        for zero_copy in (False, True):
+            comm = Communicator(p, algorithm=algorithm, zero_copy=zero_copy, **kwargs)
+            buffers = _buffers(p, 33)
+            comm.all_reduce(buffers)
+            for buf in buffers:
+                np.testing.assert_allclose(buf, expected)
+            outcomes[zero_copy] = (comm.stats.messages, comm.stats.bytes)
+        assert outcomes[True] == outcomes[False]
+
+    @pytest.mark.parametrize("algorithm,kwargs,p", ALGORITHM_CASES)
+    def test_zero_copy_decoupled_pair(self, algorithm, kwargs, p):
+        buffers = _buffers(p, 17)
+        expected = np.mean(buffers, axis=0)
+        comm = Communicator(p, algorithm=algorithm, zero_copy=True, **kwargs)
+        comm.reduce_scatter(buffers)
+        comm.all_gather(buffers, average=True)
+        for buf in buffers:
+            np.testing.assert_allclose(buf, expected)
+
     def test_unknown_algorithm_rejected(self):
         with pytest.raises(ValueError):
             Communicator(4, algorithm="avian")

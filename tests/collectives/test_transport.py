@@ -1,10 +1,13 @@
 """Unit tests for the in-process transport."""
 
+import copy
+import pickle
+
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.collectives.transport import Transport, chunk_offsets
+from repro.collectives.transport import Transport, TransportStats, chunk_offsets
 
 
 class TestChunkOffsets:
@@ -113,3 +116,68 @@ class TestTransport:
     def test_world_size_validated(self):
         with pytest.raises(ValueError):
             Transport(0)
+
+
+class TestTransportStatsPickling:
+    def test_roundtrip_preserves_counters(self):
+        transport = Transport(3)
+        transport.send(0, 1, np.zeros(10))
+        transport.send(2, 1, np.zeros(5))
+        transport.recv(0, 1)
+        transport.recv(2, 1)
+        restored = pickle.loads(pickle.dumps(transport.stats))
+        assert restored == transport.stats
+        assert restored.per_rank_bytes == {0: 80, 2: 40}
+        assert restored.max_rank_bytes() == 80
+        # Auto-zero semantics survive the round trip (Counter, not a
+        # plain dict rebuilt without default behaviour).
+        assert restored.per_rank_messages[99] == 0
+
+    def test_fresh_stats_roundtrip(self):
+        restored = pickle.loads(pickle.dumps(TransportStats()))
+        assert restored.messages == 0
+        assert restored.max_rank_bytes() == 0
+        restored.per_rank_bytes[1] += 7
+        assert restored.per_rank_bytes[1] == 7
+
+    def test_deepcopy_is_independent(self):
+        stats = TransportStats()
+        stats.per_rank_bytes[0] += 8
+        clone = copy.deepcopy(stats)
+        clone.per_rank_bytes[0] += 1
+        assert stats.per_rank_bytes[0] == 8
+
+
+class TestZeroCopyTransport:
+    def test_delivers_readonly_view(self):
+        transport = Transport(2, zero_copy=True)
+        payload = np.arange(4.0)
+        transport.send(0, 1, payload)
+        received = transport.recv(0, 1)
+        assert received.base is payload or received.base is payload.base
+        assert not received.flags.writeable
+        with pytest.raises(ValueError):
+            received[0] = 1.0
+
+    def test_sender_buffer_stays_writable(self):
+        transport = Transport(2, zero_copy=True)
+        payload = np.arange(4.0)
+        transport.send(0, 1, payload)
+        payload[0] = 99.0  # the read-only flag is on the view only
+        assert transport.recv(0, 1)[0] == 99.0
+
+    def test_accounting_identical_to_copying_mode(self):
+        for zero_copy in (False, True):
+            transport = Transport(2, zero_copy=zero_copy)
+            transport.send(0, 1, np.zeros(10))
+            transport.recv(0, 1)
+            assert transport.stats.messages == 1
+            assert transport.stats.bytes == 80
+            assert transport.stats.per_rank_bytes[0] == 80
+
+    def test_default_mode_still_copies(self):
+        transport = Transport(2)
+        payload = np.arange(4.0)
+        transport.send(0, 1, payload)
+        payload[0] = 99.0
+        assert transport.recv(0, 1)[0] == 0.0

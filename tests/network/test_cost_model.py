@@ -176,3 +176,29 @@ class TestCollectiveTimeModel:
     def test_describe(self):
         text = CollectiveTimeModel(cluster_10gbe()).describe()
         assert "ring" in text and "10GbE" in text
+
+
+class TestMemoization:
+    def test_repeat_queries_hit_the_memo(self):
+        model = CollectiveTimeModel(cluster_10gbe())
+        first = model.reduce_scatter(25e6)
+        assert ("rs", 25e6) in model._memo
+        assert model.reduce_scatter(25e6) == first
+
+    def test_memoized_values_match_direct_formulas(self):
+        model = CollectiveTimeModel(cluster_10gbe())
+        for nbytes in (1.0, 1e4, 25e6):
+            for _ in range(2):  # second pass reads the memo
+                assert model.reduce_scatter(nbytes) == model._reduce_scatter(nbytes)
+                assert model.all_gather(nbytes) == model._all_gather(nbytes)
+
+    def test_distinct_sizes_distinct_entries(self):
+        model = CollectiveTimeModel(cluster_10gbe())
+        model.all_gather(1e6)
+        model.all_gather(2e6)
+        assert model.all_gather(1e6) != model.all_gather(2e6)
+
+    def test_memo_is_per_instance(self):
+        fast_net = CollectiveTimeModel(cluster_100gbib())
+        slow_net = CollectiveTimeModel(cluster_10gbe())
+        assert fast_net.all_reduce(25e6) < slow_net.all_reduce(25e6)

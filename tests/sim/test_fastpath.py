@@ -1,0 +1,299 @@
+"""Vectorized-replay tests: unit coverage plus the differential suite.
+
+The differential tests are the contract of this subsystem: for every
+static-gate scheduler policy, the fast path must produce *the same
+simulated timeline* as the event-driven kernel — identical iteration
+times, exposed-communication breakdowns, and span sets — so enabling it
+can never change a scientific result, only how fast it is computed.
+Tolerances are 1e-9 relative: the two paths sum the same durations in
+different associations, which is a ~1e-15 effect.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.schedulers.base import Scheduler, get_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.fastpath import (
+    FastPathUnsupported,
+    FastTimeline,
+    fast_path_enabled,
+)
+from repro.sim.resources import Stream
+from repro.sim.trace import Tracer
+
+REL = 1e-9
+
+#: Static-gate policies that must take the fast path.
+FAST_SCHEDULERS = ("serial", "wfbp", "ddp", "horovod", "mg_wfbp", "dear", "zero")
+
+
+def _rel_equal(a: float, b: float) -> bool:
+    return abs(a - b) <= REL * max(abs(a), abs(b), 1.0)
+
+
+# -- FastTimeline unit tests ---------------------------------------------------
+
+
+class TestFastTimeline:
+    def test_empty_replay(self):
+        timeline = FastTimeline()
+        timeline.stream("compute")
+        assert timeline.replay() == 0.0
+
+    def test_single_stream_is_sequential(self):
+        timeline = FastTimeline()
+        stream = timeline.stream("compute")
+        jobs = [stream.submit(d) for d in (1.0, 2.0, 3.0)]
+        assert timeline.replay() == 6.0
+        assert [j.start for j in jobs] == [0.0, 1.0, 3.0]
+        assert [j.end for j in jobs] == [1.0, 3.0, 6.0]
+
+    def test_timestamps_none_before_replay(self):
+        timeline = FastTimeline()
+        job = timeline.stream("compute").submit(1.0)
+        assert job.start is None and job.end is None
+
+    def test_cross_stream_gate_stalls(self):
+        timeline = FastTimeline()
+        compute = timeline.stream("compute")
+        comm = timeline.stream("comm")
+        a = compute.submit(2.0)
+        b = comm.submit(1.0, gate=a.done)
+        c = comm.submit(1.0)
+        assert timeline.replay() == 4.0
+        assert b.start == 2.0 and b.end == 3.0 and c.end == 4.0
+
+    def test_all_of_combines_gates(self):
+        timeline = FastTimeline()
+        compute = timeline.stream("compute")
+        comm = timeline.stream("comm")
+        a = compute.submit(1.0)
+        b = compute.submit(3.0)
+        c = comm.submit(0.5, gate=timeline.sim.all_of([a.done, b.done]))
+        timeline.replay()
+        assert c.start == 4.0 and c.end == 4.5
+
+    def test_gate_already_passed_is_free(self):
+        timeline = FastTimeline()
+        compute = timeline.stream("compute")
+        comm = timeline.stream("comm")
+        a = comm.submit(0.5)
+        b = compute.submit(2.0)
+        c = compute.submit(1.0, gate=a.done)
+        timeline.replay()
+        assert c.start == 2.0 and b.end == 2.0
+
+    def test_zero_duration_jobs_and_spans(self):
+        timeline = FastTimeline()
+        stream = timeline.stream("compute", actor="gpu")
+        stream.submit(1.0, name="work")
+        stream.barrier()
+        tracer = Tracer()
+        assert timeline.replay(tracer) == 1.0
+        assert [span.name for span in tracer.spans] == ["work"]
+
+    def test_wait_event_matches_stream_semantics(self):
+        timeline = FastTimeline()
+        compute = timeline.stream("compute")
+        comm = timeline.stream("comm")
+        a = comm.submit(3.0)
+        compute.submit(1.0)
+        compute.wait_event(a.done)
+        tail = compute.submit(1.0)
+        timeline.replay()
+        assert tail.start == 3.0
+
+    def test_dynamic_features_raise(self):
+        timeline = FastTimeline()
+        stream = timeline.stream("compute")
+        with pytest.raises(FastPathUnsupported):
+            timeline.sim.event()
+        with pytest.raises(FastPathUnsupported):
+            timeline.sim.timeout(1.0)
+        with pytest.raises(FastPathUnsupported):
+            timeline.sim.process(iter(()))
+        with pytest.raises(FastPathUnsupported):
+            timeline.sim.any_of([])
+        with pytest.raises(FastPathUnsupported):
+            timeline.sim.schedule(1.0, lambda: None)
+        with pytest.raises(FastPathUnsupported):
+            stream.submit(lambda: 1.0)
+        with pytest.raises(FastPathUnsupported):
+            stream.submit((d for d in (1.0,)))
+        with pytest.raises(FastPathUnsupported):
+            stream.submit(1.0, gate=object())
+
+    def test_negative_duration_rejected(self):
+        timeline = FastTimeline()
+        with pytest.raises(ValueError):
+            timeline.stream("compute").submit(-1.0)
+
+    def test_randomized_against_event_kernel(self):
+        """Random static schedules: replay == event kernel, span for span."""
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            n_jobs = int(rng.integers(1, 120))
+            durations = rng.uniform(0.0, 2.0, size=n_jobs)
+            durations[rng.uniform(size=n_jobs) < 0.2] = 0.0
+            stream_ids = rng.integers(0, 2, size=n_jobs)
+            gate_sets: list[list[int]] = []
+            for index in range(n_jobs):
+                if index and rng.uniform() < 0.4:
+                    count = int(rng.integers(1, min(index, 4) + 1))
+                    gate_sets.append(
+                        list(rng.choice(index, size=count, replace=False))
+                    )
+                else:
+                    gate_sets.append([])
+
+            timeline = FastTimeline()
+            fast_streams = [timeline.stream("s0"), timeline.stream("s1")]
+            fast_jobs = []
+            for index in range(n_jobs):
+                gate = None
+                if gate_sets[index]:
+                    gate = timeline.sim.all_of(
+                        [fast_jobs[g].done for g in gate_sets[index]]
+                    )
+                fast_jobs.append(
+                    fast_streams[stream_ids[index]].submit(
+                        float(durations[index]), name=f"j{index}", gate=gate
+                    )
+                )
+            fast_final = timeline.replay()
+
+            sim = Simulator()
+            streams = [Stream(sim, "s0"), Stream(sim, "s1")]
+            jobs = []
+            for index in range(n_jobs):
+                gate = None
+                if gate_sets[index]:
+                    gate = sim.all_of([jobs[g].done for g in gate_sets[index]])
+                jobs.append(
+                    streams[stream_ids[index]].submit(
+                        float(durations[index]), name=f"j{index}", gate=gate
+                    )
+                )
+            event_final = sim.run()
+
+            assert _rel_equal(fast_final, event_final)
+            for fast_job, job in zip(fast_jobs, jobs):
+                assert _rel_equal(fast_job.start, job.start)
+                assert _rel_equal(fast_job.end, job.end)
+
+
+class TestFastPathToggle:
+    def test_env_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("on", True), ("", True), ("yes", True),
+            ("0", False), ("off", False), ("FALSE", False), ("no", False),
+        ]:
+            monkeypatch.setenv("DEAR_FASTPATH", value)
+            assert fast_path_enabled() is expected
+        monkeypatch.delenv("DEAR_FASTPATH")
+        assert fast_path_enabled() is True
+
+    def test_bytescheduler_opts_out(self):
+        assert get_scheduler("bytescheduler").supports_fast_path is False
+        for name in FAST_SCHEDULERS:
+            assert get_scheduler(name).supports_fast_path is True
+
+    def test_dynamic_scheduler_falls_back(self, tiny_timing, ethernet_cost):
+        """A mislabelled scheduler degrades to the event kernel, not an error."""
+
+        class DynamicScheduler(Scheduler):
+            name = "dynamic-test"
+            supports_fast_path = True  # wrong on purpose
+
+            def schedule(self, ctx, iterations):
+                for iteration in range(iterations):
+                    gate = ctx.sim.event()  # unsupported by the recorder
+                    gate.succeed()
+                    ctx.submit_forward_pass(iteration, first_gate=gate)
+                    ctx.submit_backward_pass(iteration)
+
+            def describe_options(self):
+                return {}
+
+        result = DynamicScheduler().run(tiny_timing, ethernet_cost)
+        assert result.iteration_time > 0
+
+
+# -- differential suite: schedulers x workloads --------------------------------
+
+
+def _run_both(scheduler_name, timing, cost, monkeypatch, **options):
+    monkeypatch.setenv("DEAR_FASTPATH", "1")
+    fast = get_scheduler(scheduler_name, **options).run(timing, cost)
+    monkeypatch.setenv("DEAR_FASTPATH", "0")
+    slow = get_scheduler(scheduler_name, **options).run(timing, cost)
+    return fast, slow
+
+
+def _assert_equivalent(fast, slow):
+    assert _rel_equal(fast.iteration_time, slow.iteration_time)
+    for a, b in zip(fast.iteration_times, slow.iteration_times):
+        assert _rel_equal(a, b)
+    assert _rel_equal(fast.exposed_comm, slow.exposed_comm)
+    assert _rel_equal(fast.exposed_rs, slow.exposed_rs)
+    assert _rel_equal(fast.exposed_ag, slow.exposed_ag)
+    # Same spans, up to ordering (the event kernel emits in completion
+    # order, the replay in submission order).
+    fast_spans = sorted(
+        fast.tracer.spans, key=lambda s: (s.start, s.end, s.actor, s.name)
+    )
+    slow_spans = sorted(
+        slow.tracer.spans, key=lambda s: (s.start, s.end, s.actor, s.name)
+    )
+    assert len(fast_spans) == len(slow_spans)
+    for a, b in zip(fast_spans, slow_spans):
+        assert a.name == b.name
+        assert a.category == b.category
+        assert a.actor == b.actor
+        assert _rel_equal(a.start, b.start)
+        assert _rel_equal(a.end, b.end)
+
+
+@pytest.mark.parametrize("scheduler", FAST_SCHEDULERS + ("bytescheduler",))
+class TestDifferentialTiny:
+    def test_ethernet(self, scheduler, tiny_timing, ethernet_cost, monkeypatch):
+        fast, slow = _run_both(scheduler, tiny_timing, ethernet_cost, monkeypatch)
+        _assert_equivalent(fast, slow)
+
+    def test_infiniband(self, scheduler, tiny_timing, infiniband_cluster, monkeypatch):
+        cost = CollectiveTimeModel(infiniband_cluster)
+        fast, slow = _run_both(scheduler, tiny_timing, cost, monkeypatch)
+        _assert_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("scheduler", FAST_SCHEDULERS)
+@pytest.mark.parametrize("model_fixture", ["resnet50", "bert_base"])
+def test_differential_zoo_models(
+    scheduler, model_fixture, ethernet_cost, monkeypatch, request
+):
+    model = request.getfixturevalue(model_fixture)
+    timing = TimingModel.for_model(model)
+    fast, slow = _run_both(scheduler, timing, ethernet_cost, monkeypatch)
+    _assert_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize(
+    "options",
+    [
+        {"fusion": "none"},
+        {"fusion": "layers", "layers_per_group": 3},
+        {"fusion": "buffer", "buffer_bytes": 5e6},
+        {"fusion": "bo", "bo_trials": 5},
+    ],
+    ids=lambda options: options["fusion"],
+)
+def test_differential_dear_fusion_plans(
+    options, tiny_timing, ethernet_cost, monkeypatch
+):
+    fast, slow = _run_both("dear", tiny_timing, ethernet_cost, monkeypatch, **options)
+    _assert_equivalent(fast, slow)
