@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.bayesopt.acquisition import expected_improvement, upper_confidence_bound
 from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.search import publish_observation
 
 __all__ = ["BayesianOptimizer"]
 
@@ -86,6 +87,7 @@ class BayesianOptimizer:
             raise ValueError(f"objective must be finite, got {y}")
         self._xs.append(float(x))
         self._ys.append(float(y))
+        publish_observation(type(self).__name__, len(self._ys), max(self._ys))
 
     # -- suggestion ----------------------------------------------------------
 

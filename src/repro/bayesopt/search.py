@@ -19,7 +19,31 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RandomSearch", "GridSearch", "trials_to_reach", "warm_candidate_cache"]
+from repro.telemetry.registry import default_registry
+
+__all__ = [
+    "RandomSearch",
+    "GridSearch",
+    "trials_to_reach",
+    "warm_candidate_cache",
+    "publish_observation",
+]
+
+
+def publish_observation(tuner: str, trial: int, best_y: float) -> None:
+    """One tuner step into the registry: eval count + best-so-far curve.
+
+    Shared by every suggest/observe tuner (including the Bayesian
+    optimiser), so Fig. 10 style convergence comparisons can be read
+    straight out of a metrics snapshot.
+    """
+    registry = default_registry()
+    registry.counter(
+        "bayesopt.evals", "objective evaluations, by tuner"
+    ).inc(tuner=tuner)
+    registry.series(
+        "bayesopt.best_so_far", "best objective value after each trial"
+    ).append(trial, best_y, tuner=tuner)
 
 
 def warm_candidate_cache(
@@ -72,6 +96,7 @@ class _SearchBase:
             raise ValueError(f"objective must be finite, got {y}")
         self._xs.append(float(x))
         self._ys.append(float(y))
+        publish_observation(type(self).__name__, len(self._ys), max(self._ys))
 
 
 class RandomSearch(_SearchBase):

@@ -15,6 +15,14 @@ The benchmark suites run through their own subcommand::
     dear-repro bench --quick          # the CI gate's reduced grid
     dear-repro bench --quick --baseline benchmarks/baseline.json
 
+So does the observability pipeline (see docs/OBSERVABILITY.md)::
+
+    dear-repro trace --scheduler dear --model resnet50 --fabric 10gbe
+
+which writes a Perfetto trace plus a metrics snapshot and prints the
+per-category exposed/hidden time breakdown of one steady-state
+iteration.
+
 Exit codes: 0 success, 1 experiment failure, 2 unknown experiment /
 bad usage, 3 benchmark regression against the baseline.
 """
@@ -136,6 +144,12 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "bench":
         return _bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # Imported lazily: the trace pipeline pulls in the simulator
+        # stack, which plain experiment listing should not pay for.
+        from repro.telemetry.trace_cmd import trace_main
+
+        return trace_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="dear-repro",
@@ -143,7 +157,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'list', or 'bench'",
+        help="experiment name (see 'list'), 'all', 'list', 'bench', or 'trace'",
     )
     parser.add_argument(
         "--json",

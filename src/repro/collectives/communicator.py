@@ -26,6 +26,7 @@ from repro.collectives.hierarchical import (
 from repro.collectives.ring import ring_all_gather, ring_all_reduce, ring_reduce_scatter
 from repro.collectives.transport import Transport, TransportStats
 from repro.collectives.tree import binomial_broadcast, binomial_reduce, tree_all_reduce
+from repro.telemetry.registry import default_registry
 
 __all__ = ["Communicator"]
 
@@ -67,6 +68,29 @@ class Communicator:
         self.gpus_per_node = gpus_per_node
         self.transport = Transport(world_size, zero_copy=zero_copy)
         self.collectives_issued = 0
+        registry = default_registry()
+        self._call_counter = registry.counter(
+            "collective.calls", "data-level collectives issued, by operation"
+        )
+        self._payload_counter = registry.counter(
+            "collective.payload_bytes",
+            "aggregate buffer bytes handled by data-level collectives",
+        )
+        self._wire_counter = registry.counter(
+            "collective.wire_bytes",
+            "transport bytes moved by data-level collectives",
+        )
+
+    def _publish(self, op: str, buffers: Sequence[np.ndarray],
+                 wire_before: int) -> None:
+        labels = {"op": op, "algorithm": self.algorithm}
+        self._call_counter.inc(**labels)
+        self._payload_counter.inc(
+            float(sum(buf.nbytes for buf in buffers)), **labels
+        )
+        self._wire_counter.inc(
+            float(self.transport.stats.bytes - wire_before), **labels
+        )
 
     @property
     def stats(self) -> TransportStats:
@@ -81,6 +105,7 @@ class Communicator:
 
     def all_reduce(self, buffers: Sequence[np.ndarray], average: bool = False) -> None:
         """Fused all-reduce (sum, optionally averaged) in place."""
+        wire_before = self.transport.stats.bytes
         if self.algorithm == "ring":
             ring_all_reduce(self.transport, buffers)
         elif self.algorithm == "halving_doubling":
@@ -89,6 +114,7 @@ class Communicator:
             tree_all_reduce(self.transport, buffers)
         else:
             hierarchical_all_reduce(self.transport, buffers, self.gpus_per_node)
+        self._publish("all_reduce", buffers, wire_before)
         self._finish(buffers, average)
 
     def reduce_scatter(self, buffers: Sequence[np.ndarray]) -> None:
@@ -98,6 +124,7 @@ class Communicator:
         :meth:`all_gather` call restores the complete reduced vector,
         and the pair is value-identical to :meth:`all_reduce`.
         """
+        wire_before = self.transport.stats.bytes
         if self.algorithm == "ring":
             ring_reduce_scatter(self.transport, buffers)
         elif self.algorithm == "halving_doubling":
@@ -106,10 +133,12 @@ class Communicator:
             binomial_reduce(self.transport, buffers)
         else:
             hierarchical_reduce_scatter(self.transport, buffers, self.gpus_per_node)
+        self._publish("reduce_scatter", buffers, wire_before)
         self.collectives_issued += 1
 
     def all_gather(self, buffers: Sequence[np.ndarray], average: bool = False) -> None:
         """Decoupled OP2: completes the aggregation started by OP1."""
+        wire_before = self.transport.stats.bytes
         if self.algorithm == "ring":
             ring_all_gather(self.transport, buffers)
         elif self.algorithm == "halving_doubling":
@@ -118,4 +147,5 @@ class Communicator:
             binomial_broadcast(self.transport, buffers)
         else:
             hierarchical_all_gather(self.transport, buffers, self.gpus_per_node)
+        self._publish("all_gather", buffers, wire_before)
         self._finish(buffers, average)

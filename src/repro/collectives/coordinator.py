@@ -28,6 +28,7 @@ import json
 import numpy as np
 
 from repro.collectives.transport import Transport
+from repro.telemetry.registry import default_registry
 
 __all__ = ["ReadinessCoordinator"]
 
@@ -61,6 +62,17 @@ class ReadinessCoordinator:
         self._pending: list[set[str]] = [set() for _ in range(transport.world_size)]
         self._arrival_order: list[str] = []
         self.cycles = 0
+        registry = default_registry()
+        self._cycle_counter = registry.counter(
+            "coordinator.cycles", "readiness-consensus rounds completed"
+        ).labels()
+        self._rendezvous_byte_counter = registry.counter(
+            "coordinator.rendezvous_bytes",
+            "wire bytes spent on readiness negotiation",
+        ).labels()
+        self._agreed_counter = registry.counter(
+            "coordinator.tensors_agreed", "tensors released by consensus rounds"
+        ).labels()
 
     def report(self, rank: int, tensor_names: list[str]) -> None:
         """A worker marks tensors locally ready (pre-cycle)."""
@@ -76,6 +88,7 @@ class ReadinessCoordinator:
         the transport so the traffic is accounted.
         """
         world = self.transport.world_size
+        wire_before = self.transport.stats.bytes
         # Gather: every non-zero rank reports its pending set.
         reported: list[list[str]] = [sorted(self._pending[0])]
         for rank in range(1, world):
@@ -108,6 +121,11 @@ class ReadinessCoordinator:
             name for name in self._arrival_order if name not in response
         ]
         self.cycles += 1
+        self._cycle_counter.inc()
+        self._rendezvous_byte_counter.inc(
+            float(self.transport.stats.bytes - wire_before)
+        )
+        self._agreed_counter.inc(len(final))
         return final
 
     def pending_anywhere(self) -> set[str]:

@@ -14,6 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.registry import default_registry
+
 __all__ = ["Transport", "TransportStats", "chunk_offsets"]
 
 
@@ -76,6 +78,24 @@ class Transport:
         self.zero_copy = zero_copy
         self._mailboxes: dict[tuple[int, int], deque[np.ndarray]] = defaultdict(deque)
         self.stats = TransportStats()
+        # Per-rank children bound once: send() pays one list index plus
+        # an attribute add per counter, independent of label hashing.
+        registry = default_registry()
+        messages = registry.counter(
+            "transport.messages", "point-to-point messages sent, by source rank"
+        )
+        nbytes = registry.counter(
+            "transport.bytes", "point-to-point payload bytes sent, by source rank"
+        )
+        self._rank_message_counters = [
+            messages.labels(rank=rank) for rank in range(world_size)
+        ]
+        self._rank_byte_counters = [
+            nbytes.labels(rank=rank) for rank in range(world_size)
+        ]
+        self._message_size_histogram = registry.histogram(
+            "transport.message_bytes", "distribution of per-message payload sizes"
+        ).labels()
 
     def _check_rank(self, rank: int, label: str) -> None:
         if not 0 <= rank < self.world_size:
@@ -101,6 +121,9 @@ class Transport:
         self.stats.bytes += data.nbytes
         self.stats.per_rank_messages[src] += 1
         self.stats.per_rank_bytes[src] += data.nbytes
+        self._rank_message_counters[src].inc()
+        self._rank_byte_counters[src].inc(data.nbytes)
+        self._message_size_histogram.observe(data.nbytes)
 
     def recv(self, src: int, dst: int) -> np.ndarray:
         """Pop the oldest pending message from ``src`` addressed to ``dst``."""

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 
 from repro.network.fabric import ClusterSpec
+from repro.telemetry.registry import default_registry
 
 __all__ = [
     "ring_reduce_scatter_time",
@@ -284,6 +285,23 @@ class CollectiveTimeModel:
         #: (operation tag, nbytes) -> seconds; missing is None (0.0 is
         #: a legitimate cached value for empty messages).
         self._memo: dict[tuple[str, float], float] = {}
+        # Children are bound once here so the per-query cost is a single
+        # attribute add (sweeps and BO issue millions of lookups).
+        registry = default_registry()
+        queries = registry.counter(
+            "costmodel.queries", "collective time-model lookups"
+        )
+        hits = registry.counter(
+            "costmodel.memo_hits", "lookups served from the per-instance memo"
+        )
+        self._query_counters = {
+            op: queries.labels(op=op, algorithm=algorithm)
+            for op in ("rs", "ag", "neg")
+        }
+        self._hit_counters = {
+            op: hits.labels(op=op, algorithm=algorithm)
+            for op in ("rs", "ag", "neg")
+        }
 
     @property
     def world_size(self) -> int:
@@ -312,9 +330,12 @@ class CollectiveTimeModel:
     def reduce_scatter(self, nbytes: float) -> float:
         """Time of the first decoupled operation (OP1) for ``nbytes``."""
         key = ("rs", nbytes)
+        self._query_counters["rs"].inc()
         cached = self._memo.get(key)
         if cached is None:
             cached = self._memo[key] = self._reduce_scatter(nbytes)
+        else:
+            self._hit_counters["rs"].inc()
         return cached
 
     def _reduce_scatter(self, nbytes: float) -> float:
@@ -342,9 +363,12 @@ class CollectiveTimeModel:
     def all_gather(self, nbytes: float) -> float:
         """Time of the second decoupled operation (OP2) for ``nbytes``."""
         key = ("ag", nbytes)
+        self._query_counters["ag"].inc()
         cached = self._memo.get(key)
         if cached is None:
             cached = self._memo[key] = self._all_gather(nbytes)
+        else:
+            self._hit_counters["ag"].inc()
         return cached
 
     def _all_gather(self, nbytes: float) -> float:
@@ -376,11 +400,14 @@ class CollectiveTimeModel:
     def negotiation(self, payload_bytes: float = 8.0) -> float:
         """One metadata-consensus round on this cluster."""
         key = ("neg", payload_bytes)
+        self._query_counters["neg"].inc()
         cached = self._memo.get(key)
         if cached is None:
             cached = self._memo[key] = negotiation_time(
                 self.world_size, self._alpha, payload_bytes, self._beta
             )
+        else:
+            self._hit_counters["neg"].inc()
         return cached
 
     def describe(self) -> str:

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.runner.spec import RunSpec
 from repro.schedulers.base import ScheduleResult
+from repro.telemetry.registry import default_registry
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -118,13 +119,22 @@ class ResultCache:
             result = result_from_dict(entry["result"])
         except FileNotFoundError:
             self.misses += 1
+            default_registry().counter(
+                "runner.cache.misses", "result-cache lookups that recomputed"
+            ).inc()
             return None
         except (OSError, ValueError, KeyError, TypeError):
             # Corrupted or stale entry: evict and recompute.
             self._evict(path)
             self.misses += 1
+            default_registry().counter(
+                "runner.cache.misses", "result-cache lookups that recomputed"
+            ).inc()
             return None
         self.hits += 1
+        default_registry().counter(
+            "runner.cache.hits", "result-cache lookups served from disk"
+        ).inc()
         return result
 
     def put(self, spec: RunSpec, result: ScheduleResult) -> None:
@@ -155,6 +165,9 @@ class ResultCache:
                 self._evict(Path(temp_name))
             return
         self.puts += 1
+        default_registry().counter(
+            "runner.cache.puts", "results persisted into the cache"
+        ).inc()
 
     def _evict(self, path: Path) -> None:
         try:

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
@@ -24,6 +25,7 @@ from typing import Optional, Sequence
 from repro.runner.cache import ResultCache, default_cache
 from repro.runner.spec import RunSpec
 from repro.schedulers.base import DEFAULT_ITERATIONS, ScheduleResult
+from repro.telemetry.registry import default_registry
 
 __all__ = ["resolve_jobs", "run_many", "simulate_cached"]
 
@@ -45,9 +47,16 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, jobs)
 
 
-def _execute(spec: RunSpec) -> ScheduleResult:
-    """Worker entry point: simulate and strip the (unpicklable) tracer."""
-    return dataclasses.replace(spec.run(), tracer=None)
+def _execute(spec: RunSpec) -> tuple[ScheduleResult, float]:
+    """Worker entry point: simulate and strip the (unpicklable) tracer.
+
+    Returns the per-spec wall time alongside the result so the parent
+    process can publish worker-utilisation telemetry (workers have
+    their own registries; timings must travel back with the payload).
+    """
+    started = time.perf_counter()
+    result = dataclasses.replace(spec.run(), tracer=None)
+    return result, time.perf_counter() - started
 
 
 def run_many(
@@ -59,6 +68,7 @@ def run_many(
     specs = list(specs)
     cache = cache if cache is not None else default_cache()
     results: list[Optional[ScheduleResult]] = [None] * len(specs)
+    batch_started = time.perf_counter()
 
     # Answer from the cache, deduping repeated specs as we go.
     first_seen: dict[str, int] = {}
@@ -73,21 +83,70 @@ def run_many(
             results[index] = cached
         else:
             pending.append(index)
+    cached_count = len(first_seen) - len(pending)
 
+    spec_seconds = 0.0
+    workers = resolve_jobs(jobs)
     if pending:
-        computed = _compute(specs, pending, resolve_jobs(jobs))
-        for index, result in zip(pending, computed):
+        computed = _compute(specs, pending, workers)
+        for index, (result, seconds) in zip(pending, computed):
             cache.put(specs[index], result)
             results[index] = result
+            spec_seconds += seconds
+            default_registry().histogram(
+                "runner.spec_seconds", "wall time of each simulated spec"
+            ).observe(seconds, scheduler=specs[index].scheduler)
 
     # Fill duplicate slots from the canonical copy.
     for index, spec in enumerate(specs):
         if results[index] is None:
             results[index] = results[first_seen[spec.fingerprint]]
+
+    _publish_batch_metrics(
+        cached=cached_count,
+        computed=len(pending),
+        deduped=len(specs) - len(first_seen),
+        workers=workers,
+        spec_seconds=spec_seconds,
+        batch_seconds=time.perf_counter() - batch_started,
+    )
     return results  # type: ignore[return-value]
 
 
-def _compute(specs: list[RunSpec], pending: list[int], jobs: int) -> list[ScheduleResult]:
+def _publish_batch_metrics(
+    cached: int,
+    computed: int,
+    deduped: int,
+    workers: int,
+    spec_seconds: float,
+    batch_seconds: float,
+) -> None:
+    """One batch's runner telemetry: outcomes, wall time, utilisation."""
+    registry = default_registry()
+    registry.counter("runner.batches", "run_many invocations").inc()
+    outcomes = registry.counter(
+        "runner.specs", "specs handled by the runner, by outcome"
+    )
+    outcomes.inc(cached, outcome="cached")
+    outcomes.inc(computed, outcome="computed")
+    outcomes.inc(deduped, outcome="deduped")
+    registry.gauge("runner.workers", "worker count of the last batch").set(workers)
+    registry.gauge(
+        "runner.batch_seconds", "wall time of the last run_many batch"
+    ).set(batch_seconds)
+    if computed and batch_seconds > 0.0:
+        # Aggregate spec time over the pool's wall-clock capacity; 1.0
+        # means every worker stayed busy for the whole batch.
+        utilization = spec_seconds / (workers * batch_seconds)
+        registry.gauge(
+            "runner.worker_utilization",
+            "busy fraction of the pool during the last batch",
+        ).set(utilization)
+
+
+def _compute(
+    specs: list[RunSpec], pending: list[int], jobs: int
+) -> list[tuple[ScheduleResult, float]]:
     """Simulate the pending indices, in parallel when it can help."""
     if jobs <= 1 or len(pending) <= 1:
         return [_execute(specs[index]) for index in pending]

@@ -13,6 +13,7 @@ from repro.network.fabric import ClusterSpec
 from repro.schedulers.engine import FastIterationContext, IterationContext
 from repro.sim.fastpath import FastPathUnsupported, fast_path_enabled
 from repro.sim.trace import Tracer, subtract_intervals, total_length
+from repro.telemetry.registry import default_registry
 
 __all__ = [
     "ScheduleResult",
@@ -136,7 +137,7 @@ class Scheduler(ABC):
         gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
         iteration_time = gaps[-1]
         window = (starts[-2], starts[-1])
-        return ScheduleResult(
+        result = ScheduleResult(
             scheduler=self.name,
             model_name=timing.model.name,
             cluster_name=cost.cluster.name,
@@ -152,6 +153,8 @@ class Scheduler(ABC):
             iteration_times=gaps,
             extras=self.describe_options(),
         )
+        _publish_run_metrics(result)
+        return result
 
     def describe_options(self) -> dict:
         """Scheduler-specific settings recorded into the result."""
@@ -163,6 +166,27 @@ def _clip(
 ) -> list[tuple[float, float]]:
     lo, hi = window
     return [(max(a, lo), min(b, hi)) for a, b in intervals if b > lo and a < hi]
+
+
+def _publish_run_metrics(result: "ScheduleResult") -> None:
+    """Per-run headline metrics into the process registry."""
+    registry = default_registry()
+    labels = {
+        "scheduler": result.scheduler,
+        "model": result.model_name,
+        "cluster": result.cluster_name,
+    }
+    registry.counter("run.count", "scheduler runs completed").inc(**labels)
+    registry.gauge(
+        "run.iteration_seconds", "steady-state iteration time of the last run"
+    ).set(result.iteration_time, **labels)
+    registry.gauge(
+        "run.exposed_comm_seconds",
+        "non-overlapped communication time of the last run (Fig. 8)",
+    ).set(result.exposed_comm, **labels)
+    registry.gauge(
+        "run.throughput_samples_per_s", "aggregate cluster throughput"
+    ).set(result.throughput, **labels)
 
 
 def _exposed(tracer: Tracer, categories: tuple[str, ...], window: tuple[float, float]) -> float:

@@ -47,6 +47,16 @@ __all__ = ["DeARScheduler", "DEAR_DEFAULT_BUFFER_BYTES"]
 DEAR_DEFAULT_BUFFER_BYTES = 25e6
 
 
+def _group_metadata(group) -> dict:
+    """Fusion attribution recorded on every collective span (trace +
+    breakdown tables can charge time to fusion decisions)."""
+    return {
+        "group": group.index,
+        "layers": group.layer_indices,
+        "num_tensors": len(group.tensors),
+    }
+
+
 @register_scheduler
 class DeARScheduler(Scheduler):
     """Decoupled all-reduce with BackPipe/FeedPipe scheduling.
@@ -93,16 +103,26 @@ class DeARScheduler(Scheduler):
         plan = self.fusion_plan(ctx)
         forward_groups = plan.groups_forward_order()
         layer_gates: Optional[dict[int, Event]] = None
+        #: layer -> flow ids of the previous iteration's covering groups
+        #: (the "update" end of the gradient-lifecycle flow arrows).
+        pending_flows: dict[int, list[str]] = {}
         for iteration in range(iterations):
             # FeedPipe: FF of layer l waits for the all-gather(s) of the
             # previous iteration's group(s) covering layer l.
-            ctx.submit_forward_pass(iteration, layer_gates=layer_gates)
+            ff_jobs = ctx.submit_forward_pass(iteration, layer_gates=layer_gates)
+            for layer_index, flows in pending_flows.items():
+                ff_jobs[layer_index].metadata["flows"] = flows
             bp_jobs = ctx.submit_backward_pass(iteration)
 
             # BackPipe: reduce-scatter per group, launched on gradient
             # readiness, FIFO on the comm stream (backward order).
             rs_jobs = []
             for group in plan:
+                flow = f"{iteration}.g{group.index}"
+                for layer in group.layer_indices:
+                    # grad-ready end of the flow: the BP span(s) whose
+                    # gradients fill this fusion group.
+                    bp_jobs[layer].metadata.setdefault("flows", []).append(flow)
                 gate = ctx.sim.all_of(
                     [bp_jobs[layer].done for layer in group.layer_indices]
                 )
@@ -113,6 +133,7 @@ class DeARScheduler(Scheduler):
                         iteration,
                         label=f"g{group.index}",
                         gate=gate,
+                        metadata=_group_metadata(group),
                     )
                 )
             # OP1/OP2 synchronisation at the end of BackPipe (§III-B).
@@ -128,10 +149,12 @@ class DeARScheduler(Scheduler):
                     iteration,
                     label=f"g{group.index}",
                     gate=rs_barrier if position == 0 else None,
+                    metadata=_group_metadata(group),
                 )
                 ag_done_of_group[group.index] = job.done
 
             layer_gates = {}
+            pending_flows = {}
             for layer_index in range(ctx.model.num_layers):
                 groups = plan.groups_for_layer(layer_index)
                 if not groups:
@@ -140,6 +163,9 @@ class DeARScheduler(Scheduler):
                 layer_gates[layer_index] = (
                     events[0] if len(events) == 1 else ctx.sim.all_of(events)
                 )
+                pending_flows[layer_index] = [
+                    f"{iteration}.g{g.index}" for g in groups
+                ]
 
     def run(self, timing: TimingModel, cost: CollectiveTimeModel,
             iterations: int = 5) -> ScheduleResult:

@@ -26,6 +26,7 @@ from repro.sim.engine import Event, Simulator
 from repro.sim.fastpath import FastTimeline
 from repro.sim.resources import Job, Stream
 from repro.sim.trace import Tracer
+from repro.telemetry.registry import default_registry
 
 __all__ = ["IterationContext", "FastIterationContext"]
 
@@ -131,13 +132,18 @@ class IterationContext:
         label: str,
         gate: Optional[Event] = None,
         extra_time: float = 0.0,
+        metadata: Optional[dict] = None,
     ) -> Job:
         """One collective on the comm stream.
 
         ``kind`` is ``"all_reduce"``, ``"reduce_scatter"`` or
         ``"all_gather"``; ``extra_time`` charges scheduler-specific
         overhead (negotiation, coordinator cycles) serialised with the
-        collective.
+        collective.  ``metadata`` merges scheduler-specific context
+        into the traced span (fusion-group id, member layers) on top of
+        the standard fields: payload bytes, the collective algorithm,
+        and a ``flow`` id shared by the RS/AG pair of one fusion group
+        so trace viewers can draw the gradient's lifecycle arrows.
         """
         try:
             duration = self._collective_time[kind](nbytes) + extra_time
@@ -147,12 +153,21 @@ class IterationContext:
                 f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
             ) from None
         category = COLLECTIVE_CATEGORIES[kind]
+        span_metadata = {
+            "iteration": iteration,
+            "bytes": nbytes,
+            "extra": extra_time,
+            "algorithm": getattr(self.cost, "algorithm", "unknown"),
+            "flow": f"{iteration}.{label}",
+        }
+        if metadata:
+            span_metadata.update(metadata)
         return self.comm.submit(
             duration,
             name=f"{kind}.{iteration}.{label}",
             category=category,
             gate=gate,
-            metadata={"iteration": iteration, "bytes": nbytes, "extra": extra_time},
+            metadata=span_metadata,
         )
 
     # -- execution -------------------------------------------------------------
@@ -175,7 +190,30 @@ class IterationContext:
                 raise RuntimeError(
                     "schedule deadlocked: " + "; ".join(stuck)
                 )
+        self._publish_stream_metrics(
+            "event",
+            [(s.name, s.jobs_completed, s.busy_time)
+             for s in (self.compute, self.comm)],
+        )
         return final
+
+    def _publish_stream_metrics(
+        self, engine: str, streams: list[tuple[str, int, float]]
+    ) -> None:
+        """Stream-level counters into the process registry (once per run)."""
+        registry = default_registry()
+        jobs = registry.counter(
+            "sim.stream.jobs", "jobs completed per simulated stream"
+        )
+        busy = registry.counter(
+            "sim.stream.busy_seconds", "virtual busy time per simulated stream"
+        )
+        for name, completed, busy_time in streams:
+            jobs.inc(completed, stream=name)
+            busy.inc(busy_time, stream=name)
+        registry.counter(
+            "sim.runs", "simulations executed, by engine kind"
+        ).inc(engine=engine)
 
     def ff_start_times(self) -> list[float]:
         """Start time of each iteration's first FF job (after :meth:`run`)."""
@@ -225,4 +263,14 @@ class FastIterationContext(IterationContext):
         nothing to check: recordable schedules only carry back-edges, so
         they cannot deadlock.
         """
-        return self._timeline.replay(self.tracer)
+        final = self._timeline.replay(self.tracer)
+        busy_times = self._timeline.stream_busy_times()
+        self._publish_stream_metrics(
+            "fastpath",
+            [
+                (stream.name, stream.jobs_submitted,
+                 busy_times[stream.stream_id])
+                for stream in (self.compute, self.comm)
+            ],
+        )
+        return final

@@ -55,6 +55,11 @@ class SerialScheduler(Scheduler):
                         iteration,
                         label=f"g{group.index}",
                         gate=gate,
+                        metadata={
+                            "group": group.index,
+                            "layers": group.layer_indices,
+                            "num_tensors": len(group.tensors),
+                        },
                     )
                 )
             prev_comm_done = ctx.sim.all_of([job.done for job in comm_jobs])

@@ -59,6 +59,9 @@ class WFBPScheduler(Scheduler):
             bp_jobs = ctx.submit_backward_pass(iteration)
             comm_jobs = []
             for group in plan:
+                flow = f"{iteration}.g{group.index}"
+                for layer in group.layer_indices:
+                    bp_jobs[layer].metadata.setdefault("flows", []).append(flow)
                 gate = ctx.sim.all_of(
                     [bp_jobs[layer].done for layer in group.layer_indices]
                 )
@@ -70,6 +73,11 @@ class WFBPScheduler(Scheduler):
                         label=f"g{group.index}",
                         gate=gate,
                         extra_time=self.collective_overhead(ctx, group),
+                        metadata={
+                            "group": group.index,
+                            "layers": group.layer_indices,
+                            "num_tensors": len(group.tensors),
+                        },
                     )
                 )
             prev_comm_done = ctx.sim.all_of([job.done for job in comm_jobs])

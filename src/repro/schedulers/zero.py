@@ -37,6 +37,15 @@ from repro.sim.engine import Event
 __all__ = ["ZeROScheduler"]
 
 
+def _group_metadata(group) -> dict:
+    """Fusion attribution recorded on every collective span."""
+    return {
+        "group": group.index,
+        "layers": group.layer_indices,
+        "num_tensors": len(group.tensors),
+    }
+
+
 @register_scheduler
 class ZeROScheduler(Scheduler):
     """Fully-sharded data parallelism (ZeRO stage 3).
@@ -71,6 +80,7 @@ class ZeROScheduler(Scheduler):
                     iteration,
                     label=f"fwd.g{group.index}",
                     gate=rs_done_of_group.get(group.index),
+                    metadata=_group_metadata(group),
                 )
                 ag_fwd_done[group.index] = job.done
             layer_gates = _layer_gates(ctx, plan, ag_fwd_done)
@@ -88,11 +98,15 @@ class ZeROScheduler(Scheduler):
                     group.nbytes,
                     iteration,
                     label=f"bwd.g{group.index}",
+                    metadata=_group_metadata(group),
                 )
                 ag_bwd_done[group.index] = job.done
             bp_gates = _layer_gates(ctx, plan, ag_bwd_done)
             bp_jobs = _submit_backward(ctx, iteration, bp_gates)
             for group in backward_groups:
+                flow = f"{iteration}.g{group.index}"
+                for layer in group.layer_indices:
+                    bp_jobs[layer].metadata.setdefault("flows", []).append(flow)
                 gate = ctx.sim.all_of(
                     [bp_jobs[layer].done for layer in group.layer_indices]
                 )
@@ -102,6 +116,7 @@ class ZeROScheduler(Scheduler):
                     iteration,
                     label=f"g{group.index}",
                     gate=gate,
+                    metadata=_group_metadata(group),
                 )
                 rs_done_of_group[group.index] = job.done
 

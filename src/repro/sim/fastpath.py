@@ -13,23 +13,24 @@ shape the timeline is a closed-form recurrence, not a simulation:
 
 This module records such schedules symbolically (no events, no
 generators, no heap) and replays them with numpy.  Within one *segment*
-— a maximal run of consecutively submitted same-stream jobs — the
-recurrence telescopes to a prefix-max::
-
-    end[j] = C[j] + max_{k <= j} (G[k] - C[k-1])      (C = cumsum of d)
-
-evaluated with ``np.cumsum`` + ``np.maximum.accumulate``.  Gates always
-point at earlier-submitted jobs, so processing segments in submission
-order resolves every dependency; a same-stream gate is subsumed by
-stream ordering and is dropped.  Consequence: any schedule expressible
-in this API is deadlock-free by construction (the dependency graph only
-has back-edges), matching the event kernel, which completes the same
-schedules.
+— a maximal run of consecutively submitted same-stream jobs — gateless
+runs telescope to a prefix sum, evaluated with ``np.cumsum`` seeded
+with the run's base time (a strict left fold, so the float association
+matches the kernel's sequential ``end += d``); gated jobs take a
+scalar path computing exactly ``max(prev_end, gate_end) + duration``.
+Gates always point at earlier-submitted jobs, so processing segments
+in submission order resolves every dependency; a same-stream gate is
+subsumed by stream ordering and is dropped.  Consequence: any schedule
+expressible in this API is deadlock-free by construction (the
+dependency graph only has back-edges), matching the event kernel,
+which completes the same schedules.
 
 The replay is verified against the event-driven kernel by the
-differential suite in ``tests/sim/test_fastpath.py``; agreement is
-exact up to floating-point summation order (different association of
-the same additions, ~1e-15 relative).  Anything the recorder cannot
+differential suite in ``tests/sim/test_fastpath.py``; because the
+replay performs the *same float operations in the same order* as the
+kernel, agreement is bit-exact — timestamps are identical, and the
+exported Chrome traces are byte-for-byte equal (also pinned by the
+differential suite).  Anything the recorder cannot
 express — process bodies, ``sim.event()``, dynamic callbacks — raises
 :class:`FastPathUnsupported`, and the caller falls back to the event
 kernel.  Selection lives in :meth:`repro.schedulers.base.Scheduler.run`
@@ -238,6 +239,22 @@ class FastTimeline:
         self._streams.append(stream)
         return stream
 
+    def stream_busy_times(self) -> list[float]:
+        """Total recorded duration per stream id (telemetry).
+
+        Recorded durations equal replayed busy time: in-order streams
+        never overlap their own jobs, so busy time is the plain sum —
+        no replay required, and O(n) in one vectorized pass.
+        """
+        busy = np.zeros(len(self._streams))
+        if self._durations:
+            np.add.at(
+                busy,
+                np.asarray(self._stream_ids),
+                np.asarray(self._durations),
+            )
+        return busy.tolist()
+
     def _record(self, stream: FastStream, duration: float, name: str,
                 category: str, gate: Optional[FastGate],
                 metadata: dict) -> FastJob:
@@ -258,14 +275,15 @@ class FastTimeline:
         n = len(self._handles)
         starts = np.zeros(n)
         ends = np.zeros(n)
-        # Python-float mirror of `ends`, grown segment by segment: gate
-        # lookups and span emission read it instead of extracting numpy
-        # scalars one element at a time.
+        # Python-float mirror of `ends`, grown as the replay advances:
+        # gate lookups and span emission read it instead of extracting
+        # numpy scalars one element at a time.
         ends_list: list[float] = []
         if n:
             stream_ids = self._stream_ids
             gates = self._gates
-            durations = np.asarray(self._durations)
+            durations_py = self._durations
+            durations = np.asarray(durations_py)
             prev_end = [0.0] * len(self._streams)
             i = 0
             while i < n:
@@ -273,36 +291,46 @@ class FastTimeline:
                 j = i + 1
                 while j < n and stream_ids[j] == sid:
                     j += 1
-                m = j - i
-                # Gate instants.  A gate id inside the segment (>= i) is
-                # an earlier same-stream job: subsumed by stream order.
-                gate_times = np.full(m, _NEG_INF)
-                for k in range(i, j):
-                    gate = gates[k]
-                    if gate is not None:
-                        best = _NEG_INF
-                        for gid in gate:
+                # Replay the segment as the event kernel would, float op
+                # for float op, so the two engines produce *bit-identical*
+                # timestamps (the byte-for-byte trace differential relies
+                # on this).  Gateless runs telescope to end[k] = end[k-1]
+                # + d[k]: seeding ``np.cumsum`` — a strict left fold —
+                # with the base reproduces that association exactly.
+                # Gated jobs take the scalar path: max(prev, gate) + d.
+                base = prev_end[sid]
+                k = i
+                while k < j:
+                    g = k
+                    while g < j and gates[g] is None:
+                        g += 1
+                    if g > k:
+                        chain = np.empty(g - k + 1)
+                        chain[0] = base
+                        chain[1:] = durations[k:g]
+                        seg_ends = np.cumsum(chain)
+                        starts[k:g] = seg_ends[:-1]
+                        ends[k:g] = seg_ends[1:]
+                        ends_list.extend(seg_ends[1:].tolist())
+                        base = ends_list[-1]
+                        k = g
+                    if k < j:
+                        # A gate id inside the segment (>= i) is an
+                        # earlier same-stream job: subsumed by order.
+                        gate_time = _NEG_INF
+                        for gid in gates[k]:
                             if gid < i:
                                 e = ends_list[gid]
-                                if e > best:
-                                    best = e
-                        gate_times[k - i] = best
-                # end[j] = C[j] + max_{k<=j}(G[k] - C[k-1]).
-                cum = np.cumsum(durations[i:j])
-                shifted = np.empty(m)
-                shifted[0] = 0.0
-                shifted[1:] = cum[:-1]
-                base = gate_times.copy()
-                if base[0] < prev_end[sid]:
-                    base[0] = prev_end[sid]
-                seg_ends = cum + np.maximum.accumulate(base - shifted)
-                seg_prev = np.empty(m)
-                seg_prev[0] = prev_end[sid]
-                seg_prev[1:] = seg_ends[:-1]
-                starts[i:j] = np.maximum(seg_prev, gate_times)
-                ends[i:j] = seg_ends
-                ends_list.extend(seg_ends.tolist())
-                prev_end[sid] = seg_ends[-1]
+                                if e > gate_time:
+                                    gate_time = e
+                        start = base if base >= gate_time else gate_time
+                        end = start + durations_py[k]
+                        starts[k] = start
+                        ends[k] = end
+                        ends_list.append(end)
+                        base = end
+                        k += 1
+                prev_end[sid] = base
                 i = j
         self._starts = starts
         self._ends = ends

@@ -3,11 +3,23 @@
 Every stream records the spans it executes into a :class:`Tracer`.
 The tracer supports:
 
-- Chrome ``about://tracing`` JSON export (:meth:`Tracer.to_chrome_trace`)
-  for eyeballing timelines;
+- Chrome / Perfetto trace-event JSON export
+  (:meth:`Tracer.to_chrome_trace`): complete spans, per-actor thread
+  metadata (names *and* ``thread_sort_index`` so each rank's compute
+  and comm rows render adjacently), derived **counter tracks** (bytes
+  in flight on the comm streams, comm-queue depth), and **flow events**
+  linking one gradient's lifecycle (grad-ready -> reduce-scatter ->
+  all-gather -> parameter use) across streams;
 - per-category totals and *non-overlapped* time computation, which is
   how the paper's Fig. 8 defines the exposed communication time ("the
   communication time excludes the part hidden by computations").
+
+The export is deterministic: events are emitted in sorted order and
+timestamps are rounded to picosecond resolution, so two tracers holding
+the same spans — e.g. the event kernel's and the vectorized replay's,
+whose float timestamps may differ by ~1e-15 relative — serialise to
+byte-identical JSON (pinned by the differential suite in
+``tests/sim/test_fastpath.py``).
 """
 
 from __future__ import annotations
@@ -16,7 +28,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
-__all__ = ["Span", "Tracer", "merge_intervals", "subtract_intervals", "total_length"]
+__all__ = [
+    "Span",
+    "Tracer",
+    "actor_sort_index",
+    "merge_intervals",
+    "subtract_intervals",
+    "total_length",
+]
 
 
 @dataclass(frozen=True)
@@ -81,11 +100,57 @@ def total_length(intervals: Iterable[tuple[float, float]]) -> float:
     return sum(end - start for start, end in merge_intervals(intervals))
 
 
+#: Ordering of actor *kinds* within one rank's row group: compute above
+#: its comm stream, anything else (coordinator lanes, network actors)
+#: below.  Keyed by the suffix after the last ``.`` of the actor name.
+_KIND_ORDER = {"compute": 0, "comm": 1}
+
+
+def actor_sort_index(actor: str) -> tuple:
+    """Sort key grouping per-rank compute/comm rows adjacently.
+
+    Actor names follow ``<owner>.<kind>`` (``gpu.compute``,
+    ``rank3.comm``); rows are ordered by owner first — with numeric
+    rank suffixes compared *numerically*, so ``rank10`` follows
+    ``rank9`` — then by kind (compute above comm).  Unstructured names
+    sort after the structured ones, lexicographically.
+    """
+    owner, dot, kind = actor.rpartition(".")
+    if not dot:
+        return (1, actor, 0, "")
+    prefix = owner.rstrip("0123456789")
+    digits = owner[len(prefix):]
+    rank = int(digits) if digits else -1
+    return (0, prefix, rank, _KIND_ORDER.get(kind, 2), kind)
+
+
+def _quantize(seconds: float) -> float:
+    """Microsecond timestamp rounded to picoseconds.
+
+    Absorbs the ~1e-15-relative float-association differences between
+    the event kernel and the vectorized replay, making the serialised
+    trace byte-for-byte reproducible across both.
+    """
+    return round(seconds * 1e6, 6)
+
+
 class Tracer:
-    """Collects :class:`Span` records from all streams of a simulation."""
+    """Collects :class:`Span` records from all streams of a simulation.
+
+    Besides spans, a tracer can carry explicit **counter samples**
+    (:meth:`record_counter`) — e.g. a transport publishing bytes on the
+    wire — which export as Chrome counter tracks alongside the derived
+    comm-occupancy counters.
+    """
 
     def __init__(self):
         self.spans: list[Span] = []
+        #: explicit counter samples: (track name, time, value).
+        self.counter_samples: list[tuple[str, float, float]] = []
+
+    def record_counter(self, name: str, time: float, value: float) -> None:
+        """Append one sample to the named counter track."""
+        self.counter_samples.append((name, time, value))
 
     def record(
         self,
@@ -162,25 +227,22 @@ class Tracer:
             )
         return total_length(subtract_intervals(base, holes))
 
-    def to_chrome_trace(self) -> str:
-        """Serialise as Chrome trace-event JSON (load via about://tracing)."""
-        events = []
-        actors = {span.actor for span in self.spans}
-        tids = {actor: index for index, actor in enumerate(sorted(actors))}
-        for span in self.spans:
-            events.append(
-                {
-                    "name": span.name,
-                    "cat": span.category,
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": tids[span.actor],
-                    "ts": span.start * 1e6,
-                    "dur": span.duration * 1e6,
-                    "args": dict(span.metadata),
-                }
-            )
-        for actor, tid in tids.items():
+    def to_chrome_trace(self, counters: bool = True, flows: bool = True) -> str:
+        """Serialise as Chrome/Perfetto trace-event JSON.
+
+        Load via https://ui.perfetto.dev or ``about://tracing``.  The
+        export contains, in order: thread metadata (names plus
+        ``thread_sort_index`` so each rank's compute row sits directly
+        above its comm row), all positive-duration spans sorted by
+        (time, thread, name), flow events linking spans that share a
+        ``flow`` / ``flows`` metadata entry, and counter tracks — the
+        derived comm occupancy (bytes in flight, queue depth) plus any
+        explicit :meth:`record_counter` samples.
+        """
+        actors = sorted({span.actor for span in self.spans}, key=actor_sort_index)
+        tids = {actor: index for index, actor in enumerate(actors)}
+        events: list[dict] = []
+        for tid, actor in enumerate(actors):
             events.append(
                 {
                     "name": "thread_name",
@@ -190,4 +252,150 @@ class Tracer:
                     "args": {"name": actor},
                 }
             )
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": 0,
+                    "tid": tid,
+                    "args": {"sort_index": tid},
+                }
+            )
+        # Sort on *quantized* timestamps: the comparison sees exactly the
+        # serialised values, so event-kernel and replay tracers order
+        # identically even when raw floats differ at the 1e-15 level.
+        span_order = sorted(
+            self.spans,
+            key=lambda s: (
+                _quantize(s.start), _quantize(s.end), tids[s.actor], s.name,
+            ),
+        )
+        for span in span_order:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tids[span.actor],
+                    "ts": _quantize(span.start),
+                    "dur": _quantize(span.end) - _quantize(span.start),
+                    "args": _jsonable_metadata(span.metadata),
+                }
+            )
+        if flows:
+            events.extend(self._flow_events(span_order, tids))
+        if counters:
+            events.extend(self._counter_events(span_order))
         return json.dumps({"traceEvents": events}, indent=2)
+
+    def _flow_events(self, span_order: list[Span], tids: dict) -> list[dict]:
+        """Chrome flow events (s/t/f) for spans sharing a flow id.
+
+        A span opts into flows via metadata: ``flow`` (one id) or
+        ``flows`` (several).  Spans with the same id, ordered by time,
+        become one arrow chain — e.g. a gradient's BP span, its
+        reduce-scatter, its all-gather, and the next iteration's
+        feed-forward consumer.
+        """
+        chains: dict[str, list[Span]] = {}
+        for span in span_order:
+            meta = span.metadata
+            ids = meta.get("flows", ())
+            single = meta.get("flow")
+            if single is not None:
+                ids = list(ids) + [single]
+            for flow_id in ids:
+                chains.setdefault(str(flow_id), []).append(span)
+        events = []
+        for number, flow_id in enumerate(sorted(chains)):
+            chain = chains[flow_id]
+            if len(chain) < 2:
+                continue
+            for position, span in enumerate(chain):
+                if position == 0:
+                    phase, ts = "s", span.end  # arrow leaves at completion
+                elif position == len(chain) - 1:
+                    phase, ts = "f", span.start
+                else:
+                    phase, ts = "t", span.start
+                event = {
+                    "name": flow_id,
+                    "cat": "flow",
+                    "ph": phase,
+                    "id": number,
+                    "pid": 0,
+                    "tid": tids[span.actor],
+                    "ts": _quantize(ts),
+                }
+                if phase == "f":
+                    event["bp"] = "e"  # bind to enclosing slice
+                events.append(event)
+        return events
+
+    def _counter_events(self, span_order: list[Span]) -> list[dict]:
+        """Counter tracks: derived comm occupancy + explicit samples.
+
+        ``comm.bytes_in_flight`` sums the ``bytes`` metadata of every
+        open ``comm.*`` span; ``comm.queue_depth`` counts them — on a
+        multi-rank trace that is the number of collectives on the wire.
+        """
+        transitions: list[tuple[float, float, int]] = []
+        for span in span_order:
+            if not span.category.startswith("comm"):
+                continue
+            nbytes = float(span.metadata.get("bytes", 0.0))
+            transitions.append((_quantize(span.start), nbytes, 1))
+            transitions.append((_quantize(span.end), -nbytes, -1))
+        events = []
+        if transitions:
+            transitions.sort()
+            in_flight = 0.0
+            depth = 0
+            previous_ts: Optional[float] = None
+            samples: list[tuple[float, float, int]] = []
+            for ts, nbytes, step in transitions:
+                if previous_ts is not None and ts > previous_ts:
+                    samples.append((previous_ts, max(in_flight, 0.0), depth))
+                in_flight += nbytes
+                depth += step
+                previous_ts = ts
+            samples.append((previous_ts, max(in_flight, 0.0), max(depth, 0)))
+            for ts, in_flight, depth in samples:
+                events.append(
+                    {
+                        "name": "comm.bytes_in_flight",
+                        "ph": "C",
+                        "pid": 0,
+                        "ts": ts,
+                        "args": {"bytes": in_flight},
+                    }
+                )
+                events.append(
+                    {
+                        "name": "comm.queue_depth",
+                        "ph": "C",
+                        "pid": 0,
+                        "ts": ts,
+                        "args": {"depth": depth},
+                    }
+                )
+        for name, time, value in sorted(self.counter_samples):
+            events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": 0,
+                    "ts": _quantize(time),
+                    "args": {"value": value},
+                }
+            )
+        return events
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Span metadata with tuples normalised to lists for stable JSON."""
+    return {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in metadata.items()
+    }

@@ -1,0 +1,49 @@
+"""Unified observability layer: metrics registry + trace utilities.
+
+Three pieces (see ``docs/OBSERVABILITY.md`` for the catalog and howto):
+
+- :mod:`repro.telemetry.registry` — the zero-dependency metrics
+  registry every subsystem publishes into (simulator streams, cost
+  model, data-level transport, runner, BO search);
+- :mod:`repro.telemetry.breakdown` — per-category total/hidden/exposed
+  decomposition of a trace (the paper's Fig. 8 view, for any run);
+- :mod:`repro.telemetry.trace_cmd` — the ``dear-repro trace``
+  subcommand gluing both to the Perfetto trace export (imported
+  lazily by the CLI; not re-exported here to keep this package light).
+"""
+
+from repro.telemetry.breakdown import (
+    CategoryBreakdown,
+    format_breakdown_table,
+    steady_state_window,
+    trace_breakdown,
+)
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    Series,
+    default_registry,
+    reset_default_registry,
+    set_default_registry,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "CategoryBreakdown",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Series",
+    "default_registry",
+    "format_breakdown_table",
+    "reset_default_registry",
+    "set_default_registry",
+    "steady_state_window",
+    "telemetry_enabled",
+    "trace_breakdown",
+]

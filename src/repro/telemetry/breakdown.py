@@ -1,0 +1,173 @@
+"""Per-category time breakdown of one traced run (the Fig. 8 view).
+
+Splits the steady-state iteration window of a :class:`Tracer` into
+per-category **total**, **hidden** (overlapped by compute), and
+**exposed** (non-overlapped) time.  The arithmetic mirrors
+``repro.schedulers.base._exposed`` operation for operation — same
+clipping, same interval subtraction, same summation — so the
+``comm (all)`` row of the table equals ``ScheduleResult.exposed_comm``
+exactly, not just approximately (the trace CLI asserts 1e-9 relative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import Tracer, subtract_intervals, total_length
+
+__all__ = [
+    "CategoryBreakdown",
+    "COMM_CATEGORIES",
+    "COMPUTE_CATEGORIES",
+    "steady_state_window",
+    "trace_breakdown",
+    "format_breakdown_table",
+]
+
+#: Communication categories, in the order the scheduler engine emits.
+COMM_CATEGORIES = ("comm.ar", "comm.rs", "comm.ag")
+
+#: Compute categories that *hide* communication (Fig. 8's definition).
+COMPUTE_CATEGORIES = ("ff", "bp")
+
+
+@dataclass(frozen=True)
+class CategoryBreakdown:
+    """One row of the breakdown table, in seconds within the window."""
+
+    category: str
+    total: float
+    exposed: float
+
+    @property
+    def hidden(self) -> float:
+        return self.total - self.exposed
+
+
+def steady_state_window(tracer: Tracer) -> tuple[float, float]:
+    """The last full iteration: between the two final first-FF spans.
+
+    Every scheduler submits its feed-forward pass through
+    ``IterationContext.submit_ff_layer``, so each iteration ``i`` opens
+    with a span named ``ff.<i>.0``; the window between the last two of
+    those starts is exactly the one ``Scheduler.run`` measures.
+    """
+    starts: list[tuple[int, float]] = []
+    for span in tracer.spans:
+        if span.category != "ff" or not span.name.startswith("ff."):
+            continue
+        parts = span.name.split(".")
+        if len(parts) == 3 and parts[2] == "0":
+            try:
+                starts.append((int(parts[1]), span.start))
+            except ValueError:
+                continue
+    if len(starts) < 2:
+        raise ValueError(
+            "trace holds fewer than two iterations; cannot find a "
+            "steady-state window"
+        )
+    starts.sort()
+    return starts[-2][1], starts[-1][1]
+
+
+def _clip(
+    intervals: list[tuple[float, float]], window: tuple[float, float]
+) -> list[tuple[float, float]]:
+    lo, hi = window
+    return [(max(a, lo), min(b, hi)) for a, b in intervals if b > lo and a < hi]
+
+
+def exposed_in_window(
+    tracer: Tracer, categories: tuple[str, ...], window: tuple[float, float]
+) -> float:
+    """Non-overlapped time of ``categories`` within ``window``.
+
+    Bit-compatible with ``repro.schedulers.base._exposed``: identical
+    interval construction order and identical arithmetic.
+    """
+    comm: list[tuple[float, float]] = []
+    for category in categories:
+        comm.extend(
+            (span.start, span.end) for span in tracer.filter(category=category)
+        )
+    compute = [
+        (span.start, span.end)
+        for span in tracer.spans
+        if span.category in COMPUTE_CATEGORIES
+    ]
+    return total_length(subtract_intervals(_clip(comm, window), _clip(compute, window)))
+
+
+def total_in_window(
+    tracer: Tracer, categories: tuple[str, ...], window: tuple[float, float]
+) -> float:
+    """Busy time of ``categories`` within ``window`` (overlaps once)."""
+    intervals: list[tuple[float, float]] = []
+    for category in categories:
+        intervals.extend(
+            (span.start, span.end) for span in tracer.filter(category=category)
+        )
+    return total_length(_clip(intervals, window))
+
+
+def trace_breakdown(
+    tracer: Tracer, window: tuple[float, float] | None = None
+) -> list[CategoryBreakdown]:
+    """Breakdown rows for every category in the steady-state window.
+
+    Compute categories are never "hidden" (they define the hiding), so
+    their exposed time equals their total.  A synthetic ``comm (all)``
+    row aggregates the three collective categories the way Fig. 8 does
+    — its exposed value is the ``ScheduleResult.exposed_comm`` number.
+    """
+    if window is None:
+        window = steady_state_window(tracer)
+    categories = sorted({span.category for span in tracer.spans})
+    rows = []
+    for category in categories:
+        total = total_in_window(tracer, (category,), window)
+        if total == 0.0:
+            continue
+        if category.startswith("comm"):
+            exposed = exposed_in_window(tracer, (category,), window)
+        else:
+            exposed = total
+        rows.append(CategoryBreakdown(category, total, exposed))
+    comm_present = tuple(
+        c for c in COMM_CATEGORIES if any(r.category == c for r in rows)
+    )
+    if comm_present:
+        rows.append(
+            CategoryBreakdown(
+                "comm (all)",
+                total_in_window(tracer, COMM_CATEGORIES, window),
+                exposed_in_window(tracer, COMM_CATEGORIES, window),
+            )
+        )
+    return rows
+
+
+def format_breakdown_table(
+    rows: list[CategoryBreakdown], window: tuple[float, float]
+) -> str:
+    """Fixed-width terminal table of one iteration's decomposition."""
+    span = window[1] - window[0]
+    header = (
+        f"{'category':<12} {'total_ms':>10} {'hidden_ms':>10} "
+        f"{'exposed_ms':>11} {'% of iter':>10}"
+    )
+    lines = [
+        f"steady-state window: {window[0] * 1e3:.3f} ms -> "
+        f"{window[1] * 1e3:.3f} ms  ({span * 1e3:.3f} ms)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        share = 100.0 * row.exposed / span if span else 0.0
+        lines.append(
+            f"{row.category:<12} {row.total * 1e3:>10.3f} "
+            f"{row.hidden * 1e3:>10.3f} {row.exposed * 1e3:>11.3f} "
+            f"{share:>9.1f}%"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,403 @@
+"""Zero-dependency metrics registry: counters, gauges, histograms, series.
+
+Every layer of the stack publishes into one process-wide
+:class:`MetricsRegistry` (see :func:`default_registry`): the simulator
+streams, the collective cost model, the data-level transport, the
+runner, and the Bayesian-optimisation search.  The registry is pure
+stdlib and deliberately tiny — a metric *family* is identified by a
+name, and each distinct label set owns one *child* holding the actual
+value.  Children are bound once and cached (``family.labels(...)``),
+so hot paths pay a single attribute add per update.
+
+Design points:
+
+- **Label sets** are sorted key/value tuples; ``family.labels(rank=3)``
+  returns the same child object on every call.
+- **Snapshots** (:meth:`MetricsRegistry.snapshot`) are JSON-ready
+  nested dicts; :meth:`MetricsRegistry.to_json` serialises them.
+- **Kill switch**: ``DEAR_TELEMETRY=0`` makes :func:`default_registry`
+  return a shared :class:`NullRegistry` whose metrics accept updates
+  and discard them, so instrumented code never needs an ``if``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from bisect import bisect_right
+from typing import Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Series",
+    "MetricsRegistry",
+    "NullRegistry",
+    "default_registry",
+    "set_default_registry",
+    "reset_default_registry",
+    "telemetry_enabled",
+]
+
+#: Histogram bucket upper bounds used when none are given: wide
+#: log-spaced coverage from microseconds to minutes (and bytes from
+#: one to a gigabyte), suitable for both durations and sizes.
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+    1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9,
+)
+
+
+def _label_key(labels: dict) -> tuple[tuple[str, str], ...]:
+    """Canonical hashable form of a label set (values stringified)."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class _Child:
+    """One (family, label set) slot; subclasses hold the value."""
+
+    __slots__ = ("labelset",)
+
+    def __init__(self, labelset: tuple[tuple[str, str], ...]):
+        self.labelset = labelset
+
+    def label_dict(self) -> dict:
+        return dict(self.labelset)
+
+
+class _CounterChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labelset):
+        super().__init__(labelset)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class _GaugeChild(_Child):
+    __slots__ = ("value",)
+
+    def __init__(self, labelset):
+        super().__init__(labelset)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild(_Child):
+    __slots__ = ("buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, labelset, buckets: Sequence[float]):
+        super().__init__(labelset)
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_right(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _SeriesChild(_Child):
+    __slots__ = ("points",)
+
+    def __init__(self, labelset):
+        super().__init__(labelset)
+        self.points: list[tuple[float, float]] = []
+
+    def append(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+
+class _Family:
+    """A named metric with one child per label set."""
+
+    kind = "family"
+    child_class: type = _Child
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._children: dict[tuple, _Child] = {}
+
+    def _make_child(self, labelset) -> _Child:
+        return self.child_class(labelset)
+
+    def labels(self, **labels):
+        """The child bound to this label set (created on first use)."""
+        key = _label_key(labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._children[key] = self._make_child(key)
+        return child
+
+    @property
+    def children(self) -> Iterable[_Child]:
+        return self._children.values()
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": [self._child_snapshot(c) for c in self._children.values()],
+        }
+
+    def _child_snapshot(self, child) -> dict:
+        return {"labels": child.label_dict(), "value": child.value}
+
+
+class Counter(_Family):
+    """Monotonically increasing total (events, bytes, cache hits)."""
+
+    kind = "counter"
+    child_class = _CounterChild
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels) -> float:
+        return self.labels(**labels).value
+
+
+class Gauge(_Family):
+    """Last-written value (utilisation, best-so-far, queue depth)."""
+
+    kind = "gauge"
+    child_class = _GaugeChild
+
+    def set(self, value: float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels) -> float:
+        return self.labels(**labels).value
+
+
+class Histogram(_Family):
+    """Bucketed distribution (message sizes, per-spec wall times)."""
+
+    kind = "histogram"
+    child_class = _HistogramChild
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help)
+        self.buckets = tuple(sorted(buckets))
+
+    def _make_child(self, labelset):
+        return _HistogramChild(labelset, self.buckets)
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value)
+
+    def _child_snapshot(self, child) -> dict:
+        return {
+            "labels": child.label_dict(),
+            "count": child.count,
+            "sum": child.total,
+            "mean": child.mean,
+            "min": child.min,
+            "max": child.max,
+            "buckets": [
+                {"le": le, "count": count}
+                for le, count in zip(
+                    list(child.buckets) + ["+Inf"], child.counts
+                )
+            ],
+        }
+
+
+class Series(_Family):
+    """Append-only (x, y) curve (a tuner's best-so-far trajectory)."""
+
+    kind = "series"
+    child_class = _SeriesChild
+
+    def append(self, x: float, y: float, **labels) -> None:
+        self.labels(**labels).append(x, y)
+
+    def points(self, **labels) -> list[tuple[float, float]]:
+        return list(self.labels(**labels).points)
+
+    def _child_snapshot(self, child) -> dict:
+        return {
+            "labels": child.label_dict(),
+            "points": [[x, y] for x, y in child.points],
+        }
+
+
+_KINDS = {
+    "counter": Counter,
+    "gauge": Gauge,
+    "histogram": Histogram,
+    "series": Series,
+}
+
+
+class MetricsRegistry:
+    """Namespace of metric families with a JSON-ready snapshot.
+
+    Families are created on first access and re-used afterwards;
+    re-registering a name with a different kind is an error (it would
+    silently fork the metric).
+    """
+
+    #: NullRegistry overrides this; instrumented code may branch on it
+    #: to skip *expensive* label computation (cheap incs never need to).
+    enabled = True
+
+    def __init__(self):
+        self._families: dict[str, _Family] = {}
+        self._lock = threading.Lock()
+
+    def _family(self, kind: str, name: str, help: str, **kwargs) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            with self._lock:
+                family = self._families.get(name)
+                if family is None:
+                    family = _KINDS[kind](name, help, **kwargs)
+                    self._families[name] = family
+        if family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._family("counter", name, help)  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._family("gauge", name, help)  # type: ignore[return-value]
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        return self._family("histogram", name, help, buckets=buckets)  # type: ignore[return-value]
+
+    def series(self, name: str, help: str = "") -> Series:
+        return self._family("series", name, help)  # type: ignore[return-value]
+
+    def families(self) -> dict[str, _Family]:
+        return dict(self._families)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view: ``{metric name: family snapshot}``."""
+        return {
+            name: family.snapshot()
+            for name, family in sorted(self._families.items())
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every family (tests; the trace CLI's per-run snapshot)."""
+        with self._lock:
+            self._families.clear()
+
+
+class _NullMetric:
+    """Accepts any metric update and discards it."""
+
+    def labels(self, **labels):
+        return self
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        pass
+
+    def set(self, value: float, **labels) -> None:
+        pass
+
+    def observe(self, value: float, **labels) -> None:
+        pass
+
+    def append(self, x: float, y: float, **labels) -> None:
+        pass
+
+    def value(self, **labels) -> float:
+        return 0.0
+
+    def points(self, **labels) -> list:
+        return []
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class NullRegistry(MetricsRegistry):
+    """Registry that records nothing (``DEAR_TELEMETRY=0``)."""
+
+    enabled = False
+
+    def _family(self, kind, name, help, **kwargs):  # type: ignore[override]
+        return _NULL_METRIC  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        return {}
+
+
+def telemetry_enabled() -> bool:
+    """Whether the default registry records (``DEAR_TELEMETRY``).
+
+    Any of ``0``, ``off``, ``false``, ``no`` (case-insensitive)
+    disables it; everything else — including unset — enables it.
+    """
+    return os.environ.get("DEAR_TELEMETRY", "1").strip().lower() not in (
+        "0", "off", "false", "no",
+    )
+
+
+_DEFAULT: Optional[MetricsRegistry] = None
+_NULL = NullRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide registry (honours ``DEAR_TELEMETRY``)."""
+    global _DEFAULT
+    if not telemetry_enabled():
+        return _NULL
+    if _DEFAULT is None:
+        _DEFAULT = MetricsRegistry()
+    return _DEFAULT
+
+
+def set_default_registry(registry: MetricsRegistry) -> None:
+    """Replace the process-wide registry (tests, scoped collection)."""
+    global _DEFAULT
+    _DEFAULT = registry
+
+
+def reset_default_registry() -> None:
+    """Forget the process-wide registry (fresh families on next use)."""
+    global _DEFAULT
+    _DEFAULT = None

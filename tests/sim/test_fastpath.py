@@ -297,3 +297,19 @@ def test_differential_dear_fusion_plans(
 ):
     fast, slow = _run_both("dear", tiny_timing, ethernet_cost, monkeypatch, **options)
     _assert_equivalent(fast, slow)
+
+
+@pytest.mark.parametrize("scheduler", FAST_SCHEDULERS)
+def test_differential_chrome_trace_byte_for_byte(
+    scheduler, tiny_timing, ethernet_cost, monkeypatch
+):
+    """The exported trace files are *identical*, not merely equivalent.
+
+    The replay performs the same float operations in the same order as
+    the event kernel (seeded-cumsum left folds for gateless runs, the
+    exact scalar recurrence at gates), so its timestamps are
+    bit-identical — and the serialised trace must therefore be
+    byte-for-byte equal, not just within tolerance.
+    """
+    fast, slow = _run_both(scheduler, tiny_timing, ethernet_cost, monkeypatch)
+    assert fast.tracer.to_chrome_trace() == slow.tracer.to_chrome_trace()

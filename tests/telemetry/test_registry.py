@@ -1,0 +1,234 @@
+"""Unit tests for the zero-dependency metrics registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    reset_default_registry,
+    set_default_registry,
+    telemetry_enabled,
+)
+
+
+@pytest.fixture()
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("events", "help text")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == pytest.approx(3.5)
+
+    def test_label_sets_are_independent(self, registry):
+        counter = registry.counter("bytes")
+        counter.inc(10, rank=0)
+        counter.inc(20, rank=1)
+        assert counter.value(rank=0) == 10
+        assert counter.value(rank=1) == 20
+        assert counter.value(rank=2) == 0
+
+    def test_bound_child_is_cached(self, registry):
+        counter = registry.counter("hits")
+        assert counter.labels(op="rs") is counter.labels(op="rs")
+        assert counter.labels(op="rs") is not counter.labels(op="ag")
+
+    def test_label_order_is_canonical(self, registry):
+        counter = registry.counter("c")
+        counter.inc(1, a=1, b=2)
+        counter.inc(1, b=2, a=1)
+        assert counter.value(a=1, b=2) == 2
+
+
+class TestGauge:
+    def test_set_overwrites(self, registry):
+        gauge = registry.gauge("depth")
+        gauge.set(4.0)
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+
+    def test_inc_dec(self, registry):
+        gauge = registry.gauge("level")
+        gauge.labels().inc(5.0)
+        gauge.labels().dec(2.0)
+        assert gauge.value() == 3.0
+
+
+class TestHistogram:
+    def test_observe_statistics(self, registry):
+        histogram = registry.histogram("sizes", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 50.0, 500.0):
+            histogram.observe(value)
+        child = histogram.labels()
+        assert child.count == 4
+        assert child.total == pytest.approx(555.5)
+        assert child.min == 0.5
+        assert child.max == 500.0
+        assert child.mean == pytest.approx(555.5 / 4)
+        assert child.counts == [1, 1, 1, 1]
+
+    def test_snapshot_has_inf_bucket(self, registry):
+        histogram = registry.histogram("h", buckets=(1.0,))
+        histogram.observe(2.0)
+        snap = histogram.snapshot()
+        assert snap["values"][0]["buckets"][-1] == {"le": "+Inf", "count": 1}
+
+
+class TestSeries:
+    def test_append_and_points(self, registry):
+        series = registry.series("best")
+        series.append(1, 0.5, tuner="bo")
+        series.append(2, 0.7, tuner="bo")
+        assert series.points(tuner="bo") == [(1.0, 0.5), (2.0, 0.7)]
+        assert series.points(tuner="grid") == []
+
+
+class TestRegistry:
+    def test_same_name_returns_same_family(self, registry):
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_kind_mismatch_raises(self, registry):
+        registry.counter("metric")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("metric")
+
+    def test_snapshot_is_json_ready_and_sorted(self, registry):
+        registry.counter("b.second").inc(1, k="v")
+        registry.gauge("a.first").set(2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.first", "b.second"]
+        payload = json.loads(registry.to_json())
+        assert payload["b.second"]["kind"] == "counter"
+        assert payload["b.second"]["values"] == [
+            {"labels": {"k": "v"}, "value": 1.0}
+        ]
+
+    def test_reset_drops_families(self, registry):
+        registry.counter("x").inc()
+        registry.reset()
+        assert registry.snapshot() == {}
+
+
+class TestNullRegistry:
+    def test_discards_everything(self):
+        null = NullRegistry()
+        assert null.enabled is False
+        null.counter("c").inc(5, any_label="x")
+        null.gauge("g").set(1.0)
+        null.histogram("h").observe(2.0)
+        null.series("s").append(1, 2)
+        assert null.counter("c").value() == 0.0
+        assert null.snapshot() == {}
+
+
+class TestDefaultRegistry:
+    @pytest.fixture(autouse=True)
+    def _fresh_default(self):
+        reset_default_registry()
+        yield
+        reset_default_registry()
+
+    def test_kill_switch_env_values(self, monkeypatch):
+        for value, expected in [
+            ("1", True), ("on", True), ("yes", True),
+            ("0", False), ("off", False), ("FALSE", False), ("no", False),
+        ]:
+            monkeypatch.setenv("DEAR_TELEMETRY", value)
+            assert telemetry_enabled() is expected
+        monkeypatch.delenv("DEAR_TELEMETRY")
+        assert telemetry_enabled() is True
+
+    def test_disabled_returns_null(self, monkeypatch):
+        monkeypatch.setenv("DEAR_TELEMETRY", "0")
+        assert isinstance(default_registry(), NullRegistry)
+
+    def test_enabled_is_process_wide_singleton(self, monkeypatch):
+        monkeypatch.delenv("DEAR_TELEMETRY", raising=False)
+        first = default_registry()
+        assert first is default_registry()
+        assert not isinstance(first, NullRegistry)
+
+    def test_set_default_registry_replaces(self, monkeypatch):
+        monkeypatch.delenv("DEAR_TELEMETRY", raising=False)
+        mine = MetricsRegistry()
+        set_default_registry(mine)
+        assert default_registry() is mine
+
+
+class TestInstrumentedStack:
+    """End-to-end: a simulation publishes into an installed registry."""
+
+    @pytest.fixture(autouse=True)
+    def _scoped_registry(self):
+        registry = MetricsRegistry()
+        set_default_registry(registry)
+        yield registry
+        reset_default_registry()
+
+    def test_simulation_publishes_run_and_stream_metrics(
+        self, _scoped_registry, tiny_timing, ethernet_cluster
+    ):
+        from repro.network.cost_model import CollectiveTimeModel
+        from repro.schedulers.base import get_scheduler
+
+        # Build the cost model *after* the scoped registry is installed:
+        # it binds its counters at construction time.
+        cost = CollectiveTimeModel(ethernet_cluster)
+        get_scheduler("dear", fusion="buffer", buffer_bytes=25e6).run(
+            tiny_timing, cost
+        )
+        snapshot = _scoped_registry.snapshot()
+        assert snapshot["run.count"]["values"][0]["value"] == 1.0
+        assert "sim.runs" in snapshot
+        assert "sim.stream.jobs" in snapshot
+        assert "costmodel.queries" in snapshot
+        labels = snapshot["run.count"]["values"][0]["labels"]
+        assert labels["scheduler"] == "dear"
+
+    def test_cost_model_memoization_is_observable(self, _scoped_registry,
+                                                  ethernet_cluster):
+        from repro.network.cost_model import CollectiveTimeModel
+
+        model = CollectiveTimeModel(ethernet_cluster)
+        model.reduce_scatter(1e6)
+        model.reduce_scatter(1e6)
+        model.reduce_scatter(2e6)
+        queries = _scoped_registry.counter("costmodel.queries")
+        hits = _scoped_registry.counter("costmodel.memo_hits")
+        assert queries.value(op="rs", algorithm="ring") == 3
+        assert hits.value(op="rs", algorithm="ring") == 1
+
+    def test_transport_publishes_per_rank_bytes(self, _scoped_registry):
+        import numpy as np
+
+        from repro.collectives.transport import Transport
+
+        transport = Transport(2)
+        payload = np.zeros(8)
+        transport.send(0, 1, payload)
+        transport.recv(0, 1)
+        snapshot = _scoped_registry.snapshot()
+        assert snapshot["transport.messages"]["values"] == [
+            {"labels": {"rank": "0"}, "value": 1.0},
+            {"labels": {"rank": "1"}, "value": 0.0},
+        ]
+        assert snapshot["transport.bytes"]["values"][0]["value"] == payload.nbytes
+
+    def test_tuners_publish_best_so_far(self, _scoped_registry):
+        from repro.bayesopt.search import GridSearch
+
+        tuner = GridSearch(1e6, 1e8, points=4)
+        for y in (0.3, 0.9, 0.5):
+            tuner.observe(tuner.suggest(), y)
+        evals = _scoped_registry.counter("bayesopt.evals")
+        series = _scoped_registry.series("bayesopt.best_so_far")
+        assert evals.value(tuner="GridSearch") == 3
+        assert series.points(tuner="GridSearch") == [
+            (1.0, 0.3), (2.0, 0.9), (3.0, 0.9),
+        ]

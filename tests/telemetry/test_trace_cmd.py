@@ -1,0 +1,97 @@
+"""End-to-end tests of the ``dear-repro trace`` subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.telemetry.registry import reset_default_registry
+
+
+@pytest.fixture()
+def trace_env(tmp_path, monkeypatch):
+    """Scratch cache + registry isolation for a trace CLI invocation."""
+    from repro.runner.cache import reset_default_cache
+
+    monkeypatch.setenv("DEAR_CACHE_DIR", str(tmp_path / "cache"))
+    reset_default_cache()
+    yield tmp_path
+    reset_default_cache()
+    reset_default_registry()
+
+
+def _run(trace_env, *extra) -> int:
+    args = [
+        "trace", "--scheduler", "dear", "--model", "resnet50",
+        "--fabric", "10gbe", "--output", str(trace_env), *extra,
+    ]
+    return main(args)
+
+
+class TestTraceCli:
+    def test_acceptance_configuration(self, trace_env, capsys):
+        assert _run(trace_env) == 0
+        out = capsys.readouterr().out
+
+        # Terminal breakdown with the Fig. 8 decomposition.
+        assert "steady-state window" in out
+        assert "comm (all)" in out
+        assert "exposed-comm cross-check [OK]" in out
+
+        trace_path = trace_env / "trace_dear_resnet50_10gbe.json"
+        metrics_path = trace_env / "metrics_dear_resnet50_10gbe.json"
+        assert trace_path.exists() and metrics_path.exists()
+
+        # Perfetto-loadable: valid JSON, counter tracks, flow events,
+        # adjacent-row metadata.
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        phases = {event["ph"] for event in events}
+        assert {"X", "M", "C"} <= phases
+        assert {"s", "f"} <= phases  # gradient-lifecycle flow arrows
+        counter_names = {e["name"] for e in events if e["ph"] == "C"}
+        assert "comm.bytes_in_flight" in counter_names
+        assert "comm.queue_depth" in counter_names
+        sort_metas = [
+            e for e in events
+            if e["ph"] == "M" and e["name"] == "thread_sort_index"
+        ]
+        assert sort_metas
+
+        # Metrics snapshot: transport byte counters + runner cache stats.
+        metrics = json.loads(metrics_path.read_text())
+        assert "transport.bytes" in metrics
+        assert metrics["transport.bytes"]["values"]
+        assert "runner.cache.hits" in metrics
+        assert "runner.cache.misses" in metrics
+        assert metrics["runner.cache.hits"]["values"][0]["value"] >= 1.0
+        assert "run.exposed_comm_seconds" in metrics
+        assert "costmodel.queries" in metrics
+
+    def test_wfbp_against_dear(self, trace_env, capsys):
+        args = [
+            "trace", "--scheduler", "wfbp", "--model", "resnet50",
+            "--fabric", "10gbe", "--buffer-bytes", "25e6",
+            "--output", str(trace_env),
+        ]
+        assert main(args) == 0
+        assert (trace_env / "trace_wfbp_resnet50_10gbe.json").exists()
+        out = capsys.readouterr().out
+        assert "comm.ar" in out  # WFBP uses fused all-reduce
+
+    def test_unknown_model_is_usage_error(self, trace_env, capsys):
+        assert _run(trace_env, "--model", "nonexistent-model") == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unknown_scheduler_is_usage_error(self, trace_env, capsys):
+        assert _run(trace_env, "--scheduler", "warpdrive") == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_fusion_none_runs(self, trace_env, capsys):
+        assert _run(trace_env, "--fusion", "none") == 0
+        assert "exposed-comm cross-check [OK]" in capsys.readouterr().out
+
+    def test_help_exits_zero(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--help"])
+        assert excinfo.value.code == 0
