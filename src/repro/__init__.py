@@ -8,17 +8,40 @@ model, a data-level collective library, a numpy autograd training
 substrate, baseline schedulers (WFBP, MG-WFBP, PyTorch-DDP, Horovod,
 ByteScheduler), and a from-scratch Bayesian-optimisation tuner.
 
-Quickstart::
+Quickstart (the stable facade, see :mod:`repro.api`)::
 
-    from repro.models import get_model
-    from repro.network import cluster_10gbe
-    from repro.schedulers import simulate
+    import repro
 
-    result = simulate("dear", get_model("resnet50"), cluster_10gbe())
+    config = repro.SimulationConfig.create("dear", "resnet50", "10gbe")
+    result = repro.run_simulation(config)
     print(result.iteration_time, result.throughput)
 
-See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for
-the paper-vs-measured record of every table and figure.
+See ``DESIGN.md`` for the system inventory, ``EXPERIMENTS.md`` for the
+paper-vs-measured record of every table and figure, and
+``docs/FAULTS.md`` for the fault-injection subsystem.
 """
 
-__version__ = "1.0.0"
+from repro.api import (
+    CollectiveResult,
+    SimulationConfig,
+    list_algorithms,
+    list_schedulers,
+    run_collective,
+    run_simulation,
+)
+from repro.faults.plan import FaultPlan, LinkFault, RankFailure, StragglerFault
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "CollectiveResult",
+    "FaultPlan",
+    "LinkFault",
+    "RankFailure",
+    "SimulationConfig",
+    "StragglerFault",
+    "list_algorithms",
+    "list_schedulers",
+    "run_collective",
+    "run_simulation",
+]

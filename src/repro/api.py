@@ -1,0 +1,304 @@
+"""The stable public facade of the reproduction.
+
+Everything a caller needs lives behind four entry points:
+
+- :class:`SimulationConfig` — one frozen value describing a timing-level
+  run (scheduler, model, cluster, batch size, algorithm, iterations,
+  fault plan, fast-path override, scheduler options).  Build it with
+  :meth:`SimulationConfig.create`, which accepts registry names
+  (``"resnet50"``, ``"10gbe"``) as well as resolved spec objects.
+- :func:`run_simulation` — execute a config (optionally through the
+  content-addressed result cache) and return a
+  :class:`~repro.schedulers.base.ScheduleResult`.
+- :func:`run_collective` — execute one *data-level* collective over
+  real numpy buffers, fault-tolerantly when the plan injects data
+  faults, and return the buffers plus traffic/recovery accounting.
+- :func:`list_schedulers` / :func:`list_algorithms` — the valid names.
+
+The CLI, the experiment harnesses, and the trace pipeline all route
+through this module; scripts that import internals keep working, but
+this is the surface that stays stable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, normalize_plan
+from repro.models.layers import ModelSpec
+from repro.models.zoo import get_model
+from repro.network.fabric import ClusterSpec
+from repro.network.presets import paper_testbed
+from repro.schedulers.base import (
+    DEFAULT_ITERATIONS,
+    SCHEDULER_NAMES,
+    ScheduleResult,
+    simulate,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "SimulationConfig",
+    "list_algorithms",
+    "list_schedulers",
+    "resolve_cluster",
+    "resolve_model",
+    "run_collective",
+    "run_simulation",
+]
+
+#: Operations :func:`run_collective` accepts; ``rs_ag`` is DeAR's
+#: decoupled OP1+OP2 pair.
+COLLECTIVE_OPS = ("all_reduce", "reduce_scatter", "all_gather", "rs_ag")
+
+
+def resolve_model(model) -> ModelSpec:
+    """A :class:`ModelSpec` from a spec object or a zoo name."""
+    if isinstance(model, ModelSpec):
+        return model
+    return get_model(model)
+
+
+def resolve_cluster(cluster) -> ClusterSpec:
+    """A :class:`ClusterSpec` from a spec object or a testbed name."""
+    if isinstance(cluster, ClusterSpec):
+        return cluster
+    return paper_testbed(cluster)
+
+
+def list_schedulers() -> tuple[str, ...]:
+    """Registry names accepted by :attr:`SimulationConfig.scheduler`."""
+    return SCHEDULER_NAMES
+
+
+def list_algorithms() -> tuple[str, ...]:
+    """Collective algorithm families accepted everywhere."""
+    from repro.collectives.communicator import Communicator
+
+    return Communicator.ALGORITHMS
+
+
+def _freeze_options(options: dict) -> tuple[tuple[str, Any], ...]:
+    frozen = []
+    for key in sorted(options):
+        value = options[key]
+        if isinstance(value, (list, tuple)):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that determines one timing-level run, in one place.
+
+    Consolidates what used to be spread across per-scheduler constructor
+    kwargs and ``simulate`` call sites: the world (``cluster``), the
+    workload (``model`` / ``batch_size``), the collective
+    ``algorithm``, the scheduler and its ``options``, the fault
+    ``plan``, and the engine selection (``fastpath``: None = defer to
+    ``DEAR_FASTPATH``, True/False = force).
+
+    The config is frozen and hashable; :meth:`replace` derives
+    variants, :meth:`to_spec` converts to the cacheable
+    :class:`~repro.runner.spec.RunSpec` (``fastpath`` is deliberately
+    dropped there — both engines produce bit-identical results, so the
+    cache must not key on it).
+    """
+
+    scheduler: str
+    model: ModelSpec = field(repr=False)
+    cluster: ClusterSpec = field(repr=False)
+    batch_size: Optional[int] = None
+    algorithm: str = "ring"
+    iterations: int = DEFAULT_ITERATIONS
+    iteration_compute: Optional[float] = None
+    faults: Optional[FaultPlan] = None
+    fastpath: Optional[bool] = None
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        scheduler: str,
+        model,
+        cluster,
+        batch_size: Optional[int] = None,
+        algorithm: str = "ring",
+        iterations: int = DEFAULT_ITERATIONS,
+        iteration_compute: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
+        fastpath: Optional[bool] = None,
+        **options,
+    ) -> "SimulationConfig":
+        """Build a config, resolving registry names and freezing options."""
+        if scheduler not in SCHEDULER_NAMES:
+            raise ValueError(
+                f"unknown scheduler {scheduler!r}; known: {list(SCHEDULER_NAMES)}"
+            )
+        return cls(
+            scheduler=scheduler,
+            model=resolve_model(model),
+            cluster=resolve_cluster(cluster),
+            batch_size=batch_size,
+            algorithm=algorithm,
+            iterations=iterations,
+            iteration_compute=iteration_compute,
+            faults=normalize_plan(faults),
+            fastpath=fastpath,
+            options=_freeze_options(options),
+        )
+
+    def replace(self, **changes) -> "SimulationConfig":
+        """A copy with the given fields changed (options re-frozen)."""
+        if "options" in changes and isinstance(changes["options"], dict):
+            changes["options"] = _freeze_options(changes["options"])
+        if "faults" in changes:
+            changes["faults"] = normalize_plan(changes["faults"])
+        return dataclasses.replace(self, **changes)
+
+    def to_spec(self):
+        """The cacheable :class:`~repro.runner.spec.RunSpec` equivalent."""
+        from repro.runner.spec import RunSpec
+
+        return RunSpec(
+            scheduler=self.scheduler,
+            model=self.model,
+            cluster=self.cluster,
+            batch_size=self.batch_size,
+            algorithm=self.algorithm,
+            iterations=self.iterations,
+            iteration_compute=self.iteration_compute,
+            options=self.options,
+            faults=self.faults,
+        )
+
+    @property
+    def label(self) -> str:
+        """Human-readable key, e.g. for report rows."""
+        return f"{self.scheduler}/{self.model.name}/{self.cluster.name}"
+
+
+def run_simulation(config: SimulationConfig, cached: bool = False) -> ScheduleResult:
+    """Execute one config; the single timing-level entry point.
+
+    With ``cached=True`` the run goes through the content-addressed
+    result cache (and comes back tracer-less, like any cached result);
+    note the cache ignores ``fastpath`` by design.
+    """
+    if cached:
+        from repro.runner.cache import run_cached
+
+        return run_cached(config.to_spec())
+    return simulate(
+        config.scheduler,
+        config.model,
+        config.cluster,
+        batch_size=config.batch_size,
+        algorithm=config.algorithm,
+        iterations=config.iterations,
+        iteration_compute=config.iteration_compute,
+        faults=config.faults,
+        fastpath=config.fastpath,
+        **dict(config.options),
+    )
+
+
+@dataclass
+class CollectiveResult:
+    """Outcome of one data-level collective run.
+
+    ``buffers`` holds one array per initial rank (dead ranks keep their
+    pre-collective contents); ``fault_summary`` is None for healthy
+    runs and the :meth:`ResilientCommunicator.fault_summary` dict for
+    faulty ones.
+    """
+
+    op: str
+    algorithm: str
+    world_size: int
+    buffers: list
+    wire_bytes: int
+    messages: int
+    survivors: list[int]
+    fault_summary: Optional[dict] = None
+
+
+def run_collective(
+    op: str,
+    world_size: int,
+    nelems: int = 1024,
+    algorithm: str = "ring",
+    gpus_per_node: Optional[int] = None,
+    average: bool = False,
+    faults: Optional[FaultPlan] = None,
+    seed: int = 0,
+    buffers: Optional[Sequence[np.ndarray]] = None,
+) -> CollectiveResult:
+    """Run one collective over real numpy buffers; the data-level entry point.
+
+    Buffers default to deterministic ``default_rng(seed)`` uniforms of
+    ``nelems`` float64 each.  A plan with data-level faults routes the
+    run through :class:`~repro.faults.resilient.ResilientCommunicator`
+    (retry, rebuild, degrade); otherwise the plain
+    :class:`~repro.collectives.communicator.Communicator` runs it.
+    """
+    if op not in COLLECTIVE_OPS:
+        raise ValueError(f"unknown op {op!r}; expected one of {COLLECTIVE_OPS}")
+    if buffers is None:
+        rng = np.random.default_rng(seed)
+        buffers = [rng.uniform(-1.0, 1.0, nelems) for _ in range(world_size)]
+    else:
+        buffers = [np.asarray(buf, dtype=np.float64).copy() for buf in buffers]
+        if len(buffers) != world_size:
+            raise ValueError(
+                f"expected {world_size} buffers, got {len(buffers)}"
+            )
+    faults = normalize_plan(faults)
+    if faults is not None and faults.has_data_faults:
+        from repro.faults.resilient import ResilientCommunicator
+
+        comm = ResilientCommunicator(
+            world_size, faults, algorithm=algorithm, gpus_per_node=gpus_per_node
+        )
+        if op == "reduce_scatter":
+            comm.reduce_scatter(buffers)
+        else:
+            getattr(comm, op)(buffers, average=average)
+        stats = comm.stats
+        return CollectiveResult(
+            op=op,
+            algorithm=comm.algorithm,
+            world_size=world_size,
+            buffers=list(buffers),
+            wire_bytes=stats.bytes,
+            messages=stats.messages,
+            survivors=list(comm.survivors),
+            fault_summary=comm.fault_summary(),
+        )
+    from repro.collectives.communicator import Communicator
+
+    comm = Communicator(world_size, algorithm=algorithm, gpus_per_node=gpus_per_node)
+    if op == "all_reduce":
+        comm.all_reduce(buffers, average=average)
+    elif op == "reduce_scatter":
+        comm.reduce_scatter(buffers)
+    elif op == "all_gather":
+        comm.all_gather(buffers, average=average)
+    else:  # rs_ag: DeAR's decoupled pair
+        comm.reduce_scatter(buffers)
+        comm.all_gather(buffers, average=average)
+    stats = comm.stats
+    return CollectiveResult(
+        op=op,
+        algorithm=algorithm,
+        world_size=world_size,
+        buffers=list(buffers),
+        wire_bytes=stats.bytes,
+        messages=stats.messages,
+        survivors=list(range(world_size)),
+    )

@@ -21,10 +21,16 @@ So does the observability pipeline (see docs/OBSERVABILITY.md)::
 
 which writes a Perfetto trace plus a metrics snapshot and prints the
 per-category exposed/hidden time breakdown of one steady-state
-iteration.
+iteration.  And the fault-injection sweeps (see docs/FAULTS.md)::
 
-Exit codes: 0 success, 1 experiment failure, 2 unknown experiment /
-bad usage, 3 benchmark regression against the baseline.
+    dear-repro chaos                  # seeded fault sweep, full grid
+    dear-repro chaos --quick --check-golden benchmarks/chaos_golden.json
+
+Both the trace and chaos commands are thin shells over the stable
+:mod:`repro.api` facade.
+
+Exit codes: 0 success, 1 experiment/exactness failure, 2 unknown
+experiment / bad usage, 3 benchmark or chaos-golden regression.
 """
 
 from __future__ import annotations
@@ -150,6 +156,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.telemetry.trace_cmd import trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.faults.chaos_cmd import chaos_main
+
+        return chaos_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="dear-repro",
@@ -157,7 +167,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name (see 'list'), 'all', 'list', 'bench', or 'trace'",
+        help=(
+            "experiment name (see 'list'), 'all', 'list', 'bench', "
+            "'trace', or 'chaos'"
+        ),
     )
     parser.add_argument(
         "--json",

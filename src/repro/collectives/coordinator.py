@@ -55,13 +55,25 @@ class ReadinessCoordinator:
     ``cycle`` returns the tensors ready on *all* ranks, in a canonical
     order (first-reported-to-rank-0 order), and clears them from the
     pending sets.  Tensors ready on only some ranks stay pending.
+
+    Fault tolerance (opt-in via ``policy``): over a
+    :class:`~repro.faults.transport.FaultyTransport`, a cycle whose
+    messages time out is retried from a state snapshot with the
+    policy's deterministic (jitter-free) backoff, dead ranks are
+    excluded from consensus, and the coordinator role migrates to the
+    lowest surviving rank.  With ``policy=None`` over a healthy
+    transport the behaviour — and wire traffic — is exactly the
+    original protocol.
     """
 
-    def __init__(self, transport: Transport):
+    def __init__(self, transport: Transport, policy=None):
         self.transport = transport
+        self.policy = policy
         self._pending: list[set[str]] = [set() for _ in range(transport.world_size)]
         self._arrival_order: list[str] = []
         self.cycles = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
         registry = default_registry()
         self._cycle_counter = registry.counter(
             "coordinator.cycles", "readiness-consensus rounds completed"
@@ -73,6 +85,16 @@ class ReadinessCoordinator:
         self._agreed_counter = registry.counter(
             "coordinator.tensors_agreed", "tensors released by consensus rounds"
         ).labels()
+        self._retry_counter = registry.counter(
+            "coordinator.retries", "consensus rounds retried after a fault"
+        ).labels()
+
+    def _survivors(self) -> list[int]:
+        """Ranks still participating (all of them on a healthy transport)."""
+        dead = getattr(self.transport, "dead", ())
+        return [
+            rank for rank in range(self.transport.world_size) if rank not in dead
+        ]
 
     def report(self, rank: int, tensor_names: list[str]) -> None:
         """A worker marks tensors locally ready (pre-cycle)."""
@@ -83,19 +105,65 @@ class ReadinessCoordinator:
     def cycle(self) -> list[str]:
         """One coordinator round; returns the globally-ready order.
 
-        Workers send their pending sets to rank 0; rank 0 intersects
-        and broadcasts the canonical order.  All messages go through
-        the transport so the traffic is accounted.
+        Workers send their pending sets to the root (the lowest
+        surviving rank); the root intersects and broadcasts the
+        canonical order.  All messages go through the transport so the
+        traffic is accounted.  With a :class:`RetryPolicy` installed,
+        transport timeouts retry the round from a state snapshot.
         """
-        world = self.transport.world_size
-        wire_before = self.transport.stats.bytes
-        # Gather: every non-zero rank reports its pending set.
-        reported: list[list[str]] = [sorted(self._pending[0])]
-        for rank in range(1, world):
-            self.transport.send(rank, 0, _encode(sorted(self._pending[rank])))
-            reported.append(_decode(self.transport.recv(rank, 0)))
+        if self.policy is None:
+            return self._cycle_once()
+        from repro.faults.transport import TransportTimeout, UnrecoverableFault
 
-        # Rank 0 intersects, ordering by rank-0's first-seen order (with
+        snapshot = (
+            list(self._arrival_order),
+            [set(pending) for pending in self._pending],
+        )
+        unexplained_failures = 0
+        while True:
+            budget_before = getattr(self.transport, "faults_remaining", 0)
+            try:
+                return self._cycle_once()
+            except TransportTimeout:
+                consumed = budget_before - getattr(
+                    self.transport, "faults_remaining", 0
+                )
+                # Same bounding argument as ResilientCommunicator: a
+                # failure that drained fault budget is self-limiting;
+                # only unexplained ones count against max_retries.
+                if consumed <= 0:
+                    unexplained_failures += 1
+                    if unexplained_failures > self.policy.max_retries:
+                        raise UnrecoverableFault(
+                            f"coordinator cycle failed {unexplained_failures} "
+                            f"times with no fault budget left (policy allows "
+                            f"{self.policy.max_retries} retries)"
+                        ) from None
+                self.backoff_seconds += self.policy.delay(self.retries)
+                self.retries += 1
+                self._retry_counter.inc()
+                drain = getattr(self.transport, "drain", None)
+                if drain is not None:
+                    drain()
+                self._arrival_order = list(snapshot[0])
+                self._pending = [set(pending) for pending in snapshot[1]]
+
+    def _cycle_once(self) -> list[str]:
+        """One attempt at a consensus round over the surviving ranks."""
+        survivors = self._survivors()
+        if not survivors:
+            raise RuntimeError("no surviving ranks to coordinate")
+        root = survivors[0]
+        wire_before = self.transport.stats.bytes
+        # Gather: every surviving non-root rank reports its pending set.
+        reported: list[list[str]] = [sorted(self._pending[root])]
+        for rank in survivors:
+            if rank == root:
+                continue
+            self.transport.send(rank, root, _encode(sorted(self._pending[rank])))
+            reported.append(_decode(self.transport.recv(rank, root)))
+
+        # The root intersects, ordering by its first-seen order (with
         # name order as the deterministic tiebreak).
         for name in reported[0]:
             if name not in self._arrival_order:
@@ -110,12 +178,14 @@ class ReadinessCoordinator:
 
         # Broadcast the response.
         final: list[str] = response
-        for rank in range(1, world):
-            self.transport.send(0, rank, _encode(response))
-            final = _decode(self.transport.recv(0, rank))
+        for rank in survivors:
+            if rank == root:
+                continue
+            self.transport.send(root, rank, _encode(response))
+            final = _decode(self.transport.recv(root, rank))
 
-        # All ranks clear the agreed tensors.
-        for rank in range(world):
+        # All surviving ranks clear the agreed tensors.
+        for rank in survivors:
             self._pending[rank] -= set(response)
         self._arrival_order = [
             name for name in self._arrival_order if name not in response
@@ -129,8 +199,8 @@ class ReadinessCoordinator:
         return final
 
     def pending_anywhere(self) -> set[str]:
-        """Tensors still waiting on at least one rank."""
+        """Tensors still waiting on at least one *surviving* rank."""
         union: set[str] = set()
-        for pending in self._pending:
-            union |= pending
+        for rank in self._survivors():
+            union |= self._pending[rank]
         return union

@@ -6,10 +6,9 @@ from typing import Optional
 
 import numpy as np
 
-from repro.models.layers import ModelSpec
-from repro.models.zoo import get_model
-from repro.network.fabric import ClusterSpec
-from repro.network.presets import paper_testbed
+# Name resolution is owned by the facade; re-exported here because the
+# experiment harnesses historically imported it from this module.
+from repro.api import resolve_cluster, resolve_model
 from repro.runner import RunSpec, run_many, simulate_cached
 from repro.schedulers.base import ScheduleResult
 
@@ -19,20 +18,6 @@ __all__ = [
     "format_table",
     "throughput_objective",
 ]
-
-
-def resolve_model(model) -> ModelSpec:
-    """Accept a ModelSpec or a registry name."""
-    if isinstance(model, ModelSpec):
-        return model
-    return get_model(model)
-
-
-def resolve_cluster(cluster) -> ClusterSpec:
-    """Accept a ClusterSpec or a network name ('10gbe' / '100gbib')."""
-    if isinstance(cluster, ClusterSpec):
-        return cluster
-    return paper_testbed(cluster)
 
 
 def format_table(rows: list[dict], columns: Optional[list[str]] = None) -> str:

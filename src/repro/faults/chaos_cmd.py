@@ -1,0 +1,421 @@
+"""The ``dear-repro chaos`` subcommand: seeded fault sweeps.
+
+Runs two sweeps from one seed and prints (or JSON-dumps) a combined
+report:
+
+- **timing sweep** — every scheduler in the grid runs healthy and then
+  under each timing-fault scenario (whole-run link degradation, a
+  mid-run flaky window, a compute straggler), through the cached
+  parallel runner (:func:`repro.runner.run_many`); the report carries
+  per-scheduler iteration-time and exposed-communication degradation
+  ratios.
+- **data sweep** — seeded data-level fault plans (message storms, rank
+  deaths, mid-run deaths) execute real numpy collectives through
+  :func:`repro.api.run_collective`; each scenario is checked
+  value-exact against a single-rank numpy reduction over the surviving
+  ranks, and the report carries the recovery counters (retries,
+  rebuilds, timeouts, algorithm degradations).
+
+``--check-golden PATH`` compares the report against a committed golden
+summary (exact on integers/booleans, 1e-9 relative on floats) and
+exits 3 on drift — the CI ``chaos-smoke`` job runs exactly
+``dear-repro chaos --quick --check-golden benchmarks/chaos_golden.json``.
+
+Everything derives from ``--seed``: two invocations with the same seed
+produce identical reports, which is what makes the golden meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+__all__ = ["chaos_main"]
+
+#: Exit code for a golden-summary mismatch (matches the bench gate).
+EXIT_GOLDEN_MISMATCH = 3
+
+#: Relative tolerance for float comparison against the golden.  The
+#: sweeps are deterministic, so this only absorbs JSON round-tripping.
+GOLDEN_REL_TOL = 1e-9
+
+#: Timing-sweep grid: model x fabric is fixed (the paper testbed's
+#: calibrated pair); schedulers vary.
+_TIMING_MODEL = "resnet50"
+_TIMING_FABRIC = "10gbe"
+_TIMING_SCHEDULERS = ("wfbp", "ddp", "horovod", "mg_wfbp", "bytescheduler", "dear")
+_TIMING_SCHEDULERS_QUICK = ("wfbp", "dear")
+_TIMING_ITERATIONS = 5
+
+#: Data-sweep world size and elements per buffer.
+_DATA_WORLD = 8
+_DATA_ELEMENTS = 2048
+
+
+def _timing_scenarios() -> list[tuple[str, Optional[object]]]:
+    """(name, FaultPlan-or-None) timing scenarios, healthy first."""
+    from repro.faults.plan import FaultPlan, LinkFault, StragglerFault
+
+    return [
+        ("healthy", None),
+        (
+            "slow_link",
+            FaultPlan(
+                link_faults=(
+                    LinkFault(0.0, 1e9, alpha_factor=2.5, beta_factor=2.5,
+                              link="both"),
+                )
+            ),
+        ),
+        (
+            "flaky_window",
+            FaultPlan(
+                link_faults=(
+                    LinkFault(0.3, 0.8, alpha_factor=4.0, beta_factor=4.0,
+                              link="inter"),
+                )
+            ),
+        ),
+        (
+            "straggler",
+            FaultPlan(stragglers=(StragglerFault(0.0, 1e9, compute_factor=1.5),)),
+        ),
+    ]
+
+
+def _data_scenarios(seed: int, quick: bool) -> list[dict]:
+    """Seeded data-level scenario descriptors."""
+    from repro.faults.plan import FaultPlan, RankFailure
+
+    scenarios = [
+        {
+            "name": "message_storm",
+            "op": "rs_ag",
+            "algorithm": "ring",
+            "plan": FaultPlan(
+                seed=seed,
+                drop_prob=0.05,
+                dup_prob=0.05,
+                delay_prob=0.05,
+                fault_budget=40,
+            ),
+        },
+        {
+            "name": "dead_rank_fallback",
+            "op": "all_reduce",
+            "algorithm": "halving_doubling",
+            "plan": FaultPlan(
+                seed=seed,
+                rank_failures=(RankFailure(rank=3, after_collectives=0),),
+            ),
+        },
+    ]
+    if not quick:
+        scenarios.append(
+            {
+                "name": "mid_run_death",
+                "op": "rs_ag",
+                "algorithm": "ring",
+                # after_collectives=1: alive for the warmup all-reduce,
+                # dead during the rs_ag pair — exercises rebuild-and-retry
+                # in the middle of a training-like collective sequence.
+                "warmup": "all_reduce",
+                "plan": FaultPlan(
+                    seed=seed,
+                    drop_prob=0.02,
+                    delay_prob=0.02,
+                    fault_budget=24,
+                    rank_failures=(RankFailure(rank=2, after_collectives=1),),
+                ),
+            }
+        )
+    return scenarios
+
+
+def _run_timing_sweep(quick: bool, jobs: Optional[int]) -> dict:
+    """Per-scheduler iteration/exposed-comm degradation, via run_many."""
+    from repro.runner import run_many
+    from repro.runner.spec import RunSpec
+
+    schedulers = _TIMING_SCHEDULERS_QUICK if quick else _TIMING_SCHEDULERS
+    scenarios = _timing_scenarios()
+    specs = [
+        RunSpec.create(
+            scheduler,
+            _TIMING_MODEL,
+            _TIMING_FABRIC,
+            iterations=_TIMING_ITERATIONS,
+            faults=plan,
+        )
+        for scheduler in schedulers
+        for _, plan in scenarios
+    ]
+    results = run_many(specs, jobs=jobs)
+
+    report: dict = {}
+    index = 0
+    for scheduler in schedulers:
+        rows: dict = {}
+        healthy_mean = None
+        for name, _ in scenarios:
+            result = results[index]
+            index += 1
+            # Whole-run mean, not the steady-state window: a windowed
+            # fault (flaky_window) can miss the steady-state iteration
+            # entirely yet still cost real wall-clock time.
+            times = result.iteration_times or (result.iteration_time,)
+            mean_iteration = sum(times) / len(times)
+            row = {
+                "iteration_time": result.iteration_time,
+                "mean_iteration": mean_iteration,
+                "exposed_comm": result.exposed_comm,
+            }
+            if name == "healthy":
+                healthy_mean = mean_iteration
+            else:
+                row["slowdown"] = mean_iteration / healthy_mean
+                summary = result.extras.get("timing_faults")
+                if summary is not None:
+                    row["timing_faults"] = summary
+            rows[name] = row
+        report[scheduler] = rows
+    return report
+
+
+def _run_data_sweep(seed: int, quick: bool) -> list[dict]:
+    """Seeded fault plans over real collectives, exactness-checked."""
+    import numpy as np
+
+    from repro.api import run_collective
+
+    rows = []
+    for scenario in _data_scenarios(seed, quick):
+        rng = np.random.default_rng((seed, 0xC4A05))
+        initial = [
+            rng.uniform(-1.0, 1.0, _DATA_ELEMENTS) for _ in range(_DATA_WORLD)
+        ]
+        if "warmup" in scenario:
+            # Multi-collective sequence: drive the resilient
+            # communicator directly so a death scheduled after the
+            # first completed collective fires *mid-run*.
+            from repro.faults.resilient import ResilientCommunicator
+
+            buffers = [buf.copy() for buf in initial]
+            comm = ResilientCommunicator(
+                _DATA_WORLD, scenario["plan"], algorithm=scenario["algorithm"]
+            )
+            getattr(comm, scenario["warmup"])(buffers)
+            getattr(comm, scenario["op"])(buffers)
+            survivors = list(comm.survivors)
+            algorithm = comm.algorithm
+            summary = comm.fault_summary()
+            wire_bytes, messages = comm.stats.bytes, comm.stats.messages
+            # Everyone was alive for the warmup all-reduce, so each
+            # buffer then held the full-world sum; the second collective
+            # re-reduces that over the survivors.
+            expected = len(survivors) * np.sum(initial, axis=0)
+        else:
+            result = run_collective(
+                scenario["op"],
+                _DATA_WORLD,
+                algorithm=scenario["algorithm"],
+                faults=scenario["plan"],
+                buffers=initial,
+            )
+            buffers = result.buffers
+            survivors = result.survivors
+            algorithm = result.algorithm
+            summary = result.fault_summary or {}
+            wire_bytes, messages = result.wire_bytes, result.messages
+            # Value-exactness over survivors: every surviving rank must
+            # hold the numpy reduction of the survivors' initial buffers.
+            expected = np.sum([initial[rank] for rank in survivors], axis=0)
+        max_abs_err = max(
+            float(np.max(np.abs(buffers[rank] - expected)))
+            for rank in survivors
+        )
+        rows.append(
+            {
+                "name": scenario["name"],
+                "op": scenario["op"],
+                "requested_algorithm": scenario["algorithm"],
+                "algorithm": algorithm,
+                "plan": scenario["plan"].label(),
+                "survivors": survivors,
+                "ok": bool(max_abs_err < 1e-12),
+                "max_abs_err": max_abs_err,
+                "retries": summary.get("retries", 0),
+                "timeouts": summary.get("timeouts", 0),
+                "rebuilds": summary.get("rebuilds", 0),
+                "degradations": summary.get("degradations", []),
+                "wire_bytes": wire_bytes,
+                "messages": messages,
+            }
+        )
+    return rows
+
+
+# -- golden comparison --------------------------------------------------------
+
+
+def _diff_values(path: str, current, golden, drift: list[str]) -> None:
+    """Recursive comparison; floats to GOLDEN_REL_TOL, rest exact."""
+    if isinstance(current, dict) and isinstance(golden, dict):
+        for key in sorted(set(current) | set(golden)):
+            if key not in current:
+                drift.append(f"{path}.{key}: missing from current report")
+            elif key not in golden:
+                drift.append(f"{path}.{key}: not in golden")
+            else:
+                _diff_values(f"{path}.{key}", current[key], golden[key], drift)
+    elif isinstance(current, list) and isinstance(golden, list):
+        if len(current) != len(golden):
+            drift.append(
+                f"{path}: length {len(current)} vs golden {len(golden)}"
+            )
+            return
+        for i, (c, g) in enumerate(zip(current, golden)):
+            _diff_values(f"{path}[{i}]", c, g, drift)
+    elif isinstance(current, float) or isinstance(golden, float):
+        c, g = float(current), float(golden)
+        scale = max(abs(c), abs(g), 1e-300)
+        if abs(c - g) / scale > GOLDEN_REL_TOL:
+            drift.append(f"{path}: {c!r} vs golden {g!r}")
+    elif current != golden:
+        drift.append(f"{path}: {current!r} vs golden {golden!r}")
+
+
+def check_golden(report: dict, golden: dict) -> list[str]:
+    """Drift lines between a chaos report and the committed golden."""
+    drift: list[str] = []
+    _diff_values("report", report, golden, drift)
+    return drift
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dear-repro chaos",
+        description=(
+            "Run seeded fault sweeps: timing faults through every "
+            "scheduler, data faults through the real collectives."
+        ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced grid (two schedulers, two data scenarios) for CI",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="seed for every fault plan in the sweep (default: 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel simulation workers (default: DEAR_JOBS or auto)",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the full report as JSON to PATH",
+    )
+    parser.add_argument(
+        "--check-golden", metavar="PATH", default=None,
+        help="compare the report against a golden summary; exit 3 on drift",
+    )
+    return parser
+
+
+def _print_report(report: dict) -> None:
+    from repro.experiments.common import format_table
+
+    timing_rows = []
+    for scheduler, rows in report["timing"].items():
+        for scenario, row in rows.items():
+            timing_rows.append(
+                {
+                    "scheduler": scheduler,
+                    "scenario": scenario,
+                    "mean_iter_ms": row["mean_iteration"] * 1e3,
+                    "exposed_ms": row["exposed_comm"] * 1e3,
+                    "slowdown": row.get("slowdown", 1.0),
+                }
+            )
+    print("== chaos: timing sweep ==")
+    print(format_table(timing_rows))
+    print()
+    data_rows = [
+        {
+            "scenario": row["name"],
+            "op": row["op"],
+            "algorithm": (
+                row["algorithm"]
+                if row["algorithm"] == row["requested_algorithm"]
+                else f"{row['requested_algorithm']}->{row['algorithm']}"
+            ),
+            "survivors": len(row["survivors"]),
+            "retries": row["retries"],
+            "rebuilds": row["rebuilds"],
+            "exact": "OK" if row["ok"] else "FAIL",
+        }
+        for row in report["data"]
+    ]
+    print("== chaos: data sweep ==")
+    print(format_table(data_rows))
+
+
+def chaos_main(argv: list[str]) -> int:
+    """Entry point for ``dear-repro chaos`` (returns an exit code)."""
+    args = _build_parser().parse_args(argv)
+
+    report = {
+        "seed": args.seed,
+        "quick": args.quick,
+        "timing": _run_timing_sweep(args.quick, args.jobs),
+        "data": _run_data_sweep(args.seed, args.quick),
+    }
+
+    _print_report(report)
+
+    failures = [row["name"] for row in report["data"] if not row["ok"]]
+    if failures:
+        print(
+            f"error: data-level exactness violated in: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"report written to {args.json}")
+
+    if args.check_golden:
+        try:
+            with open(args.check_golden) as handle:
+                golden = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(
+                f"error: cannot read golden {args.check_golden!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        drift = check_golden(report, golden)
+        if drift:
+            for line in drift[:20]:
+                print(f"drift: {line}", file=sys.stderr)
+            print(
+                f"error: chaos report drifted from {args.check_golden} "
+                f"({len(drift)} difference(s))",
+                file=sys.stderr,
+            )
+            return EXIT_GOLDEN_MISMATCH
+        print(f"golden check passed ({args.check_golden})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(chaos_main(sys.argv[1:]))

@@ -1,0 +1,156 @@
+"""Timing-domain fault injection for the simulated timeline.
+
+:class:`TimingFaultInjector` turns the timing-level fields of a
+:class:`~repro.faults.plan.FaultPlan` — link-degradation windows and
+compute stragglers — into perturbed job durations for the scheduler
+engine.  It never touches the event kernel: the engine submits
+*callable* job bodies that the kernel evaluates at job start, so a job
+starting inside a fault window is charged the degraded time for its
+whole duration (factors are sampled at start, matching the plan's
+documented semantics).
+
+Link degradation is priced by real degraded cost models, not by naive
+scaling: each distinct ``plan.link_factors(now)`` combination gets one
+:class:`~repro.network.cost_model.CollectiveTimeModel` built over
+``cluster.degraded(...)`` and cached, so e.g. a hierarchical
+collective correctly feels an *inter-node-only* fault on its inter
+phase while the intra phase stays at full speed.
+
+Every perturbation is recorded: ``faults.degraded_link_seconds`` /
+``faults.straggler_seconds`` counters into the telemetry registry, and
+per-event instant markers into the tracer (rendered as globally-scoped
+"i" events in Perfetto) via :meth:`TimingFaultInjector.publish`.
+
+Callable bodies are exactly what the vectorized fast path refuses
+(:class:`~repro.sim.fastpath.FastPathUnsupported`), so an active plan
+automatically falls back to the event kernel — pinned by the fault
+test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.faults.plan import FaultPlan
+from repro.network.cost_model import CollectiveTimeModel
+from repro.telemetry.registry import default_registry
+
+__all__ = ["TimingFaultInjector"]
+
+#: The healthy factor combination (shares the caller's cost model).
+_HEALTHY = (1.0, 1.0, 1.0, 1.0)
+
+
+class TimingFaultInjector:
+    """Prices compute and collective jobs under a plan's timing faults.
+
+    Args:
+        plan: the fault plan; only ``link_faults`` / ``stragglers``
+            are consumed here.
+        cost: the healthy cost model the run would otherwise use;
+            degraded variants are derived from its cluster and cached
+            per factor combination.
+    """
+
+    def __init__(self, plan: FaultPlan, cost: CollectiveTimeModel):
+        self.plan = plan
+        self.cost = cost
+        self._models: dict[tuple[float, float, float, float], CollectiveTimeModel] = {
+            _HEALTHY: cost
+        }
+        #: extra comm seconds attributable to degraded links.
+        self.degraded_link_seconds = 0.0
+        #: extra compute seconds attributable to stragglers.
+        self.straggler_seconds = 0.0
+        #: (time, name, args) markers for the tracer, in injection order.
+        self.events: list[tuple[float, str, dict]] = []
+
+    # -- pricing ---------------------------------------------------------------
+
+    def _model_for(
+        self, factors: tuple[float, float, float, float]
+    ) -> CollectiveTimeModel:
+        model = self._models.get(factors)
+        if model is None:
+            model = CollectiveTimeModel(
+                self.cost.cluster.degraded(*factors),
+                algorithm=self.cost.algorithm,
+                gamma=self.cost.gamma,
+                startup_overhead=self.cost.startup_overhead,
+            )
+            self._models[factors] = model
+        return model
+
+    def compute_duration(self, base: float, now: float) -> float:
+        """Duration of a compute job of healthy length ``base`` starting at ``now``."""
+        factor = self.plan.compute_factor(now)
+        if factor == 1.0:
+            return base
+        slowed = base * factor
+        self.straggler_seconds += slowed - base
+        self.events.append(
+            (now, "fault.straggler", {"factor": factor, "extra": slowed - base})
+        )
+        return slowed
+
+    def collective_duration(
+        self, kind: str, nbytes: float, extra: float, now: float
+    ) -> float:
+        """Duration of a collective starting at ``now`` (``extra`` serialised on top)."""
+        factors = self.plan.link_factors(now)
+        degraded = getattr(self._model_for(factors), kind)(nbytes) + extra
+        if factors != _HEALTHY:
+            healthy = getattr(self.cost, kind)(nbytes) + extra
+            self.degraded_link_seconds += degraded - healthy
+            self.events.append(
+                (
+                    now,
+                    "fault.degraded_link",
+                    {
+                        "kind": kind,
+                        "bytes": nbytes,
+                        "factors": factors,
+                        "extra": degraded - healthy,
+                    },
+                )
+            )
+        return degraded
+
+    # -- job-body factories ----------------------------------------------------
+
+    def compute_body(self, base: float, sim) -> Callable[[], float]:
+        """Callable job body evaluating the straggler factor at start time."""
+        return lambda: self.compute_duration(base, sim.now)
+
+    def collective_body(
+        self, kind: str, nbytes: float, extra: float, sim
+    ) -> Callable[[], float]:
+        """Callable job body evaluating link degradation at start time."""
+        return lambda: self.collective_duration(kind, nbytes, extra, sim.now)
+
+    # -- reporting -------------------------------------------------------------
+
+    def publish(self, tracer=None) -> None:
+        """Flush markers into ``tracer`` and totals into the registry."""
+        if tracer is not None:
+            for time, name, args in self.events:
+                tracer.record_instant(name, time, args=args)
+        registry = default_registry()
+        if self.degraded_link_seconds:
+            registry.counter(
+                "faults.degraded_link_seconds",
+                "extra virtual comm seconds due to degraded links",
+            ).inc(self.degraded_link_seconds)
+        if self.straggler_seconds:
+            registry.counter(
+                "faults.straggler_seconds",
+                "extra virtual compute seconds due to stragglers",
+            ).inc(self.straggler_seconds)
+
+    def summary(self) -> dict:
+        """JSON-ready totals (chaos CLI, result extras)."""
+        return {
+            "degraded_link_seconds": self.degraded_link_seconds,
+            "straggler_seconds": self.straggler_seconds,
+            "events": len(self.events),
+        }

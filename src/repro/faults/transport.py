@@ -1,0 +1,225 @@
+"""Fault-injecting transport and the fault error taxonomy.
+
+:class:`FaultyTransport` subclasses the accounted in-process
+:class:`~repro.collectives.transport.Transport` and perturbs delivery
+according to a seeded :class:`~repro.faults.plan.FaultPlan`:
+
+- **drop** — the payload never reaches the mailbox; the matching
+  ``recv`` finds the channel empty and raises :class:`TransportTimeout`
+  (the receiver "waited" and gave up);
+- **duplicate** — the payload is enqueued twice; ``recv`` returns one
+  copy and transparently discards the other (sequence-number dedup, as
+  a reliable transport would), so value-exactness is preserved while
+  the duplicate's wire bytes still hit the traffic counters;
+- **delay** — delivery succeeds but the next ``recv`` on that channel
+  times out once before the message becomes visible;
+- **rank death** — a rank listed in the plan's
+  :class:`~repro.faults.plan.RankFailure` entries goes permanently
+  silent after N completed collectives: its sends vanish and receives
+  from it raise :class:`RankDeadError`.
+
+Message faults are rolled per ``send`` from ``default_rng(seed)`` in
+the collectives' deterministic lockstep order, so a given plan injects
+the exact same fault sequence on every run.  Each injected fault
+consumes one unit of the plan's finite ``fault_budget``; once spent,
+delivery is clean — which, combined with the bounded retry policy in
+:mod:`repro.faults.resilient`, guarantees faulty runs terminate.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.collectives.transport import Transport
+from repro.faults.plan import FaultPlan, RankFailure
+from repro.telemetry.registry import default_registry
+
+__all__ = [
+    "FaultyTransport",
+    "RankDeadError",
+    "TransportTimeout",
+    "UnrecoverableFault",
+]
+
+
+class TransportTimeout(RuntimeError):
+    """A receive gave up waiting (dropped or delayed message)."""
+
+
+class RankDeadError(RuntimeError):
+    """A peer rank is permanently unreachable."""
+
+    def __init__(self, rank: int, message: Optional[str] = None):
+        super().__init__(message or f"rank {rank} is dead")
+        self.rank = rank
+
+
+class UnrecoverableFault(RuntimeError):
+    """Retries and degradation are exhausted; the run cannot continue."""
+
+
+class FaultyTransport(Transport):
+    """A :class:`Transport` that injects faults from a seeded plan.
+
+    Args:
+        world_size: number of (local) ranks on this transport.
+        plan: the fault plan; only its data-level fields are consumed.
+        zero_copy: forwarded to :class:`Transport`.
+        failures: rank-failure schedule in *local* rank coordinates;
+            defaults to ``plan.rank_failures`` (correct for the initial
+            group, where local and global ranks coincide).  The
+            resilient communicator passes a remapped schedule after a
+            group rebuild.
+        generation: rebuild counter, folded into the RNG seed so each
+            rebuilt group draws a fresh but deterministic fault stream.
+        fault_budget: remaining injected-fault allowance, carried over
+            across rebuilds; defaults to the plan's budget.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        plan: FaultPlan,
+        zero_copy: bool = False,
+        failures: Optional[Iterable[RankFailure]] = None,
+        generation: int = 0,
+        fault_budget: Optional[int] = None,
+    ):
+        super().__init__(world_size, zero_copy=zero_copy)
+        self.plan = plan
+        self.generation = generation
+        self._rng = np.random.default_rng((plan.seed, generation))
+        self.faults_remaining = (
+            plan.fault_budget if fault_budget is None else fault_budget
+        )
+        self._failures = tuple(
+            plan.rank_failures if failures is None else failures
+        )
+        for failure in self._failures:
+            if failure.rank >= world_size:
+                raise ValueError(
+                    f"rank failure for rank {failure.rank} outside "
+                    f"world of size {world_size}"
+                )
+        #: local ranks that have gone silent (grown by advance_epoch).
+        self.dead: set[int] = set()
+        #: per-channel flags parallel to the mailboxes: True marks a
+        #: duplicate copy that recv must discard.
+        self._dup_flags: dict[tuple[int, int], deque[bool]] = defaultdict(deque)
+        #: per-channel pending one-shot receive timeouts (delay faults).
+        self._delay_tokens: dict[tuple[int, int], int] = defaultdict(int)
+        injected = default_registry().counter(
+            "faults.injected", "transport faults injected, by kind"
+        )
+        self._injected = {
+            kind: injected.labels(kind=kind)
+            for kind in ("drop", "duplicate", "delay", "dead_send")
+        }
+        self._discarded = default_registry().counter(
+            "faults.duplicates_discarded",
+            "duplicate messages discarded by receive-side dedup",
+        ).labels()
+        self.advance_epoch(0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def advance_epoch(self, completed_collectives: int) -> set[int]:
+        """Activate rank deaths due by ``completed_collectives``.
+
+        Returns the set of *newly* dead local ranks.
+        """
+        due = {
+            failure.rank
+            for failure in self._failures
+            if failure.after_collectives <= completed_collectives
+        }
+        fresh = due - self.dead
+        self.dead |= due
+        return fresh
+
+    def drain(self) -> int:
+        """Discard all undelivered messages and pending fault tokens.
+
+        Called between retry attempts (and after a successful
+        collective, to sweep trailing duplicates); returns the number
+        of messages discarded.
+        """
+        discarded = sum(len(box) for box in self._mailboxes.values())
+        self._mailboxes.clear()
+        self._dup_flags.clear()
+        self._delay_tokens.clear()
+        return discarded
+
+    # -- faulty delivery -------------------------------------------------------
+
+    def _roll(self) -> Optional[str]:
+        """Draw at most one message fault, spending budget if one fires."""
+        if self.faults_remaining <= 0 or not self.plan.has_message_faults:
+            return None
+        draw = float(self._rng.random())
+        plan = self.plan
+        if draw < plan.drop_prob:
+            kind = "drop"
+        elif draw < plan.drop_prob + plan.dup_prob:
+            kind = "duplicate"
+        elif draw < plan.drop_prob + plan.dup_prob + plan.delay_prob:
+            kind = "delay"
+        else:
+            return None
+        self.faults_remaining -= 1
+        self._injected[kind].inc()
+        return kind
+
+    def send(self, src: int, dst: int, payload: np.ndarray) -> None:
+        """Deliver with fault injection; dead endpoints swallow traffic."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if src in self.dead or dst in self.dead:
+            # A dead rank neither sends nor accepts delivery; the
+            # lockstep sender cannot know yet, so the message vanishes.
+            self._injected["dead_send"].inc()
+            return
+        fault = self._roll()
+        if fault == "drop":
+            return
+        super().send(src, dst, payload)
+        self._dup_flags[(src, dst)].append(False)
+        if fault == "duplicate":
+            super().send(src, dst, payload)
+            self._dup_flags[(src, dst)].append(True)
+        elif fault == "delay":
+            self._delay_tokens[(src, dst)] += 1
+
+    def recv(self, src: int, dst: int) -> np.ndarray:
+        """Receive with timeout semantics and duplicate dedup."""
+        self._check_rank(src, "source")
+        self._check_rank(dst, "destination")
+        if src in self.dead:
+            raise RankDeadError(src)
+        if dst in self.dead:
+            raise RankDeadError(dst, f"receiving rank {dst} is dead")
+        channel = (src, dst)
+        if self._delay_tokens.get(channel, 0) > 0:
+            self._delay_tokens[channel] -= 1
+            raise TransportTimeout(
+                f"rank {dst} timed out waiting for a delayed message "
+                f"from rank {src}"
+            )
+        flags = self._dup_flags[channel]
+        while True:
+            box = self._mailboxes.get(channel)
+            if not box:
+                raise TransportTimeout(
+                    f"rank {dst} timed out waiting for rank {src} "
+                    "(message lost)"
+                )
+            payload = box.popleft()
+            if flags and flags.popleft():
+                # A duplicate copy: the reliable-delivery layer has
+                # already seen this sequence number, discard and retry.
+                self._discarded.inc()
+                continue
+            return payload

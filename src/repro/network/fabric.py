@@ -114,6 +114,28 @@ class ClusterSpec:
         beta = max(self.inter_link.beta, self.intra_link.beta)
         return alpha, beta
 
+    def degraded(
+        self,
+        inter_alpha: float = 1.0,
+        inter_beta: float = 1.0,
+        intra_alpha: float = 1.0,
+        intra_beta: float = 1.0,
+    ) -> "ClusterSpec":
+        """Same topology over degraded links.
+
+        Factors multiply the alpha-beta *costs*: ``inter_beta=2`` halves
+        the inter-node bandwidth.  ``(1, 1, 1, 1)`` returns ``self``
+        unchanged, so healthy cost models are shared, not copied.
+        """
+        if (inter_alpha, inter_beta, intra_alpha, intra_beta) == (1.0, 1.0, 1.0, 1.0):
+            return self
+        return replace(
+            self,
+            name=f"{self.name}[degraded]",
+            inter_link=self.inter_link.scaled(inter_alpha, 1.0 / inter_beta),
+            intra_link=self.intra_link.scaled(intra_alpha, 1.0 / intra_beta),
+        )
+
     def with_nodes(self, nodes: int) -> "ClusterSpec":
         """Same fabric, different node count (for scaling sweeps)."""
         name = f"{nodes}x{self.gpus_per_node}:{self.inter_link.name}"

@@ -183,8 +183,9 @@ def default_cache() -> ResultCache:
     """The process-wide cache (honours DEAR_CACHE / DEAR_CACHE_DIR)."""
     global _DEFAULT
     if _DEFAULT is None:
-        enabled = os.environ.get("DEAR_CACHE", "1") not in ("0", "false", "off")
-        _DEFAULT = ResultCache(enabled=enabled)
+        from repro.core.env import env_flag
+
+        _DEFAULT = ResultCache(enabled=env_flag("DEAR_CACHE", True))
     return _DEFAULT
 
 

@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
+from repro.core.env import env_int
 from repro.runner.cache import ResultCache, default_cache
 from repro.runner.spec import RunSpec
 from repro.schedulers.base import DEFAULT_ITERATIONS, ScheduleResult
@@ -34,14 +35,14 @@ _DEFAULT_JOBS_CAP = 4
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
-    """Worker count: explicit argument > DEAR_JOBS env > capped default."""
+    """Worker count: explicit argument > DEAR_JOBS env > capped default.
+
+    ``DEAR_JOBS`` is parsed by :func:`repro.core.env.env_int`: a
+    non-integer value (``DEAR_JOBS=lots``) warns and falls back to the
+    capped default instead of being silently ignored.
+    """
     if jobs is None:
-        env = os.environ.get("DEAR_JOBS", "").strip()
-        if env:
-            try:
-                jobs = int(env)
-            except ValueError:
-                jobs = None
+        jobs = env_int("DEAR_JOBS", minimum=1)
     if jobs is None:
         jobs = min(_DEFAULT_JOBS_CAP, os.cpu_count() or 1)
     return max(1, jobs)
@@ -169,6 +170,7 @@ def simulate_cached(
     iterations: int = DEFAULT_ITERATIONS,
     iteration_compute: Optional[float] = None,
     cache: Optional[ResultCache] = None,
+    faults=None,
     **options,
 ) -> ScheduleResult:
     """Drop-in, cache-backed mirror of :func:`repro.schedulers.base.simulate`.
@@ -186,6 +188,7 @@ def simulate_cached(
         algorithm=algorithm,
         iterations=iterations,
         iteration_compute=iteration_compute,
+        faults=faults,
         **options,
     )
     return run_cached(spec, cache=cache)

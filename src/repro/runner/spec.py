@@ -18,6 +18,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.faults.plan import FaultPlan, normalize_plan
 from repro.models.layers import ModelSpec
 from repro.models.zoo import get_model
 from repro.network.fabric import ClusterSpec
@@ -54,6 +55,10 @@ class RunSpec:
     iterations: int = DEFAULT_ITERATIONS
     iteration_compute: Optional[float] = None
     options: tuple[tuple[str, Any], ...] = ()
+    #: Timing-level fault plan (None = healthy).  Part of the identity:
+    #: a faulty run must never be answered from a healthy run's cache
+    #: entry, so the plan participates in the fingerprint.
+    faults: Optional[FaultPlan] = None
 
     @classmethod
     def create(
@@ -65,6 +70,7 @@ class RunSpec:
         algorithm: str = "ring",
         iterations: int = DEFAULT_ITERATIONS,
         iteration_compute: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
         **options,
     ) -> "RunSpec":
         """Mirror of the ``simulate(...)`` signature."""
@@ -81,6 +87,7 @@ class RunSpec:
             iterations=iterations,
             iteration_compute=iteration_compute,
             options=_freeze_options(options),
+            faults=normalize_plan(faults),
         )
 
     # -- identity ------------------------------------------------------------
@@ -92,7 +99,7 @@ class RunSpec:
         they are lazy caches (e.g. ``ModelSpec._tensor_cache``) whose
         fill state must not perturb the fingerprint.
         """
-        return {
+        payload = {
             "scheduler": self.scheduler,
             "model": _public_fields(dataclasses.asdict(self.model)),
             "cluster": _public_fields(dataclasses.asdict(self.cluster)),
@@ -102,6 +109,11 @@ class RunSpec:
             "iteration_compute": self.iteration_compute,
             "options": [[key, value] for key, value in self.options],
         }
+        # Only present when faulty, so healthy fingerprints (and the
+        # cache entries keyed on them) survive the field's introduction.
+        if self.faults is not None:
+            payload["faults"] = self.faults.canonical_payload()
+        return payload
 
     def canonical_json(self) -> str:
         """Deterministic serialisation: sorted keys, no whitespace."""
@@ -135,6 +147,7 @@ class RunSpec:
             algorithm=self.algorithm,
             iterations=self.iterations,
             iteration_compute=self.iteration_compute,
+            faults=self.faults,
             **dict(self.options),
         )
 

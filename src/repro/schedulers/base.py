@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.faults.plan import FaultPlan, normalize_plan
 from repro.models.layers import ModelSpec
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
@@ -104,17 +105,26 @@ class Scheduler(ABC):
         timing: TimingModel,
         cost: CollectiveTimeModel,
         iterations: int,
+        faults: Optional[FaultPlan] = None,
+        fastpath: Optional[bool] = None,
     ) -> IterationContext:
-        """Schedule + execute on the fastest applicable context."""
-        if self.supports_fast_path and fast_path_enabled():
-            ctx = FastIterationContext(timing, cost)
+        """Schedule + execute on the fastest applicable context.
+
+        ``fastpath`` overrides the DEAR_FASTPATH toggle (None = env);
+        an active timing-fault plan makes the recorder raise
+        :class:`FastPathUnsupported` at the first callable job body, so
+        faulty runs land on the event kernel automatically.
+        """
+        use_fast = fast_path_enabled() if fastpath is None else fastpath
+        if self.supports_fast_path and use_fast:
+            ctx = FastIterationContext(timing, cost, faults=faults)
             try:
                 self.schedule(ctx, iterations)
                 ctx.run()
                 return ctx
             except FastPathUnsupported:
                 pass
-        ctx = IterationContext(timing, cost)
+        ctx = IterationContext(timing, cost, faults=faults)
         self.schedule(ctx, iterations)
         ctx.run()
         return ctx
@@ -124,11 +134,14 @@ class Scheduler(ABC):
         timing: TimingModel,
         cost: CollectiveTimeModel,
         iterations: int = DEFAULT_ITERATIONS,
+        faults: Optional[FaultPlan] = None,
+        fastpath: Optional[bool] = None,
     ) -> ScheduleResult:
         """Simulate and measure the steady-state iteration time."""
         if iterations < 3:
             raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
-        ctx = self._build_and_run(timing, cost, iterations)
+        faults = normalize_plan(faults)
+        ctx = self._build_and_run(timing, cost, iterations, faults=faults, fastpath=fastpath)
         starts = ctx.ff_start_times()
         if len(starts) != iterations:
             raise RuntimeError(
@@ -153,6 +166,9 @@ class Scheduler(ABC):
             iteration_times=gaps,
             extras=self.describe_options(),
         )
+        if ctx.faults is not None:
+            result.extras["fault_plan"] = faults.label()
+            result.extras["timing_faults"] = ctx.faults.summary()
         _publish_run_metrics(result)
         return result
 
@@ -238,6 +254,54 @@ def get_scheduler(name: str, **options) -> Scheduler:
     return _REGISTRY[key](**options)
 
 
+def _apply_legacy_options(cluster: ClusterSpec, options: dict) -> ClusterSpec:
+    """Keyword-compat shims for pre-facade ``simulate`` call signatures.
+
+    Earlier revisions spread run configuration over per-scheduler
+    constructor kwargs; :class:`repro.api.SimulationConfig` is now the
+    one home for those.  The old spellings keep working here with a
+    :class:`DeprecationWarning` so downstream scripts migrate on their
+    own schedule.
+    """
+    import warnings
+
+    if "fusion_plan" in options:
+        warnings.warn(
+            "simulate(fusion_plan=...) is deprecated; pass fusion=...",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        options.setdefault("fusion", options.pop("fusion_plan"))
+    if "topology" in options or "link_preset" in options:
+        preset = options.pop("topology", None) or options.pop("link_preset", None)
+        options.pop("link_preset", None)
+        warnings.warn(
+            "simulate(topology=/link_preset=...) is deprecated; pass a "
+            "ClusterSpec (see repro.api.SimulationConfig.cluster)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        from repro.experiments.common import resolve_cluster
+
+        cluster = resolve_cluster(preset)
+    if "world_size" in options:
+        world_size = options.pop("world_size")
+        warnings.warn(
+            "simulate(world_size=...) is deprecated; the cluster defines "
+            "the world size",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if world_size != cluster.world_size:
+            if world_size % cluster.gpus_per_node:
+                raise ValueError(
+                    f"legacy world_size={world_size} does not fit the "
+                    f"cluster's gpus_per_node={cluster.gpus_per_node}"
+                )
+            cluster = cluster.with_nodes(world_size // cluster.gpus_per_node)
+    return cluster
+
+
 def simulate(
     scheduler: str,
     model: ModelSpec,
@@ -246,23 +310,31 @@ def simulate(
     algorithm: str = "ring",
     iterations: int = DEFAULT_ITERATIONS,
     iteration_compute: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    fastpath: Optional[bool] = None,
     **options,
 ) -> ScheduleResult:
     """One-call facade: build timing + cost models and run a scheduler.
 
     ``iteration_compute`` overrides the calibrated single-GPU compute
-    time (required for models outside the Table I zoo).
+    time (required for models outside the Table I zoo).  ``faults``
+    injects a timing-level :class:`~repro.faults.plan.FaultPlan`;
+    ``fastpath`` force-enables/disables the vectorized replay (None
+    defers to ``DEAR_FASTPATH``).
 
     Example::
 
         result = simulate("dear", get_model("resnet50"), cluster_10gbe(),
                           fusion="buffer", buffer_bytes=25e6)
     """
+    cluster = _apply_legacy_options(cluster, options)
     timing = TimingModel.for_model(
         model, batch_size=batch_size, iteration_compute=iteration_compute
     )
     cost = CollectiveTimeModel(cluster, algorithm=algorithm)
-    return get_scheduler(scheduler, **options).run(timing, cost, iterations=iterations)
+    return get_scheduler(scheduler, **options).run(
+        timing, cost, iterations=iterations, faults=faults, fastpath=fastpath
+    )
 
 
 def single_gpu_result(

@@ -170,7 +170,14 @@ class ByteSchedulerScheduler(Scheduler):
                 continue
             _, _, item = heapq.heappop(state["ready"])
             state["claimed"] += 1
-            duration = ctx.cost.all_reduce(item.nbytes) + item.extra
+            # Price through the fault injector when a plan is active, so
+            # the credit engine's collectives feel link degradation too.
+            if ctx.faults is not None:
+                duration = ctx.faults.collective_body(
+                    "all_reduce", item.nbytes, item.extra, ctx.sim
+                )
+            else:
+                duration = ctx.cost.all_reduce(item.nbytes) + item.extra
             job = channel.submit(
                 duration,
                 name=f"all_reduce.{item.iteration}.{item.label}",

@@ -168,19 +168,22 @@ class DeARScheduler(Scheduler):
                 ]
 
     def run(self, timing: TimingModel, cost: CollectiveTimeModel,
-            iterations: int = 5) -> ScheduleResult:
+            iterations: int = 5, faults=None, fastpath=None) -> ScheduleResult:
         if self.fusion != "bo":
-            return super().run(timing, cost, iterations=iterations)
-        return self._run_bo(timing, cost, iterations)
+            return super().run(timing, cost, iterations=iterations,
+                               faults=faults, fastpath=fastpath)
+        return self._run_bo(timing, cost, iterations, faults=faults,
+                            fastpath=fastpath)
 
     def _run_bo(self, timing: TimingModel, cost: CollectiveTimeModel,
-                iterations: int) -> ScheduleResult:
+                iterations: int, faults=None, fastpath=None) -> ScheduleResult:
         """The paper's run-time loop: measure, fit the GP, re-fuse."""
         optimizer = BayesianOptimizer(self.bo_low, self.bo_high, seed=self.bo_seed)
 
         def measure(buffer_bytes: float) -> ScheduleResult:
             trial = DeARScheduler(fusion="buffer", buffer_bytes=buffer_bytes)
-            return trial.run(timing, cost, iterations=iterations)
+            return trial.run(timing, cost, iterations=iterations,
+                             faults=faults, fastpath=fastpath)
 
         history = []
         for _ in range(self.bo_trials):

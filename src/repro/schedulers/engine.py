@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.faults.plan import FaultPlan, normalize_plan
+from repro.faults.timing import TimingFaultInjector
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
 from repro.sim.engine import Event, Simulator
@@ -43,7 +45,8 @@ class IterationContext:
     """One simulated training run: streams, tracer, and submit helpers."""
 
     def __init__(self, timing: TimingModel, cost: CollectiveTimeModel,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
         self.timing = timing
         self.cost = cost
         self.model = timing.model
@@ -61,14 +64,29 @@ class IterationContext:
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
         }
+        # Timing faults swap fixed job durations for callables evaluated
+        # at job start; an empty plan normalises to None and leaves the
+        # healthy code path (and its timings) byte-identical.
+        faults = normalize_plan(faults)
+        self.faults = (
+            TimingFaultInjector(faults, cost)
+            if faults is not None and faults.has_timing_faults
+            else None
+        )
 
     # -- compute submission --------------------------------------------------
+
+    def _compute_body(self, duration: float):
+        """Fixed duration, or a start-time callable under timing faults."""
+        if self.faults is None:
+            return duration
+        return self.faults.compute_body(duration, self.sim)
 
     def submit_ff_layer(self, iteration: int, layer_index: int,
                         gate: Optional[Event] = None) -> Job:
         """Feed-forward compute job for one layer of one iteration."""
         job = self.compute.submit(
-            self.timing.ff_time(layer_index),
+            self._compute_body(self.timing.ff_time(layer_index)),
             name=f"ff.{iteration}.{layer_index}",
             category="ff",
             gate=gate,
@@ -82,7 +100,7 @@ class IterationContext:
                         gate: Optional[Event] = None) -> Job:
         """Backpropagation compute job for one layer of one iteration."""
         return self.compute.submit(
-            self.timing.bp_time(layer_index),
+            self._compute_body(self.timing.bp_time(layer_index)),
             name=f"bp.{iteration}.{layer_index}",
             category="bp",
             gate=gate,
@@ -152,6 +170,11 @@ class IterationContext:
                 f"unknown collective kind {kind!r}; "
                 f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
             ) from None
+        body = (
+            duration
+            if self.faults is None
+            else self.faults.collective_body(kind, nbytes, extra_time, self.sim)
+        )
         category = COLLECTIVE_CATEGORIES[kind]
         span_metadata = {
             "iteration": iteration,
@@ -163,7 +186,7 @@ class IterationContext:
         if metadata:
             span_metadata.update(metadata)
         return self.comm.submit(
-            duration,
+            body,
             name=f"{kind}.{iteration}.{label}",
             category=category,
             gate=gate,
@@ -190,6 +213,8 @@ class IterationContext:
                 raise RuntimeError(
                     "schedule deadlocked: " + "; ".join(stuck)
                 )
+        if self.faults is not None:
+            self.faults.publish(self.tracer)
         self._publish_stream_metrics(
             "event",
             [(s.name, s.jobs_completed, s.busy_time)
@@ -240,7 +265,8 @@ class FastIterationContext(IterationContext):
     """
 
     def __init__(self, timing: TimingModel, cost: CollectiveTimeModel,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
         self.timing = timing
         self.cost = cost
         self.model = timing.model
@@ -255,6 +281,15 @@ class FastIterationContext(IterationContext):
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
         }
+        # An active timing plan produces callable job bodies, which the
+        # recorder rejects with FastPathUnsupported at the first submit
+        # — the designed trigger for the event-kernel fallback.
+        faults = normalize_plan(faults)
+        self.faults = (
+            TimingFaultInjector(faults, cost)
+            if faults is not None and faults.has_timing_faults
+            else None
+        )
 
     def run(self, check_quiescent: bool = True) -> float:
         """Replay the recorded schedule; returns the final virtual time.

@@ -76,20 +76,23 @@ class HorovodScheduler(WFBPScheduler):
         return negotiation + 0.5 * self.cycle_time
 
     def run(self, timing: TimingModel, cost: CollectiveTimeModel,
-            iterations: int = 5) -> ScheduleResult:
+            iterations: int = 5, faults=None, fastpath=None) -> ScheduleResult:
         if self.fusion != "bo":
-            return super().run(timing, cost, iterations=iterations)
-        return self._run_bo(timing, cost, iterations)
+            return super().run(timing, cost, iterations=iterations,
+                               faults=faults, fastpath=fastpath)
+        return self._run_bo(timing, cost, iterations, faults=faults,
+                            fastpath=fastpath)
 
     def _run_bo(self, timing: TimingModel, cost: CollectiveTimeModel,
-                iterations: int) -> ScheduleResult:
+                iterations: int, faults=None, fastpath=None) -> ScheduleResult:
         optimizer = BayesianOptimizer(self.bo_low, self.bo_high, seed=self.bo_seed)
 
         def measure(buffer_bytes: float) -> ScheduleResult:
             trial = HorovodScheduler(
                 buffer_bytes=buffer_bytes, cycle_time=self.cycle_time, fusion="buffer"
             )
-            return trial.run(timing, cost, iterations=iterations)
+            return trial.run(timing, cost, iterations=iterations,
+                             faults=faults, fastpath=fastpath)
 
         history = []
         for _ in range(self.bo_trials):

@@ -39,7 +39,6 @@ and can be disabled globally with ``DEAR_FASTPATH=0``.
 
 from __future__ import annotations
 
-import os
 from typing import Any, Iterable, Optional
 
 import numpy as np
@@ -66,12 +65,16 @@ class FastPathUnsupported(RuntimeError):
 def fast_path_enabled() -> bool:
     """Whether automatic fast-path selection is on (``DEAR_FASTPATH``).
 
-    Any of ``0``, ``off``, ``false``, ``no`` (case-insensitive) disables
-    it; everything else — including unset — enables it.
+    Parsed by :func:`repro.core.env.env_flag`: recognised false
+    spellings disable it, recognised true spellings (and unset) enable
+    it, and anything else warns and keeps the default (enabled).
     """
-    return os.environ.get("DEAR_FASTPATH", "1").strip().lower() not in (
-        "0", "off", "false", "no",
-    )
+    # Imported at call time: repro.core's package __init__ transitively
+    # imports the collectives (and through them the telemetry registry),
+    # so a module-level import here could form a cycle.
+    from repro.core.env import env_flag
+
+    return env_flag("DEAR_FASTPATH", True)
 
 
 class FastGate:

@@ -147,10 +147,24 @@ class Tracer:
         self.spans: list[Span] = []
         #: explicit counter samples: (track name, time, value).
         self.counter_samples: list[tuple[str, float, float]] = []
+        #: instant events: (name, category, time, args) — zero-duration
+        #: markers (fault injections, degradation windows) rendered as
+        #: Chrome "i" events with global scope.
+        self.instants: list[tuple[str, str, float, dict]] = []
 
     def record_counter(self, name: str, time: float, value: float) -> None:
         """Append one sample to the named counter track."""
         self.counter_samples.append((name, time, value))
+
+    def record_instant(
+        self,
+        name: str,
+        time: float,
+        category: str = "fault",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Append one zero-duration marker (e.g. a fault event)."""
+        self.instants.append((name, category, time, args or {}))
 
     def record(
         self,
@@ -234,7 +248,9 @@ class Tracer:
         export contains, in order: thread metadata (names plus
         ``thread_sort_index`` so each rank's compute row sits directly
         above its comm row), all positive-duration spans sorted by
-        (time, thread, name), flow events linking spans that share a
+        (time, thread, name), any instant markers
+        (:meth:`record_instant`, rendered as globally-scoped "i"
+        events), flow events linking spans that share a
         ``flow`` / ``flows`` metadata entry, and counter tracks — the
         derived comm occupancy (bytes in flight, queue depth) plus any
         explicit :meth:`record_counter` samples.
@@ -281,6 +297,21 @@ class Tracer:
                     "ts": _quantize(span.start),
                     "dur": _quantize(span.end) - _quantize(span.start),
                     "args": _jsonable_metadata(span.metadata),
+                }
+            )
+        for name, category, time, args in sorted(
+            self.instants, key=lambda e: (_quantize(e[2]), e[0])
+        ):
+            events.append(
+                {
+                    "name": name,
+                    "cat": category,
+                    "ph": "i",
+                    "s": "g",  # global scope: drawn across every track
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": _quantize(time),
+                    "args": _jsonable_metadata(args),
                 }
             )
         if flows:

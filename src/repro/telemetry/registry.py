@@ -23,7 +23,6 @@ Design points:
 from __future__ import annotations
 
 import json
-import os
 import threading
 from bisect import bisect_right
 from typing import Iterable, Optional, Sequence
@@ -369,12 +368,16 @@ class NullRegistry(MetricsRegistry):
 def telemetry_enabled() -> bool:
     """Whether the default registry records (``DEAR_TELEMETRY``).
 
-    Any of ``0``, ``off``, ``false``, ``no`` (case-insensitive)
-    disables it; everything else — including unset — enables it.
+    Parsed by :func:`repro.core.env.env_flag`: recognised false
+    spellings disable it, recognised true spellings (and unset) enable
+    it, and anything else warns and keeps the default (enabled).
     """
-    return os.environ.get("DEAR_TELEMETRY", "1").strip().lower() not in (
-        "0", "off", "false", "no",
-    )
+    # Imported at call time: repro.core's package __init__ transitively
+    # imports modules that import this registry, so a module-level
+    # import would be circular.
+    from repro.core.env import env_flag
+
+    return env_flag("DEAR_TELEMETRY", True)
 
 
 _DEFAULT: Optional[MetricsRegistry] = None

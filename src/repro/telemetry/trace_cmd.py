@@ -17,6 +17,12 @@ The exposed-communication figure printed in the table is recomputed
 from the trace and cross-checked against ``ScheduleResult.exposed_comm``
 to 1e-9 relative; a mismatch exits non-zero, making the command a
 self-validating smoke test of the whole telemetry path.
+
+The command is a thin shell over the stable facade (:mod:`repro.api`):
+it builds one :class:`~repro.api.SimulationConfig` and executes it via
+``run_simulation`` / ``run_collective``.  ``--slow-link FACTOR``
+attaches a whole-run link-degradation fault, which shows up as
+``fault.degraded_link`` instant events in the Perfetto trace.
 """
 
 from __future__ import annotations
@@ -81,6 +87,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="single-GPU compute override for uncalibrated models",
     )
     parser.add_argument(
+        "--slow-link", type=float, default=None, metavar="FACTOR",
+        help=(
+            "degrade every link by FACTOR (alpha and beta) for the whole "
+            "run; emits fault.degraded_link instants into the trace"
+        ),
+    )
+    parser.add_argument(
         "--output", default=".", metavar="DIR",
         help="directory for the trace and metrics files (default: cwd)",
     )
@@ -102,57 +115,71 @@ def _scheduler_options(args: argparse.Namespace) -> dict:
     return options
 
 
-def _exercise_runner_cache(args: argparse.Namespace, options: dict) -> None:
+def _fault_plan(args: argparse.Namespace):
+    """The timing-level fault plan implied by the CLI flags (or None)."""
+    if args.slow_link is None:
+        return None
+    if args.slow_link <= 0:
+        raise ValueError(f"--slow-link must be positive, got {args.slow_link}")
+    from repro.faults.plan import FaultPlan, LinkFault
+
+    # A window far longer than any simulated run = the whole run.
+    return FaultPlan(
+        link_faults=(
+            LinkFault(
+                start=0.0,
+                end=1e9,
+                alpha_factor=args.slow_link,
+                beta_factor=args.slow_link,
+                link="both",
+            ),
+        )
+    )
+
+
+def _exercise_runner_cache(config) -> None:
     """Route the same configuration through the cached runner.
 
     The first call is a miss (or a hit from a previous invocation), the
     second is a guaranteed hit — so the metrics snapshot always carries
     non-trivial ``runner.cache.*`` counters.
     """
-    from repro.runner.cache import run_cached
-    from repro.runner.spec import RunSpec
+    from repro.api import run_simulation
 
-    spec = RunSpec.create(
-        args.scheduler,
-        args.model,
-        args.fabric,
-        algorithm=args.algorithm,
-        iterations=args.iterations,
-        iteration_compute=args.iteration_compute,
-        **options,
-    )
-    run_cached(spec)
-    run_cached(spec)
+    run_simulation(config, cached=True)
+    run_simulation(config, cached=True)
 
 
 def _exercise_data_level(algorithm: str) -> None:
     """Push one decoupled RS+AG pair and one fused all-reduce through
     the data-level transport, so per-rank byte counters and the
     readiness-coordinator rendezvous costs land in the snapshot."""
-    import numpy as np
-
+    from repro.api import run_collective
     from repro.collectives.communicator import Communicator
     from repro.collectives.coordinator import ReadinessCoordinator
 
     world = _DATA_LEVEL_RANKS
+    gpus_per_node = 2 if algorithm == "hierarchical" else None
     try:
-        comm = Communicator(
+        run_collective(
+            "rs_ag",
             world,
+            nelems=_DATA_LEVEL_ELEMENTS,
             algorithm=algorithm,
-            gpus_per_node=2 if algorithm == "hierarchical" else None,
+            gpus_per_node=gpus_per_node,
+        )
+        run_collective(
+            "all_reduce",
+            world,
+            nelems=_DATA_LEVEL_ELEMENTS,
+            algorithm=algorithm,
+            gpus_per_node=gpus_per_node,
         )
     except ValueError:
-        comm = Communicator(world, algorithm="ring")
+        run_collective("rs_ag", world, nelems=_DATA_LEVEL_ELEMENTS)
+        run_collective("all_reduce", world, nelems=_DATA_LEVEL_ELEMENTS)
 
-    buffers = [
-        np.full(_DATA_LEVEL_ELEMENTS, float(rank + 1)) for rank in range(world)
-    ]
-    comm.reduce_scatter(buffers)
-    comm.all_gather(buffers)
-    comm.all_reduce(
-        [np.full(_DATA_LEVEL_ELEMENTS, float(rank + 1)) for rank in range(world)]
-    )
-
+    comm = Communicator(world)
     coordinator = ReadinessCoordinator(comm.transport)
     for rank in range(world):
         coordinator.report(rank, ["grad.0", "grad.1"])
@@ -168,9 +195,7 @@ def trace_main(argv: list[str]) -> int:
     """Entry point for ``dear-repro trace`` (returns an exit code)."""
     args = _build_parser().parse_args(argv)
 
-    from repro.models.zoo import get_model
-    from repro.network.presets import paper_testbed
-    from repro.schedulers.base import simulate
+    from repro.api import SimulationConfig, run_simulation
     from repro.telemetry.breakdown import (
         format_breakdown_table,
         steady_state_window,
@@ -182,28 +207,25 @@ def trace_main(argv: list[str]) -> int:
     registry = MetricsRegistry()
     set_default_registry(registry)
 
-    try:
-        model = get_model(args.model)
-    except KeyError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    try:
-        cluster = paper_testbed(args.fabric)
-    except (KeyError, ValueError) as error:
-        print(f"error: unknown fabric {args.fabric!r}: {error}", file=sys.stderr)
-        return 2
-
     options = _scheduler_options(args)
     try:
-        result = simulate(
+        config = SimulationConfig.create(
             args.scheduler,
-            model,
-            cluster,
+            args.model,
+            args.fabric,
             algorithm=args.algorithm,
             iterations=args.iterations,
             iteration_compute=args.iteration_compute,
+            faults=_fault_plan(args),
             **options,
         )
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    model, cluster = config.model, config.cluster
+
+    try:
+        result = run_simulation(config)
     except (KeyError, ValueError, TypeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -211,7 +233,7 @@ def trace_main(argv: list[str]) -> int:
         print("error: run produced no trace", file=sys.stderr)
         return 1
 
-    _exercise_runner_cache(args, options)
+    _exercise_runner_cache(config)
     _exercise_data_level(args.algorithm)
 
     tracer = result.tracer

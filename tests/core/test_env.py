@@ -1,0 +1,70 @@
+"""Validated DEAR_* environment parsing (repro.core.env)."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.env import env_flag, env_int
+
+VAR = "DEAR_TEST_KNOB"
+
+
+@pytest.fixture(autouse=True)
+def _clean_env(monkeypatch):
+    monkeypatch.delenv(VAR, raising=False)
+
+
+class TestEnvFlag:
+    @pytest.mark.parametrize("raw", ["1", "true", "TRUE", " on ", "yes", "Y"])
+    def test_true_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(VAR, raw)
+        assert env_flag(VAR, default=False) is True
+
+    @pytest.mark.parametrize("raw", ["0", "false", "OFF", "no", " n "])
+    def test_false_spellings(self, monkeypatch, raw):
+        monkeypatch.setenv(VAR, raw)
+        assert env_flag(VAR, default=True) is False
+
+    def test_unset_and_empty_return_default(self, monkeypatch):
+        assert env_flag(VAR, default=True) is True
+        assert env_flag(VAR, default=False) is False
+        monkeypatch.setenv(VAR, "   ")
+        assert env_flag(VAR, default=True) is True
+
+    def test_typo_warns_and_falls_back(self, monkeypatch):
+        monkeypatch.setenv(VAR, "ture")
+        with pytest.warns(RuntimeWarning, match=VAR):
+            assert env_flag(VAR, default=True) is True
+        monkeypatch.setenv(VAR, "enabledd")
+        with pytest.warns(RuntimeWarning):
+            assert env_flag(VAR, default=False) is False
+
+    def test_valid_values_do_not_warn(self, monkeypatch):
+        monkeypatch.setenv(VAR, "true")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert env_flag(VAR) is True
+
+
+class TestEnvInt:
+    def test_valid_integer(self, monkeypatch):
+        monkeypatch.setenv(VAR, "8")
+        assert env_int(VAR) == 8
+
+    def test_unset_returns_default(self):
+        assert env_int(VAR) is None
+        assert env_int(VAR, default=3) == 3
+
+    def test_non_integer_warns(self, monkeypatch):
+        monkeypatch.setenv(VAR, "lots")
+        with pytest.warns(RuntimeWarning, match=VAR):
+            assert env_int(VAR, default=2) == 2
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0")
+        with pytest.warns(RuntimeWarning):
+            assert env_int(VAR, default=1, minimum=1) == 1
+        monkeypatch.setenv(VAR, "4")
+        assert env_int(VAR, minimum=1) == 4

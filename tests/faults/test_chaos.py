@@ -1,0 +1,158 @@
+"""Chaos properties and the ``dear-repro chaos`` command.
+
+The property sweep is the "never deadlocks, always exact" contract:
+every seeded plan must terminate within a wall-clock bound and leave
+the surviving ranks holding the numpy-exact reduction.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import run_collective
+from repro.faults.chaos_cmd import check_golden
+from repro.faults.plan import FaultPlan, RankFailure
+
+#: Generous wall-clock ceiling per seeded collective; a deadlock or an
+#: unbounded retry loop would blow far past it.
+TIMEOUT_SECONDS = 30.0
+
+
+class TestChaosProperties:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_seeded_storms_terminate_and_stay_exact(self, seed):
+        plan = FaultPlan(seed=seed, drop_prob=0.06, dup_prob=0.06,
+                         delay_prob=0.06, fault_budget=48)
+        rng = np.random.default_rng(seed)
+        initial = [rng.uniform(-1.0, 1.0, 512) for _ in range(8)]
+        expected = np.sum(initial, axis=0)
+        started = time.monotonic()
+        result = run_collective("rs_ag", 8, faults=plan, buffers=initial)
+        assert time.monotonic() - started < TIMEOUT_SECONDS
+        assert result.survivors == list(range(8))
+        for rank in result.survivors:
+            np.testing.assert_allclose(result.buffers[rank], expected,
+                                       rtol=0, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_storm_plus_death_terminates(self, seed):
+        plan = FaultPlan(
+            seed=seed, drop_prob=0.04, delay_prob=0.04, fault_budget=32,
+            rank_failures=(RankFailure(rank=seed % 8),),
+        )
+        started = time.monotonic()
+        result = run_collective("all_reduce", 8, faults=plan, seed=seed)
+        assert time.monotonic() - started < TIMEOUT_SECONDS
+        assert len(result.survivors) == 7
+        assert result.fault_summary["rebuilds"] >= 1
+
+    def test_same_seed_same_report(self):
+        plan = FaultPlan(seed=11, drop_prob=0.05, dup_prob=0.05,
+                         fault_budget=32)
+        a = run_collective("rs_ag", 8, faults=plan, seed=11)
+        b = run_collective("rs_ag", 8, faults=plan, seed=11)
+        assert a.fault_summary == b.fault_summary
+        assert a.wire_bytes == b.wire_bytes
+        for x, y in zip(a.buffers, b.buffers):
+            np.testing.assert_array_equal(x, y)
+
+
+class TestCheckGolden:
+    REPORT = {
+        "seed": 0,
+        "timing": {"dear": {"healthy": {"iteration_time": 0.25}}},
+        "data": [{"name": "storm", "ok": True, "retries": 17}],
+    }
+
+    def test_identical_reports_pass(self):
+        assert check_golden(self.REPORT, json.loads(json.dumps(self.REPORT))) == []
+
+    def test_float_drift_detected(self):
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["timing"]["dear"]["healthy"]["iteration_time"] = 0.26
+        drift = check_golden(self.REPORT, golden)
+        assert drift and "iteration_time" in drift[0]
+
+    def test_tiny_float_noise_tolerated(self):
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["timing"]["dear"]["healthy"]["iteration_time"] *= 1 + 1e-12
+        assert check_golden(self.REPORT, golden) == []
+
+    def test_integer_and_bool_exact(self):
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["data"][0]["retries"] = 18
+        assert check_golden(self.REPORT, golden)
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["data"][0]["ok"] = False
+        assert check_golden(self.REPORT, golden)
+
+    def test_missing_and_extra_keys_detected(self):
+        golden = json.loads(json.dumps(self.REPORT))
+        del golden["data"][0]["retries"]
+        assert any("not in golden" in line
+                   for line in check_golden(self.REPORT, golden))
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["data"][0]["rebuilds"] = 0
+        assert any("missing from current" in line
+                   for line in check_golden(self.REPORT, golden))
+
+    def test_list_length_mismatch(self):
+        golden = json.loads(json.dumps(self.REPORT))
+        golden["data"].append({"name": "extra"})
+        assert any("length" in line
+                   for line in check_golden(self.REPORT, golden))
+
+
+class TestChaosCommand:
+    @pytest.fixture(scope="class")
+    def quick_report(self, tmp_path_factory):
+        """One quick sweep, shared by the class (simulations are cached)."""
+        from repro.faults.chaos_cmd import chaos_main
+
+        path = tmp_path_factory.mktemp("chaos") / "report.json"
+        code = chaos_main(["--quick", "--seed", "0", "--json", str(path)])
+        assert code == 0
+        return json.loads(path.read_text())
+
+    def test_report_structure(self, quick_report):
+        assert quick_report["quick"] is True
+        assert set(quick_report["timing"]) == {"wfbp", "dear"}
+        for rows in quick_report["timing"].values():
+            assert set(rows) == {"healthy", "slow_link", "flaky_window",
+                                 "straggler"}
+            assert rows["slow_link"]["slowdown"] > 1.0
+            assert rows["flaky_window"]["slowdown"] > 1.0
+        names = [row["name"] for row in quick_report["data"]]
+        assert names == ["message_storm", "dead_rank_fallback"]
+        assert all(row["ok"] for row in quick_report["data"])
+
+    def test_degradation_reported(self, quick_report):
+        fallback = quick_report["data"][1]
+        assert fallback["requested_algorithm"] == "halving_doubling"
+        assert fallback["algorithm"] == "ring"
+        assert len(fallback["survivors"]) == 7
+        assert fallback["rebuilds"] == 1
+
+    def test_matches_committed_golden(self, quick_report):
+        """The in-tree golden is what CI gates on; catch drift locally."""
+        from pathlib import Path
+
+        golden_path = Path(__file__).resolve().parents[2] / "benchmarks" / \
+            "chaos_golden.json"
+        golden = json.loads(golden_path.read_text())
+        assert check_golden(quick_report, golden) == []
+
+    def test_cli_dispatch_and_golden_exit_codes(self, quick_report, tmp_path):
+        from repro.cli import main
+
+        golden = tmp_path / "golden.json"
+        golden.write_text(json.dumps(quick_report))
+        assert main(["chaos", "--quick", "--check-golden", str(golden)]) == 0
+        drifted = json.loads(json.dumps(quick_report))
+        drifted["data"][0]["retries"] += 1
+        golden.write_text(json.dumps(drifted))
+        assert main(["chaos", "--quick", "--check-golden", str(golden)]) == 3

@@ -1,0 +1,252 @@
+"""ResilientCommunicator: exactness under faults, recovery, degradation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan, RankFailure
+from repro.faults.resilient import ResilientCommunicator, RetryPolicy
+from repro.faults.transport import TransportTimeout, UnrecoverableFault
+from repro.telemetry.registry import (
+    MetricsRegistry,
+    reset_default_registry,
+    set_default_registry,
+)
+
+WORLD = 8
+N = 256
+
+#: A plan noisy enough to force several retries on an 8-rank collective.
+STORM = FaultPlan(seed=3, drop_prob=0.05, dup_prob=0.05, delay_prob=0.05,
+                  fault_budget=40)
+
+
+def _buffers(seed: int = 0, world: int = WORLD) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return [rng.uniform(-1.0, 1.0, N) for _ in range(world)]
+
+
+def _assert_value_exact(actual, expected):
+    """The collective's reduction order differs from np.sum's, so allow
+    only last-ulp accumulation noise (the bound the chaos gate uses)."""
+    np.testing.assert_allclose(actual, expected, rtol=0, atol=1e-12)
+
+
+@pytest.fixture
+def registry():
+    fresh = MetricsRegistry()
+    set_default_registry(fresh)
+    yield fresh
+    reset_default_registry()
+
+
+class TestMessageFaultExactness:
+    @pytest.mark.parametrize(
+        "algorithm,gpus_per_node",
+        [("ring", None), ("halving_doubling", None), ("tree", None),
+         ("hierarchical", 2)],
+    )
+    def test_rs_ag_matches_numpy_sum(self, algorithm, gpus_per_node):
+        buffers = _buffers()
+        expected = np.sum(buffers, axis=0)
+        comm = ResilientCommunicator(WORLD, STORM, algorithm=algorithm,
+                                     gpus_per_node=gpus_per_node)
+        comm.rs_ag(buffers)
+        for buf in buffers:
+            _assert_value_exact(buf, expected)
+        assert comm.survivors == list(range(WORLD))
+
+    def test_all_reduce_with_average(self):
+        buffers = _buffers(seed=1)
+        expected = np.sum(buffers, axis=0) / WORLD
+        comm = ResilientCommunicator(WORLD, STORM)
+        comm.all_reduce(buffers, average=True)
+        for buf in buffers:
+            _assert_value_exact(buf, expected)
+
+    def test_faults_actually_fired(self):
+        comm = ResilientCommunicator(WORLD, STORM)
+        comm.rs_ag(_buffers())
+        summary = comm.fault_summary()
+        assert summary["retries"] > 0
+        assert summary["timeouts"] > 0
+        assert summary["backoff_seconds"] > 0.0
+        assert summary["faults_remaining"] < STORM.fault_budget
+
+
+class TestDeterminism:
+    def _run(self) -> tuple[list[np.ndarray], dict]:
+        buffers = _buffers(seed=2)
+        comm = ResilientCommunicator(WORLD, STORM)
+        comm.rs_ag(buffers)
+        return buffers, comm.fault_summary()
+
+    def test_identical_runs_bitwise(self):
+        buffers_a, summary_a = self._run()
+        buffers_b, summary_b = self._run()
+        # Retry counts, the jittered backoff total, everything: one
+        # seed, one behaviour.
+        assert summary_a == summary_b
+        for a, b in zip(buffers_a, buffers_b):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestRankDeath:
+    def test_death_with_fallback_to_ring(self):
+        plan = FaultPlan(seed=0, rank_failures=(RankFailure(3),))
+        buffers = _buffers(seed=3)
+        comm = ResilientCommunicator(WORLD, plan, algorithm="halving_doubling")
+        comm.all_reduce(buffers)
+        survivors = [r for r in range(WORLD) if r != 3]
+        assert comm.survivors == survivors
+        # 7 ranks is not a power of two: the ladder degrades to ring.
+        assert comm.algorithm == "ring"
+        assert comm.requested_algorithm == "halving_doubling"
+        assert comm.rebuilds == 1
+        assert any("fell back to ring" in msg for _, msg in comm.degradations)
+        initial = _buffers(seed=3)
+        expected = np.sum([initial[r] for r in survivors], axis=0)
+        for rank in survivors:
+            _assert_value_exact(buffers[rank], expected)
+        # The dead rank's buffer is untouched.
+        np.testing.assert_array_equal(buffers[3], initial[3])
+
+    def test_mid_run_death_rebuilds(self):
+        plan = FaultPlan(seed=0,
+                         rank_failures=(RankFailure(2, after_collectives=1),))
+        buffers = _buffers(seed=4)
+        full_sum = np.sum(buffers, axis=0)
+        comm = ResilientCommunicator(WORLD, plan)
+        comm.all_reduce(buffers)   # epoch 0: everyone participates
+        assert comm.survivors == list(range(WORLD))
+        comm.rs_ag(buffers)        # epoch 1: rank 2 dies mid-collective
+        survivors = [r for r in range(WORLD) if r != 2]
+        assert comm.survivors == survivors
+        assert comm.rebuilds == 1
+        # After the warmup every buffer held the full sum; the rs_ag
+        # then re-reduces that over the 7 survivors.
+        for rank in survivors:
+            _assert_value_exact(buffers[rank], 7 * full_sum)
+
+    def test_standalone_all_gather_cannot_recover_death(self):
+        plan = FaultPlan(seed=0, rank_failures=(RankFailure(1),))
+        comm = ResilientCommunicator(WORLD, plan)
+        with pytest.raises(UnrecoverableFault, match="all-gather"):
+            comm.all_gather(_buffers())
+
+    def test_all_ranks_dead_is_unrecoverable(self):
+        plan = FaultPlan(
+            rank_failures=tuple(RankFailure(r) for r in range(2))
+        )
+        comm = ResilientCommunicator(2, plan)
+        with pytest.raises(UnrecoverableFault, match="every rank died"):
+            comm.all_reduce(_buffers(world=2))
+
+    def test_average_divides_by_survivor_count(self):
+        plan = FaultPlan(seed=0, rank_failures=(RankFailure(0),))
+        buffers = _buffers(seed=5)
+        survivors = list(range(1, WORLD))
+        expected = np.sum([buffers[r] for r in survivors], axis=0) / len(survivors)
+        comm = ResilientCommunicator(WORLD, plan)
+        comm.all_reduce(buffers, average=True)
+        for rank in survivors:
+            _assert_value_exact(buffers[rank], expected)
+
+
+class TestRetryBounds:
+    def test_unexplained_failures_hit_the_policy_ceiling(self):
+        # A transport that times out without consuming any fault budget
+        # is the pathological case the retry ceiling exists for.
+        policy = RetryPolicy(max_retries=3)
+        comm = ResilientCommunicator(4, FaultPlan(seed=0), policy=policy)
+
+        def always_timeout(src, dst):
+            raise TransportTimeout("wedged")
+
+        comm.transport.recv = always_timeout
+        with pytest.raises(UnrecoverableFault, match="no fault budget"):
+            comm.all_reduce(_buffers(world=4))
+        # The ceiling check fires before the final attempt is counted.
+        assert comm.retries == policy.max_retries
+
+    def test_budget_explained_failures_retry_freely(self):
+        # More injected faults than max_retries, but each failed attempt
+        # burns budget, so the run still completes.
+        plan = FaultPlan(seed=3, drop_prob=0.05, dup_prob=0.05,
+                         delay_prob=0.05, fault_budget=40)
+        policy = RetryPolicy(max_retries=2)
+        buffers = _buffers()
+        expected = np.sum(buffers, axis=0)
+        comm = ResilientCommunicator(WORLD, plan, policy=policy)
+        comm.rs_ag(buffers)
+        assert comm.retries > policy.max_retries
+        for buf in buffers:
+            _assert_value_exact(buf, expected)
+
+
+class TestRetryPolicy:
+    def test_backoff_growth_and_cap(self):
+        policy = RetryPolicy(max_retries=8, base_delay=0.01, multiplier=2.0,
+                             max_delay=0.05, jitter=0.0)
+        delays = [policy.delay(i) for i in range(6)]
+        assert delays[:3] == [0.01, 0.02, 0.04]
+        assert all(d == 0.05 for d in delays[3:])
+
+    def test_jitter_is_deterministic_under_a_seed(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.delay(i, np.random.default_rng(7)) for i in range(4)]
+        b = [policy.delay(i, np.random.default_rng(7)) for i in range(4)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+
+
+class TestConstruction:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            ResilientCommunicator(4, FaultPlan(), algorithm="nccl")
+
+    def test_hierarchical_needs_gpus_per_node(self):
+        with pytest.raises(ValueError, match="gpus_per_node"):
+            ResilientCommunicator(4, FaultPlan(), algorithm="hierarchical")
+
+    def test_failure_outside_world(self):
+        plan = FaultPlan(rank_failures=(RankFailure(9),))
+        with pytest.raises(ValueError, match="outside"):
+            ResilientCommunicator(4, plan)
+
+    def test_buffer_count_checked(self):
+        comm = ResilientCommunicator(4, FaultPlan(drop_prob=0.1))
+        with pytest.raises(ValueError, match="buffers"):
+            comm.all_reduce(_buffers(world=3))
+
+
+class TestTelemetry:
+    def test_recovery_counters_published(self, registry):
+        comm = ResilientCommunicator(WORLD, STORM)
+        comm.rs_ag(_buffers())
+        assert registry.counter("faults.retries").value() == comm.retries
+        assert registry.counter("faults.timeouts").value() == comm.timeouts
+        assert registry.counter("faults.backoff_seconds").value() == \
+            pytest.approx(comm.backoff_seconds)
+        injected = registry.counter("faults.injected")
+        total_injected = sum(
+            injected.value(kind=kind)
+            for kind in ("drop", "duplicate", "delay")
+        )
+        assert total_injected == STORM.fault_budget - \
+            comm.transport.faults_remaining
+
+    def test_death_counters_published(self, registry):
+        plan = FaultPlan(rank_failures=(RankFailure(0),))
+        comm = ResilientCommunicator(4, plan)
+        comm.all_reduce(_buffers(world=4))
+        assert registry.counter("faults.rebuilds").value() == 1
+        assert registry.counter("faults.rank_deaths").value() == 1

@@ -1,0 +1,138 @@
+"""FaultyTransport: injected drop/dup/delay/death semantics and budget."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.faults.plan import FaultPlan, RankFailure
+from repro.faults.transport import (
+    FaultyTransport,
+    RankDeadError,
+    TransportTimeout,
+)
+
+
+def _payload(value: float = 1.0, n: int = 8) -> np.ndarray:
+    return np.full(n, value)
+
+
+class TestDrop:
+    def test_dropped_message_times_out(self):
+        plan = FaultPlan(seed=0, drop_prob=1.0, fault_budget=1)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload())
+        with pytest.raises(TransportTimeout, match="lost"):
+            transport.recv(0, 1)
+
+    def test_budget_exhaustion_restores_clean_delivery(self):
+        plan = FaultPlan(seed=0, drop_prob=1.0, fault_budget=1)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload(1.0))  # dropped: the only budget unit
+        assert transport.faults_remaining == 0
+        with pytest.raises(TransportTimeout):
+            transport.recv(0, 1)
+        transport.send(0, 1, _payload(2.0))  # clean from now on
+        np.testing.assert_array_equal(transport.recv(0, 1), _payload(2.0))
+
+
+class TestDuplicate:
+    def test_duplicate_is_discarded_transparently(self):
+        plan = FaultPlan(seed=0, dup_prob=1.0, fault_budget=1)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload(3.0))
+        np.testing.assert_array_equal(transport.recv(0, 1), _payload(3.0))
+        # The duplicate copy still sits in the mailbox; a later recv
+        # skips it (sequence dedup) rather than double-counting.
+        transport.send(0, 1, _payload(4.0))
+        np.testing.assert_array_equal(transport.recv(0, 1), _payload(4.0))
+
+    def test_duplicate_bytes_hit_the_wire_counters(self):
+        plan = FaultPlan(seed=0, dup_prob=1.0, fault_budget=1)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload())
+        clean = FaultyTransport(2, FaultPlan())
+        clean.send(0, 1, _payload())
+        assert transport.stats.bytes == 2 * clean.stats.bytes
+
+
+class TestDelay:
+    def test_delay_times_out_once_then_delivers(self):
+        plan = FaultPlan(seed=0, delay_prob=1.0, fault_budget=1)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload(5.0))
+        with pytest.raises(TransportTimeout, match="delayed"):
+            transport.recv(0, 1)
+        np.testing.assert_array_equal(transport.recv(0, 1), _payload(5.0))
+
+
+class TestRankDeath:
+    def test_dead_from_start(self):
+        plan = FaultPlan(rank_failures=(RankFailure(1, after_collectives=0),))
+        transport = FaultyTransport(2, plan)
+        assert transport.dead == {1}
+        transport.send(1, 0, _payload())  # vanishes silently
+        assert transport.stats.messages == 0
+        with pytest.raises(RankDeadError):
+            transport.recv(1, 0)
+
+    def test_recv_from_dead_rank_raises(self):
+        plan = FaultPlan(rank_failures=(RankFailure(0),))
+        transport = FaultyTransport(2, plan)
+        with pytest.raises(RankDeadError) as info:
+            transport.recv(0, 1)
+        assert info.value.rank == 0
+
+    def test_send_to_dead_rank_is_swallowed(self):
+        plan = FaultPlan(rank_failures=(RankFailure(1),))
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload())
+        assert transport.stats.messages == 0
+
+    def test_epoch_activation(self):
+        plan = FaultPlan(rank_failures=(RankFailure(1, after_collectives=2),))
+        transport = FaultyTransport(2, plan)
+        assert transport.dead == set()
+        assert transport.advance_epoch(1) == set()
+        assert transport.advance_epoch(2) == {1}
+        # Already-dead ranks are not reported as fresh again.
+        assert transport.advance_epoch(3) == set()
+
+    def test_failure_outside_world_rejected(self):
+        plan = FaultPlan(rank_failures=(RankFailure(5),))
+        with pytest.raises(ValueError, match="outside"):
+            FaultyTransport(2, plan)
+
+
+class TestDrainAndDeterminism:
+    def test_drain_discards_everything(self):
+        plan = FaultPlan(seed=0, delay_prob=1.0, fault_budget=2)
+        transport = FaultyTransport(2, plan)
+        transport.send(0, 1, _payload())
+        transport.send(0, 1, _payload())
+        assert transport.drain() == 2
+        transport.send(0, 1, _payload(9.0))
+        # Pending delay tokens were cleared with the mailboxes.
+        np.testing.assert_array_equal(transport.recv(0, 1), _payload(9.0))
+
+    def _fault_trace(self, generation: int = 0) -> list[str]:
+        plan = FaultPlan(seed=42, drop_prob=0.2, dup_prob=0.2,
+                         delay_prob=0.2, fault_budget=16)
+        transport = FaultyTransport(2, plan, generation=generation)
+        outcomes = []
+        for i in range(24):
+            transport.send(0, 1, _payload(float(i)))
+            try:
+                transport.recv(0, 1)
+                outcomes.append("ok")
+            except TransportTimeout:
+                outcomes.append("timeout")
+                transport.drain()
+        return outcomes
+
+    def test_same_seed_same_fault_sequence(self):
+        assert self._fault_trace() == self._fault_trace()
+
+    def test_generation_changes_the_stream(self):
+        # A rebuilt group must not replay the identical fault sequence.
+        assert self._fault_trace(0) != self._fault_trace(1)

@@ -1,0 +1,220 @@
+"""The repro.api facade: configs, runs, collectives, compat shims."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.api import (
+    SimulationConfig,
+    list_algorithms,
+    list_schedulers,
+    run_collective,
+    run_simulation,
+)
+from repro.faults.plan import FaultPlan, LinkFault, RankFailure
+from repro.network.presets import paper_testbed
+from repro.schedulers.base import SCHEDULER_NAMES, simulate
+
+ITERATIONS = 4
+
+
+class TestSimulationConfig:
+    def test_create_resolves_names(self):
+        config = SimulationConfig.create("dear", "resnet50", "10gbe")
+        assert config.model.name == "resnet50"
+        assert config.cluster is paper_testbed("10gbe") or \
+            config.cluster.name == paper_testbed("10gbe").name
+
+    def test_create_accepts_spec_objects(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("wfbp", tiny_model, ethernet_cluster)
+        assert config.model is tiny_model
+        assert config.cluster is ethernet_cluster
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            SimulationConfig.create("nccl", "resnet50", "10gbe")
+
+    def test_frozen_and_hashable(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster,
+                                         buffer_bytes=25e6)
+        assert hash(config)
+        with pytest.raises(AttributeError):
+            config.scheduler = "wfbp"
+
+    def test_options_frozen_sorted(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create(
+            "dear", tiny_model, ethernet_cluster,
+            fusion="buffer", buffer_bytes=25e6,
+        )
+        assert config.options == (("buffer_bytes", 25e6), ("fusion", "buffer"))
+
+    def test_replace(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster)
+        other = config.replace(scheduler="wfbp",
+                               options={"buffer_bytes": 1e6})
+        assert other.scheduler == "wfbp"
+        assert other.options == (("buffer_bytes", 1e6),)
+        assert config.scheduler == "dear"  # original untouched
+
+    def test_replace_normalizes_faults(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster)
+        assert config.replace(faults=FaultPlan()).faults is None
+
+    def test_to_spec_drops_fastpath(self, tiny_model, ethernet_cluster):
+        fast = SimulationConfig.create("dear", tiny_model, ethernet_cluster,
+                                       fastpath=True)
+        slow = fast.replace(fastpath=False)
+        # Both engines are bit-identical, so the cache key must not
+        # distinguish them.
+        assert fast.to_spec().fingerprint == slow.to_spec().fingerprint
+
+    def test_spec_fingerprint_ignores_empty_plan(self, tiny_model,
+                                                 ethernet_cluster):
+        healthy = SimulationConfig.create("dear", tiny_model, ethernet_cluster)
+        empty = SimulationConfig.create("dear", tiny_model, ethernet_cluster,
+                                        faults=FaultPlan())
+        faulty = SimulationConfig.create(
+            "dear", tiny_model, ethernet_cluster,
+            faults=FaultPlan(link_faults=(LinkFault(0, 1),)),
+        )
+        assert empty.to_spec().fingerprint == healthy.to_spec().fingerprint
+        assert faulty.to_spec().fingerprint != healthy.to_spec().fingerprint
+        assert "faults" not in healthy.to_spec().canonical_payload()
+
+    def test_label(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster)
+        assert config.label == f"dear/tiny/{ethernet_cluster.name}"
+
+
+class TestRunSimulation:
+    def test_uncached_matches_simulate(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster,
+                                         iterations=ITERATIONS)
+        via_facade = run_simulation(config)
+        direct = simulate("dear", tiny_model, ethernet_cluster,
+                          iterations=ITERATIONS)
+        assert via_facade.iteration_times == direct.iteration_times
+
+    def test_cached_round_trip(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("wfbp", tiny_model, ethernet_cluster,
+                                         iterations=ITERATIONS)
+        live = run_simulation(config)
+        cached = run_simulation(config, cached=True)
+        assert cached.iteration_time == live.iteration_time
+        assert cached.tracer is None  # cached results are tracer-less
+
+    def test_faulty_config_runs(self, tiny_model, ethernet_cluster):
+        plan = FaultPlan(link_faults=(LinkFault(0.0, 1e9, alpha_factor=2.0,
+                                                beta_factor=2.0, link="both"),))
+        config = SimulationConfig.create("dear", tiny_model, ethernet_cluster,
+                                         iterations=ITERATIONS, faults=plan)
+        result = run_simulation(config)
+        assert result.extras["fault_plan"] == plan.label()
+
+
+class TestRunCollective:
+    def test_healthy_all_reduce_exact(self):
+        result = run_collective("all_reduce", 8, nelems=64, seed=0)
+        rng = np.random.default_rng(0)
+        expected = np.sum([rng.uniform(-1.0, 1.0, 64) for _ in range(8)],
+                          axis=0)
+        for buf in result.buffers:
+            # Ring reduction order differs from np.sum's: allow only
+            # last-ulp accumulation noise.
+            np.testing.assert_allclose(buf, expected, rtol=0, atol=1e-12)
+        assert result.survivors == list(range(8))
+        assert result.fault_summary is None
+        assert result.wire_bytes > 0 and result.messages > 0
+
+    def test_rs_ag_equals_all_reduce(self):
+        fused = run_collective("all_reduce", 8, nelems=64, seed=3)
+        decoupled = run_collective("rs_ag", 8, nelems=64, seed=3)
+        for a, b in zip(fused.buffers, decoupled.buffers):
+            np.testing.assert_array_equal(a, b)
+
+    def test_explicit_buffers_are_copied(self):
+        mine = [np.ones(16) for _ in range(4)]
+        result = run_collective("all_reduce", 4, buffers=mine)
+        np.testing.assert_array_equal(mine[0], np.ones(16))  # untouched
+        np.testing.assert_array_equal(result.buffers[0], np.full(16, 4.0))
+
+    def test_buffer_count_checked(self):
+        with pytest.raises(ValueError, match="expected 4 buffers"):
+            run_collective("all_reduce", 4, buffers=[np.ones(8)] * 3)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            run_collective("broadcast", 4)
+
+    def test_faulty_plan_routes_through_resilience(self):
+        plan = FaultPlan(seed=0, rank_failures=(RankFailure(2),))
+        result = run_collective("all_reduce", 8, nelems=64, seed=1,
+                                algorithm="halving_doubling", faults=plan)
+        assert result.survivors == [r for r in range(8) if r != 2]
+        assert result.algorithm == "ring"  # degraded: 7 is not a power of two
+        assert result.fault_summary["rebuilds"] == 1
+
+    def test_timing_only_plan_stays_on_plain_communicator(self):
+        plan = FaultPlan(link_faults=(LinkFault(0, 1),))
+        result = run_collective("all_reduce", 4, nelems=32, faults=plan)
+        assert result.fault_summary is None  # no data-level faults to survive
+
+
+class TestListings:
+    def test_list_schedulers(self):
+        assert list_schedulers() == SCHEDULER_NAMES
+        assert "dear" in list_schedulers()
+
+    def test_list_algorithms(self):
+        algorithms = list_algorithms()
+        assert "ring" in algorithms and "halving_doubling" in algorithms
+
+
+class TestPackageSurface:
+    def test_top_level_reexports(self):
+        assert repro.SimulationConfig is SimulationConfig
+        assert repro.run_simulation is run_simulation
+        assert repro.run_collective is run_collective
+        assert repro.FaultPlan is FaultPlan
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestDeprecationShims:
+    def test_fusion_plan_alias(self, tiny_model, ethernet_cluster):
+        with pytest.warns(DeprecationWarning, match="fusion_plan"):
+            legacy = simulate("dear", tiny_model, ethernet_cluster,
+                              iterations=ITERATIONS, fusion_plan="layers")
+        modern = simulate("dear", tiny_model, ethernet_cluster,
+                          iterations=ITERATIONS, fusion="layers")
+        assert legacy.iteration_times == modern.iteration_times
+
+    def test_topology_alias(self, tiny_model, ethernet_cluster):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            legacy = simulate("wfbp", tiny_model, ethernet_cluster,
+                              iterations=ITERATIONS, topology="10gbe")
+        modern = simulate("wfbp", tiny_model, paper_testbed("10gbe"),
+                          iterations=ITERATIONS)
+        assert legacy.iteration_times == modern.iteration_times
+
+    def test_world_size_alias(self, tiny_model, ethernet_cluster):
+        target_nodes = ethernet_cluster.world_size * 2 // \
+            ethernet_cluster.gpus_per_node
+        with pytest.warns(DeprecationWarning, match="world_size"):
+            legacy = simulate(
+                "wfbp", tiny_model, ethernet_cluster, iterations=ITERATIONS,
+                world_size=ethernet_cluster.world_size * 2,
+            )
+        modern = simulate("wfbp", tiny_model,
+                          ethernet_cluster.with_nodes(target_nodes),
+                          iterations=ITERATIONS)
+        assert legacy.iteration_times == modern.iteration_times
+
+    def test_world_size_must_fit_nodes(self, tiny_model, ethernet_cluster):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="does not fit"):
+                simulate("wfbp", tiny_model, ethernet_cluster,
+                         iterations=ITERATIONS,
+                         world_size=ethernet_cluster.world_size + 1)
