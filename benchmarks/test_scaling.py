@@ -3,7 +3,7 @@ larger-scale clusters").
 
 The paper predicts DeAR's advantage over Horovod grows with cluster
 size because the communication-to-computation ratio grows.  Hardware
-limited the authors to 64 GPUs; the simulator sweeps 8 to 256.
+limited the authors to 64 GPUs; the simulator sweeps 8 to 1024.
 """
 
 from benchmarks.conftest import run_and_report
@@ -17,7 +17,7 @@ def run():
     rows = []
     model = get_model("resnet50")
     single = single_gpu_result(model)
-    for nodes in (2, 4, 8, 16, 32, 64):
+    for nodes in (2, 4, 8, 16, 32, 64, 128, 256):
         cluster = cluster_10gbe(nodes=nodes, gpus_per_node=4)
         dear = simulate(
             "dear", model, cluster, fusion="buffer", buffer_bytes=25e6

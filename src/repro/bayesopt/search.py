@@ -58,17 +58,25 @@ def warm_candidate_cache(
     Returns the results in ``buffer_sizes`` order; as a side effect the
     on-disk result cache now holds every candidate, so any tuner whose
     objective routes through :mod:`repro.runner` evaluates for free.
+
+    Repeated candidates (grid tuners cycle, random tuners collide) are
+    simulated once: the batch is deduplicated before the specs are
+    built, and each duplicate position in the return value aliases the
+    unique run's result.
     """
     from repro.runner import RunSpec, run_many
 
+    sizes = [float(size) for size in buffer_sizes]
+    unique_sizes = list(dict.fromkeys(sizes))
     specs = [
         RunSpec.create(
             "dear", model, cluster, fusion="buffer",
-            buffer_bytes=float(size), iterations=iterations,
+            buffer_bytes=size, iterations=iterations,
         )
-        for size in buffer_sizes
+        for size in unique_sizes
     ]
-    return run_many(specs, jobs=jobs)
+    results = dict(zip(unique_sizes, run_many(specs, jobs=jobs)))
+    return [results[size] for size in sizes]
 
 
 class _SearchBase:

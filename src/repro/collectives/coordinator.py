@@ -98,9 +98,7 @@ class ReadinessCoordinator:
 
     def report(self, rank: int, tensor_names: list[str]) -> None:
         """A worker marks tensors locally ready (pre-cycle)."""
-        for name in tensor_names:
-            if name not in self._pending[rank]:
-                self._pending[rank].add(name)
+        self._pending[rank].update(tensor_names)
 
     def cycle(self) -> list[str]:
         """One coordinator round; returns the globally-ready order.
@@ -176,19 +174,23 @@ class ReadinessCoordinator:
         ] + sorted(everywhere - set(self._arrival_order))
         response = list(dict.fromkeys(response))
 
-        # Broadcast the response.
+        # Broadcast the response: one payload encoded once, sent to
+        # every non-root survivor (identical wire bytes to encoding per
+        # destination — pinned by the coordinator test suite).
+        payload = _encode(response)
         final: list[str] = response
         for rank in survivors:
             if rank == root:
                 continue
-            self.transport.send(root, rank, _encode(response))
+            self.transport.send(root, rank, payload)
             final = _decode(self.transport.recv(root, rank))
 
         # All surviving ranks clear the agreed tensors.
+        agreed = set(response)
         for rank in survivors:
-            self._pending[rank] -= set(response)
+            self._pending[rank] -= agreed
         self._arrival_order = [
-            name for name in self._arrival_order if name not in response
+            name for name in self._arrival_order if name not in agreed
         ]
         self.cycles += 1
         self._cycle_counter.inc()

@@ -3,11 +3,24 @@
 :class:`TimingFaultInjector` turns the timing-level fields of a
 :class:`~repro.faults.plan.FaultPlan` — link-degradation windows and
 compute stragglers — into perturbed job durations for the scheduler
-engine.  It never touches the event kernel: the engine submits
-*callable* job bodies that the kernel evaluates at job start, so a job
+engine.  It never touches the simulation kernels themselves: a job
 starting inside a fault window is charged the degraded time for its
 whole duration (factors are sampled at start, matching the plan's
-documented semantics).
+documented semantics), with the sampling instant supplied by whichever
+engine runs the schedule.  On the event kernel the engine submits
+*callable* job bodies evaluated at job start
+(:meth:`TimingFaultInjector.compute_body` /
+:meth:`~TimingFaultInjector.collective_body`); on the vectorized
+replays it submits *priced* duration placeholders resolved once the
+replay knows each job's start time — :class:`PricedCompute` /
+:class:`PricedCollective` (single-rank
+:class:`~repro.sim.fastpath.FastTimeline`) and
+:class:`RankPricedCompute` (rank-axis
+:class:`~repro.sim.multirank_fastpath.MultiRankTimeline`).  Both
+shapes call the same pricing functions with the same (base, start)
+arguments, so faulty runs no longer force a fall-back to the event
+kernel and the engines stay bit-for-bit comparable — pinned by the
+fault test suite and the multirank differential suite.
 
 Link degradation is priced by real degraded cost models, not by naive
 scaling: each distinct ``plan.link_factors(now)`` combination gets one
@@ -20,22 +33,26 @@ Every perturbation is recorded: ``faults.degraded_link_seconds`` /
 ``faults.straggler_seconds`` counters into the telemetry registry, and
 per-event instant markers into the tracer (rendered as globally-scoped
 "i" events in Perfetto) via :meth:`TimingFaultInjector.publish`.
-
-Callable bodies are exactly what the vectorized fast path refuses
-(:class:`~repro.sim.fastpath.FastPathUnsupported`), so an active plan
-automatically falls back to the event kernel — pinned by the fault
-test suite.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.faults.plan import FaultPlan
 from repro.network.cost_model import CollectiveTimeModel
+from repro.sim.fastpath import DeferredDuration
+from repro.sim.multirank_fastpath import DeferredRankDurations
 from repro.telemetry.registry import default_registry
 
-__all__ = ["TimingFaultInjector"]
+__all__ = [
+    "TimingFaultInjector",
+    "PricedCompute",
+    "PricedCollective",
+    "RankPricedCompute",
+]
 
 #: The healthy factor combination (shares the caller's cost model).
 _HEALTHY = (1.0, 1.0, 1.0, 1.0)
@@ -128,6 +145,22 @@ class TimingFaultInjector:
         """Callable job body evaluating link degradation at start time."""
         return lambda: self.collective_duration(kind, nbytes, extra, sim.now)
 
+    # -- priced placeholders (vectorized replays) ------------------------------
+
+    def compute_priced(self, base: float) -> "PricedCompute":
+        """Recorded compute duration priced at replay (single rank)."""
+        return PricedCompute(self, base)
+
+    def collective_priced(
+        self, kind: str, nbytes: float, extra: float
+    ) -> "PricedCollective":
+        """Recorded collective duration priced at the rendezvous start."""
+        return PricedCollective(self, kind, nbytes, extra)
+
+    def compute_priced_ranks(self, bases: np.ndarray) -> "RankPricedCompute":
+        """Recorded per-rank compute durations priced at replay."""
+        return RankPricedCompute(self, bases)
+
     # -- reporting -------------------------------------------------------------
 
     def publish(self, tracer=None) -> None:
@@ -154,3 +187,64 @@ class TimingFaultInjector:
             "straggler_seconds": self.straggler_seconds,
             "events": len(self.events),
         }
+
+
+class PricedCompute(DeferredDuration):
+    """Compute duration the fast-path replay resolves at job start.
+
+    Calls the exact pricing function the event kernel's callable body
+    would (:meth:`TimingFaultInjector.compute_duration`), so the two
+    engines charge bit-identical durations and record identical fault
+    events.
+    """
+
+    __slots__ = ("injector", "base")
+
+    def __init__(self, injector: TimingFaultInjector, base: float):
+        self.injector = injector
+        self.base = base
+
+    def resolve(self, start: float) -> float:
+        return self.injector.compute_duration(self.base, start)
+
+
+class PricedCollective(DeferredDuration):
+    """Collective duration resolved at the (rendezvous) start time."""
+
+    __slots__ = ("injector", "kind", "nbytes", "extra")
+
+    def __init__(self, injector: TimingFaultInjector, kind: str,
+                 nbytes: float, extra: float):
+        self.injector = injector
+        self.kind = kind
+        self.nbytes = nbytes
+        self.extra = extra
+
+    def resolve(self, start: float) -> float:
+        return self.injector.collective_duration(
+            self.kind, self.nbytes, self.extra, start
+        )
+
+
+class RankPricedCompute(DeferredRankDurations):
+    """Per-rank compute durations the multi-rank replay prices at start.
+
+    Resolution loops ranks in order, calling the same scalar pricing
+    function as the event kernel per rank — the per-rank durations are
+    bit-identical; only the order fault *events* are appended in
+    differs (slot-major here, chronological on the kernel), which the
+    sorted trace export normalises away.
+    """
+
+    __slots__ = ("injector", "bases")
+
+    def __init__(self, injector: TimingFaultInjector, bases: np.ndarray):
+        self.injector = injector
+        self.bases = bases
+
+    def resolve(self, starts: np.ndarray) -> np.ndarray:
+        compute_duration = self.injector.compute_duration
+        return np.array([
+            compute_duration(base, start)
+            for base, start in zip(self.bases.tolist(), starts.tolist())
+        ])

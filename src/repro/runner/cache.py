@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.runner.spec import RunSpec
 from repro.schedulers.base import ScheduleResult
+from repro.schedulers.multirank import HeterogeneousResult
 from repro.telemetry.registry import default_registry
 
 __all__ = [
@@ -58,18 +59,48 @@ _RESULT_FIELDS = (
 )
 
 
-def result_to_dict(result: ScheduleResult) -> dict:
-    """JSON-ready view of a result (tracer dropped)."""
+#: Fields of HeterogeneousResult that persist (``world_size`` is a
+#: derived property, the tracer is dropped for the same reasons).
+_HETEROGENEOUS_FIELDS = (
+    "policy",
+    "model_name",
+    "cluster_name",
+    "compute_scales",
+    "iteration_time",
+    "iteration_times",
+    "extras",
+)
+
+
+def result_to_dict(result) -> dict:
+    """JSON-ready view of a result (tracer dropped).
+
+    Heterogeneous multi-rank results carry a ``kind`` tag so the two
+    result shapes round-trip through the same cache; entries written
+    before the tag existed decode as plain schedule results.
+    """
+    if isinstance(result, HeterogeneousResult):
+        payload = {
+            name: getattr(result, name) for name in _HETEROGENEOUS_FIELDS
+        }
+        payload["kind"] = "heterogeneous"
+        payload["compute_scales"] = list(result.compute_scales)
+        payload["iteration_times"] = list(result.iteration_times)
+        return payload
     payload = {name: getattr(result, name) for name in _RESULT_FIELDS}
     payload["iteration_times"] = list(result.iteration_times)
     return payload
 
 
-def result_from_dict(payload: dict) -> ScheduleResult:
+def result_from_dict(payload: dict):
     """Rebuild a (tracer-less) result from its cached form."""
     data = dict(payload)
+    kind = data.pop("kind", "schedule")
     data["iteration_times"] = tuple(data.get("iteration_times", ()))
     data.setdefault("extras", {})
+    if kind == "heterogeneous":
+        data["compute_scales"] = tuple(data.get("compute_scales", ()))
+        return HeterogeneousResult(tracer=None, **data)
     return ScheduleResult(tracer=None, **data)
 
 

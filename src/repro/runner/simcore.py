@@ -136,6 +136,67 @@ def _bench_replay(repeats: int) -> dict[str, float]:
     }
 
 
+def _bench_multirank(world: int, event_repeats: int,
+                     replay_repeats: int) -> dict[str, float]:
+    """Rank-axis replay vs per-rank event kernel on one straggler run.
+
+    Same methodology as :func:`_bench_replay`: event contexts are
+    pre-built (a run is single-shot), the multi-rank timeline is
+    recorded once and replayed per repeat; both timed regions execute
+    the schedule only.  ``jobs`` counts per-rank jobs (world x slots) —
+    the work the event kernel actually performs.
+    """
+    from repro.schedulers.multirank import (
+        FastMultiRankContext,
+        MultiRankIterationContext,
+        _make_timings,
+        _policy_scheduler,
+    )
+
+    model = get_model("resnet50")
+    nodes = max(1, world // 8)
+    cluster = cluster_10gbe(nodes=nodes, gpus_per_node=world // nodes)
+    cost = CollectiveTimeModel(cluster)
+    # A compute ramp keeps the run genuinely heterogeneous (no collapse).
+    scales = [1.0 + 0.25 * rank / (world - 1) for rank in range(world)]
+    timings = _make_timings(model, scales, None, None)
+    scheduler = _policy_scheduler("dear", 25e6)
+    iterations = 5
+
+    contexts = []
+    for _ in range(event_repeats):
+        ctx = MultiRankIterationContext(timings, cost)
+        scheduler.schedule(ctx, iterations)
+        contexts.append(ctx)
+    started = time.perf_counter()
+    for ctx in contexts:
+        ctx.run()
+    event_elapsed = (time.perf_counter() - started) / event_repeats
+
+    fast = FastMultiRankContext(timings, cost)
+    scheduler.schedule(fast, iterations)
+    started = time.perf_counter()
+    for _ in range(replay_repeats):
+        fast._timeline.replay()
+    fast_elapsed = (time.perf_counter() - started) / replay_repeats
+
+    jobs = fast._timeline.jobs_recorded
+    reference = contexts[0].ff_start_times()[-1]
+    candidate = fast.ff_start_times()[-1]
+    if abs(candidate - reference) > 1e-9 * max(reference, 1.0):
+        raise RuntimeError(
+            "multirank replay diverged from event kernel: "
+            f"{candidate} vs {reference}"
+        )
+    return {
+        "world": float(world),
+        "jobs": float(jobs),
+        "jobs_per_sec_event_kernel": jobs / event_elapsed,
+        "jobs_per_sec_fastpath": jobs / fast_elapsed,
+        "fastpath_speedup": event_elapsed / fast_elapsed,
+    }
+
+
 def _bench_sweep(models: tuple[str, ...], repeats: int) -> dict[str, float]:
     """Uncached end-to-end sweep wall time, fast path off vs. on."""
     from repro.schedulers.base import simulate
@@ -173,9 +234,11 @@ def run_simcore(quick: bool = False) -> dict[str, dict[str, float]]:
     sweep_models = ("resnet50",) if quick else ("resnet50", "bert_large")
     sweep_repeats = 1 if quick else 3
 
+    multirank_worlds = (64,) if quick else (64, 256, 1024)
+
     timer_elapsed = _bench_timer_chain(kernel_events)
     cascade_elapsed = _bench_zero_delay_cascade(kernel_events)
-    return {
+    metrics = {
         "kernel/timer_chain": {
             "events": float(kernel_events),
             "events_per_sec": kernel_events / timer_elapsed,
@@ -187,3 +250,11 @@ def run_simcore(quick: bool = False) -> dict[str, dict[str, float]]:
         "replay/wfbp_resnet50": _bench_replay(replay_repeats),
         "sweep/uncached_mini": _bench_sweep(sweep_models, sweep_repeats),
     }
+    for world in multirank_worlds:
+        # One event run at the largest worlds: the event kernel is the
+        # slow side being measured, not the thing to average.
+        event_repeats = 1 if (quick or world > 64) else 2
+        metrics[f"multirank/dear_resnet50_w{world}"] = _bench_multirank(
+            world, event_repeats, replay_repeats
+        )
+    return metrics

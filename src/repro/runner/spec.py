@@ -59,6 +59,12 @@ class RunSpec:
     #: a faulty run must never be answered from a healthy run's cache
     #: entry, so the plan participates in the fingerprint.
     faults: Optional[FaultPlan] = None
+    #: Per-rank compute-time multipliers.  ``None`` (the default) runs
+    #: the representative single-rank engine; a tuple routes the spec
+    #: through :func:`repro.schedulers.multirank.simulate_heterogeneous`
+    #: with ``scheduler`` as the policy name — the straggler grids run
+    #: through the same cache and fan-out executor as everything else.
+    compute_scales: Optional[tuple[float, ...]] = None
 
     @classmethod
     def create(
@@ -71,6 +77,7 @@ class RunSpec:
         iterations: int = DEFAULT_ITERATIONS,
         iteration_compute: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
+        compute_scales: Optional[tuple[float, ...]] = None,
         **options,
     ) -> "RunSpec":
         """Mirror of the ``simulate(...)`` signature."""
@@ -88,6 +95,10 @@ class RunSpec:
             iteration_compute=iteration_compute,
             options=_freeze_options(options),
             faults=normalize_plan(faults),
+            compute_scales=(
+                None if compute_scales is None
+                else tuple(float(scale) for scale in compute_scales)
+            ),
         )
 
     # -- identity ------------------------------------------------------------
@@ -113,6 +124,10 @@ class RunSpec:
         # cache entries keyed on them) survive the field's introduction.
         if self.faults is not None:
             payload["faults"] = self.faults.canonical_payload()
+        # Same survival rule for heterogeneity: single-rank fingerprints
+        # predate the field and must not change.
+        if self.compute_scales is not None:
+            payload["compute_scales"] = list(self.compute_scales)
         return payload
 
     def canonical_json(self) -> str:
@@ -138,7 +153,28 @@ class RunSpec:
     # -- execution -----------------------------------------------------------
 
     def run(self) -> ScheduleResult:
-        """Execute the simulation this spec describes."""
+        """Execute the simulation this spec describes.
+
+        Specs with ``compute_scales`` return a
+        :class:`~repro.schedulers.multirank.HeterogeneousResult`, which
+        exposes the same ``iteration_time`` / ``iteration_times`` /
+        ``extras`` surface the runner and reporters consume.
+        """
+        if self.compute_scales is not None:
+            from repro.schedulers.multirank import simulate_heterogeneous
+
+            return simulate_heterogeneous(
+                self.scheduler,
+                self.model,
+                self.cluster,
+                self.compute_scales,
+                batch_size=self.batch_size,
+                algorithm=self.algorithm,
+                iterations=self.iterations,
+                iteration_compute=self.iteration_compute,
+                faults=self.faults,
+                **dict(self.options),
+            )
         return simulate(
             self.scheduler,
             self.model,

@@ -110,10 +110,10 @@ class Scheduler(ABC):
     ) -> IterationContext:
         """Schedule + execute on the fastest applicable context.
 
-        ``fastpath`` overrides the DEAR_FASTPATH toggle (None = env);
-        an active timing-fault plan makes the recorder raise
-        :class:`FastPathUnsupported` at the first callable job body, so
-        faulty runs land on the event kernel automatically.
+        ``fastpath`` overrides the DEAR_FASTPATH toggle (None = env).
+        Timing-fault plans ride the fast path too (priced durations
+        resolved at replay); only genuinely dynamic schedules raise
+        :class:`FastPathUnsupported` and fall back to the event kernel.
         """
         use_fast = fast_path_enabled() if fastpath is None else fastpath
         if self.supports_fast_path and use_fast:

@@ -82,6 +82,13 @@ class IterationContext:
             return duration
         return self.faults.compute_body(duration, self.sim)
 
+    def _collective_body(self, kind: str, nbytes: float, extra_time: float,
+                         duration: float):
+        """Healthy duration, or a start-priced body under timing faults."""
+        if self.faults is None:
+            return duration
+        return self.faults.collective_body(kind, nbytes, extra_time, self.sim)
+
     def submit_ff_layer(self, iteration: int, layer_index: int,
                         gate: Optional[Event] = None) -> Job:
         """Feed-forward compute job for one layer of one iteration."""
@@ -170,11 +177,7 @@ class IterationContext:
                 f"unknown collective kind {kind!r}; "
                 f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
             ) from None
-        body = (
-            duration
-            if self.faults is None
-            else self.faults.collective_body(kind, nbytes, extra_time, self.sim)
-        )
+        body = self._collective_body(kind, nbytes, extra_time, duration)
         category = COLLECTIVE_CATEGORIES[kind]
         span_metadata = {
             "iteration": iteration,
@@ -257,7 +260,10 @@ class FastIterationContext(IterationContext):
     :class:`~repro.sim.fastpath.FastTimeline` instead of driving the
     event kernel; :meth:`run` replays the recorded schedule in closed
     form (see :mod:`repro.sim.fastpath` for the recurrence and its
-    equivalence argument).  Schedulers that need dynamic events or
+    equivalence argument).  Timing faults record *priced* duration
+    placeholders the replay resolves at each job's start time — the
+    same pricing the event kernel's callable bodies perform, so faulty
+    runs stay on this engine.  Schedulers that need dynamic events or
     process bodies make the recorder raise
     :class:`~repro.sim.fastpath.FastPathUnsupported`, which
     :meth:`repro.schedulers.base.Scheduler.run` catches to fall back to
@@ -281,15 +287,24 @@ class FastIterationContext(IterationContext):
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
         }
-        # An active timing plan produces callable job bodies, which the
-        # recorder rejects with FastPathUnsupported at the first submit
-        # — the designed trigger for the event-kernel fallback.
         faults = normalize_plan(faults)
         self.faults = (
             TimingFaultInjector(faults, cost)
             if faults is not None and faults.has_timing_faults
             else None
         )
+
+    def _compute_body(self, duration: float):
+        """Fixed duration, or a replay-priced placeholder under faults."""
+        if self.faults is None:
+            return duration
+        return self.faults.compute_priced(duration)
+
+    def _collective_body(self, kind: str, nbytes: float, extra_time: float,
+                         duration: float):
+        if self.faults is None:
+            return duration
+        return self.faults.collective_priced(kind, nbytes, extra_time)
 
     def run(self, check_quiescent: bool = True) -> float:
         """Replay the recorded schedule; returns the final virtual time.
@@ -299,6 +314,8 @@ class FastIterationContext(IterationContext):
         they cannot deadlock.
         """
         final = self._timeline.replay(self.tracer)
+        if self.faults is not None:
+            self.faults.publish(self.tracer)
         busy_times = self._timeline.stream_busy_times()
         self._publish_stream_metrics(
             "fastpath",

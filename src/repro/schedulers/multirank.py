@@ -16,26 +16,68 @@ overlapped, so DeAR keeps its (small) absolute advantage but cannot
 absorb heterogeneity.  Quantifying that *negative* result is the point
 of the bench built on this module.
 
+Scheduling policies are the real scheduler classes
+(:mod:`repro.schedulers.wfbp` and friends): the per-rank contexts here
+implement the same submit API as :class:`IterationContext`, so one
+``schedule()`` body drives either one representative rank or all of
+them.  Two execution engines back that API:
+
+- :class:`MultiRankIterationContext` runs per-rank streams and
+  rendezvous collectives on the event kernel — fully general, but
+  O(world x jobs) events;
+- :class:`FastMultiRankContext` records the same schedule into a
+  :class:`~repro.sim.multirank_fastpath.MultiRankTimeline` and replays
+  it in closed form along the rank axis — the engine that makes
+  1024-GPU sweeps interactive.
+
+Engine selection mirrors :meth:`repro.schedulers.base.Scheduler.run`:
+vectorized replay first (honouring ``DEAR_FASTPATH`` and the
+``fastpath`` override), event kernel on
+:class:`~repro.sim.fastpath.FastPathUnsupported`.  Uniform
+``compute_scales`` with no faults collapse to the single-rank engine
+outright (synchronous collectives make identical ranks redundant; the
+engine module's docstring makes the exactness argument).  The
+differential suite in ``tests/sim/test_multirank_fastpath.py`` pins the
+engines against each other — iteration times to 1e-9 and per-rank
+Perfetto traces byte-for-byte.
+
 Entry point: :func:`simulate_heterogeneous`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
 
-from repro.core.fusion import FusionPlan, buffer_size_groups, no_fusion_groups
+import numpy as np
+
 from repro.models.layers import ModelSpec
 from repro.models.profiles import TimingModel
 from repro.network.cost_model import CollectiveTimeModel
 from repro.network.fabric import ClusterSpec
+from repro.faults.plan import FaultPlan, normalize_plan
+from repro.faults.timing import (
+    PricedCollective,
+    RankPricedCompute,
+    TimingFaultInjector,
+)
+from repro.schedulers.base import Scheduler
+from repro.schedulers.ddp import DDP_DEFAULT_BUCKET_BYTES, DDPScheduler
+from repro.schedulers.dear import DeARScheduler
+from repro.schedulers.engine import COLLECTIVE_CATEGORIES, IterationContext
+from repro.schedulers.horovod import HOROVOD_DEFAULT_BUFFER_BYTES, HorovodScheduler
+from repro.schedulers.mg_wfbp import MGWFBPScheduler
+from repro.schedulers.wfbp import WFBPScheduler
 from repro.sim.engine import Event, Simulator
-from repro.sim.resources import Job, Stream
+from repro.sim.fastpath import FastPathUnsupported, fast_path_enabled
+from repro.sim.multirank_fastpath import MultiRankTimeline
+from repro.sim.resources import Stream
 from repro.sim.trace import Tracer
+from repro.telemetry.registry import default_registry
 
-__all__ = ["HeterogeneousResult", "simulate_heterogeneous"]
+__all__ = ["HeterogeneousResult", "simulate_heterogeneous", "POLICIES"]
 
-POLICIES = ("wfbp", "horovod", "dear")
+POLICIES = ("wfbp", "ddp", "horovod", "mg_wfbp", "dear")
 
 
 @dataclass
@@ -48,19 +90,62 @@ class HeterogeneousResult:
     compute_scales: tuple[float, ...]
     iteration_time: float
     iteration_times: tuple[float, ...]
+    tracer: Optional[Tracer] = field(default=None, repr=False)
+    #: engine that produced the result ("multirank-fastpath",
+    #: "multirank-event" or "collapsed") plus fault totals when faulty.
+    extras: dict = field(default_factory=dict)
 
     @property
     def world_size(self) -> int:
         return len(self.compute_scales)
 
 
-class _Collective:
-    """Rendezvous: starts at the last arrival, ends ``duration`` later."""
+def _policy_scheduler(
+    policy: str, fusion_buffer_bytes: Optional[float]
+) -> Scheduler:
+    """Instantiate the scheduler class implementing a policy name.
 
-    def __init__(self, sim: Simulator, world_size: int, duration: float, name: str):
+    ``fusion_buffer_bytes=None`` means per-tensor collectives where the
+    policy supports that (wfbp, dear) and the policy's own default
+    bucket where it requires one (ddp, horovod); mg_wfbp derives its
+    plan from rank 0's backward timings and ignores the knob.
+    """
+    if policy == "wfbp":
+        return WFBPScheduler(buffer_bytes=fusion_buffer_bytes)
+    if policy == "ddp":
+        return DDPScheduler(
+            buffer_bytes=fusion_buffer_bytes or DDP_DEFAULT_BUCKET_BYTES
+        )
+    if policy == "horovod":
+        return HorovodScheduler(
+            buffer_bytes=fusion_buffer_bytes or HOROVOD_DEFAULT_BUFFER_BYTES,
+            fusion="buffer",
+        )
+    if policy == "mg_wfbp":
+        return MGWFBPScheduler()
+    if policy == "dear":
+        if fusion_buffer_bytes is None:
+            return DeARScheduler(fusion="none")
+        return DeARScheduler(fusion="buffer", buffer_bytes=fusion_buffer_bytes)
+    raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+
+
+class _Collective:
+    """Rendezvous: starts at the last arrival, ends ``duration`` later.
+
+    ``pricer`` (timing faults) re-prices the duration at the rendezvous
+    instant — the same "factors sampled at start" semantics as the
+    single-rank engine's callable bodies, evaluated exactly once per
+    collective in both multi-rank engines.
+    """
+
+    def __init__(self, sim: Simulator, world_size: int, duration: float,
+                 name: str,
+                 pricer: Optional[Callable[[float], float]] = None):
         self._sim = sim
         self._expected = world_size
         self._arrived = 0
+        self._pricer = pricer
         self.duration = duration
         self.done: Event = sim.event(name=f"{name}.done")
         self.start_time: Optional[float] = None
@@ -71,6 +156,8 @@ class _Collective:
             raise RuntimeError(f"collective {self.done.name} over-subscribed")
         if self._arrived == self._expected:
             self.start_time = self._sim.now
+            if self._pricer is not None:
+                self.duration = self._pricer(self.start_time)
             self._sim.schedule(self.duration, lambda: self.done.succeed())
 
     def body(self):
@@ -79,19 +166,339 @@ class _Collective:
         yield self.done
 
 
-class _Rank:
-    """One worker: its timing profile and two streams."""
+class _RankGate:
+    """Per-rank gate events for one logical dependency (event engine)."""
 
-    def __init__(self, sim: Simulator, tracer: Tracer, rank: int, timing: TimingModel):
-        self.rank = rank
-        self.timing = timing
-        self.compute = Stream(
-            sim, f"rank{rank}.compute", tracer=tracer, actor=f"rank{rank}.compute"
+    __slots__ = ("events",)
+
+    def __init__(self, events: list):
+        self.events = events
+
+
+class _EventJobSet:
+    """The rank-r instances of one submission, behind one handle.
+
+    ``metadata`` is the single dict shared by every rank's job, so
+    scheduler-side mutations (flow ids) reach all per-rank spans — the
+    same sharing the fast engine's
+    :class:`~repro.sim.multirank_fastpath.MultiRankJobSet` has.
+    """
+
+    __slots__ = ("jobs", "metadata", "done")
+
+    def __init__(self, jobs: list, metadata: dict,
+                 done: Optional[_RankGate] = None):
+        self.jobs = jobs
+        self.metadata = metadata
+        self.done = done if done is not None else _RankGate(
+            [job.done for job in jobs]
         )
-        self.comm = Stream(
-            sim, f"rank{rank}.comm", tracer=tracer, actor=f"rank{rank}.comm"
+
+    def rank_start(self, rank: int) -> float:
+        start = self.jobs[rank].start
+        if start is None:
+            raise RuntimeError(
+                f"job {self.jobs[rank].name} never ran; dependency deadlock?"
+            )
+        return start
+
+
+class _EventShim:
+    """`ctx.sim` facade fanning `all_of` out to each rank's events."""
+
+    __slots__ = ("_sim", "_world")
+
+    def __init__(self, sim: Simulator, world: int):
+        self._sim = sim
+        self._world = world
+
+    def all_of(self, gates, name: str = "all_of") -> _RankGate:
+        gates = list(gates)
+        for gate in gates:
+            if not isinstance(gate, _RankGate):
+                raise TypeError(
+                    f"multi-rank schedules gate on job handles, "
+                    f"got {type(gate).__name__}"
+                )
+        return _RankGate([
+            self._sim.all_of([gate.events[rank] for gate in gates], name=name)
+            for rank in range(self._world)
+        ])
+
+
+class _MultiRankContextBase(IterationContext):
+    """Shared submit API over per-rank execution engines.
+
+    Subclasses provide :meth:`_submit_compute` /
+    :meth:`_submit_collective_slot` / :meth:`run`; everything the
+    scheduler classes call (``submit_forward_pass``,
+    ``submit_backward_pass``, ``submit_collective``, ``ctx.sim.all_of``,
+    ``ff_start_times``) is inherited or implemented here, with span
+    names, categories, and metadata dicts identical to the single-rank
+    engine's — the trace byte-identity between engines depends on it.
+
+    ``self.timing`` is rank 0's profile: the *planning* view that
+    fusion-plan builders (mg_wfbp's ready times, horovod's negotiation
+    sizing) consume, deterministic and identical across engines.
+    """
+
+    engine = ""
+
+    def __init__(self, timings: Sequence[TimingModel],
+                 cost: CollectiveTimeModel,
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
+        self.timings = list(timings)
+        self.world = len(self.timings)
+        self.timing = self.timings[0]
+        self.model = self.timing.model
+        self.cost = cost
+        self.tracer = tracer
+        self.ff_first_jobs = []
+        self._collective_time = {
+            "all_reduce": cost.all_reduce,
+            "reduce_scatter": cost.reduce_scatter,
+            "all_gather": cost.all_gather,
+        }
+        faults = normalize_plan(faults)
+        self.faults = (
+            TimingFaultInjector(faults, cost)
+            if faults is not None and faults.has_timing_faults
+            else None
         )
-        self.ff_first_jobs: list[Job] = []
+        #: layer -> (vector, list) per-rank duration caches, filled
+        #: lazily and reused across iterations.
+        self._ff_cache: dict[int, tuple[np.ndarray, list[float]]] = {}
+        self._bp_cache: dict[int, tuple[np.ndarray, list[float]]] = {}
+
+    # -- per-rank durations ---------------------------------------------------
+
+    def _layer_durations(self, cache: dict, times: Callable[[TimingModel], float],
+                         layer_index: int) -> tuple[np.ndarray, list[float]]:
+        entry = cache.get(layer_index)
+        if entry is None:
+            vec = np.array([times(timing) for timing in self.timings])
+            entry = (vec, vec.tolist())
+            cache[layer_index] = entry
+        return entry
+
+    def _ff_durations(self, layer_index: int) -> tuple[np.ndarray, list[float]]:
+        return self._layer_durations(
+            self._ff_cache, lambda t: t.ff_time(layer_index), layer_index
+        )
+
+    def _bp_durations(self, layer_index: int) -> tuple[np.ndarray, list[float]]:
+        return self._layer_durations(
+            self._bp_cache, lambda t: t.bp_time(layer_index), layer_index
+        )
+
+    # -- submit API (same shape as IterationContext) --------------------------
+
+    def submit_ff_layer(self, iteration: int, layer_index: int, gate=None):
+        job = self._submit_compute(
+            self._ff_durations(layer_index),
+            name=f"ff.{iteration}.{layer_index}",
+            category="ff",
+            gate=gate,
+            metadata={"iteration": iteration, "layer": layer_index},
+        )
+        if layer_index == 0:
+            self.ff_first_jobs.append(job)
+        return job
+
+    def submit_bp_layer(self, iteration: int, layer_index: int, gate=None):
+        return self._submit_compute(
+            self._bp_durations(layer_index),
+            name=f"bp.{iteration}.{layer_index}",
+            category="bp",
+            gate=gate,
+            metadata={"iteration": iteration, "layer": layer_index},
+        )
+
+    def submit_collective(self, kind: str, nbytes: float, iteration: int,
+                          label: str, gate=None, extra_time: float = 0.0,
+                          metadata: Optional[dict] = None):
+        try:
+            duration = self._collective_time[kind](nbytes) + extra_time
+        except KeyError:
+            raise ValueError(
+                f"unknown collective kind {kind!r}; "
+                f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
+            ) from None
+        # Same keys in the same order as the single-rank engine: the
+        # serialised span args must match byte-for-byte.
+        span_metadata = {
+            "iteration": iteration,
+            "bytes": nbytes,
+            "extra": extra_time,
+            "algorithm": getattr(self.cost, "algorithm", "unknown"),
+            "flow": f"{iteration}.{label}",
+        }
+        if metadata:
+            span_metadata.update(metadata)
+        return self._submit_collective_slot(
+            kind, nbytes, extra_time, duration,
+            name=f"{kind}.{iteration}.{label}",
+            category=COLLECTIVE_CATEGORIES[kind],
+            gate=gate,
+            metadata=span_metadata,
+        )
+
+    def ff_start_times(self) -> list[float]:
+        """Rank 0's start time of each iteration's first FF job."""
+        return [job.rank_start(0) for job in self.ff_first_jobs]
+
+    # -- engine hooks ---------------------------------------------------------
+
+    def _submit_compute(self, durations, name, category, gate, metadata):
+        raise NotImplementedError
+
+    def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
+                                name, category, gate, metadata):
+        raise NotImplementedError
+
+    def _publish_engine_metrics(self) -> None:
+        default_registry().counter(
+            "sim.runs", "simulations executed, by engine kind"
+        ).inc(engine=f"multirank-{self.engine}")
+
+
+class MultiRankIterationContext(_MultiRankContextBase):
+    """Every rank on the event kernel: the general (slow) engine."""
+
+    engine = "event"
+
+    def __init__(self, timings: Sequence[TimingModel],
+                 cost: CollectiveTimeModel,
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
+        super().__init__(timings, cost, tracer=tracer, faults=faults)
+        self._sim = Simulator()
+        self.sim = _EventShim(self._sim, self.world)
+        self.compute_streams = [
+            Stream(self._sim, f"rank{rank}.compute", tracer=self.tracer,
+                   actor=f"rank{rank}.compute")
+            for rank in range(self.world)
+        ]
+        self.comm_streams = [
+            Stream(self._sim, f"rank{rank}.comm", tracer=self.tracer,
+                   actor=f"rank{rank}.comm")
+            for rank in range(self.world)
+        ]
+
+    def _submit_compute(self, durations, name, category, gate, metadata):
+        _, per_rank = durations
+        faults = self.faults
+        jobs = []
+        for rank in range(self.world):
+            body = (
+                per_rank[rank]
+                if faults is None
+                else faults.compute_body(per_rank[rank], self._sim)
+            )
+            jobs.append(self.compute_streams[rank].submit(
+                body, name=name, category=category,
+                gate=None if gate is None else gate.events[rank],
+                metadata=metadata,
+            ))
+        return _EventJobSet(jobs, metadata)
+
+    def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
+                                name, category, gate, metadata):
+        faults = self.faults
+        pricer = (
+            None
+            if faults is None
+            else lambda now: faults.collective_duration(
+                kind, nbytes, extra_time, now
+            )
+        )
+        collective = _Collective(
+            self._sim, world_size=self.world, duration=duration, name=name,
+            pricer=pricer,
+        )
+        jobs = []
+        for rank in range(self.world):
+            jobs.append(self.comm_streams[rank].submit(
+                collective.body(), name=name, category=category,
+                gate=None if gate is None else gate.events[rank],
+                metadata=metadata,
+            ))
+        # Every rank ends with the shared rendezvous, so the logical
+        # done gate is the collective's (identical instants, one event).
+        return _EventJobSet(
+            jobs, metadata, done=_RankGate([collective.done] * self.world)
+        )
+
+    def run(self, check_quiescent: bool = True) -> float:
+        final = self._sim.run()
+        if check_quiescent:
+            stuck = [
+                stream.stall_report()
+                for stream in (*self.compute_streams, *self.comm_streams)
+                if stream.outstanding
+            ]
+            if stuck:
+                raise RuntimeError("schedule deadlocked: " + "; ".join(stuck))
+        if self.faults is not None:
+            self.faults.publish(self.tracer)
+        self._publish_engine_metrics()
+        return final
+
+
+class FastMultiRankContext(_MultiRankContextBase):
+    """Every rank on the rank-axis vectorized replay.
+
+    Records the schedule into a
+    :class:`~repro.sim.multirank_fastpath.MultiRankTimeline`; dynamic
+    features raise :class:`~repro.sim.fastpath.FastPathUnsupported` and
+    the caller falls back to :class:`MultiRankIterationContext`.
+    Timing faults stay on this engine: compute slots carry
+    :class:`~repro.faults.timing.RankPricedCompute` vectors and
+    collectives :class:`~repro.faults.timing.PricedCollective` scalars,
+    priced at replay from the same start times the event kernel would
+    price at.
+    """
+
+    engine = "fastpath"
+
+    def __init__(self, timings: Sequence[TimingModel],
+                 cost: CollectiveTimeModel,
+                 tracer: Optional[Tracer] = None,
+                 faults: Optional[FaultPlan] = None):
+        super().__init__(timings, cost, tracer=tracer, faults=faults)
+        self._timeline = MultiRankTimeline(self.world)
+        self.sim = self._timeline.sim
+        self.compute = self._timeline.stream("compute")
+        self.comm = self._timeline.stream("comm")
+
+    def _submit_compute(self, durations, name, category, gate, metadata):
+        vec, _ = durations
+        body = (
+            vec if self.faults is None else RankPricedCompute(self.faults, vec)
+        )
+        return self.compute.submit(
+            body, name=name, category=category, gate=gate, metadata=metadata
+        )
+
+    def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
+                                name, category, gate, metadata):
+        body = (
+            duration
+            if self.faults is None
+            else PricedCollective(self.faults, kind, nbytes, extra_time)
+        )
+        return self.comm.submit_collective(
+            body, name=name, category=category, gate=gate, metadata=metadata
+        )
+
+    def run(self, check_quiescent: bool = True) -> float:
+        """Replay the recorded schedule (recordable = deadlock-free)."""
+        final = self._timeline.replay(self.tracer)
+        if self.faults is not None:
+            self.faults.publish(self.tracer)
+        self._publish_engine_metrics()
+        return final
 
 
 def _make_timings(
@@ -121,15 +528,30 @@ def simulate_heterogeneous(
     iteration_compute: Optional[float] = None,
     algorithm: str = "ring",
     iterations: int = 5,
+    faults: Optional[FaultPlan] = None,
+    fastpath: Optional[bool] = None,
+    collapse: bool = True,
+    trace: bool = False,
 ) -> HeterogeneousResult:
     """Simulate every rank explicitly with per-rank compute speeds.
 
     Args:
-        policy: ``"wfbp"`` or ``"dear"``.
+        policy: one of :data:`POLICIES`.
         compute_scales: per-rank compute-time multipliers (1.0 = the
             calibrated profile; 1.2 = 20% slower).  Must have exactly
             ``cluster.world_size`` entries.
-        fusion_buffer_bytes: fusion threshold (``None`` = per tensor).
+        fusion_buffer_bytes: fusion threshold (``None`` = per tensor
+            where the policy supports it; ddp/horovod fall back to
+            their own default buckets).
+        faults: timing-level fault plan (straggler / link-degradation
+            windows), priced identically on either engine.
+        fastpath: force the vectorized replay on/off (None defers to
+            ``DEAR_FASTPATH``).
+        collapse: allow delegating uniform-scale fault-free runs to the
+            single-rank engine (exact; disable to force a true
+            multi-rank execution, e.g. for differential testing).
+        trace: record per-rank Perfetto spans into ``result.tracer``
+            (off by default — a 1024-rank trace is large).
     """
     if policy not in POLICIES:
         raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -140,176 +562,75 @@ def simulate_heterogeneous(
     if iterations < 3:
         raise ValueError("need >= 3 iterations for a steady-state measurement")
 
-    sim = Simulator()
-    tracer = Tracer()
+    compute_scales = tuple(float(scale) for scale in compute_scales)
+    faults = normalize_plan(faults)
+    scheduler = _policy_scheduler(policy, fusion_buffer_bytes)
     cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+
+    uniform = all(scale == compute_scales[0] for scale in compute_scales)
+    if collapse and uniform and faults is None:
+        # Homogeneous ranks run identical timelines and the collectives
+        # are synchronous, so one representative rank is exact — reuse
+        # the single-rank engine (and its own fast path) outright.
+        timing = TimingModel.for_model(
+            model,
+            batch_size=batch_size,
+            iteration_compute=iteration_compute,
+            compute_scale=compute_scales[0],
+        )
+        result = scheduler.run(
+            timing, cost, iterations=iterations, fastpath=fastpath
+        )
+        return HeterogeneousResult(
+            policy=policy,
+            model_name=model.name,
+            cluster_name=cluster.name,
+            compute_scales=compute_scales,
+            iteration_time=result.iteration_time,
+            iteration_times=result.iteration_times,
+            tracer=result.tracer if trace else None,
+            extras={"engine": "collapsed"},
+        )
+
     timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
-    ranks = [_Rank(sim, tracer, r, timings[r]) for r in range(cluster.world_size)]
-    plan = (
-        no_fusion_groups(model)
-        if fusion_buffer_bytes is None
-        else buffer_size_groups(model, fusion_buffer_bytes)
-    )
+    use_fast = fast_path_enabled() if fastpath is None else fastpath
+    ctx = None
+    if use_fast and scheduler.supports_fast_path:
+        try:
+            fast_ctx = FastMultiRankContext(
+                timings, cost, tracer=Tracer() if trace else None,
+                faults=faults,
+            )
+            scheduler.schedule(fast_ctx, iterations)
+            fast_ctx.run()
+            ctx = fast_ctx
+        except FastPathUnsupported:
+            ctx = None
+    if ctx is None:
+        event_ctx = MultiRankIterationContext(
+            timings, cost, tracer=Tracer() if trace else None, faults=faults
+        )
+        scheduler.schedule(event_ctx, iterations)
+        event_ctx.run()
+        ctx = event_ctx
 
-    if policy == "wfbp":
-        _schedule_wfbp(sim, ranks, plan, cost, iterations)
-    elif policy == "horovod":
-        _schedule_wfbp(sim, ranks, plan, cost, iterations, negotiate=True)
-    else:
-        _schedule_dear(sim, ranks, plan, cost, iterations)
-
-    sim.run()
-    for rank in ranks:
-        for stream in (rank.compute, rank.comm):
-            if stream.outstanding:
-                raise RuntimeError(f"deadlock: {stream.stall_report()}")
-
-    starts = [job.start for job in ranks[0].ff_first_jobs]
+    starts = ctx.ff_start_times()
+    if len(starts) != iterations:
+        raise RuntimeError(
+            f"{policy}: expected {iterations} iterations, observed {len(starts)}"
+        )
     gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
+    extras = {"engine": f"multirank-{ctx.engine}"}
+    if ctx.faults is not None:
+        extras["fault_plan"] = faults.label()
+        extras["timing_faults"] = ctx.faults.summary()
     return HeterogeneousResult(
         policy=policy,
         model_name=model.name,
         cluster_name=cluster.name,
-        compute_scales=tuple(compute_scales),
+        compute_scales=compute_scales,
         iteration_time=gaps[-1],
         iteration_times=gaps,
+        tracer=ctx.tracer,
+        extras=extras,
     )
-
-
-def _submit_ff(rank: _Rank, iteration: int, layer_index: int,
-               gate: Optional[Event]) -> Job:
-    job = rank.compute.submit(
-        rank.timing.ff_time(layer_index),
-        name=f"ff.{iteration}.{layer_index}",
-        category="ff",
-        gate=gate,
-        metadata={"iteration": iteration, "layer": layer_index, "rank": rank.rank},
-    )
-    if layer_index == 0:
-        rank.ff_first_jobs.append(job)
-    return job
-
-
-def _submit_bp(rank: _Rank, iteration: int, layer_index: int) -> Job:
-    return rank.compute.submit(
-        rank.timing.bp_time(layer_index),
-        name=f"bp.{iteration}.{layer_index}",
-        category="bp",
-        metadata={"iteration": iteration, "layer": layer_index, "rank": rank.rank},
-    )
-
-
-def _submit_collective_job(
-    sim: Simulator,
-    rank: _Rank,
-    collective: _Collective,
-    kind: str,
-    iteration: int,
-    label: str,
-    gate: Optional[Event],
-) -> Job:
-    category = {"all_reduce": "comm.ar", "reduce_scatter": "comm.rs",
-                "all_gather": "comm.ag"}[kind]
-    return rank.comm.submit(
-        collective.body(),
-        name=f"{kind}.{iteration}.{label}",
-        category=category,
-        gate=gate,
-        metadata={"iteration": iteration, "rank": rank.rank},
-    )
-
-
-def _schedule_wfbp(sim, ranks, plan: FusionPlan, cost, iterations: int,
-                   negotiate: bool = False) -> None:
-    """WFBP-family schedule; ``negotiate`` adds Horovod's coordinator
-    round to every collective's duration."""
-    world = len(ranks)
-    prev_done: Optional[Event] = None
-    for iteration in range(iterations):
-        for rank in ranks:
-            for layer_index in range(rank.timing.model.num_layers):
-                gate = prev_done if layer_index == 0 else None
-                _submit_ff(rank, iteration, layer_index, gate)
-        bp_jobs = {
-            rank.rank: _backward(rank, iteration) for rank in ranks
-        }
-        done_events = []
-        for group in plan:
-            duration = cost.all_reduce(group.nbytes)
-            if negotiate:
-                duration += cost.negotiation(
-                    payload_bytes=8.0 * len(group.tensors)
-                )
-            collective = _Collective(
-                sim, world, duration,
-                name=f"ar.{iteration}.g{group.index}",
-            )
-            for rank in ranks:
-                gate = sim.all_of(
-                    [bp_jobs[rank.rank][l].done for l in group.layer_indices]
-                )
-                _submit_collective_job(
-                    sim, rank, collective, "all_reduce", iteration,
-                    f"g{group.index}", gate,
-                )
-            done_events.append(collective.done)
-        prev_done = sim.all_of(done_events)
-
-
-def _schedule_dear(sim, ranks, plan: FusionPlan, cost, iterations: int) -> None:
-    world = len(ranks)
-    layer_gates: Optional[dict[int, Event]] = None
-    forward_groups = plan.groups_forward_order()
-    for iteration in range(iterations):
-        for rank in ranks:
-            for layer_index in range(rank.timing.model.num_layers):
-                gate = (layer_gates or {}).get(layer_index)
-                _submit_ff(rank, iteration, layer_index, gate)
-        bp_jobs = {rank.rank: _backward(rank, iteration) for rank in ranks}
-
-        rs_done = []
-        for group in plan:
-            collective = _Collective(
-                sim, world, cost.reduce_scatter(group.nbytes),
-                name=f"rs.{iteration}.g{group.index}",
-            )
-            for rank in ranks:
-                gate = sim.all_of(
-                    [bp_jobs[rank.rank][l].done for l in group.layer_indices]
-                )
-                _submit_collective_job(
-                    sim, rank, collective, "reduce_scatter", iteration,
-                    f"g{group.index}", gate,
-                )
-            rs_done.append(collective.done)
-        rs_barrier = sim.all_of(rs_done)
-
-        ag_done_of_group: dict[int, Event] = {}
-        for position, group in enumerate(forward_groups):
-            collective = _Collective(
-                sim, world, cost.all_gather(group.nbytes),
-                name=f"ag.{iteration}.g{group.index}",
-            )
-            for rank in ranks:
-                _submit_collective_job(
-                    sim, rank, collective, "all_gather", iteration,
-                    f"g{group.index}", rs_barrier if position == 0 else None,
-                )
-            ag_done_of_group[group.index] = collective.done
-
-        layer_gates = {}
-        for layer_index in range(ranks[0].timing.model.num_layers):
-            groups = plan.groups_for_layer(layer_index)
-            if not groups:
-                continue
-            events = [ag_done_of_group[g.index] for g in groups]
-            layer_gates[layer_index] = (
-                events[0] if len(events) == 1 else sim.all_of(events)
-            )
-
-
-def _backward(rank: _Rank, iteration: int) -> list[Job]:
-    jobs: list[Optional[Job]] = [None] * rank.timing.model.num_layers
-    for layer_index in reversed(range(rank.timing.model.num_layers)):
-        jobs[layer_index] = _submit_bp(rank, iteration, layer_index)
-    return jobs  # type: ignore[return-value]

@@ -30,11 +30,19 @@ differential suite in ``tests/sim/test_fastpath.py``; because the
 replay performs the *same float operations in the same order* as the
 kernel, agreement is bit-exact — timestamps are identical, and the
 exported Chrome traces are byte-for-byte equal (also pinned by the
-differential suite).  Anything the recorder cannot
-express — process bodies, ``sim.event()``, dynamic callbacks — raises
-:class:`FastPathUnsupported`, and the caller falls back to the event
-kernel.  Selection lives in :meth:`repro.schedulers.base.Scheduler.run`
-and can be disabled globally with ``DEAR_FASTPATH=0``.
+differential suite).
+
+Durations need not all be known at record time: a job may carry a
+:class:`DeferredDuration`, resolved during replay once its start time
+is known — the recorded counterpart of the event kernel's callable job
+bodies, and how timing faults (:mod:`repro.faults.timing`) ride the
+fast path instead of forcing a fall-back.  A deferred slot breaks the
+cumsum batching at that job but everything around it stays vectorized.
+Anything genuinely dynamic — process bodies, ``sim.event()``, raw
+callbacks — still raises :class:`FastPathUnsupported`, and the caller
+falls back to the event kernel.  Selection lives in
+:meth:`repro.schedulers.base.Scheduler.run` and can be disabled
+globally with ``DEAR_FASTPATH=0``.
 """
 
 from __future__ import annotations
@@ -48,6 +56,7 @@ from repro.sim.trace import Span
 __all__ = [
     "FastPathUnsupported",
     "fast_path_enabled",
+    "DeferredDuration",
     "FastGate",
     "FastJob",
     "FastStream",
@@ -60,6 +69,24 @@ _NEG_INF = float("-inf")
 
 class FastPathUnsupported(RuntimeError):
     """The schedule uses a feature only the event-driven kernel has."""
+
+
+class DeferredDuration:
+    """A job duration resolved at replay time from the job's start.
+
+    Subclasses implement :meth:`resolve`, performing the same float
+    operations the event kernel's callable job body would perform at
+    job start — so replays with deferred durations stay bit-identical
+    to the kernel.  The timing-fault injector's priced bodies
+    (:class:`repro.faults.timing.PricedCompute` /
+    :class:`~repro.faults.timing.PricedCollective`) are the canonical
+    implementations.
+    """
+
+    __slots__ = ()
+
+    def resolve(self, start: float) -> float:
+        raise NotImplementedError
 
 
 def fast_path_enabled() -> bool:
@@ -147,20 +174,28 @@ class FastStream:
         gate: Optional[FastGate] = None,
         metadata: Optional[dict] = None,
     ) -> FastJob:
-        """Record one fixed-duration job; mirrors ``Stream.submit``."""
-        if isinstance(body, bool) or not isinstance(body, (int, float)):
-            raise FastPathUnsupported(
-                f"fast path requires fixed job durations, got {type(body).__name__}"
-            )
+        """Record one job; mirrors ``Stream.submit``.
+
+        ``body`` is a fixed duration or a :class:`DeferredDuration`
+        (priced at replay from the job's start time).
+        """
+        if isinstance(body, DeferredDuration):
+            duration: Any = body
+        else:
+            if isinstance(body, bool) or not isinstance(body, (int, float)):
+                raise FastPathUnsupported(
+                    f"fast path requires fixed job durations, got {type(body).__name__}"
+                )
+            if body < 0:
+                raise ValueError(f"job {name!r} has negative duration {body}")
+            duration = float(body)
         if gate is not None and not isinstance(gate, FastGate):
             raise FastPathUnsupported(
                 f"fast path requires static job gates, got {type(gate).__name__}"
             )
-        if body < 0:
-            raise ValueError(f"job {name!r} has negative duration {body}")
         self.jobs_submitted += 1
         return self._timeline._record(
-            self, float(body), name, category, gate, metadata or {}
+            self, duration, name, category, gate, metadata or {}
         )
 
     def barrier(self, name: str = "barrier") -> FastJob:
@@ -223,17 +258,20 @@ class FastTimeline:
     """Job recorder plus the vectorized replay."""
 
     __slots__ = ("sim", "_streams", "_stream_ids", "_durations", "_gates",
-                 "_handles", "_starts", "_ends", "final_time")
+                 "_handles", "_starts", "_ends", "_has_priced", "final_time")
 
     def __init__(self):
         self.sim = FastSimShim(self)
         self._streams: list[FastStream] = []
         self._stream_ids: list[int] = []
-        self._durations: list[float] = []
+        #: float durations, with :class:`DeferredDuration` placeholders
+        #: replaced by their resolved values during replay.
+        self._durations: list = []
         self._gates: list[Optional[tuple[int, ...]]] = []
         self._handles: list[FastJob] = []
         self._starts: Optional[np.ndarray] = None
         self._ends: Optional[np.ndarray] = None
+        self._has_priced = False
         self.final_time = 0.0
 
     def stream(self, name: str, actor: str = "") -> FastStream:
@@ -247,7 +285,9 @@ class FastTimeline:
 
         Recorded durations equal replayed busy time: in-order streams
         never overlap their own jobs, so busy time is the plain sum —
-        no replay required, and O(n) in one vectorized pass.
+        no replay required (unless deferred durations were recorded,
+        which only :meth:`replay` resolves), and O(n) in one
+        vectorized pass.
         """
         busy = np.zeros(len(self._streams))
         if self._durations:
@@ -258,13 +298,15 @@ class FastTimeline:
             )
         return busy.tolist()
 
-    def _record(self, stream: FastStream, duration: float, name: str,
+    def _record(self, stream: FastStream, duration, name: str,
                 category: str, gate: Optional[FastGate],
                 metadata: dict) -> FastJob:
         index = len(self._handles)
         job = FastJob(self, index, name, category, metadata)
         self._stream_ids.append(stream.stream_id)
         self._durations.append(duration)
+        if type(duration) is not float:
+            self._has_priced = True
         self._gates.append(gate.job_ids if gate is not None else None)
         self._handles.append(job)
         return job
@@ -286,7 +328,11 @@ class FastTimeline:
             stream_ids = self._stream_ids
             gates = self._gates
             durations_py = self._durations
-            durations = np.asarray(durations_py)
+            has_priced = self._has_priced
+            # With deferred durations in the list, vector slices come
+            # straight from the (mixed) Python list run by run instead
+            # of one prebuilt array.
+            durations = None if has_priced else np.asarray(durations_py)
             prev_end = [0.0] * len(self._streams)
             i = 0
             while i < n:
@@ -305,12 +351,16 @@ class FastTimeline:
                 k = i
                 while k < j:
                     g = k
-                    while g < j and gates[g] is None:
+                    while (g < j and gates[g] is None
+                           and (not has_priced
+                                or type(durations_py[g]) is float)):
                         g += 1
                     if g > k:
                         chain = np.empty(g - k + 1)
                         chain[0] = base
-                        chain[1:] = durations[k:g]
+                        chain[1:] = (
+                            durations_py[k:g] if has_priced else durations[k:g]
+                        )
                         seg_ends = np.cumsum(chain)
                         starts[k:g] = seg_ends[:-1]
                         ends[k:g] = seg_ends[1:]
@@ -321,13 +371,22 @@ class FastTimeline:
                         # A gate id inside the segment (>= i) is an
                         # earlier same-stream job: subsumed by order.
                         gate_time = _NEG_INF
-                        for gid in gates[k]:
-                            if gid < i:
-                                e = ends_list[gid]
-                                if e > gate_time:
-                                    gate_time = e
+                        gate_ids = gates[k]
+                        if gate_ids is not None:
+                            for gid in gate_ids:
+                                if gid < i:
+                                    e = ends_list[gid]
+                                    if e > gate_time:
+                                        gate_time = e
                         start = base if base >= gate_time else gate_time
-                        end = start + durations_py[k]
+                        duration = durations_py[k]
+                        if type(duration) is not float:
+                            # Deferred: price at the now-known start and
+                            # keep the resolved value (busy-time sums and
+                            # re-replays read it).
+                            duration = float(duration.resolve(start))
+                            durations_py[k] = duration
+                        end = start + duration
                         starts[k] = start
                         ends[k] = end
                         ends_list.append(end)

@@ -299,8 +299,16 @@ class Tracer:
                     "args": _jsonable_metadata(span.metadata),
                 }
             )
+        # Canonical-JSON args as the final tiebreak: engines may append
+        # coincident same-name instants (e.g. per-rank fault markers) in
+        # different orders, and the serialised output must not care.
         for name, category, time, args in sorted(
-            self.instants, key=lambda e: (_quantize(e[2]), e[0])
+            self.instants,
+            key=lambda e: (
+                _quantize(e[2]),
+                e[0],
+                json.dumps(_jsonable_metadata(e[3]), sort_keys=True),
+            ),
         ):
             events.append(
                 {

@@ -174,3 +174,29 @@ class TestSearchBaselines:
             true_value=lambda x: 0.5,
         )
         assert result == 10
+
+
+class TestWarmCandidateCache:
+    def test_duplicates_simulated_once_in_caller_order(self, monkeypatch,
+                                                       tiny_model,
+                                                       ethernet_cluster):
+        from repro.bayesopt.search import warm_candidate_cache
+
+        import repro.runner as runner
+
+        seen_batches = []
+
+        def fake_run_many(specs, jobs=None):
+            seen_batches.append(specs)
+            return [dict(spec.options)["buffer_bytes"] for spec in specs]
+
+        monkeypatch.setattr(runner, "run_many", fake_run_many)
+        sizes = [4e6, 8e6, 4e6, 16e6, 8e6, 4e6]
+        results = warm_candidate_cache(tiny_model, ethernet_cluster, sizes)
+        # One batch, one spec per *unique* size, first-seen order.
+        assert len(seen_batches) == 1
+        assert [dict(s.options)["buffer_bytes"] for s in seen_batches[0]] == [
+            4e6, 8e6, 16e6,
+        ]
+        # Results come back in the caller's original (duplicated) order.
+        assert results == sizes

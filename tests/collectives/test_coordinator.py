@@ -3,7 +3,7 @@
 import numpy as np
 from hypothesis import given, settings, strategies as st
 
-from repro.collectives.coordinator import ReadinessCoordinator
+from repro.collectives.coordinator import ReadinessCoordinator, _encode
 from repro.collectives.transport import Transport
 
 
@@ -60,6 +60,25 @@ class TestCoordinator:
         coordinator.cycle()
         assert transport.stats.messages == 2 * 7
         assert transport.pending() == 0
+
+    def test_cycle_wire_bytes_pinned(self):
+        """Pins the exact wire traffic of one cycle: (P-1) report
+        payloads in, (P-1) copies of one response payload out.  The
+        broadcast encodes its payload once, but every destination is
+        still charged the full payload size — an optimisation of the
+        coordinator's hot loop must never change the accounted bytes."""
+        world = 5
+        transport = Transport(world)
+        coordinator = ReadinessCoordinator(transport)
+        for rank in range(world):
+            coordinator.report(rank, ["alpha", "beta"])
+        response = coordinator.cycle()
+        report_bytes = _encode(sorted(["alpha", "beta"])).nbytes
+        response_bytes = _encode(response).nbytes
+        expected = (world - 1) * (report_bytes + response_bytes)
+        assert transport.stats.bytes == expected
+        # Every destination is charged individually, not just rank 0.
+        assert transport.stats.per_rank_bytes[0] == (world - 1) * response_bytes
 
     def test_duplicate_reports_idempotent(self):
         coordinator = ReadinessCoordinator(Transport(2))

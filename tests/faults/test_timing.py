@@ -112,14 +112,15 @@ class TestTimingInflation:
         assert a.tracer.to_chrome_trace() == b.tracer.to_chrome_trace()
 
 
-class TestFastPathFallback:
-    def test_faulty_run_lands_on_the_event_kernel(self, registry, tiny_model,
-                                                  ethernet_cluster):
+class TestFastPathEngines:
+    def test_faulty_run_stays_on_the_fast_path(self, registry, tiny_model,
+                                               ethernet_cluster):
+        """Priced placeholders keep faulty runs off the event kernel."""
         simulate("dear", tiny_model, ethernet_cluster, iterations=ITERATIONS,
                  faults=SLOW_LINK, fastpath=True)
         runs = registry.counter("sim.runs")
-        assert runs.value(engine="event") > 0
-        assert runs.value(engine="fastpath") == 0
+        assert runs.value(engine="fastpath") > 0
+        assert runs.value(engine="event") == 0
 
     def test_healthy_run_keeps_the_fast_path(self, registry, tiny_model,
                                              ethernet_cluster):
@@ -129,15 +130,18 @@ class TestFastPathFallback:
         assert runs.value(engine="fastpath") > 0
         assert runs.value(engine="event") == 0
 
-    def test_fallback_matches_forced_event_kernel(self, tiny_model,
+    @pytest.mark.parametrize("plan", [SLOW_LINK, STRAGGLER],
+                             ids=["slow-link", "straggler"])
+    def test_faulty_fastpath_matches_event_kernel(self, plan, tiny_model,
                                                   ethernet_cluster):
-        via_fallback = simulate("dear", tiny_model, ethernet_cluster,
-                                iterations=ITERATIONS, faults=SLOW_LINK,
-                                fastpath=True)
+        fast = simulate("dear", tiny_model, ethernet_cluster,
+                        iterations=ITERATIONS, faults=plan, fastpath=True)
         event_only = simulate("dear", tiny_model, ethernet_cluster,
-                              iterations=ITERATIONS, faults=SLOW_LINK,
+                              iterations=ITERATIONS, faults=plan,
                               fastpath=False)
-        assert via_fallback.iteration_times == event_only.iteration_times
+        assert fast.iteration_times == event_only.iteration_times
+        assert fast.extras["timing_faults"] == event_only.extras["timing_faults"]
+        assert fast.tracer.to_chrome_trace() == event_only.tracer.to_chrome_trace()
 
 
 class TestTraceInstants:

@@ -22,10 +22,12 @@ class TestHomogeneousAgreement:
         ("dear", {"fusion": "buffer", "buffer_bytes": 25e6}),
     ])
     def test_matches_representative_engine(self, tiny, policy, rep_options):
+        # collapse=False forces the genuine multi-rank engine; the
+        # collapse shortcut is covered by the differential suite.
         multi = simulate_heterogeneous(
             policy, tiny, CLUSTER, [1.0] * 4,
             fusion_buffer_bytes=rep_options.get("buffer_bytes"),
-            iteration_compute=0.03,
+            iteration_compute=0.03, collapse=False,
         )
         representative = simulate(
             policy, tiny, CLUSTER, iteration_compute=0.03, **rep_options
@@ -37,23 +39,24 @@ class TestHomogeneousAgreement:
     def test_wfbp_no_fusion_matches(self, tiny):
         multi = simulate_heterogeneous(
             "wfbp", tiny, CLUSTER, [1.0] * 4, fusion_buffer_bytes=None,
-            iteration_compute=0.03,
+            iteration_compute=0.03, collapse=False,
         )
         representative = simulate("wfbp", tiny, CLUSTER, iteration_compute=0.03)
         assert multi.iteration_time == pytest.approx(
             representative.iteration_time, rel=1e-9
         )
 
-    def test_horovod_matches_with_zero_cycle(self, tiny):
-        """Both engines charge the same per-group negotiation, so with
-        the representative engine's coordinator cycle zeroed out the
-        homogeneous multi-rank Horovod must agree exactly."""
+    def test_horovod_matches_representative(self, tiny):
+        """Multi-rank Horovod charges the full representative overhead —
+        per-group negotiation plus the expected half coordinator cycle —
+        so the homogeneous runs must agree exactly."""
         multi = simulate_heterogeneous(
             "horovod", tiny, CLUSTER, [1.0] * 4,
             fusion_buffer_bytes=25e6, iteration_compute=0.03,
+            collapse=False,
         )
         representative = simulate(
-            "horovod", tiny, CLUSTER, buffer_bytes=25e6, cycle_time=0.0,
+            "horovod", tiny, CLUSTER, buffer_bytes=25e6,
             iteration_compute=0.03,
         )
         assert multi.iteration_time == pytest.approx(
