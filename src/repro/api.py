@@ -43,6 +43,7 @@ from repro.schedulers.base import (
 __all__ = [
     "CollectiveResult",
     "SimulationConfig",
+    "config_from_payload",
     "list_algorithms",
     "list_schedulers",
     "resolve_cluster",
@@ -181,6 +182,54 @@ class SimulationConfig:
     def label(self) -> str:
         """Human-readable key, e.g. for report rows."""
         return f"{self.scheduler}/{self.model.name}/{self.cluster.name}"
+
+
+#: Fields :func:`config_from_payload` accepts.  ``fastpath`` is
+#: deliberately not part of the wire protocol: both engines produce
+#: bit-identical results and the cache ignores the flag, so a remote
+#: caller has nothing to gain from forcing it.
+_PAYLOAD_KEYS = frozenset((
+    "scheduler", "model", "cluster", "batch_size", "algorithm",
+    "iterations", "iteration_compute", "faults", "options",
+))
+
+
+def config_from_payload(payload: dict) -> SimulationConfig:
+    """Build a :class:`SimulationConfig` from a JSON-shaped dict.
+
+    The wire protocol of ``dear-repro serve``: ``model`` and
+    ``cluster`` are registry names (``"resnet50"``, ``"10gbe"``),
+    ``faults`` is a :meth:`FaultPlan.canonical_payload` dict or absent,
+    ``options`` a plain dict of scheduler options.  Unknown fields are
+    rejected (a typo must not silently change which experiment runs),
+    as are non-registry model/cluster objects — everything must
+    round-trip through JSON.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"config payload must be an object, got {type(payload).__name__}")
+    unknown = set(payload) - _PAYLOAD_KEYS
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    missing = [key for key in ("scheduler", "model", "cluster") if key not in payload]
+    if missing:
+        raise ValueError(f"config payload missing required fields: {missing}")
+    if not isinstance(payload["model"], str) or not isinstance(payload["cluster"], str):
+        raise ValueError("model and cluster must be registry names on the wire")
+    options = payload.get("options") or {}
+    if not isinstance(options, dict):
+        raise ValueError(f"options must be an object, got {type(options).__name__}")
+    faults = payload.get("faults")
+    return SimulationConfig.create(
+        payload["scheduler"],
+        payload["model"],
+        payload["cluster"],
+        batch_size=payload.get("batch_size"),
+        algorithm=payload.get("algorithm", "ring"),
+        iterations=payload.get("iterations", DEFAULT_ITERATIONS),
+        iteration_compute=payload.get("iteration_compute"),
+        faults=None if faults is None else FaultPlan.from_payload(faults),
+        **options,
+    )
 
 
 def run_simulation(config: SimulationConfig, cached: bool = False) -> ScheduleResult:

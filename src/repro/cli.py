@@ -26,7 +26,11 @@ iteration.  And the fault-injection sweeps (see docs/FAULTS.md)::
     dear-repro chaos                  # seeded fault sweep, full grid
     dear-repro chaos --quick --check-golden benchmarks/chaos_golden.json
 
-Both the trace and chaos commands are thin shells over the stable
+And the simulation service (see docs/SERVE.md)::
+
+    dear-repro serve --port 8377      # batched HTTP query daemon
+
+The trace, chaos, and serve commands are thin shells over the stable
 :mod:`repro.api` facade.
 
 Exit codes: 0 success, 1 experiment/exactness failure, 2 unknown
@@ -160,6 +164,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.faults.chaos_cmd import chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.daemon import main as serve_main
+
+        return serve_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="dear-repro",
@@ -169,7 +177,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment name (see 'list'), 'all', 'list', 'bench', "
-            "'trace', or 'chaos'"
+            "'trace', 'chaos', or 'serve'"
         ),
     )
     parser.add_argument(

@@ -12,6 +12,12 @@ that knows how to read the repo's environment knobs:
   default, so a typo degrades loudly instead of flipping behaviour.
 - :func:`env_int` — integer knobs (``DEAR_JOBS``).  Non-integer or
   out-of-range values warn and fall back to the default.
+- :func:`env_str` — free-form string knobs (``DEAR_CACHE_DIR``).
+  Unset, empty, or whitespace-only values fall back to the default, so
+  an accidental ``DEAR_CACHE_DIR=""`` in a CI step cannot silently
+  point the cache at the filesystem root.
+- :func:`env_float` — float knobs (``DEAR_SERVE_BATCH_WINDOW``).
+  Non-numeric or out-of-range values warn and fall back.
 
 Both helpers are intentionally pure stdlib and import nothing from the
 rest of the package, so any module (telemetry, sim, runner) can use
@@ -24,7 +30,7 @@ import os
 import warnings
 from typing import Optional
 
-__all__ = ["env_flag", "env_int"]
+__all__ = ["env_flag", "env_float", "env_int", "env_str"]
 
 #: Accepted spellings, lowercase.  Kept deliberately small: the point
 #: of validation is to catch typos, not to bless new dialects.
@@ -80,6 +86,59 @@ def env_int(
     except ValueError:
         warnings.warn(
             f"ignoring non-integer {name}={raw!r}; using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    if minimum is not None and parsed < minimum:
+        warnings.warn(
+            f"ignoring {name}={raw!r} (must be >= {minimum}); "
+            f"using default {default}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+    return parsed
+
+
+def env_str(name: str, default: Optional[str] = None) -> Optional[str]:
+    """Read a free-form string ``DEAR_*`` knob.
+
+    Unset, empty, or whitespace-only values return ``default``; any
+    other value is returned stripped.  Used for path-like knobs
+    (``DEAR_CACHE_DIR``) where an empty string would otherwise resolve
+    to a surprising location.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip()
+    if not value:
+        return default
+    return value
+
+
+def env_float(
+    name: str,
+    default: Optional[float] = None,
+    minimum: Optional[float] = None,
+) -> Optional[float]:
+    """Read a float ``DEAR_*`` knob, warning on invalid values.
+
+    Unset or empty returns ``default``.  Non-numeric values, and values
+    below ``minimum`` when one is given, warn and return ``default``.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    value = raw.strip()
+    if not value:
+        return default
+    try:
+        parsed = float(value)
+    except ValueError:
+        warnings.warn(
+            f"ignoring non-numeric {name}={raw!r}; using default {default}",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -8,15 +8,18 @@ through this subsystem, which layers three things on the simulator:
 - **memoisation** — :class:`ResultCache` keeps results on disk under
   ``.dear-cache/`` (``DEAR_CACHE_DIR`` overrides the root,
   ``DEAR_CACHE=0`` disables), versioned by a schema tag;
-- **fan-out** — :func:`run_many` evaluates independent specs on a
-  process pool (``DEAR_JOBS`` workers) with deterministic, input-order
-  results and graceful serial fallback.
+- **fan-out** — :func:`run_many` evaluates independent specs with
+  deterministic, input-order results: compatible specs batch into
+  config-axis vectorized replays (:mod:`repro.runner.batched`,
+  ``DEAR_BATCHED``), the rest runs on a process pool (``DEAR_JOBS``
+  workers) with graceful serial fallback.
 
 :func:`simulate_cached` is the drop-in facade for single calls;
 :mod:`repro.runner.bench` and :mod:`repro.runner.report` turn batches
 of runs into the ``BENCH_<date>.json`` artifact CI consumes.
 """
 
+from repro.runner.batched import batched_enabled, run_batched
 from repro.runner.bench import bench_suites, run_bench
 from repro.runner.cache import (
     SCHEMA_VERSION,
@@ -42,6 +45,7 @@ __all__ = [
     "BenchReporter",
     "ResultCache",
     "RunSpec",
+    "batched_enabled",
     "bench_filename",
     "bench_suites",
     "compare_to_baseline",
@@ -50,6 +54,7 @@ __all__ = [
     "iteration_metrics",
     "reset_default_cache",
     "resolve_jobs",
+    "run_batched",
     "run_bench",
     "run_cached",
     "run_many",

@@ -110,7 +110,14 @@ class ResultCache:
     def __init__(self, root: Optional[Path] = None, schema: str = SCHEMA_VERSION,
                  enabled: bool = True):
         if root is None:
-            root = Path(os.environ.get("DEAR_CACHE_DIR", ".dear-cache"))
+            # Through core.env so an empty or whitespace DEAR_CACHE_DIR
+            # (easy to produce in CI yaml) falls back to the default
+            # instead of resolving to a surprising location.  CI jobs
+            # that share one cache across steps set this to an absolute
+            # path (see docs/CI.md).
+            from repro.core.env import env_str
+
+            root = Path(env_str("DEAR_CACHE_DIR", ".dear-cache"))
         self.root = Path(root)
         self.schema = schema
         self.enabled = enabled
@@ -130,6 +137,7 @@ class ResultCache:
             "misses": self.misses,
             "puts": self.puts,
             "hit_rate": self.hit_rate,
+            "root": str(self.root),
         }
 
     def _path(self, fingerprint: str) -> Path:

@@ -148,7 +148,33 @@ def _publish_batch_metrics(
 def _compute(
     specs: list[RunSpec], pending: list[int], jobs: int
 ) -> list[tuple[ScheduleResult, float]]:
-    """Simulate the pending indices, in parallel when it can help."""
+    """Simulate the pending indices, batched and in parallel when it can help.
+
+    Compatible specs ride the config-axis batched replay
+    (:mod:`repro.runner.batched`) — one numpy pass per structural group,
+    bit-identical per spec to a classic run — and only the remainder
+    (dynamic schedules, batching disabled) goes to the pool/serial path.
+    """
+    from repro.runner.batched import run_batched
+
+    results: dict[int, tuple[ScheduleResult, float]] = {}
+    batched = run_batched([specs[index] for index in pending])
+    remaining = []
+    for index, outcome in zip(pending, batched):
+        if outcome is None:
+            remaining.append(index)
+        else:
+            results[index] = outcome
+    if remaining:
+        for index, outcome in zip(remaining, _compute_pool(specs, remaining, jobs)):
+            results[index] = outcome
+    return [results[index] for index in pending]
+
+
+def _compute_pool(
+    specs: list[RunSpec], pending: list[int], jobs: int
+) -> list[tuple[ScheduleResult, float]]:
+    """Classic per-spec execution: process pool, serial fallback."""
     if jobs <= 1 or len(pending) <= 1:
         return [_execute(specs[index]) for index in pending]
     workers = min(jobs, len(pending))

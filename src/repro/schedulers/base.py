@@ -142,6 +142,50 @@ class Scheduler(ABC):
             raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
         faults = normalize_plan(faults)
         ctx = self._build_and_run(timing, cost, iterations, faults=faults, fastpath=fastpath)
+        return self.measure(ctx, iterations)
+
+    def record_fast(
+        self,
+        timing: TimingModel,
+        cost: CollectiveTimeModel,
+        iterations: int = DEFAULT_ITERATIONS,
+        faults: Optional[FaultPlan] = None,
+    ) -> FastIterationContext:
+        """Record this policy's schedule without replaying it.
+
+        The config-axis batched runner (:mod:`repro.runner.batched`)
+        records one context per sweep config, stacks structurally
+        identical recordings, replays them in one numpy pass, and
+        hands each context back to :meth:`measure` — so a batched run
+        produces exactly the result :meth:`run` would have.  Raises
+        :class:`FastPathUnsupported` for policies (or feature
+        combinations) only the event kernel can execute.
+        """
+        if iterations < 3:
+            raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
+        if not self.supports_fast_path:
+            raise FastPathUnsupported(
+                f"scheduler {self.name!r} opts out of the fast path"
+            )
+        if not self.supports_batched_run():
+            raise FastPathUnsupported(
+                f"scheduler {self.name!r} customises run(); recording one "
+                f"schedule would skip its outer procedure"
+            )
+        ctx = FastIterationContext(timing, cost, faults=normalize_plan(faults))
+        self.schedule(ctx, iterations)
+        return ctx
+
+    def measure(self, ctx: IterationContext, iterations: int) -> ScheduleResult:
+        """Build the result from an executed (or batch-replayed) context.
+
+        Shared by :meth:`run` and the batched runner so both paths
+        assemble results with the same measurement code: steady-state
+        iteration gaps from the first-FF start times, exposed
+        communication from the final inter-iteration window.
+        """
+        timing = ctx.timing
+        cost = ctx.cost
         starts = ctx.ff_start_times()
         if len(starts) != iterations:
             raise RuntimeError(
@@ -167,10 +211,22 @@ class Scheduler(ABC):
             extras=self.describe_options(),
         )
         if ctx.faults is not None:
-            result.extras["fault_plan"] = faults.label()
+            result.extras["fault_plan"] = ctx.faults.plan.label()
             result.extras["timing_faults"] = ctx.faults.summary()
         _publish_run_metrics(result)
         return result
+
+    def supports_batched_run(self) -> bool:
+        """Whether ``record_fast`` + ``measure`` reproduces :meth:`run`.
+
+        False whenever a subclass overrides :meth:`run` with a
+        meta-procedure around multiple simulations (the BO fusion
+        tuners): recording captures a single schedule, so batching it
+        would silently skip the outer loop.  Subclasses whose override
+        merely delegates for some configurations re-enable those
+        configurations explicitly.
+        """
+        return type(self).run is Scheduler.run
 
     def describe_options(self) -> dict:
         """Scheduler-specific settings recorded into the result."""

@@ -199,6 +199,11 @@ class DeARScheduler(Scheduler):
         )
         return final
 
+    def supports_batched_run(self) -> bool:
+        # BO mode wraps run() in the tuning loop; the other fusion
+        # modes delegate straight to the base run and batch exactly.
+        return self.fusion != "bo"
+
     def describe_options(self) -> dict:
         options = {"fusion": self.fusion}
         if self.fusion == "buffer":

@@ -314,15 +314,25 @@ class FastIterationContext(IterationContext):
         they cannot deadlock.
         """
         final = self._timeline.replay(self.tracer)
+        self.finish()
+        return final
+
+    def finish(self, engine: str = "fastpath") -> None:
+        """Post-replay bookkeeping: fault markers plus stream metrics.
+
+        Factored out of :meth:`run` so a config-axis batched replay
+        (:mod:`repro.sim.batched`), which replays many recorded
+        contexts in one numpy pass, performs the same per-context
+        publication afterwards.
+        """
         if self.faults is not None:
             self.faults.publish(self.tracer)
         busy_times = self._timeline.stream_busy_times()
         self._publish_stream_metrics(
-            "fastpath",
+            engine,
             [
                 (stream.name, stream.jobs_submitted,
                  busy_times[stream.stream_id])
                 for stream in (self.compute, self.comm)
             ],
         )
-        return final

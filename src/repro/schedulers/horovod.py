@@ -108,6 +108,11 @@ class HorovodScheduler(WFBPScheduler):
         )
         return final
 
+    def supports_batched_run(self) -> bool:
+        # BO mode wraps run() in the tuning loop; the other fusion
+        # modes delegate straight to the base run and batch exactly.
+        return self.fusion != "bo"
+
     def describe_options(self) -> dict:
         return {
             "buffer_bytes": self.buffer_bytes,

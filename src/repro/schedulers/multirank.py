@@ -495,10 +495,14 @@ class FastMultiRankContext(_MultiRankContextBase):
     def run(self, check_quiescent: bool = True) -> float:
         """Replay the recorded schedule (recordable = deadlock-free)."""
         final = self._timeline.replay(self.tracer)
+        self.finish()
+        return final
+
+    def finish(self) -> None:
+        """Post-replay bookkeeping, shared with the batched replay path."""
         if self.faults is not None:
             self.faults.publish(self.tracer)
         self._publish_engine_metrics()
-        return final
 
 
 def _make_timings(
@@ -516,6 +520,142 @@ def _make_timings(
         )
         for scale in compute_scales
     ]
+
+
+def _validate_heterogeneous(
+    policy: str,
+    cluster: ClusterSpec,
+    compute_scales: Sequence[float],
+    iterations: int,
+) -> tuple[float, ...]:
+    if policy not in POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
+    if len(compute_scales) != cluster.world_size:
+        raise ValueError(
+            f"need {cluster.world_size} compute scales, got {len(compute_scales)}"
+        )
+    if iterations < 3:
+        raise ValueError("need >= 3 iterations for a steady-state measurement")
+    return tuple(float(scale) for scale in compute_scales)
+
+
+def collapses_to_single_rank(
+    compute_scales: Sequence[float], faults: Optional[FaultPlan]
+) -> bool:
+    """Whether a multi-rank run is exactly one representative rank.
+
+    True when every rank has the same compute scale and no faults are
+    injected: identical ranks run identical timelines and the
+    collectives are synchronous, so one rank's timeline is the whole
+    answer (the engine module's docstring makes the exactness
+    argument).
+    """
+    return (
+        all(scale == compute_scales[0] for scale in compute_scales)
+        and normalize_plan(faults) is None
+    )
+
+
+def wrap_collapsed(
+    result,
+    policy: str,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    compute_scales: tuple[float, ...],
+    trace: bool,
+) -> HeterogeneousResult:
+    """Lift a single-rank :class:`ScheduleResult` of a collapsed run.
+
+    Shared by :func:`simulate_heterogeneous` and the batched runner so
+    both produce byte-identical collapsed results (same ``extras``,
+    same tracer handling).
+    """
+    return HeterogeneousResult(
+        policy=policy,
+        model_name=model.name,
+        cluster_name=cluster.name,
+        compute_scales=compute_scales,
+        iteration_time=result.iteration_time,
+        iteration_times=result.iteration_times,
+        tracer=result.tracer if trace else None,
+        extras={"engine": "collapsed"},
+    )
+
+
+def record_heterogeneous_fast(
+    policy: str,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    compute_scales: Sequence[float],
+    fusion_buffer_bytes: Optional[float] = 25e6,
+    batch_size: Optional[int] = None,
+    iteration_compute: Optional[float] = None,
+    algorithm: str = "ring",
+    iterations: int = 5,
+    faults: Optional[FaultPlan] = None,
+    trace: bool = False,
+) -> FastMultiRankContext:
+    """Record a heterogeneous run without replaying it.
+
+    The multi-rank analogue of
+    :meth:`repro.schedulers.base.Scheduler.record_fast`, used by the
+    config-axis batched runner.  Raises
+    :class:`~repro.sim.fastpath.FastPathUnsupported` for policies only
+    the event kernel can execute.  The caller is responsible for the
+    collapse decision (see :func:`collapses_to_single_rank`).
+    """
+    compute_scales = _validate_heterogeneous(
+        policy, cluster, compute_scales, iterations
+    )
+    scheduler = _policy_scheduler(policy, fusion_buffer_bytes)
+    if not scheduler.supports_fast_path:
+        raise FastPathUnsupported(
+            f"scheduler {scheduler.name!r} opts out of the fast path"
+        )
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
+    ctx = FastMultiRankContext(
+        timings, cost, tracer=Tracer() if trace else None,
+        faults=normalize_plan(faults),
+    )
+    scheduler.schedule(ctx, iterations)
+    return ctx
+
+
+def finalize_heterogeneous(
+    ctx,
+    policy: str,
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    compute_scales: tuple[float, ...],
+    iterations: int,
+) -> HeterogeneousResult:
+    """Measure an executed multi-rank context into a result.
+
+    Shared by :func:`simulate_heterogeneous` and the batched runner —
+    the measurement (steady-state gaps from rank 0's first-FF starts)
+    and the ``extras`` layout are identical on either path.
+    """
+    starts = ctx.ff_start_times()
+    if len(starts) != iterations:
+        raise RuntimeError(
+            f"{policy}: expected {iterations} iterations, observed {len(starts)}"
+        )
+    gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
+    extras = {"engine": f"multirank-{ctx.engine}"}
+    if ctx.faults is not None:
+        extras["fault_plan"] = ctx.faults.plan.label()
+        extras["timing_faults"] = ctx.faults.summary()
+    return HeterogeneousResult(
+        policy=policy,
+        model_name=model.name,
+        cluster_name=cluster.name,
+        compute_scales=compute_scales,
+        iteration_time=gaps[-1],
+        iteration_times=gaps,
+        tracer=ctx.tracer,
+        extras=extras,
+    )
 
 
 def simulate_heterogeneous(
@@ -553,22 +693,14 @@ def simulate_heterogeneous(
         trace: record per-rank Perfetto spans into ``result.tracer``
             (off by default — a 1024-rank trace is large).
     """
-    if policy not in POLICIES:
-        raise ValueError(f"unknown policy {policy!r}; expected one of {POLICIES}")
-    if len(compute_scales) != cluster.world_size:
-        raise ValueError(
-            f"need {cluster.world_size} compute scales, got {len(compute_scales)}"
-        )
-    if iterations < 3:
-        raise ValueError("need >= 3 iterations for a steady-state measurement")
-
-    compute_scales = tuple(float(scale) for scale in compute_scales)
+    compute_scales = _validate_heterogeneous(
+        policy, cluster, compute_scales, iterations
+    )
     faults = normalize_plan(faults)
     scheduler = _policy_scheduler(policy, fusion_buffer_bytes)
     cost = CollectiveTimeModel(cluster, algorithm=algorithm)
 
-    uniform = all(scale == compute_scales[0] for scale in compute_scales)
-    if collapse and uniform and faults is None:
+    if collapse and collapses_to_single_rank(compute_scales, faults):
         # Homogeneous ranks run identical timelines and the collectives
         # are synchronous, so one representative rank is exact — reuse
         # the single-rank engine (and its own fast path) outright.
@@ -581,15 +713,8 @@ def simulate_heterogeneous(
         result = scheduler.run(
             timing, cost, iterations=iterations, fastpath=fastpath
         )
-        return HeterogeneousResult(
-            policy=policy,
-            model_name=model.name,
-            cluster_name=cluster.name,
-            compute_scales=compute_scales,
-            iteration_time=result.iteration_time,
-            iteration_times=result.iteration_times,
-            tracer=result.tracer if trace else None,
-            extras={"engine": "collapsed"},
+        return wrap_collapsed(
+            result, policy, model, cluster, compute_scales, trace
         )
 
     timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
@@ -614,23 +739,6 @@ def simulate_heterogeneous(
         event_ctx.run()
         ctx = event_ctx
 
-    starts = ctx.ff_start_times()
-    if len(starts) != iterations:
-        raise RuntimeError(
-            f"{policy}: expected {iterations} iterations, observed {len(starts)}"
-        )
-    gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
-    extras = {"engine": f"multirank-{ctx.engine}"}
-    if ctx.faults is not None:
-        extras["fault_plan"] = faults.label()
-        extras["timing_faults"] = ctx.faults.summary()
-    return HeterogeneousResult(
-        policy=policy,
-        model_name=model.name,
-        cluster_name=cluster.name,
-        compute_scales=compute_scales,
-        iteration_time=gaps[-1],
-        iteration_times=gaps,
-        tracer=ctx.tracer,
-        extras=extras,
+    return finalize_heterogeneous(
+        ctx, policy, model, cluster, compute_scales, iterations
     )

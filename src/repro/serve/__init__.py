@@ -1,0 +1,23 @@
+"""Local simulation service: batched, cached queries over HTTP.
+
+``dear-repro serve`` starts a :class:`SimulationServer`: a stdlib
+threading HTTP daemon that accepts :class:`~repro.api.SimulationConfig`
+payloads (see :func:`repro.api.config_from_payload` for the wire
+protocol), micro-batches concurrent requests through the config-axis
+batched runner, answers repeats from the shared content-addressed
+cache, and exposes its telemetry — queue depth, batch sizes, dedup and
+cache hit rates — through the process metrics registry at
+``GET /v1/metrics``.
+
+See ``docs/SERVE.md`` for the protocol and the operations runbook.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.daemon import RequestBatcher, SimulationServer
+
+__all__ = [
+    "RequestBatcher",
+    "ServeClient",
+    "ServeError",
+    "SimulationServer",
+]

@@ -1,0 +1,66 @@
+"""Stdlib HTTP client for the ``dear-repro serve`` daemon.
+
+Thin on purpose: JSON in, JSON out, no third-party dependencies, so CI
+jobs and notebooks can talk to the daemon with nothing but the package
+itself installed.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx answer from the daemon, with the decoded error message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"serve returned {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Talks the ``/v1`` protocol documented in ``docs/SERVE.md``."""
+
+    def __init__(self, base_url: str, timeout: float = 600.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", exc.reason)
+            except (ValueError, AttributeError):
+                message = str(exc.reason)
+            raise ServeError(exc.code, message) from None
+
+    def simulate(self, payload: dict) -> dict:
+        """POST one config payload; returns ``{fingerprint, label, result}``."""
+        return self._request("POST", "/v1/simulate", payload)
+
+    def metrics(self) -> dict:
+        """The server's metrics registry snapshot."""
+        return self._request("GET", "/v1/metrics")
+
+    def health(self) -> dict:
+        """Liveness plus queue depth and batch window."""
+        return self._request("GET", "/v1/health")
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop."""
+        return self._request("POST", "/v1/shutdown")

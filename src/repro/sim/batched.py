@@ -1,0 +1,353 @@
+"""Config-axis batched replay for stacks of recorded timelines.
+
+:mod:`repro.sim.fastpath` replays one recorded schedule in closed form;
+:mod:`repro.sim.multirank_fastpath` adds a rank axis.  This module adds
+the third axis — *configs*: a sweep of structurally identical schedules
+(same stream layout, same gate graph, different durations) stacks into
+one ``(configs, slots)`` or ``(configs, slots, world)`` duration tensor
+and replays with a handful of numpy ops, instead of one replay call per
+config.  Policy sweeps, fusion-plan grids, and fault-scenario matrices
+all produce exactly this shape: the *schedule* a policy records does
+not depend on the model's layer times or the cluster's bandwidth, only
+the recorded durations do.
+
+Bit-identity contract
+---------------------
+
+Each config's replayed timestamps are **bit-identical** to what its own
+solo :meth:`~repro.sim.fastpath.FastTimeline.replay` (and hence, via
+the existing differential suites, the event-driven kernel) would have
+produced.  This holds because every batched operation is the same IEEE
+float operation the solo replay performs, applied row-wise:
+
+- a gateless run's seeded ``np.cumsum(axis=1)`` evaluates each row as
+  the same strict left fold the solo 1-D cumsum evaluates;
+- a gate max over ``np.maximum`` columns is the same pairwise max the
+  solo scalar loop takes, in the same order;
+- a multi-rank collective's ``arrive.max(axis=1)`` is the solo
+  ``float(arrive.max())`` per row;
+- breaking a cumsum run at *any* config's deferred slot re-seeds the
+  next chain with the previous exact partial sums, which a left fold
+  is insensitive to.
+
+The differential suite in ``tests/sim/test_batched.py`` pins this:
+batched timestamps and exported traces are byte-identical to per-config
+solo replays across policies, fusion plans, and fault scenarios.
+
+Grouping
+--------
+
+Batching requires *structural* equality: identical stream-id sequences
+and gate tuples (plus collective flags and world size for multi-rank).
+Callers group by :func:`fast_signature` / :func:`multirank_signature`
+— computed from what was actually *recorded*, so grouping never guesses
+from spec fields — and hand each group to :func:`replay_fast_batch` /
+:func:`replay_multirank_batch`.  A mixed group raises
+:class:`BatchMismatch`.
+
+Deferred durations (timing faults) ride along: a column where any
+config recorded a :class:`~repro.sim.fastpath.DeferredDuration` (or
+:class:`~repro.sim.multirank_fastpath.DeferredRankDurations`) breaks
+the cumsum batching at that column; plain configs in the same column
+still replay vectorized, and deferred ones resolve per config with
+Python-float starts — exactly the values their solo replay would pass.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.sim.fastpath import FastTimeline
+from repro.sim.multirank_fastpath import MultiRankTimeline
+
+__all__ = [
+    "BatchMismatch",
+    "fast_signature",
+    "multirank_signature",
+    "replay_fast_batch",
+    "replay_multirank_batch",
+]
+
+
+class BatchMismatch(ValueError):
+    """The timelines in one batch are not structurally identical."""
+
+
+def fast_signature(timeline: FastTimeline) -> tuple:
+    """Structural identity of a recorded single-rank schedule.
+
+    Two timelines with equal signatures recorded the same stream-id
+    sequence and the same static gate graph, so they replay under the
+    same control flow and may share one batched replay.  Durations
+    (including whether a slot is deferred) deliberately do not
+    participate: mixed plain/deferred columns are handled per column.
+    """
+    return (
+        tuple(timeline._stream_ids),
+        tuple(timeline._gates),
+    )
+
+
+def multirank_signature(timeline: MultiRankTimeline) -> tuple:
+    """Structural identity of a recorded multi-rank schedule."""
+    return (
+        timeline.world,
+        tuple(timeline._slot_streams),
+        tuple(timeline._collective),
+        tuple(timeline._gates),
+    )
+
+
+def _check_group(timelines: Sequence, signature) -> None:
+    first = signature(timelines[0])
+    for timeline in timelines[1:]:
+        if signature(timeline) != first:
+            raise BatchMismatch(
+                "batched replay requires structurally identical recordings; "
+                "group by fast_signature/multirank_signature first"
+            )
+
+
+def replay_fast_batch(
+    timelines: Sequence[FastTimeline],
+    tracers: Optional[Sequence] = None,
+) -> list[float]:
+    """Replay a group of structurally identical single-rank recordings.
+
+    Writes each timeline's ``_starts`` / ``_ends`` / ``final_time``
+    back (so :class:`~repro.sim.fastpath.FastJob` handles and
+    downstream measurement code work exactly as after a solo replay),
+    optionally emits spans into the matching ``tracers`` entry, and
+    returns the per-config final times.
+    """
+    timelines = list(timelines)
+    if not timelines:
+        return []
+    if len(timelines) == 1:
+        tracer = tracers[0] if tracers else None
+        return [timelines[0].replay(tracer)]
+    _check_group(timelines, fast_signature)
+
+    first = timelines[0]
+    n = len(first._handles)
+    configs = len(timelines)
+    starts = np.zeros((configs, n))
+    ends = np.zeros((configs, n))
+    if n:
+        stream_ids = first._stream_ids
+        gates = first._gates
+        duration_lists = [timeline._durations for timeline in timelines]
+        # Column classification: a column batches into a cumsum run only
+        # if *every* config recorded it as a plain float.  The common
+        # healthy sweep has no deferred columns at all, in which case
+        # one (configs, n) matrix serves every run slice.
+        col_plain = [
+            all(type(d[k]) is float for d in duration_lists) for k in range(n)
+        ]
+        matrix = np.asarray(duration_lists) if all(col_plain) else None
+        prev = [np.zeros(configs) for _ in first._streams]
+        i = 0
+        while i < n:
+            sid = stream_ids[i]
+            j = i + 1
+            while j < n and stream_ids[j] == sid:
+                j += 1
+            base = prev[sid]
+            k = i
+            while k < j:
+                g = k
+                while g < j and gates[g] is None and col_plain[g]:
+                    g += 1
+                if g > k:
+                    # Gateless all-plain run: one seeded cumsum per row —
+                    # each row is the exact left fold its solo replay
+                    # computes.
+                    chain = np.empty((configs, g - k + 1))
+                    chain[:, 0] = base
+                    if matrix is not None:
+                        chain[:, 1:] = matrix[:, k:g]
+                    else:
+                        chain[:, 1:] = [d[k:g] for d in duration_lists]
+                    seg = np.cumsum(chain, axis=1)
+                    starts[:, k:g] = seg[:, :-1]
+                    ends[:, k:g] = seg[:, 1:]
+                    base = seg[:, -1]
+                    k = g
+                if k < j:
+                    # Gated or deferred column: elementwise
+                    # max(prev, gate ends) + duration, one float op per
+                    # config — the solo scalar path, vectorized across
+                    # the config axis.  Same-segment gate ids (>= i) are
+                    # subsumed by stream order, as in the solo replay.
+                    gate_ids = gates[k]
+                    arrive = base
+                    if gate_ids is not None:
+                        for gid in gate_ids:
+                            if gid < i:
+                                arrive = np.maximum(arrive, ends[:, gid])
+                    if col_plain[k]:
+                        if matrix is not None:
+                            dur = matrix[:, k]
+                        else:
+                            dur = np.asarray([d[k] for d in duration_lists])
+                    else:
+                        dur = np.empty(configs)
+                        arrive_py = arrive.tolist()
+                        for c, durations in enumerate(duration_lists):
+                            body = durations[k]
+                            if type(body) is float:
+                                dur[c] = body
+                            else:
+                                # Resolve from a Python float, exactly as
+                                # the solo replay does, and keep the
+                                # resolved value for busy-time sums and
+                                # re-replays.
+                                resolved = float(body.resolve(arrive_py[c]))
+                                durations[k] = resolved
+                                dur[c] = resolved
+                    starts[:, k] = arrive
+                    ends[:, k] = arrive + dur
+                    base = ends[:, k]
+                    k += 1
+            prev[sid] = base
+            i = j
+    finals: list[float] = []
+    for c, timeline in enumerate(timelines):
+        timeline._starts = starts[c].copy()
+        timeline._ends = ends[c].copy()
+        timeline.final_time = float(timeline._ends.max()) if n else 0.0
+        finals.append(timeline.final_time)
+        if tracers is not None and tracers[c] is not None:
+            timeline.emit_spans(tracers[c])
+    return finals
+
+
+def replay_multirank_batch(
+    timelines: Sequence[MultiRankTimeline],
+    tracers: Optional[Sequence] = None,
+) -> list[float]:
+    """Replay a group of structurally identical multi-rank recordings.
+
+    The multi-rank analogue of :func:`replay_fast_batch`: durations
+    stack into a ``(configs, slots, world)`` tensor, per-rank runs
+    become ``cumsum`` chains along the slot axis, and each collective's
+    rendezvous is a ``max`` over the rank axis evaluated for all
+    configs at once.
+    """
+    timelines = list(timelines)
+    if not timelines:
+        return []
+    if len(timelines) == 1:
+        tracer = tracers[0] if tracers else None
+        return [timelines[0].replay(tracer)]
+    _check_group(timelines, multirank_signature)
+
+    first = timelines[0]
+    n = len(first._handles)
+    world = first.world
+    configs = len(timelines)
+    starts = np.zeros((configs, n, world))
+    ends = np.zeros((configs, n, world))
+    if n:
+        slot_streams = first._slot_streams
+        collective = first._collective
+        gates = first._gates
+        duration_lists = [timeline._durations for timeline in timelines]
+        # Per-rank slots batch when every config recorded an ndarray;
+        # collectives when every config recorded a plain float.
+        col_plain = [
+            all(
+                (type(d[k]) is float if collective[k]
+                 else type(d[k]) is np.ndarray)
+                for d in duration_lists
+            )
+            for k in range(n)
+        ]
+        prev = [np.zeros((configs, world)) for _ in first._streams]
+        i = 0
+        while i < n:
+            sid = slot_streams[i]
+            j = i + 1
+            while j < n and slot_streams[j] == sid:
+                j += 1
+            base = prev[sid]
+            k = i
+            while k < j:
+                g = k
+                while (g < j and gates[g] is None and not collective[g]
+                       and col_plain[g]):
+                    g += 1
+                if g > k:
+                    # Gateless per-rank run: seeded cumsum along the slot
+                    # axis, one strict left fold per (config, rank) lane.
+                    chain = np.empty((configs, world, g - k + 1))
+                    chain[:, :, 0] = base
+                    block = np.asarray(
+                        [d[k:g] for d in duration_lists]
+                    )  # (configs, run, world)
+                    chain[:, :, 1:] = block.transpose(0, 2, 1)
+                    seg = np.cumsum(chain, axis=2)
+                    starts[:, k:g, :] = seg[:, :, :-1].transpose(0, 2, 1)
+                    ends[:, k:g, :] = seg[:, :, 1:].transpose(0, 2, 1)
+                    base = np.ascontiguousarray(seg[:, :, -1])
+                    k = g
+                if k < j:
+                    gate_ids = gates[k]
+                    arrive = base
+                    if gate_ids is not None:
+                        for gid in gate_ids:
+                            if gid < i:
+                                arrive = np.maximum(arrive, ends[:, gid, :])
+                    if collective[k]:
+                        # Rendezvous per config: start at that config's
+                        # last arrival, end broadcast back after one
+                        # float add per config.
+                        start_times = arrive.max(axis=1)
+                        if col_plain[k]:
+                            dur = np.asarray([d[k] for d in duration_lists])
+                        else:
+                            dur = np.empty(configs)
+                            starts_py = start_times.tolist()
+                            for c, durations in enumerate(duration_lists):
+                                body = durations[k]
+                                if type(body) is float:
+                                    dur[c] = body
+                                else:
+                                    resolved = body.resolve(starts_py[c])
+                                    durations[k] = resolved
+                                    dur[c] = resolved
+                        starts[:, k, :] = arrive
+                        ends[:, k, :] = (start_times + dur)[:, None]
+                    else:
+                        if col_plain[k]:
+                            dur = np.asarray([d[k] for d in duration_lists])
+                        else:
+                            dur = np.empty((configs, world))
+                            for c, durations in enumerate(duration_lists):
+                                body = durations[k]
+                                if type(body) is np.ndarray:
+                                    dur[c] = body
+                                else:
+                                    # The solo replay hands resolve() the
+                                    # (world,) arrival vector; a row of
+                                    # the batch carries the same values.
+                                    resolved = body.resolve(arrive[c])
+                                    durations[k] = resolved
+                                    dur[c] = resolved
+                        starts[:, k, :] = arrive
+                        ends[:, k, :] = arrive + dur
+                    base = ends[:, k, :]
+                    k += 1
+            prev[sid] = base
+            i = j
+    finals = []
+    for c, timeline in enumerate(timelines):
+        timeline._starts = np.ascontiguousarray(starts[c])
+        timeline._ends = np.ascontiguousarray(ends[c])
+        timeline.final_time = float(timeline._ends.max()) if n else 0.0
+        finals.append(timeline.final_time)
+        if tracers is not None and tracers[c] is not None:
+            timeline.emit_spans(tracers[c])
+    return finals

@@ -398,20 +398,32 @@ class FastTimeline:
         self._ends = ends
         self.final_time = float(ends.max()) if n else 0.0
         if tracer is not None:
-            spans = tracer.spans
-            streams = self._streams
-            stream_ids = self._stream_ids
-            starts_list = starts.tolist()
-            for index, job in enumerate(self._handles):
-                start = starts_list[index]
-                end = ends_list[index]
-                if end > start:
-                    spans.append(Span(
-                        job.name,
-                        job.category,
-                        streams[stream_ids[index]].actor,
-                        start,
-                        end,
-                        job.metadata,
-                    ))
+            self.emit_spans(tracer)
         return self.final_time
+
+    def emit_spans(self, tracer) -> None:
+        """Record every positive-duration replayed job into ``tracer``.
+
+        Requires a prior :meth:`replay` (or a batched replay that wrote
+        the result arrays back — see :mod:`repro.sim.batched`); emits
+        the same spans the event kernel's streams would have recorded.
+        """
+        if self._starts is None or self._ends is None:
+            raise RuntimeError("emit_spans requires a completed replay")
+        spans = tracer.spans
+        streams = self._streams
+        stream_ids = self._stream_ids
+        starts_list = self._starts.tolist()
+        ends_list = self._ends.tolist()
+        for index, job in enumerate(self._handles):
+            start = starts_list[index]
+            end = ends_list[index]
+            if end > start:
+                spans.append(Span(
+                    job.name,
+                    job.category,
+                    streams[stream_ids[index]].actor,
+                    start,
+                    end,
+                    job.metadata,
+                ))

@@ -397,21 +397,34 @@ class MultiRankTimeline:
         self._ends = ends
         self.final_time = float(ends.max()) if n else 0.0
         if tracer is not None:
-            spans = tracer.spans
-            streams = self._streams
-            slot_streams = self._slot_streams
-            for index, handle in enumerate(self._handles):
-                actors = streams[slot_streams[index]].actors
-                row_starts = starts[index].tolist()
-                row_ends = ends[index].tolist()
-                name = handle.name
-                category = handle.category
-                metadata = handle.metadata
-                for rank in range(world):
-                    start = row_starts[rank]
-                    end = row_ends[rank]
-                    if end > start:
-                        spans.append(Span(
-                            name, category, actors[rank], start, end, metadata,
-                        ))
+            self.emit_spans(tracer)
         return self.final_time
+
+    def emit_spans(self, tracer) -> None:
+        """Record every positive-duration per-rank span into ``tracer``.
+
+        Requires a prior :meth:`replay` (or a batched replay that wrote
+        the result matrices back — see :mod:`repro.sim.batched`).
+        """
+        if self._starts is None or self._ends is None:
+            raise RuntimeError("emit_spans requires a completed replay")
+        starts = self._starts
+        ends = self._ends
+        world = self.world
+        spans = tracer.spans
+        streams = self._streams
+        slot_streams = self._slot_streams
+        for index, handle in enumerate(self._handles):
+            actors = streams[slot_streams[index]].actors
+            row_starts = starts[index].tolist()
+            row_ends = ends[index].tolist()
+            name = handle.name
+            category = handle.category
+            metadata = handle.metadata
+            for rank in range(world):
+                start = row_starts[rank]
+                end = row_ends[rank]
+                if end > start:
+                    spans.append(Span(
+                        name, category, actors[rank], start, end, metadata,
+                    ))

@@ -6,7 +6,7 @@ import warnings
 
 import pytest
 
-from repro.core.env import env_flag, env_int
+from repro.core.env import env_flag, env_float, env_int, env_str
 
 VAR = "DEAR_TEST_KNOB"
 
@@ -68,3 +68,43 @@ class TestEnvInt:
             assert env_int(VAR, default=1, minimum=1) == 1
         monkeypatch.setenv(VAR, "4")
         assert env_int(VAR, minimum=1) == 4
+
+
+class TestEnvStr:
+    def test_value_is_stripped(self, monkeypatch):
+        monkeypatch.setenv(VAR, "  /tmp/cache  ")
+        assert env_str(VAR) == "/tmp/cache"
+
+    def test_unset_empty_and_blank_return_default(self, monkeypatch):
+        assert env_str(VAR) is None
+        assert env_str(VAR, default=".dear-cache") == ".dear-cache"
+        monkeypatch.setenv(VAR, "")
+        assert env_str(VAR, default=".dear-cache") == ".dear-cache"
+        monkeypatch.setenv(VAR, "   ")
+        assert env_str(VAR, default=".dear-cache") == ".dear-cache"
+
+
+class TestEnvFloat:
+    def test_valid_float(self, monkeypatch):
+        monkeypatch.setenv(VAR, "0.25")
+        assert env_float(VAR) == 0.25
+        monkeypatch.setenv(VAR, " 1e-3 ")
+        assert env_float(VAR) == 1e-3
+
+    def test_unset_and_empty_return_default(self, monkeypatch):
+        assert env_float(VAR) is None
+        assert env_float(VAR, default=0.01) == 0.01
+        monkeypatch.setenv(VAR, "  ")
+        assert env_float(VAR, default=0.01) == 0.01
+
+    def test_non_numeric_warns(self, monkeypatch):
+        monkeypatch.setenv(VAR, "fast")
+        with pytest.warns(RuntimeWarning, match=VAR):
+            assert env_float(VAR, default=0.5) == 0.5
+
+    def test_minimum_enforced(self, monkeypatch):
+        monkeypatch.setenv(VAR, "-0.1")
+        with pytest.warns(RuntimeWarning):
+            assert env_float(VAR, default=0.01, minimum=0.0) == 0.01
+        monkeypatch.setenv(VAR, "0.0")
+        assert env_float(VAR, minimum=0.0) == 0.0

@@ -1,0 +1,123 @@
+"""Batched runner parity: run_many with DEAR_BATCHED on vs off.
+
+The batched path is an engine swap under ``run_many``, so the whole
+observable result — every ScheduleResult field, extras dict, and
+iteration-time list — must be equal whether a sweep rode the config-axis
+replay or the classic per-spec pool.  These tests pin that, plus the
+fallback taxonomy: which specs batch, which drop to the classic path,
+and how the two populations interleave in one call.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.faults.plan import FaultPlan, StragglerFault
+from repro.runner.batched import batched_enabled, run_batched
+from repro.runner.cache import ResultCache
+from repro.runner.executor import run_many
+from repro.runner.spec import RunSpec
+from repro.schedulers.base import get_scheduler
+
+STRAGGLER = FaultPlan(stragglers=(StragglerFault(0.0, 5.0, compute_factor=1.5),))
+
+
+def _mixed_specs(tiny_model, ethernet_cluster) -> list[RunSpec]:
+    """Single-rank, faulty, multirank, and collapse specs in one sweep."""
+    world = ethernet_cluster.world_size
+    return [
+        RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4),
+        RunSpec.create("ddp", tiny_model, ethernet_cluster, iterations=4),
+        RunSpec.create("dear", tiny_model, ethernet_cluster, iterations=4,
+                       fusion="none"),
+        RunSpec.create("dear", tiny_model, ethernet_cluster, iterations=4,
+                       fusion="buffer", buffer_bytes=25e6),
+        RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4,
+                       faults=STRAGGLER),
+        RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4,
+                       compute_scales=[1.0] * (world - 1) + [1.3]),
+        RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4,
+                       compute_scales=[1.0] * world),  # collapses
+    ]
+
+
+class TestRunManyParity:
+    def test_batched_equals_classic(self, tiny_model, ethernet_cluster,
+                                    tmp_path, monkeypatch):
+        specs = _mixed_specs(tiny_model, ethernet_cluster)
+        monkeypatch.setenv("DEAR_BATCHED", "0")
+        classic = run_many(specs, jobs=1, cache=ResultCache(root=tmp_path / "a"))
+        monkeypatch.setenv("DEAR_BATCHED", "1")
+        batched = run_many(specs, jobs=1, cache=ResultCache(root=tmp_path / "b"))
+        for spec, left, right in zip(specs, classic, batched):
+            assert dataclasses.asdict(left) == dataclasses.asdict(right), spec.label
+
+    def test_batched_results_are_cached(self, tiny_model, ethernet_cluster,
+                                        tmp_path, monkeypatch):
+        monkeypatch.setenv("DEAR_BATCHED", "1")
+        cache = ResultCache(root=tmp_path)
+        specs = _mixed_specs(tiny_model, ethernet_cluster)[:3]
+        run_many(specs, jobs=1, cache=cache)
+        assert cache.puts == len(specs)
+        hits_before = cache.hits
+        again = run_many(specs, jobs=1, cache=cache)
+        assert cache.hits == hits_before + len(specs)
+        assert [r.scheduler for r in again] == [s.scheduler for s in specs]
+
+
+class TestRunBatchedFallback:
+    def test_bytescheduler_falls_back(self, tiny_model, ethernet_cluster):
+        """Credit-based scheduling is dynamic: no fast path, no batch."""
+        spec = RunSpec.create("bytescheduler", tiny_model, ethernet_cluster,
+                              iterations=4)
+        assert run_batched([spec]) == [None]
+
+    def test_bo_fusion_falls_back(self, tiny_model, ethernet_cluster):
+        """DeAR/Horovod BO tuning wraps run() in a trials loop; the
+        recorded schedule would skip it, so these must not batch."""
+        specs = [
+            RunSpec.create("dear", tiny_model, ethernet_cluster, iterations=4,
+                           fusion="bo", bo_trials=2),
+            RunSpec.create("horovod", tiny_model, ethernet_cluster, iterations=4,
+                           fusion="bo", bo_trials=2),
+        ]
+        assert run_batched(specs) == [None, None]
+
+    def test_forced_classic_engine_falls_back(self, tiny_model, ethernet_cluster):
+        spec = RunSpec.create("wfbp", tiny_model, ethernet_cluster,
+                              iterations=4, fastpath=False)
+        assert run_batched([spec]) == [None]
+
+    def test_disabled_via_env(self, tiny_model, ethernet_cluster, monkeypatch):
+        monkeypatch.setenv("DEAR_BATCHED", "0")
+        assert not batched_enabled()
+        spec = RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4)
+        assert run_batched([spec]) == [None]
+
+    def test_mixed_batchable_and_not(self, tiny_model, ethernet_cluster):
+        specs = [
+            RunSpec.create("wfbp", tiny_model, ethernet_cluster, iterations=4),
+            RunSpec.create("bytescheduler", tiny_model, ethernet_cluster,
+                           iterations=4),
+            RunSpec.create("ddp", tiny_model, ethernet_cluster, iterations=4),
+        ]
+        outcomes = run_batched(specs)
+        assert outcomes[1] is None
+        assert outcomes[0] is not None and outcomes[2] is not None
+        result, seconds = outcomes[0]
+        assert result.scheduler == "wfbp" and result.tracer is None
+        assert seconds >= 0.0
+
+
+class TestSupportsBatchedRun:
+    def test_static_schedulers_opt_in(self):
+        for name in ("wfbp", "ddp", "mg_wfbp", "serial", "zero"):
+            assert get_scheduler(name).supports_batched_run(), name
+
+    @pytest.mark.parametrize("name", ["dear", "horovod"])
+    def test_bo_mode_opts_out(self, name):
+        assert not get_scheduler(name, fusion="bo").supports_batched_run()
+        assert get_scheduler(name, fusion="buffer",
+                             buffer_bytes=25e6).supports_batched_run()

@@ -1,0 +1,68 @@
+"""Cross-process cache write race: same key, two writers, zero torn reads.
+
+CI shares one ``DEAR_CACHE_DIR`` between the serve daemon and sibling
+steps, so concurrent same-fingerprint writers are a supported mode, not
+an accident.  The contract under contention: every ``get`` observes a
+complete entry (writes go through a temp file + ``os.replace``), and
+the steady state is exactly one valid entry per fingerprint.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+
+#: Runs in a child process: hammer put+get on one fingerprint and fail
+#: loudly on any torn or invalid read.  Argv: cache_root, rounds.
+_HAMMER = """
+import dataclasses
+import sys
+
+from repro.runner.cache import ResultCache
+from repro.runner.spec import RunSpec
+
+root, rounds = sys.argv[1], int(sys.argv[2])
+spec = RunSpec.create("wfbp", "resnet50", "10gbe", iterations=3)
+result = dataclasses.replace(spec.run(), tracer=None)
+cache = ResultCache(root=root)
+for _ in range(rounds):
+    cache.put(spec, result)
+    seen = cache.get(spec)
+    assert seen is not None, "torn read: entry vanished or failed to parse"
+    assert seen.iteration_time == result.iteration_time
+    assert seen.iteration_times == result.iteration_times
+print(f"ok hits={cache.hits} misses={cache.misses}")
+"""
+
+ROUNDS = 60
+
+
+def test_two_process_same_key_write_race(tmp_path):
+    root = tmp_path / "race-cache"
+    writers = [
+        subprocess.Popen(
+            [sys.executable, "-c", _HAMMER, str(root), str(ROUNDS)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        for _ in range(2)
+    ]
+    for proc in writers:
+        out, err = proc.communicate(timeout=300)
+        assert proc.returncode == 0, f"writer failed:\n{out}\n{err}"
+        # Every read in the loop parsed: no misses after the first put.
+        assert "misses=0" in out, out
+
+    # Steady state: exactly one complete entry, no leftover temp files.
+    entries = list(root.rglob("*.json"))
+    assert len(entries) == 1, entries
+    assert not list(root.rglob("*.tmp"))
+
+    spec = RunSpec.create("wfbp", "resnet50", "10gbe", iterations=3)
+    final = ResultCache(root=root).get(spec)
+    assert final is not None
+    assert final.scheduler == "wfbp"
