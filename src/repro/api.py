@@ -121,6 +121,11 @@ class SimulationConfig:
     faults: Optional[FaultPlan] = None
     fastpath: Optional[bool] = None
     options: tuple[tuple[str, Any], ...] = ()
+    #: Autotuner selection table consulted when ``algorithm == "auto"``,
+    #: as the canonical payload tuple (see
+    #: :meth:`repro.network.autotuner.SelectionTable.payload_tuple`).
+    #: None + ``"auto"`` = plain ring, bit-identically.
+    tuned_table: Optional[tuple] = None
 
     @classmethod
     def create(
@@ -134,17 +139,33 @@ class SimulationConfig:
         iteration_compute: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         fastpath: Optional[bool] = None,
+        tuned_table=None,
         **options,
     ) -> "SimulationConfig":
-        """Build a config, resolving registry names and freezing options."""
+        """Build a config, resolving registry names and freezing options.
+
+        ``tuned_table`` accepts a
+        :class:`~repro.network.autotuner.SelectionTable`, its payload
+        tuple, or None; with ``algorithm="auto"`` and no explicit table
+        the process-registered table (if any) is snapshotted in.
+        """
         if scheduler not in SCHEDULER_NAMES:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; known: {list(SCHEDULER_NAMES)}"
             )
+        cluster = resolve_cluster(cluster)
+        if tuned_table is not None and not isinstance(tuned_table, tuple):
+            tuned_table = tuned_table.payload_tuple()
+        if tuned_table is None and algorithm == "auto":
+            from repro.network.autotuner import table_for
+
+            registered = table_for(cluster)
+            if registered is not None:
+                tuned_table = registered.payload_tuple()
         return cls(
             scheduler=scheduler,
             model=resolve_model(model),
-            cluster=resolve_cluster(cluster),
+            cluster=cluster,
             batch_size=batch_size,
             algorithm=algorithm,
             iterations=iterations,
@@ -152,6 +173,7 @@ class SimulationConfig:
             faults=normalize_plan(faults),
             fastpath=fastpath,
             options=_freeze_options(options),
+            tuned_table=tuned_table,
         )
 
     def replace(self, **changes) -> "SimulationConfig":
@@ -176,6 +198,7 @@ class SimulationConfig:
             iteration_compute=self.iteration_compute,
             options=self.options,
             faults=self.faults,
+            tuned_table=self.tuned_table,
         )
 
     @property
@@ -243,6 +266,17 @@ def run_simulation(config: SimulationConfig, cached: bool = False) -> ScheduleRe
         from repro.runner.cache import run_cached
 
         return run_cached(config.to_spec())
+    table = None
+    if config.tuned_table is not None:
+        from repro.network.autotuner import SelectionTable
+
+        table = SelectionTable.from_payload_tuple(config.tuned_table)
+    elif config.algorithm == "auto":
+        # create() snapshots any registered table; a config without one
+        # means "untuned" and must stay plain ring here too.
+        from repro.network.autotuner import NO_TABLE
+
+        table = NO_TABLE
     return simulate(
         config.scheduler,
         config.model,
@@ -253,6 +287,7 @@ def run_simulation(config: SimulationConfig, cached: bool = False) -> ScheduleRe
         iteration_compute=config.iteration_compute,
         faults=config.faults,
         fastpath=config.fastpath,
+        tuned_table=table,
         **dict(config.options),
     )
 

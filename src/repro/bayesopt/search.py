@@ -27,6 +27,8 @@ __all__ = [
     "trials_to_reach",
     "warm_candidate_cache",
     "publish_observation",
+    "tuned_fusion_search",
+    "compare_fusion_strategies",
 ]
 
 
@@ -52,6 +54,8 @@ def warm_candidate_cache(
     buffer_sizes: Sequence[float],
     iterations: int = 5,
     jobs: Optional[int] = None,
+    algorithm: str = "ring",
+    tuned_table=None,
 ) -> list:
     """Pre-simulate DeAR at each candidate buffer size, concurrently.
 
@@ -63,6 +67,10 @@ def warm_candidate_cache(
     simulated once: the batch is deduplicated before the specs are
     built, and each duplicate position in the return value aliases the
     unique run's result.
+
+    ``algorithm="auto"`` (with ``tuned_table`` or a process-registered
+    table) warms the cache under autotuned collectives instead of plain
+    ring — the tuning participates in every spec's fingerprint.
     """
     from repro.runner import RunSpec, run_many
 
@@ -72,11 +80,83 @@ def warm_candidate_cache(
         RunSpec.create(
             "dear", model, cluster, fusion="buffer",
             buffer_bytes=size, iterations=iterations,
+            algorithm=algorithm, tuned_table=tuned_table,
         )
         for size in unique_sizes
     ]
     results = dict(zip(unique_sizes, run_many(specs, jobs=jobs)))
     return [results[size] for size in sizes]
+
+
+def tuned_fusion_search(
+    model,
+    cluster,
+    algorithm: str = "auto",
+    tuned_table=None,
+    bo_trials: int = 15,
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+):
+    """The paper's BO fusion search, scored under a collective choice.
+
+    Runs DeAR's run-time Bayesian-optimisation loop (``fusion="bo"``)
+    with the cost model built for ``algorithm`` — ``"auto"`` scores
+    every fusion candidate under autotuned (algorithm, protocol,
+    channels) collectives, so fusion and collective selection are
+    optimised *jointly* instead of fusion-only as in the paper.  With
+    ``tuned_table=None`` the cluster's table is built (and registered)
+    on demand; pass ``algorithm="ring"`` for the paper's baseline.
+
+    Returns the final :class:`~repro.schedulers.base.ScheduleResult`
+    (its ``extras`` carry ``buffer_bytes`` and the BO history).
+    """
+    from repro.models.profiles import TimingModel
+    from repro.network.cost_model import CollectiveTimeModel
+    from repro.schedulers.base import get_scheduler
+
+    if algorithm == "auto" and tuned_table is None:
+        from repro.network.autotuner import ensure_table
+
+        tuned_table = ensure_table(cluster)
+    timing = TimingModel.for_model(model)
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
+    scheduler = get_scheduler(
+        "dear", fusion="bo", bo_trials=bo_trials, bo_seed=seed
+    )
+    result = scheduler.run(timing, cost, iterations=iterations)
+    result.extras["algorithm"] = algorithm
+    return result
+
+
+def compare_fusion_strategies(
+    model,
+    cluster,
+    bo_trials: int = 15,
+    iterations: int = 5,
+    seed: Optional[int] = 0,
+) -> dict:
+    """Ring-only vs. jointly-tuned BO fusion search on one workload.
+
+    The acceptance check for the co-optimisation: the jointly-tuned
+    plan's iteration time must be <= the ring-only plan's (an autotuned
+    model never prices a collective above plain ring, and the BO loop
+    scores candidates under whichever model it is given).
+    """
+    ring = tuned_fusion_search(
+        model, cluster, algorithm="ring",
+        bo_trials=bo_trials, iterations=iterations, seed=seed,
+    )
+    tuned = tuned_fusion_search(
+        model, cluster, algorithm="auto",
+        bo_trials=bo_trials, iterations=iterations, seed=seed,
+    )
+    return {
+        "ring": ring,
+        "tuned": tuned,
+        "ring_iteration_time": ring.iteration_time,
+        "tuned_iteration_time": tuned.iteration_time,
+        "speedup": ring.iteration_time / tuned.iteration_time,
+    }
 
 
 class _SearchBase:

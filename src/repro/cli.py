@@ -30,6 +30,12 @@ And the simulation service (see docs/SERVE.md)::
 
     dear-repro serve --port 8377      # batched HTTP query daemon
 
+And the network autotuner's calibration sweep (see docs/NETWORK.md)::
+
+    dear-repro tune                   # PARAM-style size sweep, both fabrics
+    dear-repro tune --fabric 100gbib --output tuned.json
+    dear-repro tune --check-golden benchmarks/tuned_tables.json
+
 The trace, chaos, and serve commands are thin shells over the stable
 :mod:`repro.api` facade.
 
@@ -168,6 +174,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.serve.daemon import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "tune":
+        from repro.network.tune_cmd import tune_main
+
+        return tune_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="dear-repro",
@@ -177,7 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment name (see 'list'), 'all', 'list', 'bench', "
-            "'trace', 'chaos', or 'serve'"
+            "'trace', 'chaos', 'serve', or 'tune'"
         ),
     )
     parser.add_argument(

@@ -20,6 +20,7 @@ fig9      tensor-fusion variants (FB / NL / BO)
 fig10     tuning cost: BO vs random vs grid search
 fig11     speed vs per-GPU batch size
 timelines Figs. 1-2 schedule timelines as Gantt charts
+tuned     tuned-vs-ring collectives (autotuner; not a paper figure)
 ========  =====================================================
 """
 
@@ -35,6 +36,7 @@ from repro.experiments.fig9 import run as fig9
 from repro.experiments.fig10 import run as fig10
 from repro.experiments.fig11 import run as fig11
 from repro.experiments.timelines import run as timelines
+from repro.experiments.tuned import run as tuned
 
 EXPERIMENTS = {
     "table1": table1,
@@ -48,6 +50,7 @@ EXPERIMENTS = {
     "fig10": fig10,
     "fig11": fig11,
     "timelines": timelines,
+    "tuned": tuned,
 }
 
 __all__ = ["EXPERIMENTS", "paper_data"] + sorted(EXPERIMENTS)

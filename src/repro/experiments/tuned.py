@@ -1,0 +1,163 @@
+"""Tuned-vs-ring: what per-call (algorithm, protocol, channels) buys.
+
+Not a paper figure — DeAR prices every collective with the plain ring
+model — but the natural next question its cost model raises: how much
+of the iteration time is left on the table by *not* letting the fabric
+pick its collective per message size, the way NCCL's tuner does.
+
+Three sections of rows:
+
+- ``crossover`` — per-size winners and speedups from the autotuner's
+  selection table on each fabric (the microbenchmark view; LL at small
+  sizes, LL128 in the middle, Simple at large — on fabrics that run
+  those tiers).
+- ``e2e`` — end-to-end iteration times, ring vs. ``algorithm="auto"``,
+  for DeAR and Horovod at 64 / 256 / 1024 GPUs on both testbed
+  fabrics, fanned out through the cached batched runner (the tuned
+  tables ride inside each RunSpec, so cache keys are exact).
+- ``bo`` — the joint optimisation: DeAR's BO fusion search scored
+  under autotuned collectives vs. ring-only, at 64 ranks per fabric.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import format_table, resolve_cluster, resolve_model
+
+__all__ = ["run", "format_rows", "WORLD_SIZES", "SWEEP_SIZES"]
+
+#: World sizes of the e2e section; 1024 exercises the scaled runner.
+WORLD_SIZES = (64, 256, 1024)
+
+#: Crossover sweep: 4 KB .. 256 MB, one point per size decade-ish.
+SWEEP_SIZES = tuple(float(2 ** k) for k in range(12, 29, 2))
+
+FABRICS = ("10gbe", "100gbib")
+SCHEDULERS = ("dear", "horovod")
+
+
+def _crossover_rows(fabric: str) -> list[dict]:
+    from repro.network.autotuner import build_selection_table
+    from repro.network.protocol import collective_times
+
+    cluster = resolve_cluster(fabric)
+    table = build_selection_table(cluster)
+    sizes = np.array(SWEEP_SIZES)
+    ring = collective_times("all_reduce", sizes, cluster)
+    rows = []
+    for nbytes, ring_t in zip(sizes, ring):
+        selection = table.lookup("all_reduce", nbytes)
+        tuned_t = float(
+            collective_times(
+                "all_reduce", np.array([nbytes]), cluster,
+                algorithm=selection.algorithm,
+                protocol=selection.protocol,
+                channels=selection.channels,
+            )[0]
+        )
+        rows.append(
+            {
+                "section": "crossover",
+                "fabric": fabric,
+                "bytes": int(nbytes),
+                "winner": selection.label,
+                "tuned_ms": tuned_t * 1e3,
+                "ring_ms": float(ring_t) * 1e3,
+                "speedup": float(ring_t) / tuned_t,
+            }
+        )
+    return rows
+
+
+def _e2e_rows(model, jobs=None) -> list[dict]:
+    from repro.network.autotuner import build_selection_table
+    from repro.runner import RunSpec, run_many
+
+    model = resolve_model(model)
+    cases = []
+    specs = []
+    for fabric in FABRICS:
+        base = resolve_cluster(fabric)
+        for world in WORLD_SIZES:
+            cluster = base.with_nodes(world // base.gpus_per_node)
+            table = build_selection_table(cluster)
+            for scheduler in SCHEDULERS:
+                for algorithm in ("ring", "auto"):
+                    cases.append((fabric, world, scheduler, algorithm))
+                    specs.append(
+                        RunSpec.create(
+                            scheduler, model, cluster,
+                            algorithm=algorithm,
+                            tuned_table=table if algorithm == "auto" else None,
+                        )
+                    )
+    results = dict(zip(cases, run_many(specs, jobs=jobs)))
+    rows = []
+    for fabric in FABRICS:
+        for world in WORLD_SIZES:
+            for scheduler in SCHEDULERS:
+                ring = results[(fabric, world, scheduler, "ring")]
+                tuned = results[(fabric, world, scheduler, "auto")]
+                rows.append(
+                    {
+                        "section": "e2e",
+                        "fabric": fabric,
+                        "world": world,
+                        "scheduler": scheduler,
+                        "model": model.name,
+                        "ring_iter_ms": ring.iteration_time * 1e3,
+                        "tuned_iter_ms": tuned.iteration_time * 1e3,
+                        "speedup": ring.iteration_time / tuned.iteration_time,
+                    }
+                )
+    return rows
+
+
+def _bo_rows(model, bo_trials: int) -> list[dict]:
+    from repro.bayesopt.search import compare_fusion_strategies
+    from repro.network.autotuner import clear_tables
+
+    model = resolve_model(model)
+    rows = []
+    for fabric in FABRICS:
+        clear_tables()
+        out = compare_fusion_strategies(model, resolve_cluster(fabric),
+                                        bo_trials=bo_trials)
+        rows.append(
+            {
+                "section": "bo",
+                "fabric": fabric,
+                "model": model.name,
+                "ring_iter_ms": out["ring_iteration_time"] * 1e3,
+                "tuned_iter_ms": out["tuned_iteration_time"] * 1e3,
+                "ring_buffer_mb": out["ring"].extras.get("buffer_bytes", 0) / 1e6,
+                "tuned_buffer_mb": out["tuned"].extras.get("buffer_bytes", 0) / 1e6,
+                "speedup": out["speedup"],
+            }
+        )
+    clear_tables()
+    return rows
+
+
+def run(model="resnet50", bo_trials: int = 8, jobs=None) -> list[dict]:
+    """All three sections; one list, distinguished by ``row["section"]``."""
+    rows = []
+    for fabric in FABRICS:
+        rows.extend(_crossover_rows(fabric))
+    rows.extend(_e2e_rows(model, jobs=jobs))
+    rows.extend(_bo_rows(model, bo_trials))
+    return rows
+
+
+def format_rows(rows: list[dict]) -> str:
+    sections = []
+    for name in ("crossover", "e2e", "bo"):
+        body = [
+            {key: value for key, value in row.items() if key != "section"}
+            for row in rows
+            if row["section"] == name
+        ]
+        if body:
+            sections.append(f"-- {name} --\n{format_table(body)}")
+    return "\n\n".join(sections)

@@ -12,9 +12,24 @@ The paper analyses communication with the classic alpha–beta cost model
   facade used by the schedulers;
 - :mod:`repro.network.presets` — calibrated 10GbE / 100GbIB / NVLink
   numbers matching the paper's testbed (§VI-A), including the paper's
-  own spot checks (1 MB all-reduce ≈ 4.5 ms on 64 GPUs / 10GbE).
+  own spot checks (1 MB all-reduce ≈ 4.5 ms on 64 GPUs / 10GbE);
+- :mod:`repro.network.protocol` — NCCL protocol tiers (Simple/LL/LL128),
+  multi-channel striping, and chunked pipelined rounds, vectorized over
+  size sweeps (opt-in; defaults are bit-identical to the plain model);
+- :mod:`repro.network.autotuner` — per-(op, size, topology) selection of
+  (algorithm, protocol, channels), memoized into size-bucketed tables
+  that ``CollectiveTimeModel(algorithm="auto")`` consults.
 """
 
+from repro.network.autotuner import (
+    Selection,
+    SelectionTable,
+    build_selection_table,
+    clear_tables,
+    ensure_table,
+    register_table,
+    table_for,
+)
 from repro.network.cost_model import (
     CollectiveTimeModel,
     hierarchical_all_reduce_time,
@@ -29,6 +44,15 @@ from repro.network.cost_model import (
     tree_reduce_time,
 )
 from repro.network.fabric import ClusterSpec, LinkSpec
+from repro.network.protocol import (
+    LL,
+    LL128,
+    PROTOCOLS,
+    SIMPLE,
+    ProtocolSpec,
+    collective_time,
+    collective_times,
+)
 from repro.network.presets import (
     ETHERNET_10G,
     ETHERNET_25G,
@@ -46,11 +70,25 @@ __all__ = [
     "ETHERNET_10G",
     "ETHERNET_25G",
     "INFINIBAND_100G",
+    "LL",
+    "LL128",
     "LinkSpec",
     "NVLINK",
     "PCIE_3",
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "SIMPLE",
+    "Selection",
+    "SelectionTable",
+    "build_selection_table",
+    "clear_tables",
     "cluster_100gbib",
     "cluster_10gbe",
+    "collective_time",
+    "collective_times",
+    "ensure_table",
+    "register_table",
+    "table_for",
     "hierarchical_all_reduce_time",
     "negotiation_time",
     "paper_testbed",

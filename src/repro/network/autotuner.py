@@ -1,0 +1,401 @@
+"""Per-call (algorithm, protocol, channels) selection, NCCL-tuner style.
+
+NCCL decides, for every collective call, which algorithm/protocol pair
+and how many channels to use, from tuning tables keyed by message size
+and topology.  This module reproduces that decision for the simulator's
+cost model:
+
+- :class:`Selection` — one (algorithm, protocol, channels) choice;
+- :class:`SelectionTable` — the winner per power-of-two size bucket and
+  per operation, built by sweeping every eligible candidate through the
+  vectorized protocol-aware model
+  (:func:`repro.network.protocol.collective_times` — one numpy pass per
+  candidate, never a Python loop per size);
+- a process-wide registry (:func:`register_table` /
+  :func:`table_for` / :func:`ensure_table`) that
+  ``CollectiveTimeModel(algorithm="auto")`` consults: with no table
+  loaded, ``"auto"`` falls back to plain ring, bit-identically.
+
+Telemetry: ``autotuner.evals`` counts candidate-x-size evaluations
+during table builds, ``autotuner.lookups`` (labelled ``hit="yes"/"no"``)
+counts per-call table consultations.
+
+Tables serialise to JSON (``dear-repro tune`` commits one under
+``benchmarks/tuned_tables.json``) and to a canonical tuple that
+:class:`~repro.runner.spec.RunSpec` embeds, so cached and process-pool
+runs carry their tuning with them instead of depending on ambient
+process state.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.network.fabric import ClusterSpec
+from repro.network.protocol import collective_times, governing_link
+from repro.telemetry.registry import default_registry
+
+__all__ = [
+    "Selection",
+    "SelectionTable",
+    "TUNE_TABLE_SCHEMA",
+    "default_sweep_sizes",
+    "candidate_selections",
+    "build_selection_table",
+    "register_table",
+    "table_for",
+    "ensure_table",
+    "clear_tables",
+    "size_bucket",
+]
+
+TUNE_TABLE_SCHEMA = "dear-tune-table-v1"
+
+#: Operations a table covers — the engine's collective kinds.
+TABLE_OPS = ("reduce_scatter", "all_gather", "all_reduce")
+
+#: Default calibration sweep: 1 KiB to 1 GiB, one point per size bucket.
+DEFAULT_SWEEP_MIN = 2.0**10
+DEFAULT_SWEEP_MAX = 2.0**30
+
+#: Candidate order encodes the tie-break: the plain-ring parity config
+#: (ring / simple / calibrated channels) comes first, so equal-cost ties
+#: resolve to the paper's baseline.
+_ALGORITHM_ORDER = ("ring", "halving_doubling", "tree", "hierarchical")
+_PROTOCOL_ORDER = ("simple", "ll128", "ll")
+
+
+def size_bucket(nbytes: float) -> int:
+    """Power-of-two size bucket: ``floor(log2(nbytes))``, floored at 0."""
+    if nbytes < 2.0:
+        return 0
+    return int(math.floor(math.log2(nbytes)))
+
+
+@dataclass(frozen=True)
+class Selection:
+    """One tuner decision: which algorithm, protocol tier, and channels."""
+
+    algorithm: str
+    protocol: str
+    channels: int
+
+    @property
+    def label(self) -> str:
+        """Compact spelling used in artifacts: ``ring/simple/c4``."""
+        return f"{self.algorithm}/{self.protocol}/c{self.channels}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "Selection":
+        algorithm, protocol, channels = label.split("/")
+        if not channels.startswith("c"):
+            raise ValueError(f"malformed selection label {label!r}")
+        return cls(algorithm=algorithm, protocol=protocol, channels=int(channels[1:]))
+
+
+class SelectionTable:
+    """Size-bucketed (algorithm, protocol, channels) winners for one fabric.
+
+    ``entries`` maps operation -> {bucket index -> :class:`Selection`}.
+    Lookups clamp to the nearest covered bucket, so a table swept over
+    1 KiB–1 GiB still answers 100-byte and 4-GiB queries (with its edge
+    winners, which is what NCCL's clamped tables do too).
+    """
+
+    def __init__(
+        self,
+        link_name: str,
+        world_size: int,
+        entries: dict[str, dict[int, Selection]],
+        cluster_name: str = "",
+    ):
+        if world_size < 1:
+            raise ValueError(f"world_size must be >= 1, got {world_size}")
+        self.link_name = link_name
+        self.world_size = world_size
+        self.cluster_name = cluster_name
+        self.entries = {
+            op: dict(sorted(buckets.items())) for op, buckets in entries.items()
+        }
+        # Counters bind lazily on first lookup: constructing a table at
+        # import time (NO_TABLE) must not touch the telemetry registry,
+        # whose initialisation pulls in the scheduler stack.
+        self._hit_counter = None
+        self._miss_counter = None
+
+    def _bind_counters(self) -> None:
+        lookups = default_registry().counter(
+            "autotuner.lookups", "selection-table consultations"
+        )
+        self._hit_counter = lookups.labels(hit="yes")
+        self._miss_counter = lookups.labels(hit="no")
+
+    def lookup(self, op: str, nbytes: float) -> Optional[Selection]:
+        """The winner for ``op`` at ``nbytes``, or None for unknown ops."""
+        if self._hit_counter is None:
+            self._bind_counters()
+        buckets = self.entries.get(op)
+        if not buckets:
+            self._miss_counter.inc()
+            return None
+        bucket = size_bucket(nbytes)
+        keys = list(buckets)
+        clamped = min(max(bucket, keys[0]), keys[-1])
+        if clamped not in buckets:
+            # Sparse sweeps can skip interior buckets; snap to the
+            # nearest covered one below (the last winner still valid).
+            covered = [key for key in keys if key <= clamped]
+            clamped = covered[-1] if covered else keys[0]
+        self._hit_counter.inc()
+        return buckets[clamped]
+
+    # -- serialisation -------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """JSON-ready dict (the ``dear-repro tune`` artifact format)."""
+        return {
+            "schema": TUNE_TABLE_SCHEMA,
+            "link": self.link_name,
+            "cluster": self.cluster_name,
+            "world_size": self.world_size,
+            "entries": {
+                op: {str(bucket): selection.label for bucket, selection in buckets.items()}
+                for op, buckets in self.entries.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SelectionTable":
+        if payload.get("schema") != TUNE_TABLE_SCHEMA:
+            raise ValueError(
+                f"unknown selection-table schema {payload.get('schema')!r}"
+            )
+        entries = {
+            op: {
+                int(bucket): Selection.from_label(label)
+                for bucket, label in buckets.items()
+            }
+            for op, buckets in payload.get("entries", {}).items()
+        }
+        return cls(
+            link_name=payload.get("link", ""),
+            world_size=int(payload.get("world_size", 1)),
+            entries=entries,
+            cluster_name=payload.get("cluster", ""),
+        )
+
+    def payload_tuple(self) -> tuple:
+        """Canonical hashable form for embedding in a RunSpec."""
+        return (
+            self.link_name,
+            self.world_size,
+            tuple(
+                (op, bucket, sel.algorithm, sel.protocol, sel.channels)
+                for op in sorted(self.entries)
+                for bucket, sel in sorted(self.entries[op].items())
+            ),
+        )
+
+    @classmethod
+    def from_payload_tuple(cls, payload: tuple) -> "SelectionTable":
+        link_name, world_size, rows = payload
+        entries: dict[str, dict[int, Selection]] = {}
+        for op, bucket, algorithm, protocol, channels in rows:
+            entries.setdefault(op, {})[int(bucket)] = Selection(
+                algorithm=algorithm, protocol=protocol, channels=int(channels)
+            )
+        return cls(link_name=link_name, world_size=int(world_size), entries=entries)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "SelectionTable":
+        return cls.from_payload(json.loads(Path(path).read_text()))
+
+    def describe(self) -> str:
+        buckets = self.entries.get("all_reduce", {})
+        return (
+            f"selection table for {self.link_name} @ P={self.world_size} "
+            f"({len(buckets)} all-reduce buckets)"
+        )
+
+
+def default_sweep_sizes(
+    begin: float = DEFAULT_SWEEP_MIN,
+    end: float = DEFAULT_SWEEP_MAX,
+    factor: float = 2.0,
+) -> np.ndarray:
+    """PARAM-style geometric size sweep: ``begin, begin*f, ... <= end``."""
+    if begin <= 0 or end < begin:
+        raise ValueError(f"need 0 < begin <= end, got [{begin}, {end}]")
+    if factor <= 1:
+        raise ValueError(f"step factor must be > 1, got {factor}")
+    sizes = []
+    size = float(begin)
+    while size <= end * (1 + 1e-12):
+        sizes.append(size)
+        size *= factor
+    return np.array(sizes, dtype=float)
+
+
+def candidate_selections(cluster: ClusterSpec) -> list[Selection]:
+    """Every (algorithm, protocol, channels) the fabric can run.
+
+    Algorithms outside the topology's reach are excluded up front
+    (halving-doubling needs a power-of-two world, hierarchical needs
+    multiple nodes); protocols come from the governing link's capability
+    set; channel counts are the powers of two up to the link's
+    calibrated count.
+    """
+    link = governing_link(cluster)
+    p = cluster.world_size
+    algorithms = ["ring"]
+    if not (p & (p - 1)) and p > 1:
+        algorithms.append("halving_doubling")
+    algorithms.append("tree")
+    if cluster.multi_node and cluster.gpus_per_node > 1:
+        algorithms.append("hierarchical")
+    algorithms.sort(key=_ALGORITHM_ORDER.index)
+
+    protocols = sorted(
+        (name for name in link.protocols if name in _PROTOCOL_ORDER),
+        key=_PROTOCOL_ORDER.index,
+    )
+    channel_counts = sorted(
+        {link.channels}
+        | {2**k for k in range(0, max(0, link.channels.bit_length() - 1) + 1)
+           if 2**k <= link.channels},
+        reverse=True,
+    )
+    return [
+        Selection(algorithm=algorithm, protocol=protocol, channels=channels)
+        for algorithm in algorithms
+        for protocol in protocols
+        for channels in channel_counts
+    ]
+
+
+def build_selection_table(
+    cluster: ClusterSpec,
+    sizes: Optional[Union[Sequence[float], np.ndarray]] = None,
+    ops: Iterable[str] = TABLE_OPS,
+    candidates: Optional[Sequence[Selection]] = None,
+) -> SelectionTable:
+    """Sweep every candidate over the size grid and bucket the winners.
+
+    Each candidate is priced with ONE vectorized
+    :func:`~repro.network.protocol.collective_times` call over the whole
+    size vector; winners are taken per power-of-two bucket (summing the
+    bucket's sizes when the sweep has several per bucket).  Ties resolve
+    to the earlier candidate — the plain-ring parity config by
+    construction of :func:`candidate_selections`.
+    """
+    if sizes is None:
+        buckets = range(
+            size_bucket(DEFAULT_SWEEP_MIN), size_bucket(DEFAULT_SWEEP_MAX) + 1
+        )
+        # One representative per bucket: its geometric midpoint.
+        size_array = np.array([2.0 ** (b + 0.5) for b in buckets], dtype=float)
+    else:
+        size_array = np.asarray(sorted(float(s) for s in sizes), dtype=float)
+        if size_array.size == 0:
+            raise ValueError("sizes must be non-empty")
+        if np.any(size_array <= 0):
+            raise ValueError("sweep sizes must be positive")
+    bucket_of = np.array([size_bucket(s) for s in size_array])
+    bucket_ids = sorted(set(bucket_of.tolist()))
+
+    pool = list(candidates) if candidates is not None else candidate_selections(cluster)
+    if not pool:
+        raise ValueError("no candidate selections for this cluster")
+
+    registry = default_registry()
+    evals = registry.counter(
+        "autotuner.evals", "candidate-x-size cost evaluations during table builds"
+    )
+    entries: dict[str, dict[int, Selection]] = {}
+    for op in ops:
+        # (candidate, size) cost matrix: one vector pass per candidate.
+        matrix = np.stack([
+            collective_times(
+                op,
+                size_array,
+                cluster,
+                algorithm=sel.algorithm,
+                protocol=sel.protocol,
+                channels=sel.channels,
+            )
+            for sel in pool
+        ])
+        evals.inc(matrix.size, op=op)
+        per_bucket: dict[int, Selection] = {}
+        for bucket in bucket_ids:
+            mask = bucket_of == bucket
+            totals = matrix[:, mask].sum(axis=1)
+            per_bucket[bucket] = pool[int(np.argmin(totals))]
+        entries[op] = per_bucket
+
+    registry.counter("autotuner.builds", "selection tables built").inc()
+    return SelectionTable(
+        link_name=governing_link(cluster).name,
+        world_size=cluster.world_size,
+        entries=entries,
+        cluster_name=cluster.name,
+    )
+
+
+# -- process-wide table registry ----------------------------------------------
+
+_TABLES: dict[tuple[str, int], SelectionTable] = {}
+
+
+def _table_key(cluster: ClusterSpec) -> tuple[str, int]:
+    return (governing_link(cluster).name, cluster.world_size)
+
+
+def register_table(table: SelectionTable) -> SelectionTable:
+    """Make ``table`` the active one for its (link, world size)."""
+    _TABLES[(table.link_name, table.world_size)] = table
+    return table
+
+
+def table_for(cluster: ClusterSpec) -> Optional[SelectionTable]:
+    """The registered table matching this cluster's fabric, if any."""
+    return _TABLES.get(_table_key(cluster))
+
+
+def ensure_table(
+    cluster: ClusterSpec,
+    sizes: Optional[Union[Sequence[float], np.ndarray]] = None,
+) -> SelectionTable:
+    """The registered table, building (and registering) one if absent.
+
+    Built tables are a pure function of the cluster spec, so ensuring
+    in two processes yields identical selections.
+    """
+    table = table_for(cluster)
+    if table is None:
+        table = register_table(build_selection_table(cluster, sizes=sizes))
+    return table
+
+
+def clear_tables() -> None:
+    """Drop every registered table (tests; 'no table loaded' semantics)."""
+    _TABLES.clear()
+
+
+#: Explicitly-empty table: every lookup misses, so ``algorithm="auto"``
+#: is plain ring.  RunSpecs snapshotted without a table pass this to
+#: pin "untuned" at execution time, regardless of what the executing
+#: process has registered since.
+NO_TABLE = SelectionTable(link_name="", world_size=1, entries={})

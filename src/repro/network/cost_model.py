@@ -254,6 +254,19 @@ class CollectiveTimeModel:
     ``startup_overhead`` adds a fixed per-collective software cost
     (kernel launch, hook dispatch) on top of the alpha–beta time.
 
+    Two opt-in extensions (defaults leave every existing result
+    bit-identical, pinned by the differential tests):
+
+    - ``"auto"`` consults a per-size :class:`SelectionTable
+      <repro.network.autotuner.SelectionTable>` — pass one as ``table``,
+      or register one process-wide via
+      :func:`repro.network.autotuner.register_table`.  With no table
+      loaded, ``"auto"`` IS plain ring, bit-for-bit.
+    - ``protocol`` / ``channels`` / ``ring_chunks`` route a fixed
+      algorithm through the protocol-aware model of
+      :mod:`repro.network.protocol` (NCCL tiers, channel striping,
+      chunked pipelining).
+
     Results are memoized per instance: sweeps and BO warm-up query the
     same handful of ``nbytes`` values thousands of times, so each
     (operation, nbytes) pair is computed once.  The model is treated as
@@ -262,7 +275,7 @@ class CollectiveTimeModel:
     build a fresh model instead.
     """
 
-    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
+    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical", "auto")
 
     def __init__(
         self,
@@ -270,6 +283,10 @@ class CollectiveTimeModel:
         algorithm: str = "ring",
         gamma: float = 0.0,
         startup_overhead: float = 0.0,
+        protocol: str | None = None,
+        channels: int | None = None,
+        ring_chunks: int = 1,
+        table=None,
     ):
         if algorithm not in self.ALGORITHMS:
             raise ValueError(
@@ -281,6 +298,29 @@ class CollectiveTimeModel:
         self.algorithm = algorithm
         self.gamma = gamma
         self.startup_overhead = startup_overhead
+        self.protocol = protocol
+        self.channels = channels
+        self.ring_chunks = ring_chunks
+        if algorithm == "auto":
+            if table is None:
+                # Lazy import: the plain model must not depend on the
+                # autotuner machinery.
+                from repro.network.autotuner import table_for
+
+                table = table_for(cluster)
+            self._table = table
+        else:
+            self._table = None
+        #: Fixed-algorithm protocol modeling engaged?  (``"auto"`` makes
+        #: its own per-size choice and is handled separately.)
+        self._protocol_mode = (
+            protocol is not None or channels is not None or ring_chunks != 1
+        )
+        if self._protocol_mode and algorithm == "auto":
+            raise ValueError(
+                "algorithm='auto' picks protocol/channels per size; "
+                "do not also pass fixed protocol/channels/ring_chunks"
+            )
         self._alpha, self._beta = cluster.flat_alpha_beta()
         #: (operation tag, nbytes) -> seconds; missing is None (0.0 is
         #: a legitimate cached value for empty messages).
@@ -306,6 +346,19 @@ class CollectiveTimeModel:
     @property
     def world_size(self) -> int:
         return self.cluster.world_size
+
+    @property
+    def trace_algorithm(self) -> str:
+        """The algorithm tracers should record for this model's calls.
+
+        ``"auto"`` with no table loaded IS the plain ring model, and the
+        differential tests pin its traces byte-identical to ring's — so
+        it reports ``"ring"``; with a table it genuinely dispatches per
+        size and reports ``"auto"``.
+        """
+        if self.algorithm == "auto" and self._table is None:
+            return "ring"
+        return self.algorithm
 
     @property
     def alpha(self) -> float:
@@ -338,9 +391,55 @@ class CollectiveTimeModel:
             self._hit_counters["rs"].inc()
         return cached
 
+    def _tuned_time(self, op: str, nbytes: float) -> float | None:
+        """Protocol-aware price for one call, or None for the plain path.
+
+        ``"auto"`` consults the selection table (falling back to the
+        exact plain-ring scalar path when no table is loaded or the
+        table has no entry); a fixed algorithm in protocol mode routes
+        through :func:`repro.network.protocol.collective_time` with this
+        model's protocol/channels/chunking.
+        """
+        if self.algorithm == "auto":
+            selection = (
+                self._table.lookup(op, nbytes) if self._table is not None else None
+            )
+            if selection is None:
+                return None
+            from repro.network.protocol import collective_time
+
+            return collective_time(
+                op,
+                nbytes,
+                self.cluster,
+                algorithm=selection.algorithm,
+                protocol=selection.protocol,
+                channels=selection.channels,
+                gamma=self.gamma,
+                startup_overhead=self.startup_overhead,
+            )
+        if self._protocol_mode:
+            from repro.network.protocol import collective_time
+
+            return collective_time(
+                op,
+                nbytes,
+                self.cluster,
+                algorithm=self.algorithm,
+                protocol=self.protocol,
+                channels=self.channels,
+                ring_chunks=self.ring_chunks,
+                gamma=self.gamma,
+                startup_overhead=self.startup_overhead,
+            )
+        return None
+
     def _reduce_scatter(self, nbytes: float) -> float:
+        tuned = self._tuned_time("reduce_scatter", nbytes)
+        if tuned is not None:
+            return tuned
         p = self.world_size
-        if self.algorithm == "ring":
+        if self.algorithm in ("ring", "auto"):
             t = ring_reduce_scatter_time(nbytes, p, self._alpha, self._beta, self.gamma)
         elif self.algorithm == "halving_doubling":
             t = recursive_halving_reduce_scatter_time(
@@ -372,8 +471,11 @@ class CollectiveTimeModel:
         return cached
 
     def _all_gather(self, nbytes: float) -> float:
+        tuned = self._tuned_time("all_gather", nbytes)
+        if tuned is not None:
+            return tuned
         p = self.world_size
-        if self.algorithm == "ring":
+        if self.algorithm in ("ring", "auto"):
             t = ring_all_gather_time(nbytes, p, self._alpha, self._beta)
         elif self.algorithm == "halving_doubling":
             t = recursive_doubling_all_gather_time(nbytes, p, self._alpha, self._beta)
@@ -410,9 +512,76 @@ class CollectiveTimeModel:
             self._hit_counters["neg"].inc()
         return cached
 
+    def sweep(self, op: str, sizes):
+        """Vectorized collective times over a numpy vector of sizes.
+
+        One formula pass per distinct selection — never a Python loop
+        per size (the tune harness and the selection-table builder are
+        built on this).  ``op`` is one of ``"reduce_scatter"``,
+        ``"all_gather"``, ``"all_reduce"``.  Returns ``np.ndarray``
+        aligned with ``sizes``; matches the scalar methods bit-for-bit.
+        """
+        import numpy as np
+
+        from repro.network.protocol import collective_times
+
+        d = np.asarray(sizes, dtype=float)
+        if self.algorithm == "auto" and self._table is not None:
+            # Group sizes by their table selection: one vector pass per
+            # distinct winner.
+            selections = [self._table.lookup(op, s) for s in d]
+            out = np.zeros_like(d)
+            for selection in {s for s in selections if s is not None}:
+                mask = np.array([s == selection for s in selections])
+                out[mask] = collective_times(
+                    op,
+                    d[mask],
+                    self.cluster,
+                    algorithm=selection.algorithm,
+                    protocol=selection.protocol,
+                    channels=selection.channels,
+                    gamma=self.gamma,
+                    startup_overhead=self.startup_overhead,
+                )
+            none_mask = np.array([s is None for s in selections])
+            if none_mask.any():
+                out[none_mask] = collective_times(
+                    op,
+                    d[none_mask],
+                    self.cluster,
+                    algorithm="ring",
+                    gamma=self.gamma,
+                    startup_overhead=self.startup_overhead,
+                )
+            return out
+        return collective_times(
+            op,
+            d,
+            self.cluster,
+            algorithm="ring" if self.algorithm == "auto" else self.algorithm,
+            protocol=self.protocol,
+            channels=self.channels,
+            ring_chunks=self.ring_chunks,
+            gamma=self.gamma,
+            startup_overhead=self.startup_overhead,
+        )
+
     def describe(self) -> str:
         """One-line summary for reports."""
+        mode = self.algorithm
+        if self.algorithm == "auto":
+            mode = (
+                f"auto[{self._table.describe()}]"
+                if self._table is not None
+                else "auto[no table: ring]"
+            )
+        elif self._protocol_mode:
+            mode = (
+                f"{self.algorithm}/{self.protocol or 'simple'}"
+                f"/c{self.channels if self.channels is not None else '*'}"
+                f"/k{self.ring_chunks}"
+            )
         return (
-            f"{self.algorithm} collectives on {self.cluster.name} "
+            f"{mode} collectives on {self.cluster.name} "
             f"(alpha={self._alpha * 1e6:.1f}us, beta={self._beta * 1e9:.3f}ns/B)"
         )

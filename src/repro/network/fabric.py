@@ -30,17 +30,36 @@ class LinkSpec:
             larger than the wire latency.
         bandwidth: sustained point-to-point bandwidth in **bytes/s**;
             ``beta = 1 / bandwidth`` is the per-byte transmission time.
+            This is the bandwidth NCCL achieves at the link's calibrated
+            ``channels`` count under the Simple protocol — the baseline
+            the protocol-aware model's factors multiply.
+        channels: the NCCL channel count that saturates the link (and at
+            which ``latency``/``bandwidth`` were calibrated).  The
+            protocol-aware model stripes across fewer channels for a
+            latency/bandwidth trade-off; the plain model ignores it.
+        protocols: protocol tiers the link's transport can run.  Socket
+            transports (Ethernet) are Simple-only; RDMA and NVLink
+            fabrics also run LL/LL128 (see
+            :mod:`repro.network.protocol`).
     """
 
     name: str
     latency: float
     bandwidth: float
+    channels: int = 1
+    protocols: tuple[str, ...] = ("simple",)
 
     def __post_init__(self):
         if self.latency < 0:
             raise ValueError(f"latency must be non-negative, got {self.latency}")
         if self.bandwidth <= 0:
             raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.channels < 1:
+            raise ValueError(f"channels must be >= 1, got {self.channels}")
+        if not self.protocols or "simple" not in self.protocols:
+            raise ValueError(
+                f"protocols must include 'simple', got {self.protocols!r}"
+            )
 
     @property
     def beta(self) -> float:
@@ -64,6 +83,8 @@ class LinkSpec:
             name=f"{self.name}(x{latency_factor:g},x{bandwidth_factor:g})",
             latency=self.latency * latency_factor,
             bandwidth=self.bandwidth * bandwidth_factor,
+            channels=self.channels,
+            protocols=self.protocols,
         )
 
 

@@ -31,25 +31,45 @@ __all__ = [
     "paper_testbed",
 ]
 
-#: 10 Gb/s Ethernet with TCP + NCCL software overhead in the latency term.
-ETHERNET_10G = LinkSpec(name="10GbE", latency=23e-6, bandwidth=1.25e9)
+#: 10 Gb/s Ethernet with TCP + NCCL software overhead in the latency
+#: term.  Socket transport: Simple protocol only, two NCCL channels
+#: (socket threads) saturate the NIC.
+ETHERNET_10G = LinkSpec(
+    name="10GbE", latency=23e-6, bandwidth=1.25e9,
+    channels=2, protocols=("simple",),
+)
 
 #: 25 Gb/s Ethernet, a common cloud fabric (extension studies).
-ETHERNET_25G = LinkSpec(name="25GbE", latency=18e-6, bandwidth=3.125e9)
+ETHERNET_25G = LinkSpec(
+    name="25GbE", latency=18e-6, bandwidth=3.125e9,
+    channels=2, protocols=("simple",),
+)
 
 #: 100 Gb/s InfiniBand EDR with RDMA.  The *effective* ring bandwidth is
 #: far below the 12.5 GB/s wire rate because the testbed's 2080Ti GPUs
 #: hang off PCIe 3.0 and NCCL's ring protocol adds per-hop copies; the
 #: 5.8 GB/s figure is back-derived from Table II of the paper (it is the
 #: unique value that makes the whole 100GbIB S^max column self-consistent
-#: with Eq. 6, e.g. S^max = 51.8 for BERT-Large).
-INFINIBAND_100G = LinkSpec(name="100GbIB", latency=5e-6, bandwidth=5.8e9)
+#: with Eq. 6, e.g. S^max = 51.8 for BERT-Large).  RDMA transport runs
+#: all three protocol tiers over four channels (QPs).
+INFINIBAND_100G = LinkSpec(
+    name="100GbIB", latency=5e-6, bandwidth=5.8e9,
+    channels=4, protocols=("simple", "ll", "ll128"),
+)
 
-#: NVLink 2.0 single direction per GPU pair.
-NVLINK = LinkSpec(name="NVLink", latency=2e-6, bandwidth=25e9)
+#: NVLink 2.0 single direction per GPU pair; P2P transport runs every
+#: protocol tier and needs many channels (CTAs) to saturate.
+NVLINK = LinkSpec(
+    name="NVLink", latency=2e-6, bandwidth=25e9,
+    channels=8, protocols=("simple", "ll", "ll128"),
+)
 
-#: PCIe 3.0 x16 effective bandwidth (the 2080Ti testbed's intra-node bus).
-PCIE_3 = LinkSpec(name="PCIe3x16", latency=3e-6, bandwidth=12e9)
+#: PCIe 3.0 x16 effective bandwidth (the 2080Ti testbed's intra-node
+#: bus); shared-memory transport, all protocol tiers.
+PCIE_3 = LinkSpec(
+    name="PCIe3x16", latency=3e-6, bandwidth=12e9,
+    channels=2, protocols=("simple", "ll", "ll128"),
+)
 
 
 def cluster_10gbe(nodes: int = 16, gpus_per_node: int = 4) -> ClusterSpec:

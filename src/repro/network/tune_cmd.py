@@ -1,0 +1,266 @@
+"""The ``dear-repro tune`` subcommand: PARAM-style calibration sweep.
+
+Mirrors the PARAM comms benchmark loop (arXiv:2004.14397): a geometric
+size sweep from ``--begin`` to ``--end`` stepping by ``--factor``
+(b -> e x f), a few **warm-up** passes that populate the cost-model
+memos, then ``--iters`` **timed** passes over the whole sweep.  Because
+the latencies are modeled, every timed pass returns the same values —
+the artifact is deterministic and committable as a golden
+(``benchmarks/tuned_tables.json``); only the ``harness`` section (wall
+clock of the vectorized passes) varies by host and is excluded from
+golden comparison.
+
+For each fabric the sweep prices every (algorithm, protocol, channels)
+candidate over the size vector (one numpy pass per candidate, counted
+by ``network.cost_model.evals``), buckets the winners into a
+:class:`~repro.network.autotuner.SelectionTable`, and emits a per-size
+latency table: winner, tuned time, plain-ring time, speedup.
+
+Exit codes: 0 success, 2 bad usage, 3 golden mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["tune_main", "run_tune", "TUNE_SCHEMA"]
+
+TUNE_SCHEMA = "dear-tune-v1"
+
+#: Fabric name -> paper_testbed() key.
+FABRICS = ("10gbe", "100gbib")
+
+
+def run_tune(
+    fabrics=FABRICS,
+    begin: float = 1024.0,
+    end: float = 2.0**30,
+    factor: float = 2.0,
+    warmup: int = 2,
+    iters: int = 5,
+    world: int = 64,
+) -> dict:
+    """The tune sweep as a JSON-ready payload (see module docstring)."""
+    from repro.network.autotuner import (
+        build_selection_table,
+        default_sweep_sizes,
+    )
+    from repro.network.presets import paper_testbed
+    from repro.network.protocol import collective_times
+
+    if warmup < 0 or iters < 1:
+        raise ValueError(f"need warmup >= 0 and iters >= 1, got {warmup}/{iters}")
+    sizes = default_sweep_sizes(begin, end, factor)
+    payload: dict = {
+        "schema": TUNE_SCHEMA,
+        "params": {
+            "begin": begin,
+            "end": end,
+            "factor": factor,
+            "warmup": warmup,
+            "iters": iters,
+            "world": world,
+            "sizes": sizes.tolist(),
+        },
+        "fabrics": {},
+        "harness": {},
+    }
+    for fabric in fabrics:
+        cluster = paper_testbed(fabric)
+        if world != cluster.world_size:
+            nodes = max(1, world // cluster.gpus_per_node)
+            cluster = cluster.with_nodes(nodes)
+        # Warm-up passes (populate any lazy state), then timed passes.
+        for _ in range(warmup):
+            collective_times("all_reduce", sizes, cluster)
+        wall = []
+        for _ in range(iters):
+            started = time.perf_counter()
+            table = build_selection_table(cluster, sizes=sizes)
+            ring = collective_times("all_reduce", sizes, cluster)
+            wall.append(time.perf_counter() - started)
+        latency_table = {}
+        for op in ("reduce_scatter", "all_gather", "all_reduce"):
+            baseline = collective_times(op, sizes, cluster)
+            rows = []
+            for nbytes, base in zip(sizes, baseline):
+                selection = table.lookup(op, nbytes)
+                tuned = float(
+                    collective_times(
+                        op,
+                        np.array([nbytes]),
+                        cluster,
+                        algorithm=selection.algorithm,
+                        protocol=selection.protocol,
+                        channels=selection.channels,
+                    )[0]
+                )
+                rows.append(
+                    {
+                        "nbytes": int(nbytes),
+                        "winner": selection.label,
+                        "time_s": tuned,
+                        "ring_time_s": float(base),
+                        "speedup": float(base) / tuned if tuned > 0 else 1.0,
+                    }
+                )
+            latency_table[op] = rows
+        payload["fabrics"][fabric] = {
+            "cluster": cluster.name,
+            "world_size": cluster.world_size,
+            "latency_table": latency_table,
+            "table": table.to_payload(),
+        }
+        payload["harness"][fabric] = {
+            "timed_pass_wall_s": wall,
+            "min_pass_wall_s": min(wall),
+        }
+        del ring
+    return payload
+
+
+def golden_mismatches(payload: dict, golden: dict) -> list[str]:
+    """Deterministic-field differences vs. a committed golden artifact.
+
+    The host-dependent ``harness`` section is ignored; ``params`` and
+    the whole per-fabric body (latency tables + selection tables) must
+    match exactly — modeled latencies are pure functions of the params.
+    """
+    problems = []
+    if golden.get("schema") != payload.get("schema"):
+        problems.append(
+            f"schema: got {payload.get('schema')!r}, golden {golden.get('schema')!r}"
+        )
+    if golden.get("params") != payload.get("params"):
+        problems.append("params differ from golden (re-run with the golden's flags?)")
+    golden_fabrics = golden.get("fabrics", {})
+    for fabric, body in payload.get("fabrics", {}).items():
+        if fabric not in golden_fabrics:
+            problems.append(f"fabric {fabric!r} missing from golden")
+            continue
+        gold = golden_fabrics[fabric]
+        if body["table"] != gold.get("table"):
+            problems.append(f"{fabric}: selection table differs from golden")
+        for op, rows in body["latency_table"].items():
+            gold_rows = gold.get("latency_table", {}).get(op)
+            if rows != gold_rows:
+                problems.append(f"{fabric}/{op}: latency table differs from golden")
+    for fabric in golden_fabrics:
+        if fabric not in payload.get("fabrics", {}):
+            problems.append(f"fabric {fabric!r} in golden but not in this run")
+    return problems
+
+
+def _format_summary(payload: dict) -> str:
+    lines = []
+    for fabric, body in payload["fabrics"].items():
+        lines.append(
+            f"== tune:{fabric} == {body['cluster']} (P={body['world_size']})"
+        )
+        lines.append(f"{'bytes':>12}  {'winner':<28}{'tuned':>12}{'ring':>12}{'speedup':>9}")
+        for row in body["latency_table"]["all_reduce"]:
+            lines.append(
+                f"{row['nbytes']:>12}  {row['winner']:<28}"
+                f"{row['time_s'] * 1e3:>10.3f}ms{row['ring_time_s'] * 1e3:>10.3f}ms"
+                f"{row['speedup']:>8.2f}x"
+            )
+        wall = payload["harness"][fabric]["min_pass_wall_s"]
+        lines.append(f"(min timed pass: {wall * 1e3:.1f} ms wall)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def tune_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="dear-repro tune",
+        description=(
+            "PARAM-style size sweep: build per-fabric (algorithm, protocol, "
+            "channels) selection tables and write a JSON artifact."
+        ),
+    )
+    parser.add_argument(
+        "--fabric", choices=(*FABRICS, "both"), default="both",
+        help="which testbed fabric(s) to tune (default: both)",
+    )
+    parser.add_argument(
+        "--begin", type=float, default=1024.0, metavar="BYTES",
+        help="smallest sweep size in bytes (default: 1024)",
+    )
+    parser.add_argument(
+        "--end", type=float, default=float(2**30), metavar="BYTES",
+        help="largest sweep size in bytes (default: 1 GiB)",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=2.0, metavar="F",
+        help="geometric step between sizes (default: 2)",
+    )
+    parser.add_argument(
+        "--warmup", type=int, default=2, metavar="N",
+        help="warm-up passes before timing (default: 2)",
+    )
+    parser.add_argument(
+        "--iters", type=int, default=5, metavar="N",
+        help="timed passes over the sweep (default: 5)",
+    )
+    parser.add_argument(
+        "--world", type=int, default=64, metavar="P",
+        help="world size to tune for (default: 64, the paper's testbed)",
+    )
+    parser.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the JSON artifact here (default: print summary only)",
+    )
+    parser.add_argument(
+        "--check-golden", metavar="PATH", default=None,
+        help="compare deterministic fields against a committed golden; exit 3 on drift",
+    )
+    args = parser.parse_args(argv)
+
+    fabrics = FABRICS if args.fabric == "both" else (args.fabric,)
+    try:
+        payload = run_tune(
+            fabrics=fabrics,
+            begin=args.begin,
+            end=args.end,
+            factor=args.factor,
+            warmup=args.warmup,
+            iters=args.iters,
+            world=args.world,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(_format_summary(payload))
+    if args.output:
+        path = Path(args.output)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"artifact written to {path}")
+
+    if args.check_golden:
+        try:
+            golden = json.loads(Path(args.check_golden).read_text())
+        except (OSError, ValueError) as error:
+            print(
+                f"error: cannot read golden {args.check_golden!r}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        problems = golden_mismatches(payload, golden)
+        if problems:
+            for problem in problems:
+                print(f"golden mismatch: {problem}", file=sys.stderr)
+            return 3
+        print(f"golden check passed ({args.check_golden})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(tune_main(sys.argv[1:]))

@@ -88,6 +88,25 @@ class _Recorded:
         self.seconds = 0.0
 
 
+def _spec_table(spec: RunSpec):
+    """The selection table a spec's cost model must consult.
+
+    Reconstructed from the spec's embedded payload — never the ambient
+    process registry, whose contents are not part of the fingerprint.
+    An ``"auto"`` spec without a snapshot pins the always-miss table
+    (plain ring) for the same reason.
+    """
+    if spec.tuned_table is not None:
+        from repro.network.autotuner import SelectionTable
+
+        return SelectionTable.from_payload_tuple(spec.tuned_table)
+    if spec.algorithm == "auto":
+        from repro.network.autotuner import NO_TABLE
+
+        return NO_TABLE
+    return None
+
+
 def _record_single(spec: RunSpec) -> _Recorded:
     options = dict(spec.options)
     if _LEGACY_OPTION_KEYS & options.keys():
@@ -100,7 +119,9 @@ def _record_single(spec: RunSpec) -> _Recorded:
         batch_size=spec.batch_size,
         iteration_compute=spec.iteration_compute,
     )
-    cost = CollectiveTimeModel(spec.cluster, algorithm=spec.algorithm)
+    cost = CollectiveTimeModel(
+        spec.cluster, algorithm=spec.algorithm, table=_spec_table(spec)
+    )
     ctx = scheduler.record_fast(
         timing, cost, iterations=spec.iterations, faults=spec.faults
     )
@@ -135,7 +156,9 @@ def _record_multirank(spec: RunSpec) -> _Recorded:
             iteration_compute=spec.iteration_compute,
             compute_scale=compute_scales[0],
         )
-        cost = CollectiveTimeModel(spec.cluster, algorithm=spec.algorithm)
+        cost = CollectiveTimeModel(
+            spec.cluster, algorithm=spec.algorithm, table=_spec_table(spec)
+        )
         ctx = scheduler.record_fast(timing, cost, iterations=spec.iterations)
         return _Recorded(
             ("fast", fast_signature(ctx._timeline)),
@@ -159,6 +182,7 @@ def _record_multirank(spec: RunSpec) -> _Recorded:
         iterations=spec.iterations,
         faults=spec.faults,
         trace=trace,
+        tuned_table=_spec_table(spec),
     )
     compute_scales = tuple(float(scale) for scale in spec.compute_scales)
     return _Recorded(

@@ -6,9 +6,12 @@ Four suites cover the hot paths the paper's evaluation leans on:
   the standard 25 MB fusion protocol (the Fig. 6/7 workload);
 - ``fusion`` — DeAR's tensor-fusion variants (the Fig. 9 axis);
 - ``sweeps`` — the latency/bandwidth sensitivity points (§VI-I);
+- ``tuned`` — ring vs. autotuned (``algorithm="auto"``) collectives on
+  both testbed fabrics up to 1024 GPUs (the tuned-vs-ring trajectory);
 - ``simcore`` — simulator-performance microbenchmarks (event-kernel
-  throughput, vectorized-replay speedup, uncached sweep wall time);
-  host-dependent, so excluded from the regression gate by key choice.
+  throughput, vectorized-replay speedup, selection-table build rate,
+  uncached sweep wall time); host-dependent, so excluded from the
+  regression gate by key choice.
 
 ``--quick`` shrinks each axis (two models, one network, fewer sweep
 points) for the CI gate; the full run covers the complete grid.  All
@@ -83,7 +86,34 @@ def bench_suites(quick: bool = False) -> dict[str, dict[str, RunSpec]]:
         for scheduler, spec in sweep_specs("bandwidth", factor, model="bert_base"):
             sweeps[f"{scheduler}/bert_base/bandwidth_x{factor:g}"] = spec
 
-    return {"schedulers": schedulers, "fusion": fusion, "sweeps": sweeps}
+    from repro.experiments.common import resolve_cluster
+    from repro.network.autotuner import build_selection_table
+
+    tuned_networks = ("10gbe",) if quick else ("10gbe", "100gbib")
+    tuned_worlds = (64,) if quick else (64, 1024)
+    tuned: dict[str, RunSpec] = {}
+    for network in tuned_networks:
+        base = resolve_cluster(network)
+        for world in tuned_worlds:
+            cluster = base.with_nodes(world // base.gpus_per_node)
+            table = build_selection_table(cluster)
+            for model in models[:2]:
+                for scheduler in ("dear", "horovod"):
+                    for algorithm in ("ring", "auto"):
+                        spec = RunSpec.create(
+                            scheduler, model, cluster,
+                            algorithm=algorithm,
+                            tuned_table=table if algorithm == "auto" else None,
+                        )
+                        key = f"{scheduler}[{algorithm}]/{model}/{network}/w{world}"
+                        tuned[key] = spec
+
+    return {
+        "schedulers": schedulers,
+        "fusion": fusion,
+        "sweeps": sweeps,
+        "tuned": tuned,
+    }
 
 
 def run_bench(

@@ -197,6 +197,46 @@ def _bench_multirank(world: int, event_repeats: int,
     }
 
 
+def _bench_autotuner(repeats: int) -> dict[str, float]:
+    """Selection-table build throughput on the IB testbed fabric.
+
+    Times ``repeats`` full builds (every candidate priced over the
+    default 1 KiB–1 GiB sweep with one vectorized pass per candidate)
+    plus the per-call lookup rate against the built table.  Wall-clock,
+    host-dependent, gate-ignored like everything else in this suite.
+    """
+    from repro.network.autotuner import (
+        build_selection_table,
+        candidate_selections,
+        default_sweep_sizes,
+    )
+    from repro.network.presets import cluster_100gbib
+
+    cluster = cluster_100gbib()
+    sizes = default_sweep_sizes()
+    candidates = len(candidate_selections(cluster))
+    evals_per_build = 3 * candidates * sizes.size  # three ops per table
+
+    build_selection_table(cluster)  # warm-up
+    started = time.perf_counter()
+    for _ in range(repeats):
+        table = build_selection_table(cluster)
+    build_elapsed = (time.perf_counter() - started) / repeats
+
+    lookups = 20_000
+    started = time.perf_counter()
+    for index in range(lookups):
+        table.lookup("all_reduce", float(1 << (10 + index % 20)))
+    lookup_elapsed = time.perf_counter() - started
+    return {
+        "candidates": float(candidates),
+        "evals_per_build": float(evals_per_build),
+        "builds_per_sec": 1.0 / build_elapsed,
+        "evals_per_sec": evals_per_build / build_elapsed,
+        "lookups_per_sec": lookups / lookup_elapsed,
+    }
+
+
 def _bench_sweep(models: tuple[str, ...], repeats: int) -> dict[str, float]:
     """Uncached end-to-end sweep wall time, fast path off vs. on."""
     from repro.schedulers.base import simulate
@@ -249,6 +289,9 @@ def run_simcore(quick: bool = False) -> dict[str, dict[str, float]]:
         },
         "replay/wfbp_resnet50": _bench_replay(replay_repeats),
         "sweep/uncached_mini": _bench_sweep(sweep_models, sweep_repeats),
+        "autotuner/table_build_100gbib": _bench_autotuner(
+            2 if quick else 10
+        ),
     }
     for world in multirank_worlds:
         # One event run at the largest worlds: the event kernel is the

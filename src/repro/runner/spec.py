@@ -65,6 +65,13 @@ class RunSpec:
     #: with ``scheduler`` as the policy name — the straggler grids run
     #: through the same cache and fan-out executor as everything else.
     compute_scales: Optional[tuple[float, ...]] = None
+    #: Canonical payload tuple of the autotuner selection table consulted
+    #: when ``algorithm == "auto"``
+    #: (:meth:`repro.network.autotuner.SelectionTable.payload_tuple`).
+    #: Embedded in the spec — not read from ambient process state — so
+    #: pool workers and the content-addressed cache see the same tuning
+    #: as the submitting process.  ``None`` + ``"auto"`` = plain ring.
+    tuned_table: Optional[tuple] = None
 
     @classmethod
     def create(
@@ -78,13 +85,30 @@ class RunSpec:
         iteration_compute: Optional[float] = None,
         faults: Optional[FaultPlan] = None,
         compute_scales: Optional[tuple[float, ...]] = None,
+        tuned_table=None,
         **options,
     ) -> "RunSpec":
-        """Mirror of the ``simulate(...)`` signature."""
+        """Mirror of the ``simulate(...)`` signature.
+
+        ``tuned_table`` accepts a
+        :class:`~repro.network.autotuner.SelectionTable`, its payload
+        tuple, or None.  ``algorithm="auto"`` with no explicit table
+        snapshots the process-registered table (if any) into the spec,
+        so the fingerprint — and the cached result — reflect the tuning
+        actually used.
+        """
         if not isinstance(model, ModelSpec):
             model = get_model(model)
         if not isinstance(cluster, ClusterSpec):
             cluster = paper_testbed(cluster)
+        if tuned_table is not None and not isinstance(tuned_table, tuple):
+            tuned_table = tuned_table.payload_tuple()
+        if tuned_table is None and algorithm == "auto":
+            from repro.network.autotuner import table_for
+
+            registered = table_for(cluster)
+            if registered is not None:
+                tuned_table = registered.payload_tuple()
         return cls(
             scheduler=scheduler,
             model=model,
@@ -99,6 +123,7 @@ class RunSpec:
                 None if compute_scales is None
                 else tuple(float(scale) for scale in compute_scales)
             ),
+            tuned_table=tuned_table,
         )
 
     # -- identity ------------------------------------------------------------
@@ -128,6 +153,9 @@ class RunSpec:
         # predate the field and must not change.
         if self.compute_scales is not None:
             payload["compute_scales"] = list(self.compute_scales)
+        # And for tuning: untuned fingerprints predate the field.
+        if self.tuned_table is not None:
+            payload["tuned_table"] = _public_fields(self.tuned_table)
         return payload
 
     def canonical_json(self) -> str:
@@ -160,6 +188,21 @@ class RunSpec:
         exposes the same ``iteration_time`` / ``iteration_times`` /
         ``extras`` surface the runner and reporters consume.
         """
+        table = None
+        if self.tuned_table is not None:
+            from repro.network.autotuner import SelectionTable
+
+            table = SelectionTable.from_payload_tuple(self.tuned_table)
+        elif self.algorithm == "auto":
+            # The spec was snapshotted without a table: pin plain-ring
+            # behaviour even if the executing process registered one
+            # since (the fingerprint says "untuned").
+            from repro.network.autotuner import NO_TABLE
+
+            table = NO_TABLE
+        return self._execute(table)
+
+    def _execute(self, table) -> ScheduleResult:
         if self.compute_scales is not None:
             from repro.schedulers.multirank import simulate_heterogeneous
 
@@ -173,6 +216,7 @@ class RunSpec:
                 iterations=self.iterations,
                 iteration_compute=self.iteration_compute,
                 faults=self.faults,
+                tuned_table=table,
                 **dict(self.options),
             )
         return simulate(
@@ -184,6 +228,7 @@ class RunSpec:
             iterations=self.iterations,
             iteration_compute=self.iteration_compute,
             faults=self.faults,
+            tuned_table=table,
             **dict(self.options),
         )
 

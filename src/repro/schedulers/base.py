@@ -368,6 +368,7 @@ def simulate(
     iteration_compute: Optional[float] = None,
     faults: Optional[FaultPlan] = None,
     fastpath: Optional[bool] = None,
+    tuned_table=None,
     **options,
 ) -> ScheduleResult:
     """One-call facade: build timing + cost models and run a scheduler.
@@ -378,6 +379,11 @@ def simulate(
     ``fastpath`` force-enables/disables the vectorized replay (None
     defers to ``DEAR_FASTPATH``).
 
+    ``algorithm="auto"`` consults ``tuned_table`` (a
+    :class:`~repro.network.autotuner.SelectionTable`) — or, when None,
+    the process-wide registered table — and falls back to plain ring
+    with neither, bit-identically.
+
     Example::
 
         result = simulate("dear", get_model("resnet50"), cluster_10gbe(),
@@ -387,7 +393,7 @@ def simulate(
     timing = TimingModel.for_model(
         model, batch_size=batch_size, iteration_compute=iteration_compute
     )
-    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
     return get_scheduler(scheduler, **options).run(
         timing, cost, iterations=iterations, faults=faults, fastpath=fastpath
     )

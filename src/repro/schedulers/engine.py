@@ -183,7 +183,10 @@ class IterationContext:
             "iteration": iteration,
             "bytes": nbytes,
             "extra": extra_time,
-            "algorithm": getattr(self.cost, "algorithm", "unknown"),
+            "algorithm": getattr(
+                self.cost, "trace_algorithm",
+                getattr(self.cost, "algorithm", "unknown"),
+            ),
             "flow": f"{iteration}.{label}",
         }
         if metadata:

@@ -331,7 +331,10 @@ class _MultiRankContextBase(IterationContext):
             "iteration": iteration,
             "bytes": nbytes,
             "extra": extra_time,
-            "algorithm": getattr(self.cost, "algorithm", "unknown"),
+            "algorithm": getattr(
+                self.cost, "trace_algorithm",
+                getattr(self.cost, "algorithm", "unknown"),
+            ),
             "flow": f"{iteration}.{label}",
         }
         if metadata:
@@ -594,6 +597,7 @@ def record_heterogeneous_fast(
     iterations: int = 5,
     faults: Optional[FaultPlan] = None,
     trace: bool = False,
+    tuned_table=None,
 ) -> FastMultiRankContext:
     """Record a heterogeneous run without replaying it.
 
@@ -612,7 +616,7 @@ def record_heterogeneous_fast(
         raise FastPathUnsupported(
             f"scheduler {scheduler.name!r} opts out of the fast path"
         )
-    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
     timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
     ctx = FastMultiRankContext(
         timings, cost, tracer=Tracer() if trace else None,
@@ -672,6 +676,7 @@ def simulate_heterogeneous(
     fastpath: Optional[bool] = None,
     collapse: bool = True,
     trace: bool = False,
+    tuned_table=None,
 ) -> HeterogeneousResult:
     """Simulate every rank explicitly with per-rank compute speeds.
 
@@ -692,13 +697,16 @@ def simulate_heterogeneous(
             multi-rank execution, e.g. for differential testing).
         trace: record per-rank Perfetto spans into ``result.tracer``
             (off by default — a 1024-rank trace is large).
+        tuned_table: autotuner selection table consulted when
+            ``algorithm="auto"`` (None = process-registered table, or
+            plain ring with neither).
     """
     compute_scales = _validate_heterogeneous(
         policy, cluster, compute_scales, iterations
     )
     faults = normalize_plan(faults)
     scheduler = _policy_scheduler(policy, fusion_buffer_bytes)
-    cost = CollectiveTimeModel(cluster, algorithm=algorithm)
+    cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
 
     if collapse and collapses_to_single_rank(compute_scales, faults):
         # Homogeneous ranks run identical timelines and the collectives

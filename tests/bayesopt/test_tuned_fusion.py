@@ -1,0 +1,68 @@
+"""BO fusion co-optimised with autotuned collectives (the acceptance bar).
+
+ISSUE acceptance: under ``algorithm="auto"`` the BO fusion search must
+find a plan whose iteration time is <= the ring-only plan's, on BOTH
+the 10GbE and the 100Gb IB testbeds at 64 ranks.
+"""
+
+import pytest
+
+from repro.bayesopt.search import compare_fusion_strategies, tuned_fusion_search
+from repro.models import get_model
+from repro.network.autotuner import build_selection_table, clear_tables
+from repro.network.presets import cluster_100gbib, cluster_10gbe
+
+BO_TRIALS = 6  # enough for the joint search to beat/tie ring; keeps CI fast
+
+
+@pytest.fixture(autouse=True)
+def _clean_tables():
+    clear_tables()
+    yield
+    clear_tables()
+
+
+@pytest.mark.parametrize("cluster_fn", [cluster_10gbe, cluster_100gbib],
+                         ids=["10gbe", "100gbib"])
+def test_tuned_bo_never_loses_to_ring(cluster_fn):
+    cluster = cluster_fn()
+    assert cluster.world_size == 64
+    out = compare_fusion_strategies(
+        get_model("resnet50"), cluster, bo_trials=BO_TRIALS
+    )
+    assert out["tuned_iteration_time"] <= out["ring_iteration_time"]
+    assert out["speedup"] >= 1.0
+
+
+def test_tuned_search_records_algorithm():
+    result = tuned_fusion_search(
+        get_model("resnet50"), cluster_100gbib(), bo_trials=BO_TRIALS
+    )
+    assert result.extras["algorithm"] == "auto"
+    assert result.iteration_time > 0
+
+
+def test_explicit_table_matches_ensured_table():
+    cluster = cluster_100gbib()
+    table = build_selection_table(cluster)
+    explicit = tuned_fusion_search(
+        get_model("resnet50"), cluster, tuned_table=table, bo_trials=BO_TRIALS
+    )
+    clear_tables()
+    ensured = tuned_fusion_search(
+        get_model("resnet50"), cluster, bo_trials=BO_TRIALS
+    )
+    assert explicit.iteration_time == ensured.iteration_time
+
+
+def test_ring_only_search_unaffected_by_tables():
+    """algorithm="ring" must ignore any registered table entirely."""
+    cluster = cluster_100gbib()
+    before = tuned_fusion_search(
+        get_model("resnet50"), cluster, algorithm="ring", bo_trials=BO_TRIALS
+    )
+    build_selection_table(cluster)
+    after = tuned_fusion_search(
+        get_model("resnet50"), cluster, algorithm="ring", bo_trials=BO_TRIALS
+    )
+    assert before.iteration_time == after.iteration_time

@@ -42,3 +42,57 @@ class TestPresets:
 
     def test_custom_sizes(self):
         assert cluster_10gbe(nodes=2, gpus_per_node=8).world_size == 16
+
+
+class TestProtocolCapabilities:
+    """The channel counts and protocol sets added by the autotuner PR."""
+
+    def test_10gbe_is_simple_only(self):
+        # Socket transport: no GPU-side LL/LL128 fast paths.
+        assert ETHERNET_10G.protocols == ("simple",)
+
+    def test_ib_runs_all_tiers(self):
+        assert set(INFINIBAND_100G.protocols) == {"simple", "ll", "ll128"}
+
+    def test_nvlink_runs_all_tiers(self):
+        from repro.network.presets import NVLINK
+
+        assert set(NVLINK.protocols) == {"simple", "ll", "ll128"}
+
+    def test_channel_counts_calibrated(self):
+        from repro.network.presets import NVLINK
+
+        assert ETHERNET_10G.channels == 2
+        assert INFINIBAND_100G.channels == 4
+        assert NVLINK.channels == 8
+
+    def test_scaled_links_keep_capabilities(self):
+        scaled = INFINIBAND_100G.scaled(latency_factor=2.0)
+        assert scaled.channels == INFINIBAND_100G.channels
+        assert scaled.protocols == INFINIBAND_100G.protocols
+
+
+class TestCalibrationUnchanged:
+    """§II-D anchors must survive the protocol-aware defaults bit-for-bit.
+
+    The presets gained channels/protocol metadata; with nothing opted in
+    the priced times must still hit the paper's 4.5 ms / 3.9 ms spot
+    checks at the seed's calibration tolerances — and the 1 MB anchor
+    lands within 3% of the paper's figure.
+    """
+
+    def test_1mb_all_reduce_spot_check(self):
+        from repro.network.cost_model import CollectiveTimeModel
+
+        model = CollectiveTimeModel(cluster_10gbe())
+        assert model.all_reduce(1e6) == pytest.approx(4.5e-3, rel=0.03)
+
+    def test_500kb_all_reduce_spot_check(self):
+        from repro.network.cost_model import CollectiveTimeModel
+
+        model = CollectiveTimeModel(cluster_10gbe())
+        assert model.all_reduce(5e5) == pytest.approx(3.9e-3, rel=0.07)
+
+    def test_alpha_calibration(self):
+        # The paper's measured per-hop latency on the 10GbE testbed.
+        assert cluster_10gbe().flat_alpha_beta()[0] == pytest.approx(23e-6, rel=0.05)

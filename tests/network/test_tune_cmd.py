@@ -1,0 +1,136 @@
+"""The ``dear-repro tune`` sweep, artifact, and golden gate."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.network.tune_cmd import (
+    TUNE_SCHEMA,
+    golden_mismatches,
+    run_tune,
+    tune_main,
+)
+
+# A tiny sweep keeps each test under a second: 4 KiB -> 4 MiB by 16x.
+FAST = ["--begin", "4096", "--end", "4194304", "--factor", "16", "--iters", "1"]
+
+
+class TestRunTune:
+    def test_payload_shape(self):
+        payload = run_tune(fabrics=("100gbib",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        assert payload["schema"] == TUNE_SCHEMA
+        body = payload["fabrics"]["100gbib"]
+        assert body["world_size"] == 64
+        assert body["table"]["schema"] == "dear-tune-table-v1"
+        for op in ("reduce_scatter", "all_gather", "all_reduce"):
+            rows = body["latency_table"][op]
+            assert [row["nbytes"] for row in rows] == [4096, 65536, 1048576]
+            for row in rows:
+                assert row["speedup"] >= 1.0
+        assert payload["harness"]["100gbib"]["min_pass_wall_s"] > 0
+
+    def test_winners_match_hand_computed_crossover(self):
+        """Small messages on IB: halving-doubling + LL (log P alpha/4)."""
+        payload = run_tune(fabrics=("100gbib",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        rows = payload["fabrics"]["100gbib"]["latency_table"]["all_reduce"]
+        assert rows[0]["winner"].startswith("halving_doubling/ll/")
+
+    def test_10gbe_winners_are_simple(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        for rows in payload["fabrics"]["10gbe"]["latency_table"].values():
+            assert all("/simple/" in row["winner"] for row in rows)
+
+    def test_world_scaling(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1, world=256)
+        assert payload["fabrics"]["10gbe"]["world_size"] == 256
+
+    def test_deterministic_across_runs(self):
+        kwargs = dict(fabrics=("10gbe",), begin=4096, end=2**22, factor=16,
+                      iters=1)
+        first, second = run_tune(**kwargs), run_tune(**kwargs)
+        del first["harness"], second["harness"]
+        assert first == second
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ValueError):
+            run_tune(iters=0)
+        with pytest.raises(ValueError):
+            run_tune(begin=-1.0)
+
+
+class TestGoldenGate:
+    def test_self_comparison_clean(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        assert golden_mismatches(payload, json.loads(json.dumps(payload))) == []
+
+    def test_harness_section_ignored(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        golden["harness"] = {"10gbe": {"min_pass_wall_s": 42.0}}
+        assert golden_mismatches(payload, golden) == []
+
+    def test_table_drift_detected(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        golden["fabrics"]["10gbe"]["table"]["entries"]["all_reduce"]["12"] = (
+            "tree/simple/c1"
+        )
+        problems = golden_mismatches(payload, golden)
+        assert any("selection table" in p for p in problems)
+
+    def test_missing_fabric_detected(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        golden["fabrics"]["nvlink-island"] = golden["fabrics"]["10gbe"]
+        problems = golden_mismatches(payload, golden)
+        assert any("nvlink-island" in p for p in problems)
+
+
+class TestTuneCli:
+    def test_summary_and_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "tuned.json"
+        code = tune_main([*FAST, "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tune:10gbe" in out and "tune:100gbib" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["schema"] == TUNE_SCHEMA
+        assert set(payload["fabrics"]) == {"10gbe", "100gbib"}
+
+    def test_golden_check_passes_against_own_artifact(self, capsys, tmp_path):
+        out_path = tmp_path / "tuned.json"
+        assert tune_main([*FAST, "--output", str(out_path)]) == 0
+        assert tune_main([*FAST, "--check-golden", str(out_path)]) == 0
+        assert "golden check passed" in capsys.readouterr().out
+
+    def test_golden_mismatch_exits_3(self, capsys, tmp_path):
+        out_path = tmp_path / "tuned.json"
+        assert tune_main([*FAST, "--output", str(out_path)]) == 0
+        golden = json.loads(out_path.read_text())
+        golden["params"]["factor"] = 4.0
+        out_path.write_text(json.dumps(golden))
+        assert tune_main([*FAST, "--check-golden", str(out_path)]) == 3
+        assert "golden mismatch" in capsys.readouterr().err
+
+    def test_unreadable_golden_exits_2(self, tmp_path):
+        assert tune_main(
+            [*FAST, "--check-golden", str(tmp_path / "missing.json")]
+        ) == 2
+
+    def test_single_fabric_flag(self, capsys):
+        assert tune_main([*FAST, "--fabric", "10gbe"]) == 0
+        out = capsys.readouterr().out
+        assert "tune:10gbe" in out and "tune:100gbib" not in out
+
+    def test_dispatch_through_main(self, capsys):
+        main(["tune", *FAST, "--fabric", "10gbe"])
+        assert "tune:10gbe" in capsys.readouterr().out

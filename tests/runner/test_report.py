@@ -94,7 +94,8 @@ class TestBenchSuites:
     def test_quick_is_a_subset(self):
         quick = bench_suites(quick=True)
         full = bench_suites(quick=False)
-        assert set(quick) == set(full) == {"schedulers", "fusion", "sweeps"}
+        assert set(quick) == set(full) == {"schedulers", "fusion", "sweeps",
+                                           "tuned"}
         for suite in quick:
             assert len(quick[suite]) < len(full[suite])
 

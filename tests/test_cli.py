@@ -106,7 +106,8 @@ class TestBenchCli:
         payload = json.loads(artifacts[0].read_text())
         assert payload["schema"] == "dear-bench-v1"
         assert payload["quick"] is True
-        assert set(payload["suites"]) == {"schedulers", "fusion", "sweeps", "simcore"}
+        assert set(payload["suites"]) == {"schedulers", "fusion", "sweeps",
+                                          "tuned", "simcore"}
 
     def test_second_run_hits_cache_with_identical_metrics(
             self, capsys, bench_env):
