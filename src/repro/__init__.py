@@ -26,6 +26,7 @@ from repro.api import (
     SimulationConfig,
     list_algorithms,
     list_schedulers,
+    list_workloads,
     run_collective,
     run_simulation,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "StragglerFault",
     "list_algorithms",
     "list_schedulers",
+    "list_workloads",
     "run_collective",
     "run_simulation",
 ]

@@ -13,7 +13,8 @@ Everything a caller needs lives behind four entry points:
 - :func:`run_collective` — execute one *data-level* collective over
   real numpy buffers, fault-tolerantly when the plan injects data
   faults, and return the buffers plus traffic/recovery accounting.
-- :func:`list_schedulers` / :func:`list_algorithms` — the valid names.
+- :func:`list_schedulers` / :func:`list_algorithms` /
+  :func:`list_workloads` — the valid names.
 
 The CLI, the experiment harnesses, and the trace pipeline all route
 through this module; scripts that import internals keep working, but
@@ -46,6 +47,7 @@ __all__ = [
     "config_from_payload",
     "list_algorithms",
     "list_schedulers",
+    "list_workloads",
     "resolve_cluster",
     "resolve_model",
     "run_collective",
@@ -53,8 +55,12 @@ __all__ = [
 ]
 
 #: Operations :func:`run_collective` accepts; ``rs_ag`` is DeAR's
-#: decoupled OP1+OP2 pair.
-COLLECTIVE_OPS = ("all_reduce", "reduce_scatter", "all_gather", "rs_ag")
+#: decoupled OP1+OP2 pair, and the personalized exchanges back the
+#: workload DAGs' dispatch/combine and embedding-exchange nodes.
+COLLECTIVE_OPS = (
+    "all_reduce", "reduce_scatter", "all_gather", "rs_ag",
+    "all_to_all", "all_to_allv",
+)
 
 
 def resolve_model(model) -> ModelSpec:
@@ -81,6 +87,13 @@ def list_algorithms() -> tuple[str, ...]:
     from repro.collectives.communicator import Communicator
 
     return Communicator.ALGORITHMS
+
+
+def list_workloads() -> tuple[str, ...]:
+    """Registered comm-compute DAG generators (``workload=`` names)."""
+    from repro.workloads import WORKLOAD_NAMES
+
+    return WORKLOAD_NAMES
 
 
 def _freeze_options(options: dict) -> tuple[tuple[str, Any], ...]:
@@ -126,6 +139,9 @@ class SimulationConfig:
     #: :meth:`repro.network.autotuner.SelectionTable.payload_tuple`).
     #: None + ``"auto"`` = plain ring, bit-identically.
     tuned_table: Optional[tuple] = None
+    #: Registered comm-compute DAG name run instead of the layer-wise
+    #: schedule (see :func:`list_workloads`); None = classic layer-wise.
+    workload: Optional[str] = None
 
     @classmethod
     def create(
@@ -140,6 +156,7 @@ class SimulationConfig:
         faults: Optional[FaultPlan] = None,
         fastpath: Optional[bool] = None,
         tuned_table=None,
+        workload: Optional[str] = None,
         **options,
     ) -> "SimulationConfig":
         """Build a config, resolving registry names and freezing options.
@@ -148,10 +165,17 @@ class SimulationConfig:
         :class:`~repro.network.autotuner.SelectionTable`, its payload
         tuple, or None; with ``algorithm="auto"`` and no explicit table
         the process-registered table (if any) is snapshotted in.
+        ``workload`` names a registered comm-compute DAG
+        (:func:`list_workloads`) derived from the model's timing profile
+        — e.g. ``"moe"``, ``"dlrm"``, ``"llm3d"``.
         """
         if scheduler not in SCHEDULER_NAMES:
             raise ValueError(
                 f"unknown scheduler {scheduler!r}; known: {list(SCHEDULER_NAMES)}"
+            )
+        if workload is not None and workload not in list_workloads():
+            raise ValueError(
+                f"unknown workload {workload!r}; known: {list(list_workloads())}"
             )
         cluster = resolve_cluster(cluster)
         if tuned_table is not None and not isinstance(tuned_table, tuple):
@@ -174,6 +198,7 @@ class SimulationConfig:
             fastpath=fastpath,
             options=_freeze_options(options),
             tuned_table=tuned_table,
+            workload=workload,
         )
 
     def replace(self, **changes) -> "SimulationConfig":
@@ -199,6 +224,7 @@ class SimulationConfig:
             options=self.options,
             faults=self.faults,
             tuned_table=self.tuned_table,
+            workload=self.workload,
         )
 
     @property
@@ -213,7 +239,7 @@ class SimulationConfig:
 #: caller has nothing to gain from forcing it.
 _PAYLOAD_KEYS = frozenset((
     "scheduler", "model", "cluster", "batch_size", "algorithm",
-    "iterations", "iteration_compute", "faults", "options",
+    "iterations", "iteration_compute", "faults", "options", "workload",
 ))
 
 
@@ -223,8 +249,9 @@ def config_from_payload(payload: dict) -> SimulationConfig:
     The wire protocol of ``dear-repro serve``: ``model`` and
     ``cluster`` are registry names (``"resnet50"``, ``"10gbe"``),
     ``faults`` is a :meth:`FaultPlan.canonical_payload` dict or absent,
-    ``options`` a plain dict of scheduler options.  Unknown fields are
-    rejected (a typo must not silently change which experiment runs),
+    ``options`` a plain dict of scheduler options, ``workload`` a
+    registered DAG name (:func:`list_workloads`) or absent.  Unknown
+    fields are rejected (a typo must not silently change which experiment runs),
     as are non-registry model/cluster objects — everything must
     round-trip through JSON.
     """
@@ -251,6 +278,7 @@ def config_from_payload(payload: dict) -> SimulationConfig:
         iterations=payload.get("iterations", DEFAULT_ITERATIONS),
         iteration_compute=payload.get("iteration_compute"),
         faults=None if faults is None else FaultPlan.from_payload(faults),
+        workload=payload.get("workload"),
         **options,
     )
 
@@ -288,6 +316,7 @@ def run_simulation(config: SimulationConfig, cached: bool = False) -> ScheduleRe
         faults=config.faults,
         fastpath=config.fastpath,
         tuned_table=table,
+        workload=config.workload,
         **dict(config.options),
     )
 
@@ -344,6 +373,12 @@ def run_collective(
             )
     faults = normalize_plan(faults)
     if faults is not None and faults.has_data_faults:
+        if op in ("all_to_all", "all_to_allv"):
+            raise ValueError(
+                f"{op!r} has no fault-tolerant execution path: personalized "
+                "exchanges carry unique per-pair data, so a lost rank's "
+                "chunks cannot be reconstructed from survivors"
+            )
         from repro.faults.resilient import ResilientCommunicator
 
         comm = ResilientCommunicator(
@@ -373,6 +408,16 @@ def run_collective(
         comm.reduce_scatter(buffers)
     elif op == "all_gather":
         comm.all_gather(buffers, average=average)
+    elif op == "all_to_all":
+        buffers = comm.all_to_all(buffers)
+    elif op == "all_to_allv":
+        # The facade's deterministic default: each rank splits its
+        # buffer as evenly as counts allow (np.array_split sizes).
+        counts = [
+            [len(chunk) for chunk in np.array_split(buf, world_size)]
+            for buf in buffers
+        ]
+        buffers = comm.all_to_allv(buffers, counts)
     else:  # rs_ag: DeAR's decoupled pair
         comm.reduce_scatter(buffers)
         comm.all_gather(buffers, average=average)

@@ -1,0 +1,170 @@
+"""Pairwise-exchange all-to-all collectives (personalized exchange).
+
+Unlike the reduction collectives, an all-to-all moves *distinct* data
+between every rank pair and performs no arithmetic, so there is exactly
+one correct result — the transpose of the send chunks: on exit, rank
+``i``'s chunk ``j`` equals rank ``j``'s send chunk ``i``.  All algorithm
+families therefore share this single pairwise schedule at the data
+level (the cost model is where Bruck/hierarchical variants differ), the
+same way MPI implementations fall back to pairwise exchange for large
+personalized messages.
+
+Round structure (the classic modular pairwise schedule): round ``s``
+(``1 <= s < P``) has every rank send its chunk for peer
+``(rank + s) % P`` and receive from ``(rank - s) % P``; the local chunk
+is copied without touching the transport.  All sends of a round are
+issued before any receive, matching the ring modules' lockstep idiom.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.collectives.transport import Transport, chunk_offsets
+
+__all__ = ["pairwise_all_to_all", "pairwise_all_to_allv"]
+
+
+def _validate_buffers(buffers: Sequence[np.ndarray], world_size: int) -> None:
+    if len(buffers) != world_size:
+        raise ValueError(
+            f"expected {world_size} per-rank buffers, got {len(buffers)}"
+        )
+    first = buffers[0]
+    for rank, buf in enumerate(buffers):
+        if buf.shape != first.shape:
+            raise ValueError(
+                f"rank {rank} buffer shape {buf.shape} != rank 0 shape {first.shape}"
+            )
+        if buf.dtype != first.dtype:
+            raise ValueError(
+                f"rank {rank} buffer dtype {buf.dtype} != rank 0 dtype {first.dtype}"
+            )
+
+
+def pairwise_all_to_all(
+    transport: Transport,
+    send_buffers: Sequence[np.ndarray],
+    recv_buffers: Optional[Sequence[np.ndarray]] = None,
+) -> list[np.ndarray]:
+    """Uniform all-to-all: chunk ``j`` of ``send_buffers[i]`` goes to rank ``j``.
+
+    Each send buffer is flattened and split into ``P`` chunks with the
+    shared :func:`chunk_offsets` convention.  Every segment arriving at
+    rank ``i`` is sender-side chunk ``i`` and therefore has chunk
+    ``i``'s size, so rank ``i``'s receive buffer holds ``P`` segments of
+    that size laid out in source-rank order: segment ``j`` equals rank
+    ``j``'s send chunk ``i`` (the transpose pin).  When the element
+    count divides evenly the receive buffers match the send layout
+    exactly; otherwise they differ per rank, as ``MPI_Alltoallv`` with
+    :func:`chunk_offsets` counts would.  Buffers are allocated fresh
+    unless ``recv_buffers`` supplies them.
+    """
+    p = transport.world_size
+    _validate_buffers(send_buffers, p)
+    send_flats = [buf.reshape(-1) for buf in send_buffers]
+    offsets = chunk_offsets(send_flats[0].size, p)
+    sizes = [offsets[k + 1] - offsets[k] for k in range(p)]
+    if recv_buffers is None:
+        recv_flats = [
+            np.empty(p * sizes[rank], dtype=send_flats[0].dtype)
+            for rank in range(p)
+        ]
+    else:
+        if len(recv_buffers) != p:
+            raise ValueError(
+                f"expected {p} per-rank buffers, got {len(recv_buffers)}"
+            )
+        recv_flats = [buf.reshape(-1) for buf in recv_buffers]
+        for rank, flat in enumerate(recv_flats):
+            if flat.size != p * sizes[rank]:
+                raise ValueError(
+                    f"rank {rank} receive buffer holds {flat.size} elements, "
+                    f"needs {p * sizes[rank]}"
+                )
+
+    def send_chunk(rank: int, index: int) -> np.ndarray:
+        return send_flats[rank][offsets[index] : offsets[index + 1]]
+
+    def recv_slot(rank: int, src: int) -> np.ndarray:
+        return recv_flats[rank][src * sizes[rank] : (src + 1) * sizes[rank]]
+
+    for rank in range(p):
+        recv_slot(rank, rank)[...] = send_chunk(rank, rank)
+    for step in range(1, p):
+        # All sends of the round first, then all receives: every rank
+        # exchanges with a distinct peer simultaneously.
+        for rank in range(p):
+            transport.send(rank, (rank + step) % p,
+                           send_chunk(rank, (rank + step) % p))
+        for rank in range(p):
+            src = (rank - step) % p
+            recv_slot(rank, src)[...] = transport.recv(src, rank)
+    return recv_flats
+
+
+def pairwise_all_to_allv(
+    transport: Transport,
+    send_buffers: Sequence[np.ndarray],
+    send_counts: Sequence[Sequence[int]],
+) -> list[np.ndarray]:
+    """Variable-count all-to-all (``MPI_Alltoallv``).
+
+    ``send_counts[i][j]`` is the number of elements rank ``i`` sends to
+    rank ``j``; ``send_buffers[i]`` is flat with the per-destination
+    segments laid out contiguously in rank order.  Returns per-rank
+    receive buffers, rank ``i``'s laid out as the concatenation of the
+    segments from ranks ``0..P-1`` (sizes ``send_counts[j][i]``).
+    Empty segments are skipped on the wire, as a real implementation
+    would.
+    """
+    p = transport.world_size
+    if len(send_buffers) != p or len(send_counts) != p:
+        raise ValueError(
+            f"expected {p} send buffers and count rows, "
+            f"got {len(send_buffers)} and {len(send_counts)}"
+        )
+    send_flats = [np.asarray(buf).reshape(-1) for buf in send_buffers]
+    for rank, (flat, counts) in enumerate(zip(send_flats, send_counts)):
+        if len(counts) != p:
+            raise ValueError(
+                f"rank {rank} has {len(counts)} send counts, expected {p}"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError(f"rank {rank} has a negative send count")
+        if sum(counts) != flat.size:
+            raise ValueError(
+                f"rank {rank} send counts total {sum(counts)}, "
+                f"buffer holds {flat.size} elements"
+            )
+
+    def send_segment(rank: int, dst: int) -> np.ndarray:
+        start = sum(send_counts[rank][:dst])
+        return send_flats[rank][start : start + send_counts[rank][dst]]
+
+    recv_offsets = [
+        [0] + list(np.cumsum([send_counts[src][rank] for src in range(p)]))
+        for rank in range(p)
+    ]
+    recv_flats = [
+        np.empty(recv_offsets[rank][-1], dtype=send_flats[0].dtype)
+        for rank in range(p)
+    ]
+
+    def recv_segment(rank: int, src: int) -> np.ndarray:
+        return recv_flats[rank][recv_offsets[rank][src] : recv_offsets[rank][src + 1]]
+
+    for rank in range(p):
+        recv_segment(rank, rank)[...] = send_segment(rank, rank)
+    for step in range(1, p):
+        for rank in range(p):
+            dst = (rank + step) % p
+            if send_counts[rank][dst]:
+                transport.send(rank, dst, send_segment(rank, dst))
+        for rank in range(p):
+            src = (rank - step) % p
+            if send_counts[src][rank]:
+                recv_segment(rank, src)[...] = transport.recv(src, rank)
+    return recv_flats

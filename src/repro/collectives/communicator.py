@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.collectives.alltoall import pairwise_all_to_all, pairwise_all_to_allv
 from repro.collectives.halving_doubling import (
     halving_doubling_all_reduce,
     recursive_doubling_all_gather,
@@ -149,3 +150,27 @@ class Communicator:
             hierarchical_all_gather(self.transport, buffers, self.gpus_per_node)
         self._publish("all_gather", buffers, wire_before)
         self._finish(buffers, average)
+
+    def all_to_all(self, buffers: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Personalized exchange: chunk ``j`` of rank ``i`` goes to rank ``j``.
+
+        Pure data movement with a single correct result, so every
+        algorithm family shares the pairwise schedule (the cost model is
+        where Bruck/hierarchical pricing differs).  Returns the per-rank
+        receive buffers.
+        """
+        wire_before = self.transport.stats.bytes
+        received = pairwise_all_to_all(self.transport, buffers)
+        self._publish("all_to_all", buffers, wire_before)
+        self.collectives_issued += 1
+        return received
+
+    def all_to_allv(
+        self, buffers: Sequence[np.ndarray], send_counts: Sequence[Sequence[int]]
+    ) -> list[np.ndarray]:
+        """Variable-count personalized exchange (``MPI_Alltoallv``)."""
+        wire_before = self.transport.stats.bytes
+        received = pairwise_all_to_allv(self.transport, buffers, send_counts)
+        self._publish("all_to_allv", buffers, wire_before)
+        self.collectives_issued += 1
+        return received

@@ -125,6 +125,24 @@ class CompressionTimeModel:
             return 0.0
         return 0.5 * self._gather_time(nbytes) + self.overhead_per_byte * nbytes
 
+    def all_to_all(self, nbytes: float) -> float:
+        """Personalized exchanges move unique data: no compression.
+
+        Gradient compression exploits sparsity in *summed* tensors;
+        the dispatch/combine and embedding exchanges of workload DAGs
+        carry dense activations, priced at the base model's rate.
+        """
+        return self.base.all_to_all(nbytes)
+
+    def all_to_allv(self, nbytes: float) -> float:
+        return self.base.all_to_allv(nbytes)
+
+    def send_recv(self, nbytes: float) -> float:
+        return self.base.send_recv(nbytes)
+
+    def subgroup_time(self, kind: str, nbytes: float, peers: int) -> float:
+        return self.base.subgroup_time(kind, nbytes, peers)
+
     def negotiation(self, payload_bytes: float = 8.0) -> float:
         return self.base.negotiation(payload_bytes)
 

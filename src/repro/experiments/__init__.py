@@ -21,6 +21,8 @@ fig10     tuning cost: BO vs random vs grid search
 fig11     speed vs per-GPU batch size
 timelines Figs. 1-2 schedule timelines as Gantt charts
 tuned     tuned-vs-ring collectives (autotuner; not a paper figure)
+workloads scheduler comparison on comm-compute DAGs (MoE / DLRM /
+          3D-parallel LLM; not a paper figure)
 ========  =====================================================
 """
 
@@ -37,6 +39,7 @@ from repro.experiments.fig10 import run as fig10
 from repro.experiments.fig11 import run as fig11
 from repro.experiments.timelines import run as timelines
 from repro.experiments.tuned import run as tuned
+from repro.experiments.workloads import run as workloads
 
 EXPERIMENTS = {
     "table1": table1,
@@ -51,6 +54,7 @@ EXPERIMENTS = {
     "fig11": fig11,
     "timelines": timelines,
     "tuned": tuned,
+    "workloads": workloads,
 }
 
 __all__ = ["EXPERIMENTS", "paper_data"] + sorted(EXPERIMENTS)

@@ -58,7 +58,9 @@ __all__ = [
 TUNE_TABLE_SCHEMA = "dear-tune-table-v1"
 
 #: Operations a table covers — the engine's collective kinds.
-TABLE_OPS = ("reduce_scatter", "all_gather", "all_reduce")
+#: (``all_to_allv`` is priced through the ``all_to_all`` entries at the
+#: busiest rank's bytes, so it needs no column of its own.)
+TABLE_OPS = ("reduce_scatter", "all_gather", "all_reduce", "all_to_all")
 
 #: Default calibration sweep: 1 KiB to 1 GiB, one point per size bucket.
 DEFAULT_SWEEP_MIN = 2.0**10

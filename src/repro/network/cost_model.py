@@ -35,6 +35,10 @@ __all__ = [
     "hierarchical_reduce_scatter_time",
     "hierarchical_all_gather_time",
     "hierarchical_all_reduce_time",
+    "pairwise_all_to_all_time",
+    "bruck_all_to_all_time",
+    "hierarchical_all_to_all_time",
+    "send_recv_time",
     "broadcast_time",
     "negotiation_time",
     "CollectiveTimeModel",
@@ -230,6 +234,73 @@ def hierarchical_all_reduce_time(
     )
 
 
+def pairwise_all_to_all_time(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Pairwise-exchange all-to-all over ``p`` workers.
+
+    ``nbytes`` is the per-rank send buffer; each of the ``P-1`` rounds
+    exchanges one ``d/P`` chunk with a distinct peer (the classic
+    XOR/modular pairwise schedule).  The per-round term is written
+    exactly like :func:`ring_all_gather_time`'s so the two ops share
+    float association — the vectorized twin in
+    :mod:`repro.network.protocol` mirrors this form bit-for-bit.
+    """
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    chunk = nbytes / p
+    return (p - 1) * (alpha + chunk * beta)
+
+
+def bruck_all_to_all_time(nbytes: float, p: int, alpha: float, beta: float) -> float:
+    """Bruck all-to-all: ``log2(P)`` rounds of ``d/2`` bytes each.
+
+    Trades bandwidth (each round forwards half the buffer) for
+    logarithmic latency — the small-message analogue of recursive
+    halving, and like it restricted to power-of-two worlds.
+    """
+    _validate(nbytes, p)
+    if p == 1:
+        return 0.0
+    if p & (p - 1):
+        raise ValueError(f"Bruck all-to-all requires power-of-two workers, got {p}")
+    rounds = int(math.log2(p))
+    half = nbytes / 2
+    return rounds * (alpha + half * beta)
+
+
+def hierarchical_all_to_all_time(
+    nbytes: float,
+    nodes: int,
+    gpus_per_node: int,
+    intra_alpha: float,
+    intra_beta: float,
+    inter_alpha: float,
+    inter_beta: float,
+) -> float:
+    """Two-level all-to-all: intra-node exchange, then inter-node exchange.
+
+    Phase one shuffles within each node so every GPU holds the chunks
+    bound for its column of remote peers; phase two runs ``g``
+    concurrent pairwise exchanges of ``nodes`` peers sharing each
+    node's NIC (``1/g`` of the link per exchange).  Unlike the
+    hierarchical reduce-scatter the payload does not shrink between
+    phases — all-to-all data is personalized, nothing is reduced away.
+    """
+    _validate(nbytes, nodes * gpus_per_node)
+    intra = pairwise_all_to_all_time(nbytes, gpus_per_node, intra_alpha, intra_beta)
+    inter = pairwise_all_to_all_time(
+        nbytes, nodes, inter_alpha, inter_beta * gpus_per_node
+    )
+    return intra + inter
+
+
+def send_recv_time(nbytes: float, alpha: float, beta: float) -> float:
+    """One point-to-point message: ``alpha + d * beta``."""
+    if nbytes < 0:
+        raise ValueError(f"message size must be non-negative, got {nbytes}")
+    return alpha + nbytes * beta
+
+
 def negotiation_time(p: int, alpha: float, payload_bytes: float = 8.0, beta: float = 0.0) -> float:
     """Cost of one readiness-consensus round among ``p`` workers.
 
@@ -336,11 +407,11 @@ class CollectiveTimeModel:
         )
         self._query_counters = {
             op: queries.labels(op=op, algorithm=algorithm)
-            for op in ("rs", "ag", "neg")
+            for op in ("rs", "ag", "neg", "a2a", "p2p")
         }
         self._hit_counters = {
             op: hits.labels(op=op, algorithm=algorithm)
-            for op in ("rs", "ag", "neg")
+            for op in ("rs", "ag", "neg", "a2a", "p2p")
         }
 
     @property
@@ -499,6 +570,101 @@ class CollectiveTimeModel:
             return 0.0
         return self.reduce_scatter(nbytes) + self.all_gather(nbytes) - self.startup_overhead
 
+    def all_to_all(self, nbytes: float) -> float:
+        """Personalized exchange of a ``nbytes`` per-rank send buffer.
+
+        ``ring`` (and untabled ``auto``) price the pairwise-exchange
+        schedule; ``halving_doubling`` prices Bruck; ``tree`` has no
+        personalized-exchange analogue and falls back to pairwise;
+        ``hierarchical`` prices the two-phase node-then-NIC shuffle.
+        """
+        key = ("a2a", nbytes)
+        self._query_counters["a2a"].inc()
+        cached = self._memo.get(key)
+        if cached is None:
+            cached = self._memo[key] = self._all_to_all(nbytes)
+        else:
+            self._hit_counters["a2a"].inc()
+        return cached
+
+    def _all_to_all(self, nbytes: float) -> float:
+        tuned = self._tuned_time("all_to_all", nbytes)
+        if tuned is not None:
+            return tuned
+        p = self.world_size
+        if self.algorithm == "halving_doubling":
+            t = bruck_all_to_all_time(nbytes, p, self._alpha, self._beta)
+        elif self.algorithm == "hierarchical":
+            t = hierarchical_all_to_all_time(
+                nbytes,
+                self.cluster.nodes,
+                self.cluster.gpus_per_node,
+                self.cluster.intra_link.alpha,
+                self.cluster.intra_link.beta,
+                self.cluster.inter_link.alpha,
+                self.cluster.inter_link.beta,
+            )
+        else:  # ring / auto-without-entry / tree
+            t = pairwise_all_to_all_time(nbytes, p, self._alpha, self._beta)
+        return self._finish(t, nbytes)
+
+    def all_to_allv(self, nbytes: float) -> float:
+        """Variable-count exchange, priced at the busiest rank's bytes.
+
+        ``nbytes`` is the largest per-rank send buffer: the synchronous
+        exchange completes when the heaviest rank finishes, so the
+        uniform formula at that size bounds the collective.  Kept as a
+        named method (not an alias) because the timing fault injector
+        dispatches on collective kind via ``getattr``.
+        """
+        return self.all_to_all(nbytes)
+
+    def send_recv(self, nbytes: float) -> float:
+        """One point-to-point message on the flat fabric."""
+        key = ("p2p", nbytes)
+        self._query_counters["p2p"].inc()
+        cached = self._memo.get(key)
+        if cached is None:
+            t = send_recv_time(nbytes, self._alpha, self._beta)
+            cached = self._memo[key] = self._finish(t, nbytes)
+        else:
+            self._hit_counters["p2p"].inc()
+        return cached
+
+    def subgroup_time(self, kind: str, nbytes: float, peers: int) -> float:
+        """Price a collective restricted to a ``peers``-rank subgroup.
+
+        Workload DAGs use subgroup collectives for tensor-parallel
+        all-reduces and expert-parallel shuffles that span only part of
+        the world (3D parallelism).  Modeling boundary, kept deliberately
+        simple: subgroups are priced with the plain flat-ring formulas at
+        ``p = peers`` on this cluster's bottleneck link — the protocol
+        and selection tables describe full-world launches and do not
+        apply, and timing faults do not reprice subgroup collectives.
+        ``send_recv`` is group-size independent and ignores ``peers``.
+        """
+        if peers < 1:
+            raise ValueError(f"subgroup collectives need peers >= 1, got {peers}")
+        key = ("sub", kind, nbytes, peers)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        p = peers
+        if kind == "send_recv":
+            t = send_recv_time(nbytes, self._alpha, self._beta)
+        elif kind == "all_reduce":
+            t = ring_all_reduce_time(nbytes, p, self._alpha, self._beta, self.gamma)
+        elif kind == "reduce_scatter":
+            t = ring_reduce_scatter_time(nbytes, p, self._alpha, self._beta, self.gamma)
+        elif kind == "all_gather":
+            t = ring_all_gather_time(nbytes, p, self._alpha, self._beta)
+        elif kind in ("all_to_all", "all_to_allv"):
+            t = pairwise_all_to_all_time(nbytes, p, self._alpha, self._beta)
+        else:
+            raise ValueError(f"unknown collective kind {kind!r}")
+        cached = self._memo[key] = self._finish(t, nbytes)
+        return cached
+
     def negotiation(self, payload_bytes: float = 8.0) -> float:
         """One metadata-consensus round on this cluster."""
         key = ("neg", payload_bytes)
@@ -518,7 +684,8 @@ class CollectiveTimeModel:
         One formula pass per distinct selection — never a Python loop
         per size (the tune harness and the selection-table builder are
         built on this).  ``op`` is one of ``"reduce_scatter"``,
-        ``"all_gather"``, ``"all_reduce"``.  Returns ``np.ndarray``
+        ``"all_gather"``, ``"all_reduce"``, ``"all_to_all"``.  Returns
+        ``np.ndarray``
         aligned with ``sizes``; matches the scalar methods bit-for-bit.
         """
         import numpy as np

@@ -275,7 +275,31 @@ def _hierarchical_all_gather(d, cluster, intra_ab, inter_ab, chunks):
     return inter + intra
 
 
-_OPS = ("reduce_scatter", "all_gather", "all_reduce")
+def _pairwise_all_to_all(d, p, alpha, beta, chunks):
+    if p == 1:
+        return np.zeros_like(d)
+    per = d / (p * chunks)
+    return (p - 1 + chunks - 1) * (alpha + per * beta)
+
+
+def _bruck_all_to_all(d, p, alpha, beta):
+    if p == 1:
+        return np.zeros_like(d)
+    if p & (p - 1):
+        raise ValueError(f"Bruck all-to-all requires power-of-two workers, got {p}")
+    rounds = int(math.log2(p))
+    half = d / 2
+    return rounds * (alpha + half * beta)
+
+
+def _hierarchical_all_to_all(d, cluster, intra_ab, inter_ab, chunks):
+    g = cluster.gpus_per_node
+    intra = _pairwise_all_to_all(d, g, intra_ab[0], intra_ab[1], 1)
+    inter = _pairwise_all_to_all(d, cluster.nodes, inter_ab[0], inter_ab[1] * g, chunks)
+    return intra + inter
+
+
+_OPS = ("reduce_scatter", "all_gather", "all_reduce", "all_to_all")
 
 
 def collective_times(
@@ -336,6 +360,8 @@ def collective_times(
             t = _ring_reduce_scatter(d, p, alpha, beta, gamma, ring_chunks)
         elif op == "all_gather":
             t = _ring_all_gather(d, p, alpha, beta, ring_chunks)
+        elif op == "all_to_all":
+            t = _pairwise_all_to_all(d, p, alpha, beta, ring_chunks)
         else:
             t = _ring_reduce_scatter(d, p, alpha, beta, gamma, ring_chunks) + \
                 _ring_all_gather(d, p, alpha, beta, ring_chunks)
@@ -344,6 +370,8 @@ def collective_times(
             t = _halving_reduce_scatter(d, p, alpha, beta, gamma)
         elif op == "all_gather":
             t = _doubling_all_gather(d, p, alpha, beta)
+        elif op == "all_to_all":
+            t = _bruck_all_to_all(d, p, alpha, beta)
         else:
             t = _halving_reduce_scatter(d, p, alpha, beta, gamma) + \
                 _doubling_all_gather(d, p, alpha, beta)
@@ -352,6 +380,10 @@ def collective_times(
             t = _tree_reduce(d, p, alpha, beta, gamma)
         elif op == "all_gather":
             t = _tree_reduce(d, p, alpha, beta, 0.0)
+        elif op == "all_to_all":
+            # Trees have no personalized-exchange analogue; fall back to
+            # the pairwise schedule (the scalar model does the same).
+            t = _pairwise_all_to_all(d, p, alpha, beta, ring_chunks)
         else:
             t = _tree_reduce(d, p, alpha, beta, gamma) + _tree_reduce(d, p, alpha, beta, 0.0)
     elif algorithm == "hierarchical":
@@ -361,6 +393,8 @@ def collective_times(
             )
         elif op == "all_gather":
             t = _hierarchical_all_gather(d, cluster, intra_ab, inter_ab, ring_chunks)
+        elif op == "all_to_all":
+            t = _hierarchical_all_to_all(d, cluster, intra_ab, inter_ab, ring_chunks)
         else:
             t = _hierarchical_reduce_scatter(
                 d, cluster, intra_ab, inter_ab, gamma, ring_chunks

@@ -13,9 +13,9 @@ results are bit-identical to per-spec runs — pinned by
 ``tests/runner/test_batched_runner.py``.
 
 Specs the recorder cannot express — dynamic schedules (bytescheduler),
-fast path disabled per spec, legacy option spellings, exotic multirank
-options — return ``None`` from :func:`run_batched` and fall through to
-the executor's pool/serial path, which computes them the classic way.
+fast path disabled per spec, exotic multirank options — return ``None``
+from :func:`run_batched` and fall through to the executor's pool/serial
+path, which computes them the classic way.
 
 Disable globally with ``DEAR_BATCHED=0``; ``DEAR_FASTPATH=0`` also
 disables it (batching *is* the fast path, applied across configs).
@@ -49,12 +49,6 @@ from repro.sim.fastpath import FastPathUnsupported, fast_path_enabled
 from repro.telemetry.registry import default_registry
 
 __all__ = ["batched_enabled", "run_batched"]
-
-#: Legacy ``simulate(...)`` option spellings handled by the facade's
-#: compat shims; specs carrying them take the classic path.
-_LEGACY_OPTION_KEYS = frozenset(
-    ("fusion_plan", "topology", "link_preset", "world_size")
-)
 
 #: The multirank options the recorder understands; anything else falls
 #: back to :func:`simulate_heterogeneous` via the classic path.
@@ -109,8 +103,6 @@ def _spec_table(spec: RunSpec):
 
 def _record_single(spec: RunSpec) -> _Recorded:
     options = dict(spec.options)
-    if _LEGACY_OPTION_KEYS & options.keys():
-        raise FastPathUnsupported("legacy option spellings take the classic path")
     if options.pop("fastpath", None) is False:
         raise FastPathUnsupported("spec disables the fast path")
     scheduler = get_scheduler(spec.scheduler, **options)
@@ -123,7 +115,8 @@ def _record_single(spec: RunSpec) -> _Recorded:
         spec.cluster, algorithm=spec.algorithm, table=_spec_table(spec)
     )
     ctx = scheduler.record_fast(
-        timing, cost, iterations=spec.iterations, faults=spec.faults
+        timing, cost, iterations=spec.iterations, faults=spec.faults,
+        workload=spec.workload,
     )
     return _Recorded(
         ("fast", fast_signature(ctx._timeline)),
@@ -159,7 +152,9 @@ def _record_multirank(spec: RunSpec) -> _Recorded:
         cost = CollectiveTimeModel(
             spec.cluster, algorithm=spec.algorithm, table=_spec_table(spec)
         )
-        ctx = scheduler.record_fast(timing, cost, iterations=spec.iterations)
+        ctx = scheduler.record_fast(
+            timing, cost, iterations=spec.iterations, workload=spec.workload
+        )
         return _Recorded(
             ("fast", fast_signature(ctx._timeline)),
             ctx,
@@ -183,6 +178,7 @@ def _record_multirank(spec: RunSpec) -> _Recorded:
         faults=spec.faults,
         trace=trace,
         tuned_table=_spec_table(spec),
+        workload=spec.workload,
     )
     compute_scales = tuple(float(scale) for scale in spec.compute_scales)
     return _Recorded(

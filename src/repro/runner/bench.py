@@ -8,6 +8,9 @@ Four suites cover the hot paths the paper's evaluation leans on:
 - ``sweeps`` — the latency/bandwidth sensitivity points (§VI-I);
 - ``tuned`` — ring vs. autotuned (``algorithm="auto"``) collectives on
   both testbed fabrics up to 1024 GPUs (the tuned-vs-ring trajectory);
+- ``workloads`` — every registered workload DAG (layerwise / MoE /
+  DLRM / 3D-parallel) under WFBP and DeAR at 64 (and, full, 1024)
+  ranks, guarding the generalized scheduler contract's hot path;
 - ``simcore`` — simulator-performance microbenchmarks (event-kernel
   throughput, vectorized-replay speedup, selection-table build rate,
   uncached sweep wall time); host-dependent, so excluded from the
@@ -108,11 +111,28 @@ def bench_suites(quick: bool = False) -> dict[str, dict[str, RunSpec]]:
                         key = f"{scheduler}[{algorithm}]/{model}/{network}/w{world}"
                         tuned[key] = spec
 
+    from repro.workloads import WORKLOAD_NAMES
+
+    workload_worlds = (64,) if quick else (64, 1024)
+    base = resolve_cluster("10gbe")
+    workloads: dict[str, RunSpec] = {}
+    for world in workload_worlds:
+        cluster = base.with_nodes(world // base.gpus_per_node)
+        for workload in WORKLOAD_NAMES:
+            for scheduler, options in (("wfbp", {"buffer_bytes": 25e6}),
+                                       ("dear", {"fusion": "buffer",
+                                                 "buffer_bytes": 25e6})):
+                spec = RunSpec.create(scheduler, "resnet50", cluster,
+                                      workload=workload, **options)
+                key = f"{scheduler}[{workload}]/resnet50/10gbe/w{world}"
+                workloads[key] = spec
+
     return {
         "schedulers": schedulers,
         "fusion": fusion,
         "sweeps": sweeps,
         "tuned": tuned,
+        "workloads": workloads,
     }
 
 

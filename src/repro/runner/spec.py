@@ -72,6 +72,12 @@ class RunSpec:
     #: pool workers and the content-addressed cache see the same tuning
     #: as the submitting process.  ``None`` + ``"auto"`` = plain ring.
     tuned_table: Optional[tuple] = None
+    #: Registered comm-compute DAG name
+    #: (:data:`repro.workloads.WORKLOAD_NAMES`) run instead of the
+    #: layer-wise schedule.  Only the *name* enters the identity —
+    #: generators are deterministic functions of (timing, cluster),
+    #: both of which are already in the fingerprint.
+    workload: Optional[str] = None
 
     @classmethod
     def create(
@@ -86,6 +92,7 @@ class RunSpec:
         faults: Optional[FaultPlan] = None,
         compute_scales: Optional[tuple[float, ...]] = None,
         tuned_table=None,
+        workload: Optional[str] = None,
         **options,
     ) -> "RunSpec":
         """Mirror of the ``simulate(...)`` signature.
@@ -109,6 +116,14 @@ class RunSpec:
             registered = table_for(cluster)
             if registered is not None:
                 tuned_table = registered.payload_tuple()
+        if workload is not None:
+            from repro.workloads import WORKLOAD_NAMES
+
+            if workload not in WORKLOAD_NAMES:
+                raise ValueError(
+                    f"unknown workload {workload!r}; "
+                    f"expected one of {WORKLOAD_NAMES}"
+                )
         return cls(
             scheduler=scheduler,
             model=model,
@@ -124,6 +139,7 @@ class RunSpec:
                 else tuple(float(scale) for scale in compute_scales)
             ),
             tuned_table=tuned_table,
+            workload=workload,
         )
 
     # -- identity ------------------------------------------------------------
@@ -156,6 +172,9 @@ class RunSpec:
         # And for tuning: untuned fingerprints predate the field.
         if self.tuned_table is not None:
             payload["tuned_table"] = _public_fields(self.tuned_table)
+        # And for workloads: layer-wise fingerprints predate the field.
+        if self.workload is not None:
+            payload["workload"] = self.workload
         return payload
 
     def canonical_json(self) -> str:
@@ -217,6 +236,7 @@ class RunSpec:
                 iteration_compute=self.iteration_compute,
                 faults=self.faults,
                 tuned_table=table,
+                workload=self.workload,
                 **dict(self.options),
             )
         return simulate(
@@ -229,6 +249,7 @@ class RunSpec:
             iteration_compute=self.iteration_compute,
             faults=self.faults,
             tuned_table=table,
+            workload=self.workload,
             **dict(self.options),
         )
 

@@ -98,7 +98,41 @@ class Scheduler(ABC):
 
         All jobs are submitted up front with gate events encoding the
         scheduler's dependency policy; the engine then executes them.
+
+        This is the classic layer-wise entry point; arbitrary
+        comm-compute DAGs enter through :meth:`schedule_workload`.
         """
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """Submit jobs realizing a :class:`~repro.workloads.ir.Workload`.
+
+        Every registered scheduler implements this by delegating to its
+        policy's executor (:mod:`repro.workloads.executor`) with its own
+        knobs; the base raises so an out-of-tree subclass that predates
+        the DAG contract fails loudly rather than silently running the
+        layer-wise schedule.
+        """
+        raise NotImplementedError(
+            f"scheduler {self.name!r} does not implement schedule_workload()"
+        )
+
+    def _resolve_workload(self, workload, timing: TimingModel,
+                          cost: CollectiveTimeModel):
+        """Registry name -> built Workload (pass-through for objects)."""
+        if workload is None or not isinstance(workload, str):
+            return workload
+        from repro.workloads import build_workload
+
+        return build_workload(workload, timing, cost.cluster)
+
+    def _schedule_onto(self, ctx: IterationContext, iterations: int,
+                       workload) -> None:
+        if workload is None:
+            self.schedule(ctx, iterations)
+        else:
+            ctx.workload_name = workload.name
+            self.schedule_workload(ctx, workload, iterations)
 
     def _build_and_run(
         self,
@@ -107,6 +141,7 @@ class Scheduler(ABC):
         iterations: int,
         faults: Optional[FaultPlan] = None,
         fastpath: Optional[bool] = None,
+        workload=None,
     ) -> IterationContext:
         """Schedule + execute on the fastest applicable context.
 
@@ -114,18 +149,22 @@ class Scheduler(ABC):
         Timing-fault plans ride the fast path too (priced durations
         resolved at replay); only genuinely dynamic schedules raise
         :class:`FastPathUnsupported` and fall back to the event kernel.
+        ``workload`` selects a comm-compute DAG — a registry name or a
+        built :class:`~repro.workloads.ir.Workload` — instead of the
+        classic layer-wise schedule.
         """
+        workload = self._resolve_workload(workload, timing, cost)
         use_fast = fast_path_enabled() if fastpath is None else fastpath
         if self.supports_fast_path and use_fast:
             ctx = FastIterationContext(timing, cost, faults=faults)
             try:
-                self.schedule(ctx, iterations)
+                self._schedule_onto(ctx, iterations, workload)
                 ctx.run()
                 return ctx
             except FastPathUnsupported:
                 pass
         ctx = IterationContext(timing, cost, faults=faults)
-        self.schedule(ctx, iterations)
+        self._schedule_onto(ctx, iterations, workload)
         ctx.run()
         return ctx
 
@@ -136,12 +175,16 @@ class Scheduler(ABC):
         iterations: int = DEFAULT_ITERATIONS,
         faults: Optional[FaultPlan] = None,
         fastpath: Optional[bool] = None,
+        workload=None,
     ) -> ScheduleResult:
         """Simulate and measure the steady-state iteration time."""
         if iterations < 3:
             raise ValueError(f"need >= 3 iterations to reach steady state, got {iterations}")
         faults = normalize_plan(faults)
-        ctx = self._build_and_run(timing, cost, iterations, faults=faults, fastpath=fastpath)
+        ctx = self._build_and_run(
+            timing, cost, iterations, faults=faults, fastpath=fastpath,
+            workload=workload,
+        )
         return self.measure(ctx, iterations)
 
     def record_fast(
@@ -150,6 +193,7 @@ class Scheduler(ABC):
         cost: CollectiveTimeModel,
         iterations: int = DEFAULT_ITERATIONS,
         faults: Optional[FaultPlan] = None,
+        workload=None,
     ) -> FastIterationContext:
         """Record this policy's schedule without replaying it.
 
@@ -172,8 +216,9 @@ class Scheduler(ABC):
                 f"scheduler {self.name!r} customises run(); recording one "
                 f"schedule would skip its outer procedure"
             )
+        workload = self._resolve_workload(workload, timing, cost)
         ctx = FastIterationContext(timing, cost, faults=normalize_plan(faults))
-        self.schedule(ctx, iterations)
+        self._schedule_onto(ctx, iterations, workload)
         return ctx
 
     def measure(self, ctx: IterationContext, iterations: int) -> ScheduleResult:
@@ -203,13 +248,20 @@ class Scheduler(ABC):
             iteration_time=iteration_time,
             t_ff=timing.t_ff,
             t_bp=timing.t_bp,
-            exposed_comm=_exposed(ctx.tracer, ("comm.ar", "comm.rs", "comm.ag"), window),
+            exposed_comm=_exposed(
+                ctx.tracer,
+                ("comm.ar", "comm.rs", "comm.ag", "comm.a2a", "comm.p2p"),
+                window,
+            ),
             exposed_rs=_exposed(ctx.tracer, ("comm.rs",), window),
             exposed_ag=_exposed(ctx.tracer, ("comm.ag",), window),
             tracer=ctx.tracer,
             iteration_times=gaps,
             extras=self.describe_options(),
         )
+        workload_name = getattr(ctx, "workload_name", None)
+        if workload_name is not None:
+            result.extras["workload"] = workload_name
         if ctx.faults is not None:
             result.extras["fault_plan"] = ctx.faults.plan.label()
             result.extras["timing_faults"] = ctx.faults.summary()
@@ -271,7 +323,7 @@ def _exposed(tracer: Tracer, categories: tuple[str, ...], window: tuple[float, f
     compute = [
         (span.start, span.end)
         for span in tracer.spans
-        if span.category in ("ff", "bp")
+        if span.category in ("ff", "bp", "compute")
     ]
     return total_length(subtract_intervals(_clip(comm, window), _clip(compute, window)))
 
@@ -310,52 +362,29 @@ def get_scheduler(name: str, **options) -> Scheduler:
     return _REGISTRY[key](**options)
 
 
-def _apply_legacy_options(cluster: ClusterSpec, options: dict) -> ClusterSpec:
-    """Keyword-compat shims for pre-facade ``simulate`` call signatures.
+#: Pre-facade ``simulate`` kwargs, removed at the end of their
+#: deprecation cycle, with the migration each error message points to.
+_REMOVED_OPTION_HINTS = {
+    "fusion_plan": "pass fusion=... instead",
+    "topology": "pass a ClusterSpec (see repro.api.SimulationConfig.cluster)",
+    "link_preset": "pass a ClusterSpec (see repro.api.SimulationConfig.cluster)",
+    "world_size": (
+        "the cluster defines the world size; derive one with "
+        "cluster.with_nodes(...)"
+    ),
+}
 
-    Earlier revisions spread run configuration over per-scheduler
-    constructor kwargs; :class:`repro.api.SimulationConfig` is now the
-    one home for those.  The old spellings keep working here with a
-    :class:`DeprecationWarning` so downstream scripts migrate on their
-    own schedule.
+
+def _reject_legacy_options(options: dict) -> None:
+    """Raise on pre-facade ``simulate`` kwargs (deprecation cycle over).
+
+    These spellings warned with :class:`DeprecationWarning` for one
+    release; they now fail fast with the migration hint so stale call
+    sites cannot silently diverge from :class:`repro.api.SimulationConfig`.
     """
-    import warnings
-
-    if "fusion_plan" in options:
-        warnings.warn(
-            "simulate(fusion_plan=...) is deprecated; pass fusion=...",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        options.setdefault("fusion", options.pop("fusion_plan"))
-    if "topology" in options or "link_preset" in options:
-        preset = options.pop("topology", None) or options.pop("link_preset", None)
-        options.pop("link_preset", None)
-        warnings.warn(
-            "simulate(topology=/link_preset=...) is deprecated; pass a "
-            "ClusterSpec (see repro.api.SimulationConfig.cluster)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        from repro.experiments.common import resolve_cluster
-
-        cluster = resolve_cluster(preset)
-    if "world_size" in options:
-        world_size = options.pop("world_size")
-        warnings.warn(
-            "simulate(world_size=...) is deprecated; the cluster defines "
-            "the world size",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if world_size != cluster.world_size:
-            if world_size % cluster.gpus_per_node:
-                raise ValueError(
-                    f"legacy world_size={world_size} does not fit the "
-                    f"cluster's gpus_per_node={cluster.gpus_per_node}"
-                )
-            cluster = cluster.with_nodes(world_size // cluster.gpus_per_node)
-    return cluster
+    for key, hint in _REMOVED_OPTION_HINTS.items():
+        if key in options:
+            raise TypeError(f"simulate() no longer accepts {key!r}; {hint}")
 
 
 def simulate(
@@ -369,6 +398,7 @@ def simulate(
     faults: Optional[FaultPlan] = None,
     fastpath: Optional[bool] = None,
     tuned_table=None,
+    workload: Optional[str] = None,
     **options,
 ) -> ScheduleResult:
     """One-call facade: build timing + cost models and run a scheduler.
@@ -384,18 +414,23 @@ def simulate(
     the process-wide registered table — and falls back to plain ring
     with neither, bit-identically.
 
+    ``workload`` names a registered comm-compute DAG
+    (:data:`repro.workloads.WORKLOAD_NAMES`) to run instead of the
+    classic layer-wise schedule.
+
     Example::
 
         result = simulate("dear", get_model("resnet50"), cluster_10gbe(),
                           fusion="buffer", buffer_bytes=25e6)
     """
-    cluster = _apply_legacy_options(cluster, options)
+    _reject_legacy_options(options)
     timing = TimingModel.for_model(
         model, batch_size=batch_size, iteration_compute=iteration_compute
     )
     cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
     return get_scheduler(scheduler, **options).run(
-        timing, cost, iterations=iterations, faults=faults, fastpath=fastpath
+        timing, cost, iterations=iterations, faults=faults, fastpath=fastpath,
+        workload=workload,
     )
 
 

@@ -37,6 +37,7 @@ from typing import Generator, Optional
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.sim.engine import Event
+from repro.workloads.executor import execute_bytescheduler
 
 __all__ = ["ByteSchedulerScheduler", "BYTESCHEDULER_DEFAULT_PARTITION_BYTES"]
 
@@ -148,6 +149,21 @@ class ByteSchedulerScheduler(Scheduler):
                 self._channel_driver(ctx, channel, state),
                 name=f"bytescheduler.engine{index}",
             )
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """ByteScheduler over a DAG: partitioned syncs at readiness.
+
+        The credit engine's dynamic priority queue assumes the
+        layer-wise tensor ordering; on arbitrary DAGs the model keeps
+        the two costs that define ByteScheduler under all-reduce —
+        per-partition ring startups and the per-collective negotiation
+        round — with partitions launched FIFO at readiness.
+        """
+        execute_bytescheduler(
+            ctx, workload, iterations, self.partition_bytes,
+            overhead=self._overhead(ctx),
+        )
 
     def _overhead(self, ctx: IterationContext) -> float:
         if not self.negotiate:

@@ -14,6 +14,7 @@ from repro.core.fusion import FusionGroup
 from repro.schedulers.base import register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.schedulers.wfbp import WFBPScheduler
+from repro.workloads.executor import SyncBucket
 
 __all__ = ["DDPScheduler", "DDP_DEFAULT_BUCKET_BYTES"]
 
@@ -44,6 +45,9 @@ class DDPScheduler(WFBPScheduler):
         self.launch_overhead = launch_overhead
 
     def collective_overhead(self, ctx: IterationContext, group: FusionGroup) -> float:
+        return self.launch_overhead
+
+    def workload_overhead(self, ctx: IterationContext, bucket: SyncBucket) -> float:
         return self.launch_overhead
 
     def describe_options(self) -> dict:

@@ -40,6 +40,7 @@ from repro.network.cost_model import CollectiveTimeModel
 from repro.schedulers.base import Scheduler, ScheduleResult, register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.sim.engine import Event
+from repro.workloads.executor import execute_dear
 
 __all__ = ["DeARScheduler", "DEAR_DEFAULT_BUFFER_BYTES"]
 
@@ -167,23 +168,44 @@ class DeARScheduler(Scheduler):
                     f"{iteration}.g{g.index}" for g in groups
                 ]
 
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """DeAR over a workload DAG: RS at readiness, AGs consumer-ordered.
+
+        Sync buckets follow the fusion mode: ``"buffer"`` (and each BO
+        trial) fuses up to ``buffer_bytes``; ``"none"`` and
+        ``"layers"`` keep one collective pair per sync node — a DAG has
+        no layer count to group by, so DeAR-NL degenerates to DeAR w/o
+        TF there.
+        """
+        bucket_bytes = (
+            self.buffer_bytes if self.fusion in ("buffer", "bo") else None
+        )
+        execute_dear(ctx, workload, iterations, bucket_bytes)
+
     def run(self, timing: TimingModel, cost: CollectiveTimeModel,
-            iterations: int = 5, faults=None, fastpath=None) -> ScheduleResult:
+            iterations: int = 5, faults=None, fastpath=None,
+            workload=None) -> ScheduleResult:
         if self.fusion != "bo":
             return super().run(timing, cost, iterations=iterations,
-                               faults=faults, fastpath=fastpath)
+                               faults=faults, fastpath=fastpath,
+                               workload=workload)
         return self._run_bo(timing, cost, iterations, faults=faults,
-                            fastpath=fastpath)
+                            fastpath=fastpath, workload=workload)
 
     def _run_bo(self, timing: TimingModel, cost: CollectiveTimeModel,
-                iterations: int, faults=None, fastpath=None) -> ScheduleResult:
+                iterations: int, faults=None, fastpath=None,
+                workload=None) -> ScheduleResult:
         """The paper's run-time loop: measure, fit the GP, re-fuse."""
         optimizer = BayesianOptimizer(self.bo_low, self.bo_high, seed=self.bo_seed)
+        # Resolve once so the 15 trials share one built DAG.
+        workload = self._resolve_workload(workload, timing, cost)
 
         def measure(buffer_bytes: float) -> ScheduleResult:
             trial = DeARScheduler(fusion="buffer", buffer_bytes=buffer_bytes)
             return trial.run(timing, cost, iterations=iterations,
-                             faults=faults, fastpath=fastpath)
+                             faults=faults, fastpath=fastpath,
+                             workload=workload)
 
         history = []
         for _ in range(self.bo_trials):

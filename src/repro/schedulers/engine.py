@@ -38,6 +38,9 @@ COLLECTIVE_CATEGORIES = {
     "all_reduce": "comm.ar",
     "reduce_scatter": "comm.rs",
     "all_gather": "comm.ag",
+    "all_to_all": "comm.a2a",
+    "all_to_allv": "comm.a2a",
+    "send_recv": "comm.p2p",
 }
 
 
@@ -63,6 +66,9 @@ class IterationContext:
             "all_reduce": cost.all_reduce,
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
+            "all_to_all": cost.all_to_all,
+            "all_to_allv": cost.all_to_allv,
+            "send_recv": cost.send_recv,
         }
         # Timing faults swap fixed job durations for callables evaluated
         # at job start; an empty plan normalises to None and leaves the
@@ -114,6 +120,28 @@ class IterationContext:
             metadata={"iteration": iteration, "layer": layer_index},
         )
 
+    def submit_compute(self, duration: float, iteration: int, name: str,
+                       category: str = "compute",
+                       gate: Optional[Event] = None,
+                       metadata: Optional[dict] = None) -> Job:
+        """Generic compute kernel on the compute stream.
+
+        The workload-DAG executor submits arbitrary kernels (expert
+        FFNs, embedding lookups, pipeline-stage slices) through this
+        instead of the layer-indexed helpers; ``duration`` is the
+        kernel's virtual seconds on the representative rank.
+        """
+        span_metadata = {"iteration": iteration}
+        if metadata:
+            span_metadata.update(metadata)
+        return self.compute.submit(
+            self._compute_body(duration),
+            name=f"{name}.{iteration}",
+            category=category,
+            gate=gate,
+            metadata=span_metadata,
+        )
+
     def submit_forward_pass(self, iteration: int,
                             first_gate: Optional[Event] = None,
                             layer_gates: Optional[dict[int, Event]] = None) -> list[Job]:
@@ -158,26 +186,35 @@ class IterationContext:
         gate: Optional[Event] = None,
         extra_time: float = 0.0,
         metadata: Optional[dict] = None,
+        peers: Optional[int] = None,
     ) -> Job:
         """One collective on the comm stream.
 
-        ``kind`` is ``"all_reduce"``, ``"reduce_scatter"`` or
-        ``"all_gather"``; ``extra_time`` charges scheduler-specific
-        overhead (negotiation, coordinator cycles) serialised with the
-        collective.  ``metadata`` merges scheduler-specific context
-        into the traced span (fusion-group id, member layers) on top of
-        the standard fields: payload bytes, the collective algorithm,
-        and a ``flow`` id shared by the RS/AG pair of one fusion group
-        so trace viewers can draw the gradient's lifecycle arrows.
+        ``kind`` is one of :data:`COLLECTIVE_CATEGORIES`; ``extra_time``
+        charges scheduler-specific overhead (negotiation, coordinator
+        cycles) serialised with the collective.  ``peers`` restricts the
+        collective to a subgroup of that many ranks (tensor-parallel
+        all-reduces in 3D-parallel workloads), priced by
+        :meth:`~repro.network.cost_model.CollectiveTimeModel.subgroup_time`
+        and exempt from timing-fault repricing (the fault injector
+        models full-world launches).  ``metadata`` merges
+        scheduler-specific context into the traced span (fusion-group
+        id, member layers) on top of the standard fields: payload
+        bytes, the collective algorithm, and a ``flow`` id shared by
+        the RS/AG pair of one fusion group so trace viewers can draw
+        the gradient's lifecycle arrows.
         """
-        try:
-            duration = self._collective_time[kind](nbytes) + extra_time
-        except KeyError:
+        if kind not in COLLECTIVE_CATEGORIES:
             raise ValueError(
                 f"unknown collective kind {kind!r}; "
                 f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
-            ) from None
-        body = self._collective_body(kind, nbytes, extra_time, duration)
+            )
+        if peers is not None:
+            duration = self.cost.subgroup_time(kind, nbytes, peers) + extra_time
+            body = duration
+        else:
+            duration = self._collective_time[kind](nbytes) + extra_time
+            body = self._collective_body(kind, nbytes, extra_time, duration)
         category = COLLECTIVE_CATEGORIES[kind]
         span_metadata = {
             "iteration": iteration,
@@ -189,6 +226,8 @@ class IterationContext:
             ),
             "flow": f"{iteration}.{label}",
         }
+        if peers is not None:
+            span_metadata["peers"] = peers
         if metadata:
             span_metadata.update(metadata)
         return self.comm.submit(
@@ -289,6 +328,9 @@ class FastIterationContext(IterationContext):
             "all_reduce": cost.all_reduce,
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
+            "all_to_all": cost.all_to_all,
+            "all_to_allv": cost.all_to_allv,
+            "send_recv": cost.send_recv,
         }
         faults = normalize_plan(faults)
         self.faults = (

@@ -75,24 +75,34 @@ class HorovodScheduler(WFBPScheduler):
         negotiation = ctx.cost.negotiation(payload_bytes=8.0 * len(group.tensors))
         return negotiation + 0.5 * self.cycle_time
 
+    def workload_overhead(self, ctx, bucket) -> float:
+        # Same consensus round, sized by the bucket's member syncs.
+        negotiation = ctx.cost.negotiation(payload_bytes=8.0 * len(bucket.members))
+        return negotiation + 0.5 * self.cycle_time
+
     def run(self, timing: TimingModel, cost: CollectiveTimeModel,
-            iterations: int = 5, faults=None, fastpath=None) -> ScheduleResult:
+            iterations: int = 5, faults=None, fastpath=None,
+            workload=None) -> ScheduleResult:
         if self.fusion != "bo":
             return super().run(timing, cost, iterations=iterations,
-                               faults=faults, fastpath=fastpath)
+                               faults=faults, fastpath=fastpath,
+                               workload=workload)
         return self._run_bo(timing, cost, iterations, faults=faults,
-                            fastpath=fastpath)
+                            fastpath=fastpath, workload=workload)
 
     def _run_bo(self, timing: TimingModel, cost: CollectiveTimeModel,
-                iterations: int, faults=None, fastpath=None) -> ScheduleResult:
+                iterations: int, faults=None, fastpath=None,
+                workload=None) -> ScheduleResult:
         optimizer = BayesianOptimizer(self.bo_low, self.bo_high, seed=self.bo_seed)
+        workload = self._resolve_workload(workload, timing, cost)
 
         def measure(buffer_bytes: float) -> ScheduleResult:
             trial = HorovodScheduler(
                 buffer_bytes=buffer_bytes, cycle_time=self.cycle_time, fusion="buffer"
             )
             return trial.run(timing, cost, iterations=iterations,
-                             faults=faults, fastpath=fastpath)
+                             faults=faults, fastpath=fastpath,
+                             workload=workload)
 
         history = []
         for _ in range(self.bo_trials):

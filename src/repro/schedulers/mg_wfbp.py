@@ -16,6 +16,7 @@ from repro.core.fusion import FusionPlan, mg_wfbp_groups
 from repro.schedulers.base import register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.schedulers.wfbp import WFBPScheduler
+from repro.workloads.executor import execute_barrier
 
 __all__ = ["MGWFBPScheduler", "backward_ready_times"]
 
@@ -58,6 +59,16 @@ class MGWFBPScheduler(WFBPScheduler):
     def fusion_plan(self, ctx: IterationContext) -> FusionPlan:
         startup = 2.0 * (ctx.cost.world_size - 1) * ctx.cost.alpha * self.startup_scale
         return mg_wfbp_groups(ctx.model, backward_ready_times(ctx), startup)
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """MG-WFBP over a DAG: merge syncs that become ready within one
+        collective startup of each other (per the DAG's ASAP times)."""
+        startup = 2.0 * (ctx.cost.world_size - 1) * ctx.cost.alpha * self.startup_scale
+        execute_barrier(
+            ctx, workload, iterations, float("inf"),
+            overhead=self.workload_overhead, merge_window=startup,
+        )
 
     def describe_options(self) -> dict:
         return {"startup_scale": self.startup_scale}

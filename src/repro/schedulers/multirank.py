@@ -259,6 +259,9 @@ class _MultiRankContextBase(IterationContext):
             "all_reduce": cost.all_reduce,
             "reduce_scatter": cost.reduce_scatter,
             "all_gather": cost.all_gather,
+            "all_to_all": cost.all_to_all,
+            "all_to_allv": cost.all_to_allv,
+            "send_recv": cost.send_recv,
         }
         faults = normalize_plan(faults)
         self.faults = (
@@ -270,6 +273,14 @@ class _MultiRankContextBase(IterationContext):
         #: lazily and reused across iterations.
         self._ff_cache: dict[int, tuple[np.ndarray, list[float]]] = {}
         self._bp_cache: dict[int, tuple[np.ndarray, list[float]]] = {}
+        #: duration -> (vector, list) cache for generic workload kernels.
+        self._compute_cache: dict[float, tuple[np.ndarray, list[float]]] = {}
+        #: per-rank compute-speed ratios vs. the planning rank; every
+        #: profile time scales linearly with ``compute_scale``, so the
+        #: t_ff ratio IS the scale ratio.
+        self._scale_ratios = np.array(
+            [timing.t_ff / self.timing.t_ff for timing in self.timings]
+        )
 
     # -- per-rank durations ---------------------------------------------------
 
@@ -315,16 +326,46 @@ class _MultiRankContextBase(IterationContext):
             metadata={"iteration": iteration, "layer": layer_index},
         )
 
+    def submit_compute(self, duration: float, iteration: int, name: str,
+                       category: str = "compute", gate=None,
+                       metadata: Optional[dict] = None):
+        """Generic workload kernel, scaled per rank by compute speed.
+
+        ``duration`` is the kernel's time on the planning rank (rank 0);
+        each rank runs it at its own :func:`build_profile
+        <repro.models.profiles.build_profile>` ``compute_scale``.
+        """
+        entry = self._compute_cache.get(duration)
+        if entry is None:
+            vec = duration * self._scale_ratios
+            entry = self._compute_cache[duration] = (vec, vec.tolist())
+        span_metadata = {"iteration": iteration}
+        if metadata:
+            span_metadata.update(metadata)
+        return self._submit_compute(
+            entry,
+            name=f"{name}.{iteration}",
+            category=category,
+            gate=gate,
+            metadata=span_metadata,
+        )
+
     def submit_collective(self, kind: str, nbytes: float, iteration: int,
                           label: str, gate=None, extra_time: float = 0.0,
-                          metadata: Optional[dict] = None):
-        try:
-            duration = self._collective_time[kind](nbytes) + extra_time
-        except KeyError:
+                          metadata: Optional[dict] = None,
+                          peers: Optional[int] = None):
+        if kind not in COLLECTIVE_CATEGORIES:
             raise ValueError(
                 f"unknown collective kind {kind!r}; "
                 f"expected one of {sorted(COLLECTIVE_CATEGORIES)}"
-            ) from None
+            )
+        if peers is not None:
+            # Subgroup collectives (tensor/pipeline-parallel) carry a
+            # fixed flat-ring price and skip timing-fault repricing —
+            # the injector models full-world launches.
+            duration = self.cost.subgroup_time(kind, nbytes, peers) + extra_time
+        else:
+            duration = self._collective_time[kind](nbytes) + extra_time
         # Same keys in the same order as the single-rank engine: the
         # serialised span args must match byte-for-byte.
         span_metadata = {
@@ -337,6 +378,8 @@ class _MultiRankContextBase(IterationContext):
             ),
             "flow": f"{iteration}.{label}",
         }
+        if peers is not None:
+            span_metadata["peers"] = peers
         if metadata:
             span_metadata.update(metadata)
         return self._submit_collective_slot(
@@ -345,6 +388,7 @@ class _MultiRankContextBase(IterationContext):
             category=COLLECTIVE_CATEGORIES[kind],
             gate=gate,
             metadata=span_metadata,
+            priced=peers is None,
         )
 
     def ff_start_times(self) -> list[float]:
@@ -357,7 +401,8 @@ class _MultiRankContextBase(IterationContext):
         raise NotImplementedError
 
     def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
-                                name, category, gate, metadata):
+                                name, category, gate, metadata,
+                                priced=True):
         raise NotImplementedError
 
     def _publish_engine_metrics(self) -> None:
@@ -407,11 +452,12 @@ class MultiRankIterationContext(_MultiRankContextBase):
         return _EventJobSet(jobs, metadata)
 
     def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
-                                name, category, gate, metadata):
+                                name, category, gate, metadata,
+                                priced=True):
         faults = self.faults
         pricer = (
             None
-            if faults is None
+            if faults is None or not priced
             else lambda now: faults.collective_duration(
                 kind, nbytes, extra_time, now
             )
@@ -485,10 +531,11 @@ class FastMultiRankContext(_MultiRankContextBase):
         )
 
     def _submit_collective_slot(self, kind, nbytes, extra_time, duration,
-                                name, category, gate, metadata):
+                                name, category, gate, metadata,
+                                priced=True):
         body = (
             duration
-            if self.faults is None
+            if self.faults is None or not priced
             else PricedCollective(self.faults, kind, nbytes, extra_time)
         )
         return self.comm.submit_collective(
@@ -598,6 +645,7 @@ def record_heterogeneous_fast(
     faults: Optional[FaultPlan] = None,
     trace: bool = False,
     tuned_table=None,
+    workload=None,
 ) -> FastMultiRankContext:
     """Record a heterogeneous run without replaying it.
 
@@ -607,6 +655,9 @@ def record_heterogeneous_fast(
     :class:`~repro.sim.fastpath.FastPathUnsupported` for policies only
     the event kernel can execute.  The caller is responsible for the
     collapse decision (see :func:`collapses_to_single_rank`).
+    ``workload`` selects a comm-compute DAG (name or built
+    :class:`~repro.workloads.ir.Workload`); kernel durations are the
+    planning rank's and scale per rank with its compute speed.
     """
     compute_scales = _validate_heterogeneous(
         policy, cluster, compute_scales, iterations
@@ -618,11 +669,12 @@ def record_heterogeneous_fast(
         )
     cost = CollectiveTimeModel(cluster, algorithm=algorithm, table=tuned_table)
     timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
+    workload = scheduler._resolve_workload(workload, timings[0], cost)
     ctx = FastMultiRankContext(
         timings, cost, tracer=Tracer() if trace else None,
         faults=normalize_plan(faults),
     )
-    scheduler.schedule(ctx, iterations)
+    scheduler._schedule_onto(ctx, iterations, workload)
     return ctx
 
 
@@ -647,6 +699,9 @@ def finalize_heterogeneous(
         )
     gaps = tuple(b - a for a, b in zip(starts, starts[1:]))
     extras = {"engine": f"multirank-{ctx.engine}"}
+    workload_name = getattr(ctx, "workload_name", None)
+    if workload_name is not None:
+        extras["workload"] = workload_name
     if ctx.faults is not None:
         extras["fault_plan"] = ctx.faults.plan.label()
         extras["timing_faults"] = ctx.faults.summary()
@@ -677,6 +732,7 @@ def simulate_heterogeneous(
     collapse: bool = True,
     trace: bool = False,
     tuned_table=None,
+    workload=None,
 ) -> HeterogeneousResult:
     """Simulate every rank explicitly with per-rank compute speeds.
 
@@ -700,6 +756,10 @@ def simulate_heterogeneous(
         tuned_table: autotuner selection table consulted when
             ``algorithm="auto"`` (None = process-registered table, or
             plain ring with neither).
+        workload: comm-compute DAG to run instead of the layer-wise
+            schedule — a registry name
+            (:data:`repro.workloads.WORKLOAD_NAMES`) or a built
+            :class:`~repro.workloads.ir.Workload`.
     """
     compute_scales = _validate_heterogeneous(
         policy, cluster, compute_scales, iterations
@@ -719,13 +779,15 @@ def simulate_heterogeneous(
             compute_scale=compute_scales[0],
         )
         result = scheduler.run(
-            timing, cost, iterations=iterations, fastpath=fastpath
+            timing, cost, iterations=iterations, fastpath=fastpath,
+            workload=workload,
         )
         return wrap_collapsed(
             result, policy, model, cluster, compute_scales, trace
         )
 
     timings = _make_timings(model, compute_scales, batch_size, iteration_compute)
+    workload = scheduler._resolve_workload(workload, timings[0], cost)
     use_fast = fast_path_enabled() if fastpath is None else fastpath
     ctx = None
     if use_fast and scheduler.supports_fast_path:
@@ -734,7 +796,7 @@ def simulate_heterogeneous(
                 timings, cost, tracer=Tracer() if trace else None,
                 faults=faults,
             )
-            scheduler.schedule(fast_ctx, iterations)
+            scheduler._schedule_onto(fast_ctx, iterations, workload)
             fast_ctx.run()
             ctx = fast_ctx
         except FastPathUnsupported:
@@ -743,7 +805,7 @@ def simulate_heterogeneous(
         event_ctx = MultiRankIterationContext(
             timings, cost, tracer=Tracer() if trace else None, faults=faults
         )
-        scheduler.schedule(event_ctx, iterations)
+        scheduler._schedule_onto(event_ctx, iterations, workload)
         event_ctx.run()
         ctx = event_ctx
 

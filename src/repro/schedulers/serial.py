@@ -13,6 +13,7 @@ from typing import Optional
 from repro.core.fusion import FusionPlan, buffer_size_groups, no_fusion_groups
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.schedulers.engine import IterationContext
+from repro.workloads.executor import execute_serial
 
 __all__ = ["SerialScheduler"]
 
@@ -63,6 +64,11 @@ class SerialScheduler(Scheduler):
                     )
                 )
             prev_comm_done = ctx.sim.all_of([job.done for job in comm_jobs])
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """Serial over a DAG: every sync runs after the iteration's work."""
+        execute_serial(ctx, workload, iterations, self.buffer_bytes)
 
     def describe_options(self) -> dict:
         return {"buffer_bytes": self.buffer_bytes}

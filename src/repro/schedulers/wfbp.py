@@ -19,6 +19,7 @@ from typing import Optional
 from repro.core.fusion import FusionGroup, FusionPlan, buffer_size_groups, no_fusion_groups
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.schedulers.engine import IterationContext
+from repro.workloads.executor import SyncBucket, execute_barrier
 
 __all__ = ["WFBPScheduler"]
 
@@ -47,6 +48,11 @@ class WFBPScheduler(Scheduler):
 
     def collective_overhead(self, ctx: IterationContext, group: FusionGroup) -> float:
         """Per-collective overhead serialised with the all-reduce."""
+        return 0.0
+
+    def workload_overhead(self, ctx: IterationContext, bucket: SyncBucket) -> float:
+        """Per-bucket overhead on the workload-DAG path (same role as
+        :meth:`collective_overhead`, keyed on a sync bucket)."""
         return 0.0
 
     # -- schedule -------------------------------------------------------------
@@ -81,6 +87,14 @@ class WFBPScheduler(Scheduler):
                     )
                 )
             prev_comm_done = ctx.sim.all_of([job.done for job in comm_jobs])
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """WFBP over a DAG: sync buckets at readiness, coarse barrier."""
+        execute_barrier(
+            ctx, workload, iterations, self.buffer_bytes,
+            overhead=self.workload_overhead,
+        )
 
     def describe_options(self) -> dict:
         return {"buffer_bytes": self.buffer_bytes}

@@ -33,6 +33,7 @@ from repro.core.fusion import FusionPlan, buffer_size_groups, no_fusion_groups
 from repro.schedulers.base import Scheduler, register_scheduler
 from repro.schedulers.engine import IterationContext
 from repro.sim.engine import Event
+from repro.workloads.executor import execute_zero
 
 __all__ = ["ZeROScheduler"]
 
@@ -119,6 +120,11 @@ class ZeROScheduler(Scheduler):
                     metadata=_group_metadata(group),
                 )
                 rs_done_of_group[group.index] = job.done
+
+    def schedule_workload(self, ctx: IterationContext, workload,
+                          iterations: int) -> None:
+        """ZeRO over a DAG: shard via RS, re-gather next iteration."""
+        execute_zero(ctx, workload, iterations, self.buffer_bytes)
 
     def describe_options(self) -> dict:
         return {"buffer_bytes": self.buffer_bytes}

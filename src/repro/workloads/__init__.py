@@ -1,0 +1,20 @@
+"""Comm-compute workload DAGs and their policy executors.
+
+The scheduler contract's generalized front half: :mod:`~repro.workloads.ir`
+defines the IR, :mod:`~repro.workloads.generators` builds registered
+workloads from a (model, cluster) binding, and
+:mod:`~repro.workloads.executor` realizes a workload on an iteration
+context under each scheduling policy.
+"""
+
+from repro.workloads.generators import WORKLOAD_NAMES, build_workload
+from repro.workloads.ir import COLLECTIVE_NODE_OPS, COMPUTE_OP, Workload, WorkloadNode
+
+__all__ = [
+    "WORKLOAD_NAMES",
+    "build_workload",
+    "Workload",
+    "WorkloadNode",
+    "COLLECTIVE_NODE_OPS",
+    "COMPUTE_OP",
+]

@@ -1,0 +1,211 @@
+"""Workload IR: comm-compute DAGs the schedulers consume.
+
+A :class:`Workload` describes one training iteration as a DAG of
+compute kernels and collective operations; the engine replays it
+``iterations`` times back to back.  This generalizes the repo's
+original contract — "an ordered list of backward layers, all-reduce
+only" — into an arbitrary graph: MoE expert dispatch (all-to-all on the
+critical path), DLRM embedding exchange (all-to-allv), 3D-parallel LLM
+stages (point-to-point activations + subgroup collectives), with the
+classic layer-wise backward pass as just one generator among several
+(:mod:`repro.workloads.generators`).
+
+Dependency model (chosen so every workload is replayable by the
+vectorized engines, which only support back-edges):
+
+- ``deps`` reference *earlier* nodes of the **same** iteration — the
+  node list is its own topological order, so a workload can never
+  deadlock;
+- ``carry_deps`` reference nodes of the **previous** iteration (any
+  index) — the steady-state pipeline structure;
+- ``sync=True`` marks a node as a *data-parallel gradient
+  aggregation*: the generator declares which gradients exist
+  (``nbytes``), when they are ready (``deps``) and who consumes them
+  next iteration (other nodes' ``carry_deps``), while the **scheduling
+  policy** decides realization — fused into buckets, issued at
+  readiness or after the backward pass, kept as one all-reduce or
+  decoupled into reduce-scatter + all-gather with fine-grained
+  consumer gating (DeAR), sharded ZeRO-style, or partitioned
+  (ByteScheduler).  This division is what lets all eight schedulers
+  consume one IR and still express their distinctive pipelining.
+
+Same-iteration ``deps`` may not point at sync nodes: a sync node's
+realization (and hence its completion event) belongs to the policy, so
+its only consumers are next-iteration ``carry_deps``.
+
+``peers`` restricts a collective to a subgroup of that many ranks
+(tensor-parallel all-reduces, pipeline peer exchanges); ``0`` means the
+whole world.  Subgroup collectives are priced by
+:meth:`~repro.network.cost_model.CollectiveTimeModel.subgroup_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["WorkloadNode", "Workload", "COLLECTIVE_NODE_OPS", "COMPUTE_OP"]
+
+COMPUTE_OP = "compute"
+
+#: Collective ops a node may carry — the engine's collective kinds.
+COLLECTIVE_NODE_OPS = (
+    "all_reduce",
+    "reduce_scatter",
+    "all_gather",
+    "all_to_all",
+    "all_to_allv",
+    "send_recv",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadNode:
+    """One node of a workload DAG.
+
+    Attributes:
+        name: unique label within the workload (trace span names and
+            flow ids build on it).
+        op: :data:`COMPUTE_OP` or one of :data:`COLLECTIVE_NODE_OPS`.
+        duration: compute time in seconds on the calibrated rank
+            (compute nodes only; per-rank heterogeneity scales it).
+        nbytes: collective payload in bytes (collective nodes only).
+            For ``all_to_allv`` this is the busiest rank's send bytes.
+        deps: indices of earlier same-iteration nodes this one waits
+            for (back-edges only; may not reference sync nodes).
+        carry_deps: indices of previous-iteration nodes this one waits
+            for (how the policy realizes a sync carry is its choice).
+        sync: data-parallel gradient aggregation, realized by the
+            scheduling policy (only valid on ``all_reduce`` nodes).
+        peers: subgroup size for the collective (0 = whole world).
+        category: tracer category override for compute nodes (e.g.
+            ``"ff"`` / ``"bp"``; default ``"compute"``).
+    """
+
+    name: str
+    op: str
+    duration: float = 0.0
+    nbytes: float = 0.0
+    deps: tuple[int, ...] = ()
+    carry_deps: tuple[int, ...] = ()
+    sync: bool = False
+    peers: int = 0
+    category: str = ""
+
+    @property
+    def is_compute(self) -> bool:
+        return self.op == COMPUTE_OP
+
+    def __post_init__(self):
+        if self.op != COMPUTE_OP and self.op not in COLLECTIVE_NODE_OPS:
+            raise ValueError(
+                f"node {self.name!r}: unknown op {self.op!r}; expected "
+                f"{COMPUTE_OP!r} or one of {COLLECTIVE_NODE_OPS}"
+            )
+        if self.is_compute:
+            if self.duration < 0:
+                raise ValueError(f"node {self.name!r}: negative duration")
+            if self.nbytes:
+                raise ValueError(f"node {self.name!r}: compute nodes carry no bytes")
+            if self.sync:
+                raise ValueError(f"node {self.name!r}: compute nodes cannot be sync")
+        else:
+            if self.nbytes < 0:
+                raise ValueError(f"node {self.name!r}: negative nbytes")
+            if self.duration:
+                raise ValueError(
+                    f"node {self.name!r}: collective durations come from the "
+                    "cost model, not the IR"
+                )
+            if self.sync and self.op != "all_reduce":
+                raise ValueError(
+                    f"node {self.name!r}: sync marks data-parallel gradient "
+                    "all-reduces; other collectives execute literally"
+                )
+        if self.peers < 0:
+            raise ValueError(f"node {self.name!r}: negative peers")
+        if self.sync and self.peers == 1:
+            raise ValueError(f"node {self.name!r}: a 1-rank sync is a no-op")
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One iteration's comm-compute DAG, in topological node order."""
+
+    name: str
+    nodes: tuple[WorkloadNode, ...]
+    #: sync-node index -> next-iteration consumer node indices, derived.
+    _consumers: dict = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ValueError(f"workload {self.name!r} has no nodes")
+        seen: set[str] = set()
+        first_compute = None
+        for index, node in enumerate(self.nodes):
+            if node.name in seen:
+                raise ValueError(
+                    f"workload {self.name!r}: duplicate node name {node.name!r}"
+                )
+            seen.add(node.name)
+            if node.is_compute and first_compute is None:
+                first_compute = index
+            for dep in node.deps:
+                if not 0 <= dep < index:
+                    raise ValueError(
+                        f"workload {self.name!r}: node {node.name!r} dep {dep} "
+                        f"must reference an earlier node (< {index})"
+                    )
+                if self.nodes[dep].sync:
+                    raise ValueError(
+                        f"workload {self.name!r}: node {node.name!r} deps on "
+                        f"sync node {dep}; sync results are only available to "
+                        "the next iteration (use carry_deps)"
+                    )
+            for dep in node.carry_deps:
+                if not 0 <= dep < len(self.nodes):
+                    raise ValueError(
+                        f"workload {self.name!r}: node {node.name!r} carry dep "
+                        f"{dep} out of range"
+                    )
+        if first_compute is None:
+            raise ValueError(
+                f"workload {self.name!r} has no compute node; the steady-state "
+                "measurement anchors on the first compute of each iteration"
+            )
+        consumers: dict[int, list[int]] = {}
+        for index, node in enumerate(self.nodes):
+            for dep in node.carry_deps:
+                if self.nodes[dep].sync:
+                    consumers.setdefault(dep, []).append(index)
+        object.__setattr__(self, "_consumers", consumers)
+        object.__setattr__(self, "_first_compute", first_compute)
+
+    @property
+    def first_compute_index(self) -> int:
+        """Anchor node of the iteration-time measurement."""
+        return self._first_compute
+
+    @property
+    def sync_indices(self) -> tuple[int, ...]:
+        """Indices of the policy-schedulable gradient syncs, in order."""
+        return tuple(i for i, node in enumerate(self.nodes) if node.sync)
+
+    @property
+    def sync_bytes(self) -> float:
+        """Total data-parallel gradient bytes per iteration."""
+        return sum(node.nbytes for node in self.nodes if node.sync)
+
+    def consumers_of(self, sync_index: int) -> tuple[int, ...]:
+        """Next-iteration node indices consuming one sync's result."""
+        return tuple(self._consumers.get(sync_index, ()))
+
+    def describe(self) -> str:
+        """One-line summary for reports and logs."""
+        computes = sum(1 for n in self.nodes if n.is_compute)
+        collectives = len(self.nodes) - computes
+        return (
+            f"{self.name}: {len(self.nodes)} nodes "
+            f"({computes} compute, {collectives} collective, "
+            f"{len(self.sync_indices)} sync), "
+            f"{self.sync_bytes / 1e6:.1f} MB gradients/iter"
+        )

@@ -1,0 +1,155 @@
+"""Value-exact pins for the pairwise personalized exchanges."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.alltoall import pairwise_all_to_all, pairwise_all_to_allv
+from repro.collectives.communicator import Communicator
+from repro.collectives.transport import Transport, chunk_offsets
+
+
+def _buffers(p, size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=size) for _ in range(p)]
+
+
+def _chunk(flat, offsets, index):
+    return flat[offsets[index] : offsets[index + 1]]
+
+
+def _assert_transpose(sends, received, p, size):
+    """Pin: rank i's segment j == rank j's send chunk i, bit-exact."""
+    offsets = chunk_offsets(size, p)
+    sizes = [offsets[k + 1] - offsets[k] for k in range(p)]
+    for i in range(p):
+        assert received[i].size == p * sizes[i]
+        for j in range(p):
+            np.testing.assert_array_equal(
+                received[i][j * sizes[i] : (j + 1) * sizes[i]],
+                _chunk(sends[j], offsets, i),
+            )
+
+
+class TestPairwiseAllToAll:
+    def test_transpose_pin(self):
+        p, size = 5, 23
+        sends = _buffers(p, size)
+        received = pairwise_all_to_all(Transport(p), sends)
+        _assert_transpose(sends, received, p, size)
+
+    def test_sends_untouched(self):
+        p = 4
+        sends = _buffers(p, 16)
+        copies = [buf.copy() for buf in sends]
+        pairwise_all_to_all(Transport(p), sends)
+        for buf, copy in zip(sends, copies):
+            np.testing.assert_array_equal(buf, copy)
+
+    def test_explicit_recv_buffers_filled(self):
+        p = 3
+        sends = _buffers(p, 9)
+        recvs = [np.zeros(9) for _ in range(p)]
+        out = pairwise_all_to_all(Transport(p), sends, recv_buffers=recvs)
+        for returned, mine in zip(out, recvs):
+            assert returned is mine or returned.base is mine
+
+    def test_shape_mismatch_rejected(self):
+        p = 3
+        sends = [np.zeros(8), np.zeros(8), np.zeros(7)]
+        with pytest.raises(ValueError, match="shape"):
+            pairwise_all_to_all(Transport(p), sends)
+
+    def test_wrong_buffer_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 4"):
+            pairwise_all_to_all(Transport(4), _buffers(3, 8))
+
+    @settings(max_examples=20, deadline=None)
+    @given(p=st.integers(2, 8), size=st.integers(1, 40))
+    def test_transpose_pin_any_shape(self, p, size):
+        # size < p exercises empty chunks, size % p != 0 uneven ones.
+        sends = _buffers(p, size, seed=size)
+        received = pairwise_all_to_all(Transport(p), sends)
+        _assert_transpose(sends, received, p, size)
+
+
+class TestPairwiseAllToAllV:
+    def test_uniform_counts_match_all_to_all(self):
+        """allv with array_split counts is bit-identical to all_to_all."""
+        p, size = 4, 18
+        sends = _buffers(p, size)
+        offsets = chunk_offsets(size, p)
+        counts = [
+            [offsets[k + 1] - offsets[k] for k in range(p)] for _ in range(p)
+        ]
+        uniform = pairwise_all_to_all(Transport(p), sends)
+        variable = pairwise_all_to_allv(Transport(p), sends, counts)
+        for a, b in zip(uniform, variable):
+            np.testing.assert_array_equal(a, b)
+
+    def test_skewed_counts_value_exact(self):
+        """rank i's segment from rank j == rank j's segment for rank i."""
+        p = 3
+        counts = [[0, 4, 1], [2, 3, 0], [5, 1, 2]]
+        rng = np.random.default_rng(7)
+        sends = [rng.normal(size=sum(row)) for row in counts]
+        received = pairwise_all_to_allv(Transport(p), sends, counts)
+        for i in range(p):
+            start = 0
+            for j in range(p):
+                segment = received[i][start : start + counts[j][i]]
+                src_start = sum(counts[j][:i])
+                np.testing.assert_array_equal(
+                    segment, sends[j][src_start : src_start + counts[j][i]]
+                )
+                start += counts[j][i]
+
+    def test_zero_count_pairs_skip_the_wire(self):
+        p = 2
+        counts = [[3, 0], [0, 2]]  # nothing crosses ranks
+        sends = [np.arange(3.0), np.arange(2.0)]
+        transport = Transport(p)
+        received = pairwise_all_to_allv(transport, sends, counts)
+        assert transport.stats.messages == 0
+        np.testing.assert_array_equal(received[0], sends[0])
+        np.testing.assert_array_equal(received[1], sends[1])
+
+    def test_count_total_must_match_buffer(self):
+        with pytest.raises(ValueError, match="counts total"):
+            pairwise_all_to_allv(
+                Transport(2), [np.zeros(5), np.zeros(4)], [[2, 2], [2, 2]]
+            )
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            pairwise_all_to_allv(
+                Transport(2), [np.zeros(4), np.zeros(4)], [[5, -1], [2, 2]]
+            )
+
+    def test_count_row_length_checked(self):
+        with pytest.raises(ValueError, match="send counts"):
+            pairwise_all_to_allv(
+                Transport(2), [np.zeros(4), np.zeros(4)], [[4], [2, 2]]
+            )
+
+
+class TestCommunicatorSurface:
+    def test_all_to_all_counts_traffic(self):
+        comm = Communicator(4)
+        received = comm.all_to_all(_buffers(4, 16))
+        assert len(received) == 4
+        assert comm.stats.bytes > 0
+        assert comm.collectives_issued == 1
+
+    @pytest.mark.parametrize("algorithm", Communicator.ALGORITHMS)
+    def test_every_algorithm_family_shares_the_schedule(self, algorithm):
+        # The data level has one correct answer; algorithms differ only
+        # in the cost model.
+        sends = _buffers(4, 12, seed=3)
+        baseline = Communicator(4).all_to_all(sends)
+        other = Communicator(
+            4, algorithm=algorithm,
+            gpus_per_node=2 if algorithm == "hierarchical" else None,
+        ).all_to_all(sends)
+        for a, b in zip(baseline, other):
+            np.testing.assert_array_equal(a, b)

@@ -160,7 +160,11 @@ class TestLookup:
 
     def test_unknown_op_misses(self):
         table = build_selection_table(cluster_10gbe())
-        assert table.lookup("all_to_all", 1e6) is None
+        assert table.lookup("broadcast", 1e6) is None
+
+    def test_all_to_all_tabled(self):
+        table = build_selection_table(cluster_10gbe())
+        assert table.lookup("all_to_all", 1e6) is not None
 
     def test_lookup_counters(self):
         from repro.telemetry.registry import default_registry
@@ -172,7 +176,7 @@ class TestLookup:
         misses_before = lookups.value(hit="no")
         table = build_selection_table(cluster_10gbe())
         table.lookup("all_reduce", 1e6)
-        table.lookup("all_to_all", 1e6)
+        table.lookup("broadcast", 1e6)
         assert lookups.value(hit="yes") - hits_before == 1
         assert lookups.value(hit="no") - misses_before == 1
 

@@ -192,7 +192,7 @@ class TestProtocolBehaviour:
 
     def test_unknown_op_and_algorithm_rejected(self):
         with pytest.raises(ValueError):
-            collective_time("all_to_all", 1e6, cluster_10gbe())
+            collective_time("broadcast", 1e6, cluster_10gbe())
         with pytest.raises(ValueError):
             collective_time("all_reduce", 1e6, cluster_10gbe(),
                             algorithm="smoke-signals")

@@ -95,7 +95,7 @@ class TestBenchSuites:
         quick = bench_suites(quick=True)
         full = bench_suites(quick=False)
         assert set(quick) == set(full) == {"schedulers", "fusion", "sweeps",
-                                           "tuned"}
+                                           "tuned", "workloads"}
         for suite in quick:
             assert len(quick[suite]) < len(full[suite])
 

@@ -8,8 +8,10 @@ import pytest
 import repro
 from repro.api import (
     SimulationConfig,
+    config_from_payload,
     list_algorithms,
     list_schedulers,
+    list_workloads,
     run_collective,
     run_simulation,
 )
@@ -171,6 +173,48 @@ class TestListings:
         algorithms = list_algorithms()
         assert "ring" in algorithms and "halving_doubling" in algorithms
 
+    def test_list_workloads(self):
+        workloads = list_workloads()
+        assert workloads == ("layerwise", "moe", "dlrm", "llm3d")
+
+
+class TestWorkloadSurface:
+    def test_create_accepts_registered_name(self, tiny_model, ethernet_cluster):
+        config = SimulationConfig.create("wfbp", tiny_model, ethernet_cluster,
+                                         iterations=ITERATIONS, workload="moe")
+        assert config.workload == "moe"
+        result = run_simulation(config)
+        assert result.extras["workload"] == "moe"
+
+    def test_unknown_workload_rejected(self, tiny_model, ethernet_cluster):
+        with pytest.raises(ValueError, match="unknown workload"):
+            SimulationConfig.create("wfbp", tiny_model, ethernet_cluster,
+                                    workload="transformer")
+
+    def test_fingerprint_survival_rule(self, tiny_model, ethernet_cluster):
+        # Pre-workload fingerprints must keep resolving: the field only
+        # enters the canonical payload when set.
+        plain = SimulationConfig.create("wfbp", tiny_model, ethernet_cluster,
+                                        iterations=ITERATIONS)
+        tagged = plain.replace(workload="dlrm")
+        assert "workload" not in plain.to_spec().canonical_payload()
+        assert tagged.to_spec().canonical_payload()["workload"] == "dlrm"
+        assert plain.to_spec().fingerprint != tagged.to_spec().fingerprint
+
+    def test_payload_round_trip(self):
+        config = config_from_payload({
+            "scheduler": "dear", "model": "resnet50", "cluster": "10gbe",
+            "iterations": ITERATIONS, "workload": "llm3d",
+        })
+        assert config.workload == "llm3d"
+
+    def test_payload_unknown_field_still_rejected(self):
+        with pytest.raises(ValueError, match="unknown config fields"):
+            config_from_payload({
+                "scheduler": "dear", "model": "resnet50", "cluster": "10gbe",
+                "workloads": "moe",  # typo must not silently be dropped
+            })
+
 
 class TestPackageSurface:
     def test_top_level_reexports(self):
@@ -182,39 +226,32 @@ class TestPackageSurface:
             assert getattr(repro, name) is not None
 
 
-class TestDeprecationShims:
-    def test_fusion_plan_alias(self, tiny_model, ethernet_cluster):
-        with pytest.warns(DeprecationWarning, match="fusion_plan"):
-            legacy = simulate("dear", tiny_model, ethernet_cluster,
-                              iterations=ITERATIONS, fusion_plan="layers")
-        modern = simulate("dear", tiny_model, ethernet_cluster,
+class TestRemovedLegacyOptions:
+    """The PR-4 deprecation cycle is over: the old ``simulate`` kwargs
+    fail fast with a migration hint instead of warning and adapting."""
+
+    def test_fusion_plan_removed(self, tiny_model, ethernet_cluster):
+        with pytest.raises(TypeError, match="fusion_plan.*fusion="):
+            simulate("dear", tiny_model, ethernet_cluster,
+                     iterations=ITERATIONS, fusion_plan="layers")
+
+    def test_topology_removed(self, tiny_model, ethernet_cluster):
+        with pytest.raises(TypeError, match="topology.*ClusterSpec"):
+            simulate("wfbp", tiny_model, ethernet_cluster,
+                     iterations=ITERATIONS, topology="10gbe")
+
+    def test_link_preset_removed(self, tiny_model, ethernet_cluster):
+        with pytest.raises(TypeError, match="link_preset.*ClusterSpec"):
+            simulate("wfbp", tiny_model, ethernet_cluster,
+                     iterations=ITERATIONS, link_preset="10gbe")
+
+    def test_world_size_removed(self, tiny_model, ethernet_cluster):
+        with pytest.raises(TypeError, match="world_size.*with_nodes"):
+            simulate("wfbp", tiny_model, ethernet_cluster,
+                     iterations=ITERATIONS,
+                     world_size=ethernet_cluster.world_size * 2)
+
+    def test_modern_spellings_untouched(self, tiny_model, ethernet_cluster):
+        result = simulate("dear", tiny_model, ethernet_cluster,
                           iterations=ITERATIONS, fusion="layers")
-        assert legacy.iteration_times == modern.iteration_times
-
-    def test_topology_alias(self, tiny_model, ethernet_cluster):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            legacy = simulate("wfbp", tiny_model, ethernet_cluster,
-                              iterations=ITERATIONS, topology="10gbe")
-        modern = simulate("wfbp", tiny_model, paper_testbed("10gbe"),
-                          iterations=ITERATIONS)
-        assert legacy.iteration_times == modern.iteration_times
-
-    def test_world_size_alias(self, tiny_model, ethernet_cluster):
-        target_nodes = ethernet_cluster.world_size * 2 // \
-            ethernet_cluster.gpus_per_node
-        with pytest.warns(DeprecationWarning, match="world_size"):
-            legacy = simulate(
-                "wfbp", tiny_model, ethernet_cluster, iterations=ITERATIONS,
-                world_size=ethernet_cluster.world_size * 2,
-            )
-        modern = simulate("wfbp", tiny_model,
-                          ethernet_cluster.with_nodes(target_nodes),
-                          iterations=ITERATIONS)
-        assert legacy.iteration_times == modern.iteration_times
-
-    def test_world_size_must_fit_nodes(self, tiny_model, ethernet_cluster):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="does not fit"):
-                simulate("wfbp", tiny_model, ethernet_cluster,
-                         iterations=ITERATIONS,
-                         world_size=ethernet_cluster.world_size + 1)
+        assert result.iteration_time > 0

@@ -107,7 +107,7 @@ class TestBenchCli:
         assert payload["schema"] == "dear-bench-v1"
         assert payload["quick"] is True
         assert set(payload["suites"]) == {"schedulers", "fusion", "sweeps",
-                                          "tuned", "simcore"}
+                                          "tuned", "workloads", "simcore"}
 
     def test_second_run_hits_cache_with_identical_metrics(
             self, capsys, bench_env):

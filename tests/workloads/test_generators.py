@@ -1,0 +1,95 @@
+"""Generator catalog: every workload builds, validates, and has the
+structure its docstring promises."""
+
+import pytest
+
+from repro.models.profiles import TimingModel
+from repro.network.cost_model import CollectiveTimeModel
+from repro.network.presets import cluster_10gbe
+from repro.workloads import WORKLOAD_NAMES, build_workload
+from repro.workloads.generators import _llm3d_axes
+
+
+@pytest.fixture(scope="module")
+def timing():
+    from tests.conftest import build_tiny_model
+
+    return TimingModel.for_model(build_tiny_model(), iteration_compute=0.03)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return cluster_10gbe()
+
+
+class TestRegistry:
+    def test_names(self):
+        assert WORKLOAD_NAMES == ("layerwise", "moe", "dlrm", "llm3d")
+
+    def test_unknown_name_rejected(self, timing, cluster):
+        with pytest.raises(ValueError, match="unknown workload"):
+            build_workload("resnet", timing, cluster)
+
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_deterministic(self, name, timing, cluster):
+        # Generators are pure functions of (timing, cluster): the cache
+        # and the fingerprint key on the *name* alone.
+        assert build_workload(name, timing, cluster) == \
+            build_workload(name, timing, cluster)
+
+
+class TestLayerwise:
+    def test_matches_model_structure(self, timing, cluster):
+        wl = build_workload("layerwise", timing, cluster)
+        layers = timing.model.num_layers
+        assert len(wl.sync_indices) == layers
+        assert wl.sync_bytes == pytest.approx(timing.model.gradient_bytes)
+        computes = [n for n in wl.nodes if n.is_compute]
+        assert len(computes) == 2 * layers  # ff + bp per layer
+        # Every ff layer consumes its own sync from the previous
+        # iteration — the WFBP/DeAR gating structure.
+        for sync_index in wl.sync_indices:
+            assert wl.consumers_of(sync_index)
+
+
+class TestMoE:
+    def test_alltoall_on_critical_path(self, timing, cluster):
+        wl = build_workload("moe", timing, cluster)
+        a2a = [n for n in wl.nodes if n.op == "all_to_all"]
+        # dispatch + combine, forward and backward, per block.
+        assert len(a2a) == 4 * 8
+        assert all(not n.sync for n in a2a)
+        assert wl.sync_indices  # the dense gradients still sync
+
+    def test_sync_bytes_are_dense_fraction(self, timing, cluster):
+        wl = build_workload("moe", timing, cluster)
+        assert 0 < wl.sync_bytes < timing.model.gradient_bytes
+
+
+class TestDLRM:
+    def test_embedding_exchange_is_alltoallv(self, timing, cluster):
+        wl = build_workload("dlrm", timing, cluster)
+        allv = [n for n in wl.nodes if n.op == "all_to_allv"]
+        assert len(allv) == 2  # forward lookup + backward gradient push
+        # Embedding gradients stay local (the model-parallel shard),
+        # only the dense towers sync.
+        assert wl.sync_bytes < timing.model.gradient_bytes
+
+
+class TestLLM3D:
+    def test_axes_fold_to_world(self, cluster):
+        for nodes in (1, 2, 4, 16, 128):
+            world = nodes * cluster.gpus_per_node
+            tp, pp, dp = _llm3d_axes(cluster.with_nodes(nodes))
+            assert tp * pp * dp == world
+
+    def test_subgroup_collectives(self, timing, cluster):
+        wl = build_workload("llm3d", timing, cluster)
+        tp, pp, dp = _llm3d_axes(cluster)
+        tp_ars = [n for n in wl.nodes
+                  if n.op == "all_reduce" and not n.sync]
+        assert tp_ars and all(n.peers == tp for n in tp_ars)
+        p2p = [n for n in wl.nodes if n.op == "send_recv"]
+        assert p2p  # pipeline activations/gradients
+        for n in (node for node in wl.nodes if node.sync):
+            assert n.peers == (dp if dp > 1 else 0)

@@ -1,0 +1,109 @@
+"""Workload IR validation: the invariants every generator relies on."""
+
+import pytest
+
+from repro.workloads.ir import (
+    COLLECTIVE_NODE_OPS,
+    COMPUTE_OP,
+    Workload,
+    WorkloadNode,
+)
+
+
+def compute(name, duration=1e-3, **kwargs):
+    return WorkloadNode(name=name, op=COMPUTE_OP, duration=duration, **kwargs)
+
+
+def sync(name, nbytes=1e6, **kwargs):
+    return WorkloadNode(name=name, op="all_reduce", nbytes=nbytes, sync=True,
+                        **kwargs)
+
+
+class TestWorkloadNode:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            WorkloadNode(name="x", op="broadcast")
+
+    def test_compute_validation(self):
+        with pytest.raises(ValueError, match="negative duration"):
+            compute("x", duration=-1.0)
+        with pytest.raises(ValueError, match="carry no bytes"):
+            compute("x", nbytes=8.0)
+        with pytest.raises(ValueError, match="cannot be sync"):
+            WorkloadNode(name="x", op=COMPUTE_OP, duration=1.0, sync=True)
+
+    def test_collective_validation(self):
+        with pytest.raises(ValueError, match="negative nbytes"):
+            WorkloadNode(name="x", op="all_to_all", nbytes=-1.0)
+        with pytest.raises(ValueError, match="cost model"):
+            WorkloadNode(name="x", op="all_gather", nbytes=8.0, duration=1.0)
+
+    def test_sync_only_on_all_reduce(self):
+        with pytest.raises(ValueError, match="execute literally"):
+            WorkloadNode(name="x", op="reduce_scatter", nbytes=8.0, sync=True)
+
+    def test_peers_validation(self):
+        with pytest.raises(ValueError, match="negative peers"):
+            WorkloadNode(name="x", op="all_to_all", nbytes=8.0, peers=-2)
+        with pytest.raises(ValueError, match="1-rank sync"):
+            sync("x", peers=1)
+
+    def test_every_collective_op_constructs(self):
+        for op in COLLECTIVE_NODE_OPS:
+            node = WorkloadNode(name=op, op=op, nbytes=64.0)
+            assert not node.is_compute
+
+
+class TestWorkload:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            Workload(name="w", nodes=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate node name"):
+            Workload(name="w", nodes=(compute("a"), compute("a")))
+
+    def test_forward_dep_rejected(self):
+        # deps must be strict back-edges: the node list is its own
+        # topological order, so a workload can never deadlock.
+        with pytest.raises(ValueError, match="earlier node"):
+            Workload(name="w", nodes=(compute("a", deps=(0,)), compute("b")))
+        with pytest.raises(ValueError, match="earlier node"):
+            Workload(name="w", nodes=(compute("a"), compute("b", deps=(2,))))
+
+    def test_dep_on_sync_rejected(self):
+        with pytest.raises(ValueError, match="use carry_deps"):
+            Workload(
+                name="w",
+                nodes=(compute("a"), sync("s", deps=(0,)),
+                       compute("b", deps=(1,))),
+            )
+
+    def test_carry_dep_range_checked(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Workload(name="w", nodes=(compute("a", carry_deps=(5,)),))
+
+    def test_compute_node_required(self):
+        with pytest.raises(ValueError, match="no compute node"):
+            Workload(name="w", nodes=(sync("s"),))
+
+    def test_derived_views(self):
+        wl = Workload(
+            name="w",
+            nodes=(
+                compute("ff", carry_deps=(3,)),
+                compute("bp", deps=(0,)),
+                WorkloadNode(name="x", op="all_to_all", nbytes=32.0, deps=(1,)),
+                sync("s", nbytes=1e6, deps=(1,)),
+            ),
+        )
+        assert wl.first_compute_index == 0
+        assert wl.sync_indices == (3,)
+        assert wl.sync_bytes == 1e6
+        assert wl.consumers_of(3) == (0,)
+        assert "4 nodes" in wl.describe()
+
+    def test_frozen(self):
+        wl = Workload(name="w", nodes=(compute("a"),))
+        with pytest.raises(AttributeError):
+            wl.name = "other"
