@@ -36,6 +36,11 @@ And the network autotuner's calibration sweep (see docs/NETWORK.md)::
     dear-repro tune --fabric 100gbib --output tuned.json
     dear-repro tune --check-golden benchmarks/tuned_tables.json
 
+And the shared result-cache store (see docs/CI.md)::
+
+    dear-repro cache stats            # entries, bytes, lifetime hit counters
+    dear-repro cache prune --max-age-days 30 --max-bytes 100000000
+
 The trace, chaos, and serve commands are thin shells over the stable
 :mod:`repro.api` facade.
 
@@ -178,6 +183,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.network.tune_cmd import tune_main
 
         return tune_main(argv[1:])
+    if argv and argv[0] == "cache":
+        from repro.runner.cache_cmd import cache_main
+
+        return cache_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="dear-repro",
@@ -187,7 +196,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment",
         help=(
             "experiment name (see 'list'), 'all', 'list', 'bench', "
-            "'trace', 'chaos', 'serve', or 'tune'"
+            "'trace', 'chaos', 'serve', 'tune', or 'cache'"
         ),
     )
     parser.add_argument(

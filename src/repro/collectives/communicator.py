@@ -25,6 +25,7 @@ from repro.collectives.hierarchical import (
     hierarchical_reduce_scatter,
 )
 from repro.collectives.ring import ring_all_gather, ring_all_reduce, ring_reduce_scatter
+from repro.collectives.synthesis import Topology, run_schedule, schedule_for
 from repro.collectives.transport import Transport, TransportStats
 from repro.collectives.tree import binomial_broadcast, binomial_reduce, tree_all_reduce
 from repro.telemetry.registry import default_registry
@@ -38,13 +39,18 @@ class Communicator:
     Args:
         world_size: number of ranks.
         algorithm: ``"ring"`` (default), ``"halving_doubling"``,
-            ``"tree"``, or ``"hierarchical"``.
-        gpus_per_node: required for ``"hierarchical"``.
+            ``"tree"``, ``"hierarchical"``, or a synthesized family —
+            ``"synth_lat"`` / ``"synth_bw"`` (schedules derived per
+            topology by :mod:`repro.collectives.synthesis`).
+        gpus_per_node: required for ``"hierarchical"``; optional for the
+            synthesized families (omitted means a flat single-node
+            topology, given means a uniform two-level one).
         zero_copy: deliver read-only views instead of per-hop copies
             (see :class:`~repro.collectives.transport.Transport`).
     """
 
-    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical")
+    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical",
+                  "synth_lat", "synth_bw")
 
     def __init__(
         self,
@@ -64,6 +70,20 @@ class Communicator:
                 raise ValueError(
                     f"world size {world_size} not divisible by gpus_per_node {gpus_per_node}"
                 )
+        self._topology = None
+        self._objective = None
+        if algorithm in ("synth_lat", "synth_bw"):
+            if gpus_per_node is not None and world_size % gpus_per_node:
+                raise ValueError(
+                    f"world size {world_size} not divisible by gpus_per_node {gpus_per_node}"
+                )
+            if gpus_per_node is None:
+                self._topology = Topology.flat(world_size)
+            else:
+                self._topology = Topology.from_shape(
+                    world_size // gpus_per_node, gpus_per_node
+                )
+            self._objective = "latency" if algorithm == "synth_lat" else "bandwidth"
         self.world_size = world_size
         self.algorithm = algorithm
         self.gpus_per_node = gpus_per_node
@@ -113,6 +133,9 @@ class Communicator:
             halving_doubling_all_reduce(self.transport, buffers)
         elif self.algorithm == "tree":
             tree_all_reduce(self.transport, buffers)
+        elif self._topology is not None:
+            run_schedule(self.transport, buffers,
+                         schedule_for(self._topology, "all_reduce", self._objective))
         else:
             hierarchical_all_reduce(self.transport, buffers, self.gpus_per_node)
         self._publish("all_reduce", buffers, wire_before)
@@ -132,6 +155,9 @@ class Communicator:
             recursive_halving_reduce_scatter(self.transport, buffers)
         elif self.algorithm == "tree":
             binomial_reduce(self.transport, buffers)
+        elif self._topology is not None:
+            run_schedule(self.transport, buffers,
+                         schedule_for(self._topology, "reduce_scatter", self._objective))
         else:
             hierarchical_reduce_scatter(self.transport, buffers, self.gpus_per_node)
         self._publish("reduce_scatter", buffers, wire_before)
@@ -146,6 +172,9 @@ class Communicator:
             recursive_doubling_all_gather(self.transport, buffers)
         elif self.algorithm == "tree":
             binomial_broadcast(self.transport, buffers)
+        elif self._topology is not None:
+            run_schedule(self.transport, buffers,
+                         schedule_for(self._topology, "all_gather", self._objective))
         else:
             hierarchical_all_gather(self.transport, buffers, self.gpus_per_node)
         self._publish("all_gather", buffers, wire_before)

@@ -1,0 +1,53 @@
+"""Execute a synthesized schedule against real buffers.
+
+The executor drives the same in-process :class:`Transport` the
+hand-written collectives use, with the identical lockstep round idiom
+(all sends of a step read pre-step state, then all receives land), so a
+verified schedule is value-exact against the library — differential
+tests pin ``run_schedule`` vs :func:`repro.collectives.ring.ring_all_reduce`
+the same way RS+AG ≡ AR is pinned.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.collectives.synthesis.ir import Schedule
+from repro.collectives.transport import Transport
+
+__all__ = ["run_schedule"]
+
+
+def run_schedule(transport: Transport, buffers: Sequence[np.ndarray],
+                 schedule: Schedule) -> None:
+    """Run ``schedule`` in place over per-rank ``buffers``.
+
+    After an ``all_reduce`` schedule every buffer holds the global sum;
+    after ``reduce_scatter`` each rank's owned chunks do; after
+    ``all_gather`` the owned chunks must already be final on entry
+    (matching the library's phase contracts).
+    """
+    world = schedule.topology.world_size
+    if len(buffers) != world or transport.world_size != world:
+        raise ValueError(
+            f"schedule targets {world} ranks, got {len(buffers)} buffers on a "
+            f"{transport.world_size}-rank transport"
+        )
+    flats = [np.asarray(buffer).reshape(-1) for buffer in buffers]
+    bounds = schedule.chunks.offsets(flats[0].size)
+    for step in schedule.steps:
+        src = step.src.tolist()
+        dst = step.dst.tolist()
+        lo = step.lo.tolist()
+        hi = step.hi.tolist()
+        for i in range(len(src)):
+            transport.send(src[i], dst[i], flats[src[i]][bounds[lo[i]]:bounds[hi[i]]])
+        for i in range(len(src)):
+            segment = flats[dst[i]][bounds[lo[i]]:bounds[hi[i]]]
+            incoming = transport.recv(src[i], dst[i])
+            if step.red[i]:
+                segment += incoming
+            else:
+                segment[...] = incoming

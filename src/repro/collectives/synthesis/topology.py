@@ -1,0 +1,160 @@
+"""Declared topology graphs for collective-algorithm synthesis.
+
+A :class:`Topology` is the synthesis-side view of a cluster: the rank
+set partitioned into node groups, with (optionally) the heterogeneous
+intra-/inter-node links of the fabric attached.  It extends the
+:class:`~repro.network.fabric.ClusterSpec` shape in two ways the
+synthesizers need:
+
+- **non-uniform groups** — nodes may host different GPU counts (the
+  synthesizers fall back to flat schedules over such worlds, but the
+  IR, verifier, and pricing all handle them);
+- **edge classification** — every (src, dst) pair is an *intra* edge
+  when both ranks share a group and an *inter* edge otherwise, which is
+  what the per-step contention pricing of
+  :func:`repro.collectives.synthesis.ir.schedule_times` charges for.
+
+Links are optional because they only matter at pricing time: data-level
+execution and schedule verification are pure functions of the group
+structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Sequence
+
+from repro.network.fabric import ClusterSpec, LinkSpec
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A world of ranks partitioned into node groups.
+
+    Attributes:
+        groups: tuple of per-node rank tuples.  Together the groups must
+            cover exactly ``0 .. world_size-1``, each rank once.
+        intra_link: link between ranks of one group (pricing only).
+        inter_link: link between ranks of different groups (pricing
+            only).
+        name: label used in reports.
+    """
+
+    groups: tuple[tuple[int, ...], ...]
+    intra_link: Optional[LinkSpec] = None
+    inter_link: Optional[LinkSpec] = None
+    name: str = ""
+
+    def __post_init__(self):
+        if not self.groups or any(not group for group in self.groups):
+            raise ValueError("topology needs at least one non-empty group")
+        ranks = [rank for group in self.groups for rank in group]
+        if sorted(ranks) != list(range(len(ranks))):
+            raise ValueError(
+                f"groups must cover exactly ranks 0..{len(ranks) - 1} once; "
+                f"got {self.groups!r}"
+            )
+
+    @classmethod
+    def from_cluster(cls, cluster: ClusterSpec) -> "Topology":
+        """Block placement over a cluster spec (consecutive ranks share a node)."""
+        return cls.from_shape(
+            cluster.nodes,
+            cluster.gpus_per_node,
+            intra_link=cluster.intra_link,
+            inter_link=cluster.inter_link,
+            name=cluster.name,
+        )
+
+    @classmethod
+    def from_shape(
+        cls,
+        nodes: int,
+        gpus_per_node: int,
+        intra_link: Optional[LinkSpec] = None,
+        inter_link: Optional[LinkSpec] = None,
+        name: str = "",
+    ) -> "Topology":
+        """A uniform ``nodes x gpus_per_node`` topology, block placement."""
+        if nodes < 1 or gpus_per_node < 1:
+            raise ValueError(
+                f"need nodes >= 1 and gpus_per_node >= 1, got {nodes}x{gpus_per_node}"
+            )
+        groups = tuple(
+            tuple(range(node * gpus_per_node, (node + 1) * gpus_per_node))
+            for node in range(nodes)
+        )
+        return cls(
+            groups=groups,
+            intra_link=intra_link,
+            inter_link=inter_link,
+            name=name or f"{nodes}x{gpus_per_node}",
+        )
+
+    @classmethod
+    def flat(cls, world_size: int, link: Optional[LinkSpec] = None,
+             name: str = "") -> "Topology":
+        """All ranks on one node (every edge intra)."""
+        return cls.from_shape(1, world_size, intra_link=link,
+                              name=name or f"flat{world_size}")
+
+    @classmethod
+    def grouped(cls, sizes: Sequence[int], intra_link: Optional[LinkSpec] = None,
+                inter_link: Optional[LinkSpec] = None, name: str = "") -> "Topology":
+        """Block placement over possibly non-uniform group ``sizes``."""
+        groups = []
+        start = 0
+        for size in sizes:
+            groups.append(tuple(range(start, start + size)))
+            start += size
+        return cls(groups=tuple(groups), intra_link=intra_link,
+                   inter_link=inter_link, name=name or "x".join(map(str, sizes)))
+
+    @property
+    def world_size(self) -> int:
+        return sum(len(group) for group in self.groups)
+
+    @property
+    def nodes(self) -> int:
+        return len(self.groups)
+
+    @property
+    def multi_node(self) -> bool:
+        return len(self.groups) > 1
+
+    @property
+    def uniform(self) -> bool:
+        """Whether every node hosts the same number of ranks."""
+        first = len(self.groups[0])
+        return all(len(group) == first for group in self.groups)
+
+    @property
+    def gpus_per_node(self) -> int:
+        """Ranks per node on a uniform topology (else the first node's)."""
+        return len(self.groups[0])
+
+    @cached_property
+    def node_of(self) -> tuple[int, ...]:
+        """rank -> node index (edge classification uses this map)."""
+        table = [0] * self.world_size
+        for node, group in enumerate(self.groups):
+            for rank in group:
+                table[rank] = node
+        return tuple(table)
+
+    def signature(self) -> tuple:
+        """Structure-only key for schedule caching (links excluded —
+        the same schedule prices differently on different links)."""
+        return self.groups
+
+    def describe(self) -> str:
+        shape = "x".join(str(len(group)) for group in self.groups)
+        links = ""
+        if self.intra_link is not None or self.inter_link is not None:
+            intra = self.intra_link.name if self.intra_link else "?"
+            inter = self.inter_link.name if self.inter_link else "?"
+            links = f" (intra={intra}, inter={inter})"
+        return f"{self.name or 'topology'}: {shape}{links}"

@@ -23,6 +23,8 @@ timelines Figs. 1-2 schedule timelines as Gantt charts
 tuned     tuned-vs-ring collectives (autotuner; not a paper figure)
 workloads scheduler comparison on comm-compute DAGs (MoE / DLRM /
           3D-parallel LLM; not a paper figure)
+synth     synthesized vs preset collectives across fabrics/scales
+          (topology-aware synthesis; not a paper figure)
 ========  =====================================================
 """
 
@@ -40,6 +42,7 @@ from repro.experiments.fig11 import run as fig11
 from repro.experiments.timelines import run as timelines
 from repro.experiments.tuned import run as tuned
 from repro.experiments.workloads import run as workloads
+from repro.experiments.synth import run as synth
 
 EXPERIMENTS = {
     "table1": table1,
@@ -55,6 +58,7 @@ EXPERIMENTS = {
     "timelines": timelines,
     "tuned": tuned,
     "workloads": workloads,
+    "synth": synth,
 }
 
 __all__ = ["EXPERIMENTS", "paper_data"] + sorted(EXPERIMENTS)

@@ -68,8 +68,12 @@ DEFAULT_SWEEP_MAX = 2.0**30
 
 #: Candidate order encodes the tie-break: the plain-ring parity config
 #: (ring / simple / calibrated channels) comes first, so equal-cost ties
-#: resolve to the paper's baseline.
-_ALGORITHM_ORDER = ("ring", "halving_doubling", "tree", "hierarchical")
+#: resolve to the paper's baseline.  Synthesized schedules come last:
+#: where one merely matches a preset (synth_bw's two-level ring prices
+#: identically to hierarchical), the preset keeps the bucket.
+_ALGORITHM_ORDER = (
+    "ring", "halving_doubling", "tree", "hierarchical", "synth_lat", "synth_bw",
+)
 _PROTOCOL_ORDER = ("simple", "ll128", "ll")
 
 
@@ -257,7 +261,11 @@ def candidate_selections(cluster: ClusterSpec) -> list[Selection]:
     (halving-doubling needs a power-of-two world, hierarchical needs
     multiple nodes); protocols come from the governing link's capability
     set; channel counts are the powers of two up to the link's
-    calibrated count.
+    calibrated count.  The synthesized families join the pool for every
+    topology they improve on: ``synth_lat`` always (its two-level
+    halving/doubling and non-power-of-two folds have no preset
+    equivalent), ``synth_bw`` only where the two-level composition
+    exists (elsewhere it is exactly the flat ring).
     """
     link = governing_link(cluster)
     p = cluster.world_size
@@ -267,6 +275,9 @@ def candidate_selections(cluster: ClusterSpec) -> list[Selection]:
     algorithms.append("tree")
     if cluster.multi_node and cluster.gpus_per_node > 1:
         algorithms.append("hierarchical")
+        algorithms.append("synth_bw")
+    if p > 1:
+        algorithms.append("synth_lat")
     algorithms.sort(key=_ALGORITHM_ORDER.index)
 
     protocols = sorted(

@@ -320,7 +320,10 @@ class CollectiveTimeModel:
     - ``"ring"`` (default, NCCL's choice on the paper's testbed),
     - ``"halving_doubling"``,
     - ``"tree"`` (double binary tree; its decoupling is reduce+broadcast),
-    - ``"hierarchical"`` (two-level ring).
+    - ``"hierarchical"`` (two-level ring),
+    - ``"synth_lat"`` / ``"synth_bw"`` (schedules synthesized for the
+      cluster's declared topology by
+      :mod:`repro.collectives.synthesis` and priced step by step).
 
     ``startup_overhead`` adds a fixed per-collective software cost
     (kernel launch, hook dispatch) on top of the alpha–beta time.
@@ -346,7 +349,10 @@ class CollectiveTimeModel:
     build a fresh model instead.
     """
 
-    ALGORITHMS = ("ring", "halving_doubling", "tree", "hierarchical", "auto")
+    ALGORITHMS = (
+        "ring", "halving_doubling", "tree", "hierarchical",
+        "synth_lat", "synth_bw", "auto",
+    )
 
     def __init__(
         self,
@@ -489,7 +495,9 @@ class CollectiveTimeModel:
                 gamma=self.gamma,
                 startup_overhead=self.startup_overhead,
             )
-        if self._protocol_mode:
+        if self._protocol_mode or self.algorithm in ("synth_lat", "synth_bw"):
+            # Synthesized schedules have no scalar closed form: they are
+            # always priced through the step-level protocol path.
             from repro.network.protocol import collective_time
 
             return collective_time(

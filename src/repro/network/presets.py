@@ -28,6 +28,7 @@ __all__ = [
     "PCIE_3",
     "cluster_10gbe",
     "cluster_100gbib",
+    "cluster_nvlink",
     "paper_testbed",
 ]
 
@@ -94,15 +95,37 @@ def cluster_100gbib(nodes: int = 16, gpus_per_node: int = 4) -> ClusterSpec:
     )
 
 
+def cluster_nvlink(nodes: int = 8, gpus_per_node: int = 8) -> ClusterSpec:
+    """A DGX-style extension testbed: NVLink inside, 100GbIB between.
+
+    Not a paper measurement point — the synthesis study uses it as the
+    most heterogeneous fabric (12.5x intra/inter bandwidth gap), where
+    topology-aware schedules diverge furthest from the flat presets.
+    """
+    return ClusterSpec(
+        name=f"{nodes * gpus_per_node}xGPU/NVLink",
+        nodes=nodes,
+        gpus_per_node=gpus_per_node,
+        inter_link=INFINIBAND_100G,
+        intra_link=NVLINK,
+    )
+
+
 def paper_testbed(network: str = "10gbe") -> ClusterSpec:
-    """The 16-node x 4-GPU cluster of §VI-A, by network name.
+    """The 16-node x 4-GPU cluster of §VI-A, by network name, or the
+    DGX-style NVLink extension testbed.
 
     Args:
-        network: ``"10gbe"`` or ``"100gbib"`` (case-insensitive).
+        network: ``"10gbe"``, ``"100gbib"``, or ``"nvlink"``
+            (case-insensitive).
     """
     key = network.lower().replace("-", "").replace("_", "")
     if key in ("10gbe", "ethernet", "eth"):
         return cluster_10gbe()
     if key in ("100gbib", "ib", "infiniband"):
         return cluster_100gbib()
-    raise ValueError(f"unknown network {network!r}; expected '10gbe' or '100gbib'")
+    if key in ("nvlink", "dgx"):
+        return cluster_nvlink()
+    raise ValueError(
+        f"unknown network {network!r}; expected '10gbe', '100gbib', or 'nvlink'"
+    )

@@ -399,6 +399,25 @@ def collective_times(
             t = _hierarchical_reduce_scatter(
                 d, cluster, intra_ab, inter_ab, gamma, ring_chunks
             ) + _hierarchical_all_gather(d, cluster, intra_ab, inter_ab, ring_chunks)
+    elif algorithm in ("synth_lat", "synth_bw"):
+        if op == "all_to_all":
+            # The synthesizers cover RS/AG/AR; personalized exchange
+            # falls back to the pairwise schedule like tree does.
+            t = _pairwise_all_to_all(d, p, alpha, beta, ring_chunks)
+        else:
+            # Late import: synthesis depends on this module for pricing.
+            from repro.collectives.synthesis import schedule_for_cluster, schedule_times
+
+            objective = "latency" if algorithm == "synth_lat" else "bandwidth"
+            schedule = schedule_for_cluster(cluster, op, objective)
+            # Same convention as hierarchical: the governing link runs
+            # under the protocol tier, the other at the calibrated
+            # baseline.  Single-node worlds are governed by intra.
+            if cluster.multi_node:
+                step_intra, step_inter = intra_ab, inter_ab
+            else:
+                step_intra, step_inter = (alpha, beta), inter_ab
+            t = schedule_times(schedule, d, step_intra, step_inter, gamma)
     else:
         raise ValueError(f"unknown algorithm {algorithm!r}")
 

@@ -125,12 +125,74 @@ def run_tune(
     return payload
 
 
+def _first_table_divergence(fabric: str, table: dict, gold: dict) -> str:
+    """Name the first diverging selection-table entry, op/bucket order."""
+    entries = table.get("entries", {})
+    gold_entries = gold.get("entries", {}) if isinstance(gold, dict) else {}
+    for op in sorted(set(entries) | set(gold_entries)):
+        buckets = entries.get(op, {})
+        gold_buckets = gold_entries.get(op, {})
+        for bucket in sorted(set(buckets) | set(gold_buckets), key=int):
+            got = buckets.get(bucket)
+            want = gold_buckets.get(bucket)
+            if got != want:
+                return (
+                    f"{fabric}: selection table first diverges at "
+                    f"({op}, bucket {bucket} ~ {2 ** int(bucket)}B): "
+                    f"got {got or 'absent'}, golden {want or 'absent'}"
+                )
+    # Entries agree; a metadata field (link, world_size, ...) moved.
+    fields = sorted(
+        key for key in set(table) | set(gold or {})
+        if key != "entries" and table.get(key) != (gold or {}).get(key)
+    )
+    return (
+        f"{fabric}: selection table differs from golden in "
+        f"{', '.join(fields) if fields else 'an unknown field'}"
+    )
+
+
+def _first_row_divergence(fabric: str, op: str, rows: list, gold_rows) -> str:
+    """Name the first diverging (op, size) latency row and its fields."""
+    gold_rows = gold_rows if isinstance(gold_rows, list) else []
+    for index in range(max(len(rows), len(gold_rows))):
+        if index >= len(rows):
+            missing = gold_rows[index]
+            return (
+                f"{fabric}/{op}: latency table first diverges at "
+                f"nbytes={missing.get('nbytes')}: row only in golden"
+            )
+        if index >= len(gold_rows):
+            extra = rows[index]
+            return (
+                f"{fabric}/{op}: latency table first diverges at "
+                f"nbytes={extra.get('nbytes')}: row missing from golden"
+            )
+        row, gold_row = rows[index], gold_rows[index]
+        if row != gold_row:
+            fields = sorted(
+                key for key in set(row) | set(gold_row)
+                if row.get(key) != gold_row.get(key)
+            )
+            detail = "; ".join(
+                f"{key}: got {row.get(key)!r}, golden {gold_row.get(key)!r}"
+                for key in fields
+            )
+            return (
+                f"{fabric}/{op}: latency table first diverges at "
+                f"nbytes={row.get('nbytes', gold_row.get('nbytes'))}: {detail}"
+            )
+    return f"{fabric}/{op}: latency table differs from golden"
+
+
 def golden_mismatches(payload: dict, golden: dict) -> list[str]:
     """Deterministic-field differences vs. a committed golden artifact.
 
     The host-dependent ``harness`` section is ignored; ``params`` and
     the whole per-fabric body (latency tables + selection tables) must
     match exactly — modeled latencies are pure functions of the params.
+    Each problem line names the *first* diverging ``(op, size)`` entry
+    so golden drift is diagnosable straight from CI logs.
     """
     problems = []
     if golden.get("schema") != payload.get("schema"):
@@ -146,11 +208,13 @@ def golden_mismatches(payload: dict, golden: dict) -> list[str]:
             continue
         gold = golden_fabrics[fabric]
         if body["table"] != gold.get("table"):
-            problems.append(f"{fabric}: selection table differs from golden")
+            problems.append(
+                _first_table_divergence(fabric, body["table"], gold.get("table"))
+            )
         for op, rows in body["latency_table"].items():
             gold_rows = gold.get("latency_table", {}).get(op)
             if rows != gold_rows:
-                problems.append(f"{fabric}/{op}: latency table differs from golden")
+                problems.append(_first_row_divergence(fabric, op, rows, gold_rows))
     for fabric in golden_fabrics:
         if fabric not in payload.get("fabrics", {}):
             problems.append(f"fabric {fabric!r} in golden but not in this run")

@@ -27,6 +27,7 @@ from repro.schedulers.multirank import HeterogeneousResult
 from repro.telemetry.registry import default_registry
 
 __all__ = [
+    "COUNTERS_FILE",
     "SCHEMA_VERSION",
     "ResultCache",
     "default_cache",
@@ -38,6 +39,12 @@ __all__ = [
 
 #: Bump when simulator semantics or the result layout change.
 SCHEMA_VERSION = "dear-cache-v1"
+
+#: Store-level lifetime counters (JSON), kept next to the schema
+#: directories so ``dear-repro cache stats`` can report hit rates across
+#: processes.  Deliberately NOT named ``*.json``: everything matching
+#: ``*.json`` under the root is a cache entry.
+COUNTERS_FILE = "counters"
 
 #: Fields of ScheduleResult that persist (the tracer is deliberately
 #: dropped: it is large, not JSON-serialisable, and only timeline
@@ -143,6 +150,33 @@ class ResultCache:
     def _path(self, fingerprint: str) -> Path:
         return self.root / self.schema / fingerprint[:2] / f"{fingerprint}.json"
 
+    def _bump_store_counter(self, key: str) -> None:
+        """Best-effort increment of the store's lifetime counters.
+
+        Read-modify-replace without a lock: concurrent writers can lose
+        increments, which is fine for what the counters are (an
+        operational gauge for ``dear-repro cache stats``, not an exact
+        ledger).  Any I/O failure leaves the store untouched.
+        """
+        path = self.root / COUNTERS_FILE
+        try:
+            data = json.loads(path.read_text())
+            if not isinstance(data, dict):
+                data = {}
+        except (OSError, ValueError):
+            data = {}
+        data[key] = int(data.get(key, 0)) + 1
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            handle = tempfile.NamedTemporaryFile(
+                "w", dir=self.root, suffix=".tmp", delete=False
+            )
+            with handle:
+                json.dump(data, handle)
+            os.replace(handle.name, path)
+        except (OSError, TypeError):
+            pass
+
     def get(self, spec: RunSpec) -> Optional[ScheduleResult]:
         """Cached result for ``spec``, or None on any kind of miss."""
         if not self.enabled:
@@ -158,6 +192,7 @@ class ResultCache:
             result = result_from_dict(entry["result"])
         except FileNotFoundError:
             self.misses += 1
+            self._bump_store_counter("misses")
             default_registry().counter(
                 "runner.cache.misses", "result-cache lookups that recomputed"
             ).inc()
@@ -166,11 +201,18 @@ class ResultCache:
             # Corrupted or stale entry: evict and recompute.
             self._evict(path)
             self.misses += 1
+            self._bump_store_counter("misses")
             default_registry().counter(
                 "runner.cache.misses", "result-cache lookups that recomputed"
             ).inc()
             return None
         self.hits += 1
+        self._bump_store_counter("hits")
+        try:
+            # Touch on hit so prune-by-age keeps warm entries (LRU-ish).
+            os.utime(path)
+        except OSError:
+            pass
         default_registry().counter(
             "runner.cache.hits", "result-cache lookups served from disk"
         ).inc()
@@ -204,6 +246,7 @@ class ResultCache:
                 self._evict(Path(temp_name))
             return
         self.puts += 1
+        self._bump_store_counter("puts")
         default_registry().counter(
             "runner.cache.puts", "results persisted into the cache"
         ).inc()

@@ -237,6 +237,56 @@ def _bench_autotuner(repeats: int) -> dict[str, float]:
     }
 
 
+def _bench_synthesis(repeats: int) -> dict[str, float]:
+    """Schedule-synthesis and step-pricing throughput at 64 ranks.
+
+    Two timed regions: cold ``synthesize`` calls (cache cleared between
+    repeats — the cost a new topology pays) and ``schedule_times``
+    sweeps over a warm schedule (the cost every autotuner candidate
+    evaluation pays).  Wall-clock, host-dependent, gate-ignored.
+    """
+    import numpy as np
+
+    from repro.collectives.synthesis import (
+        Topology,
+        clear_schedule_cache,
+        schedule_times,
+        synthesize,
+    )
+    from repro.network.presets import cluster_10gbe
+
+    cluster = cluster_10gbe()  # 16 nodes x 4 GPUs
+    topology = Topology.from_cluster(cluster)
+    specs = [(op, objective)
+             for op in ("reduce_scatter", "all_gather", "all_reduce")
+             for objective in ("latency", "bandwidth")]
+
+    synthesize(topology, "all_reduce", "bandwidth")  # warm-up (JIT-free, but fair)
+    started = time.perf_counter()
+    for _ in range(repeats):
+        clear_schedule_cache()
+        for op, objective in specs:
+            synthesize(topology, op, objective)
+    synth_elapsed = (time.perf_counter() - started) / repeats
+
+    schedule = synthesize(topology, "all_reduce", "bandwidth")
+    sizes = np.logspace(10, 30, num=21, base=2.0)
+    intra_ab = (cluster.intra_link.alpha, cluster.intra_link.beta)
+    inter_ab = (cluster.inter_link.alpha, cluster.inter_link.beta)
+    schedule_times(schedule, sizes, intra_ab, inter_ab)  # warm profile cache
+    price_repeats = repeats * 20
+    started = time.perf_counter()
+    for _ in range(price_repeats):
+        schedule_times(schedule, sizes, intra_ab, inter_ab)
+    price_elapsed = (time.perf_counter() - started) / price_repeats
+    return {
+        "world": float(topology.world_size),
+        "schedules_per_sec": len(specs) / synth_elapsed,
+        "priced_sweeps_per_sec": 1.0 / price_elapsed,
+        "priced_sizes_per_sec": sizes.size / price_elapsed,
+    }
+
+
 def _bench_sweep(models: tuple[str, ...], repeats: int) -> dict[str, float]:
     """Uncached end-to-end sweep wall time, fast path off vs. on."""
     from repro.schedulers.base import simulate
@@ -292,6 +342,7 @@ def run_simcore(quick: bool = False) -> dict[str, dict[str, float]]:
         "autotuner/table_build_100gbib": _bench_autotuner(
             2 if quick else 10
         ),
+        "synth/schedule_64rank_10gbe": _bench_synthesis(2 if quick else 10),
     }
     for world in multirank_worlds:
         # One event run at the largest worlds: the event kernel is the

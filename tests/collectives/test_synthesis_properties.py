@@ -1,0 +1,91 @@
+"""Hypothesis property suite for schedule synthesis.
+
+Random topologies x world sizes (including non-power-of-two worlds,
+non-uniform groups, and lengths that split unevenly — or not at all —
+across chunks):
+
+- every synthesized schedule passes the set-algebra verifier;
+- synthesized RS followed by synthesized AG is bit-exact against the
+  synthesized ``all_reduce`` AND against the plain numpy sum (integer
+  payloads make float64 addition exact regardless of order);
+- step counts equal the synthesizer's declared latency/bandwidth
+  bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.collectives.synthesis import (
+    Topology,
+    declared_step_bound,
+    run_schedule,
+    synthesize,
+    verify_schedule,
+)
+from repro.collectives.transport import Transport
+
+#: Random group partitions: uniform shapes (the two-level path) and
+#: arbitrary non-uniform splits (the flat fallback), worlds 2..12.
+uniform_topologies = st.builds(
+    Topology.from_shape,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=4),
+).filter(lambda topo: topo.world_size >= 2)
+grouped_topologies = st.lists(
+    st.integers(min_value=1, max_value=5), min_size=1, max_size=4
+).filter(lambda sizes: 2 <= sum(sizes) <= 12).map(Topology.grouped)
+topologies = st.one_of(uniform_topologies, grouped_topologies)
+
+objectives = st.sampled_from(["latency", "bandwidth"])
+
+
+def _integer_buffers(topo, length, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(-8, 8, size=(topo.world_size, length)).astype(np.float64)
+    return data, [data[rank].copy() for rank in range(topo.world_size)]
+
+
+@settings(deadline=None, max_examples=40)
+@given(topo=topologies, objective=objectives,
+       length=st.integers(min_value=0, max_value=40),
+       seed=st.integers(min_value=0, max_value=99))
+def test_rs_then_ag_bit_exact_vs_all_reduce(topo, objective, length, seed):
+    data, fused = _integer_buffers(topo, length, seed)
+    run_schedule(Transport(topo.world_size), fused,
+                 synthesize(topo, "all_reduce", objective))
+    _, pair = _integer_buffers(topo, length, seed)
+    transport = Transport(topo.world_size)
+    run_schedule(transport, pair, synthesize(topo, "reduce_scatter", objective))
+    run_schedule(transport, pair, synthesize(topo, "all_gather", objective))
+    assert not transport.pending()
+    want = data.sum(axis=0)
+    for fused_buf, pair_buf in zip(fused, pair):
+        np.testing.assert_array_equal(pair_buf, fused_buf)
+        np.testing.assert_array_equal(fused_buf, want)
+
+
+@settings(deadline=None, max_examples=40)
+@given(topo=topologies, objective=objectives)
+def test_schedules_verify_and_match_declared_bounds(topo, objective):
+    for op in ("reduce_scatter", "all_gather", "all_reduce"):
+        schedule = synthesize(topo, op, objective)
+        verify_schedule(schedule)
+        bound = declared_step_bound(topo, op, objective)
+        assert schedule.num_steps == bound
+        assert schedule.meta["step_bound"] == bound
+
+
+@settings(deadline=None, max_examples=25)
+@given(topo=topologies, seed=st.integers(min_value=0, max_value=99))
+def test_latency_and_bandwidth_agree_on_values(topo, seed):
+    # Different schedules, same collective: results must be identical
+    # (integer payloads, so no float-ordering slack is needed).
+    length = 17
+    _, lat = _integer_buffers(topo, length, seed)
+    run_schedule(Transport(topo.world_size), lat,
+                 synthesize(topo, "all_reduce", "latency"))
+    _, bw = _integer_buffers(topo, length, seed)
+    run_schedule(Transport(topo.world_size), bw,
+                 synthesize(topo, "all_reduce", "bandwidth"))
+    for lat_buf, bw_buf in zip(lat, bw):
+        np.testing.assert_array_equal(lat_buf, bw_buf)

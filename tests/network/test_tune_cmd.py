@@ -86,6 +86,41 @@ class TestGoldenGate:
         problems = golden_mismatches(payload, golden)
         assert any("selection table" in p for p in problems)
 
+    def test_table_drift_names_first_diverging_entry(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        entries = golden["fabrics"]["10gbe"]["table"]["entries"]["all_reduce"]
+        bucket = sorted(entries, key=int)[0]
+        original = entries[bucket]
+        entries[bucket] = "tree/simple/c1"
+        problems = golden_mismatches(payload, golden)
+        message = next(p for p in problems if "selection table" in p)
+        assert f"(all_reduce, bucket {bucket}" in message
+        assert original in message and "tree/simple/c1" in message
+
+    def test_latency_drift_names_first_diverging_size(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        row = golden["fabrics"]["10gbe"]["latency_table"]["all_gather"][1]
+        row["time_s"] = 123.456
+        problems = golden_mismatches(payload, golden)
+        message = next(p for p in problems if "latency table" in p)
+        assert "10gbe/all_gather" in message
+        assert f"nbytes={row['nbytes']}" in message
+        assert "time_s" in message and "123.456" in message
+
+    def test_latency_drift_reports_extra_and_missing_rows(self):
+        payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
+                           factor=16, iters=1)
+        golden = json.loads(json.dumps(payload))
+        dropped = golden["fabrics"]["10gbe"]["latency_table"]["all_reduce"].pop()
+        problems = golden_mismatches(payload, golden)
+        message = next(p for p in problems if "all_reduce" in p)
+        assert f"nbytes={dropped['nbytes']}" in message
+        assert "missing from golden" in message
+
     def test_missing_fabric_detected(self):
         payload = run_tune(fabrics=("10gbe",), begin=4096, end=2**22,
                            factor=16, iters=1)

@@ -1,0 +1,125 @@
+"""The ``dear-repro cache`` subcommand: stats and pruning."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.runner.cache import COUNTERS_FILE, ResultCache, run_cached
+from repro.runner.cache_cmd import cache_main, prune_store, scan_store
+from repro.runner.spec import RunSpec
+
+
+@pytest.fixture()
+def store(tmp_path):
+    """A populated cache root: two entries, one hit, two misses."""
+    root = tmp_path / "cache"
+    cache = ResultCache(root=root)
+    specs = [
+        RunSpec.create("wfbp", "resnet50", "10gbe", iterations=3),
+        RunSpec.create("dear", "resnet50", "10gbe", iterations=3,
+                       fusion="buffer", buffer_bytes=25e6),
+    ]
+    for spec in specs:
+        run_cached(spec, cache=cache)
+    run_cached(specs[0], cache=cache)  # one hit
+    return root
+
+
+class TestScan:
+    def test_counts_entries_and_counters(self, store):
+        payload = scan_store(store)
+        assert payload["entries"] == 2
+        assert payload["bytes"] > 0
+        assert sum(body["entries"] for body in payload["schemas"].values()) == 2
+        assert payload["counters"]["hits"] == 1
+        assert payload["counters"]["misses"] == 2
+        assert payload["counters"]["puts"] == 2
+        assert payload["counters"]["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_counters_file_is_not_an_entry(self, store):
+        assert (store / COUNTERS_FILE).is_file()
+        assert scan_store(store)["entries"] == 2
+
+    def test_empty_and_missing_roots(self, tmp_path):
+        payload = scan_store(tmp_path / "nowhere")
+        assert payload["entries"] == 0
+        assert payload["oldest_age_s"] is None
+        assert payload["counters"]["hit_rate"] == 0.0
+
+
+class TestPrune:
+    def _ages(self, root):
+        """Make every current entry look a week old."""
+        stale = time.time() - 7 * 86400
+        for path in root.rglob("*.json"):
+            os.utime(path, (stale, stale))
+
+    def test_age_prune_drops_cold_entries(self, store):
+        self._ages(store)
+        payload = prune_store(store, max_age_days=1.0)
+        assert payload["removed"] == 2 and payload["kept"] == 0
+        assert scan_store(store)["entries"] == 0
+
+    def test_hit_refreshes_mtime_and_saves_entry(self, store):
+        self._ages(store)
+        spec = RunSpec.create("wfbp", "resnet50", "10gbe", iterations=3)
+        assert ResultCache(root=store).get(spec) is not None  # touches mtime
+        payload = prune_store(store, max_age_days=1.0)
+        assert payload["removed"] == 1
+        assert ResultCache(root=store).get(spec) is not None
+
+    def test_byte_budget_evicts_oldest_first(self, store):
+        entries = sorted(store.rglob("*.json"))
+        old, new = entries[0], entries[1]
+        stale = time.time() - 3600
+        os.utime(old, (stale, stale))
+        budget = new.stat().st_size
+        payload = prune_store(store, max_bytes=budget)
+        assert payload["removed"] == 1
+        assert not old.exists() and new.exists()
+
+    def test_dry_run_deletes_nothing(self, store):
+        payload = prune_store(store, max_age_days=0.0, dry_run=True)
+        assert payload["removed"] == 2 and payload["dry_run"]
+        assert scan_store(store)["entries"] == 2
+
+    def test_empty_shard_dirs_are_removed(self, store):
+        prune_store(store, max_age_days=0.0)
+        leftovers = [path for path in store.rglob("*") if path.is_dir()]
+        assert leftovers == []
+
+
+class TestCli:
+    def test_stats_text(self, store, capsys):
+        assert cache_main(["--root", str(store), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 2" in out
+        assert "1 hits / 2 misses / 2 puts" in out
+
+    def test_stats_json(self, store, capsys):
+        assert cache_main(["--root", str(store), "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 2
+        assert payload["counters"]["puts"] == 2
+
+    def test_prune_requires_a_limit(self, store, capsys):
+        assert cache_main(["--root", str(store), "prune"]) == 2
+        assert "--max-age-days" in capsys.readouterr().err
+
+    def test_prune_reports_removal(self, store, capsys):
+        code = cache_main(["--root", str(store), "prune", "--max-age-days", "0"])
+        assert code == 0
+        assert "removed 2 entries" in capsys.readouterr().out
+        assert scan_store(store)["entries"] == 0
+
+    def test_default_root_honours_cache_dir_env(self, store, capsys, monkeypatch):
+        monkeypatch.setenv("DEAR_CACHE_DIR", str(store))
+        assert cache_main(["stats"]) == 0
+        assert str(store) in capsys.readouterr().out
+
+    def test_dispatch_through_main(self, store, capsys):
+        main(["cache", "--root", str(store), "stats"])
+        assert "cache root" in capsys.readouterr().out
